@@ -1,0 +1,144 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation toggles one mechanism and measures the consequence:
+
+* Algorithm 1's tracked-sample optimistic marking (lines 24–31) on/off;
+* Algorithm 1's special-set threshold factor (the collapsed ``log⁶ m``);
+* the KK level width ``√n`` (halving/doubling it shifts the
+  space/quality tradeoff);
+* Theorem 4's expectation-to-high-probability amplification (parallel
+  copies shrink the cover-size spread).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core.adversarial import LowSpaceAdversarialAlgorithm
+from repro.core.amplification import AmplifiedAlgorithm
+from repro.core.kk import KKAlgorithm
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.core.scaling import Scaling
+from repro.generators.planted import planted_partition_instance
+from repro.generators.random_instances import two_tier_instance
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream
+
+
+@pytest.fixture(scope="module")
+def two_tier():
+    instance = two_tier_instance(2500, num_small=20000, num_big=60, seed=47)
+    return ReplayableStream(instance, RandomOrder(seed=47))
+
+
+def test_ablation_tracking_disabled(benchmark, two_tier):
+    """Line 24–31 machinery off: no optimistic marking may occur."""
+    scaling = Scaling.practical().with_overrides(enable_tracking=False)
+
+    def run():
+        algorithm = RandomOrderAlgorithm(scaling=scaling, seed=47)
+        result = algorithm.run(two_tier.fresh())
+        return algorithm.last_probe, result
+
+    probe, result = benchmark(run)
+    result.verify(two_tier.instance)
+    assert all(s.marked_by_tracking == 0 for s in probe.epoch_stats)
+
+
+def test_ablation_tracking_enabled_reference(benchmark, two_tier):
+    """Reference run with tracking on, for comparison with the ablation."""
+
+    def run():
+        algorithm = RandomOrderAlgorithm(seed=47)
+        return algorithm.run(two_tier.fresh())
+
+    result = benchmark(run)
+    result.verify(two_tier.instance)
+
+
+@pytest.mark.parametrize("factor", [1.0, 2.0, 4.0])
+def test_ablation_special_threshold(benchmark, two_tier, factor):
+    """Raising the special threshold makes detection rarer (fewer specials)."""
+    scaling = Scaling.practical().with_overrides(
+        special_threshold_factor=factor
+    )
+
+    def run():
+        algorithm = RandomOrderAlgorithm(scaling=scaling, seed=47)
+        result = algorithm.run(two_tier.fresh())
+        assert algorithm.last_probe is not None
+        return sum(s.special_sets for s in algorithm.last_probe.epoch_stats)
+
+    specials = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert specials >= 0
+
+
+@pytest.mark.parametrize("width_factor", [0.5, 1.0, 2.0])
+def test_ablation_kk_level_width(benchmark, width_factor):
+    """Narrower KK levels promote sets earlier (more inclusion events)."""
+    planted = planted_partition_instance(144, 2000, opt_size=12, seed=53)
+    stream = ReplayableStream(planted.instance, RandomOrder(seed=53))
+    scaling = Scaling.practical().with_overrides(
+        kk_level_width_factor=width_factor
+    )
+
+    def run():
+        return KKAlgorithm(scaling=scaling, seed=53).run(stream.fresh())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.verify(planted.instance)
+    assert result.diagnostics["level_width"] == int(
+        width_factor * 12
+    )
+
+
+@pytest.mark.parametrize("cache_size", [0, None])
+def test_ablation_element_sampling_witness_cache(benchmark, cache_size):
+    """Witness-cache off vs on: the cache can only reduce patching."""
+    from repro.core.element_sampling import ElementSamplingAlgorithm
+
+    planted = planted_partition_instance(256, 2000, opt_size=16, seed=61)
+    stream = ReplayableStream(planted.instance, RandomOrder(seed=61))
+
+    def run():
+        algorithm = ElementSamplingAlgorithm(
+            alpha=16,
+            sample_constant=0.5,
+            witness_cache_size=cache_size,
+            seed=61,
+        )
+        return algorithm.run(stream.fresh())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.verify(planted.instance)
+    if cache_size == 0:
+        assert result.diagnostics["cached_certifications"] == 0
+
+
+def test_ablation_amplification_shrinks_spread(benchmark):
+    """Thm 4 remark: parallel copies turn expectation into concentration."""
+    planted = planted_partition_instance(100, 1000, opt_size=10, seed=59)
+    stream = ReplayableStream(planted.instance, RandomOrder(seed=59))
+
+    def covers_with(copies, trials=6):
+        sizes = []
+        for trial in range(trials):
+            algorithm = AmplifiedAlgorithm(
+                factory=lambda s: LowSpaceAdversarialAlgorithm(
+                    alpha=20, seed=s
+                ),
+                copies=copies,
+                seed=1000 + trial,
+            )
+            sizes.append(algorithm.run(stream.fresh()).cover_size)
+        return sizes
+
+    def run():
+        return covers_with(1), covers_with(6)
+
+    singles, amplified = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The best-of-6 covers concentrate at/below the single-copy runs.
+    assert statistics.fmean(amplified) <= statistics.fmean(singles)
+    assert max(amplified) <= max(singles)

@@ -1,0 +1,28 @@
+"""Benchmark for the Lemma-2 concentration simulations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.concentration import simulate_occupancy
+
+
+def test_occupancy_simulation_throughput(benchmark):
+    """Time 10k hypergeometric window-count draws (the lemma's process)."""
+    counts = benchmark(
+        lambda: simulate_occupancy(
+            stream_length=10**6,
+            subset_size=200_000,
+            window=1000,
+            trials=10_000,
+            seed=61,
+        )
+    )
+    assert counts.shape == (10_000,)
+
+
+def test_regenerates_concentration_table(benchmark, experiment_report):
+    report = benchmark.pedantic(
+        lambda: experiment_report("concentration"), rounds=1, iterations=1
+    )
+    assert report.findings["worst_violation_rate"] <= 0.01

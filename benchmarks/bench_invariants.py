@@ -1,0 +1,38 @@
+"""Benchmark for Algorithm 1's (I1)/(I2)/(I3) invariant probes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.generators.random_instances import two_tier_instance
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    instance = two_tier_instance(2500, num_small=20000, num_big=60, seed=41)
+    return ReplayableStream(instance, RandomOrder(seed=41))
+
+
+def test_instrumented_pass_throughput(benchmark, workload):
+    """Time one instrumented Algorithm-1 pass on the two-tier workload."""
+
+    def run():
+        algorithm = RandomOrderAlgorithm(seed=41)
+        result = algorithm.run(workload.fresh())
+        return algorithm.last_probe, result
+
+    probe, result = benchmark(run)
+    result.verify(workload.instance)
+    assert probe is not None
+
+
+def test_regenerates_invariants_table(benchmark, experiment_report):
+    report = benchmark.pedantic(
+        lambda: experiment_report("invariants"), rounds=1, iterations=1
+    )
+    assert report.findings["mean_special_decay_rate"] < 1.0
+    assert report.findings["max_additions_over_sqrtn_log2m"] < 5.0
+    assert report.findings["max_marked_uncovered_fraction"] < 0.05

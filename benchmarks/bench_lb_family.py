@@ -1,0 +1,28 @@
+"""Benchmark for Lemma 1: sampling and verifying the partitioned family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lowerbound.family import build_family
+
+
+def test_family_construction_throughput(benchmark):
+    """Time sampling + verification of a Lemma-1 family."""
+    family = benchmark(lambda: build_family(400, 40, 4, seed=23))
+    assert family.m == 40
+
+
+def test_intersection_verification_throughput(benchmark):
+    """Time the O(m²·t) max-partial-intersection verification."""
+    family = build_family(400, 40, 4, seed=23)
+    worst = benchmark(family.max_partial_intersection)
+    assert worst >= 0
+
+
+def test_regenerates_family_table(benchmark, experiment_report):
+    report = benchmark.pedantic(
+        lambda: experiment_report("lb-family"), rounds=1, iterations=1
+    )
+    assert report.findings["max_intersection_over_log_n"] <= 4.0
+    assert 0.5 <= report.findings["mean_intersection_overall"] <= 2.0

@@ -1,0 +1,43 @@
+"""Benchmark for the Theorem-2 reduction run end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kk import KKAlgorithm
+from repro.lowerbound.disjointness import intersecting_instance
+from repro.lowerbound.family import build_family
+from repro.lowerbound.reduction import DisjointnessReduction
+
+
+@pytest.fixture(scope="module")
+def setup():
+    family = build_family(100, 24, 4, seed=29)
+    reduction = DisjointnessReduction(family, threshold=7.0)
+    disjointness = intersecting_instance(24, 4, 3, seed=29)
+    return reduction, disjointness
+
+
+def test_single_parallel_run_throughput(benchmark, setup):
+    """Time one forked parallel run of the reduction (the unit of work)."""
+    reduction, disjointness = setup
+    witness = disjointness.intersecting_element
+
+    def run():
+        return reduction.execute(
+            disjointness,
+            algorithm_factory=lambda seed: KKAlgorithm(seed=seed),
+            seed=29,
+            run_indices=[witness],
+        )
+
+    outcome = benchmark(run)
+    assert outcome.runs[0].feasible
+
+
+def test_regenerates_reduction_table(benchmark, experiment_report):
+    report = benchmark.pedantic(
+        lambda: experiment_report("lb-reduction"), rounds=1, iterations=1
+    )
+    assert report.findings["decision_accuracy"] >= 0.75
+    assert report.findings["cover_gap_disjoint_over_intersecting"] > 1.2

@@ -1,0 +1,34 @@
+"""Benchmark for the §4.1 stream-length-oblivious wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.random_order import StreamLengthOblivious
+from repro.generators.random_instances import quadratic_family
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    instance = quadratic_family(100, density=0.5, seed=43)
+    return ReplayableStream(instance, RandomOrder(seed=43))
+
+
+def test_oblivious_pass_throughput(benchmark, workload):
+    """Time one oblivious run (guess selection + inner Algorithm 1)."""
+
+    def run():
+        return StreamLengthOblivious(seed=43).run(workload.fresh())
+
+    result = benchmark(run)
+    result.verify(workload.instance)
+
+
+def test_regenerates_length_oblivious_table(benchmark, experiment_report):
+    report = benchmark.pedantic(
+        lambda: experiment_report("length-oblivious"), rounds=1, iterations=1
+    )
+    assert report.findings["worst_guess_factor"] <= 2.1
+    assert report.findings["mean_cover_ratio"] <= 2.0

@@ -1,0 +1,34 @@
+"""Benchmark for the multi-pass pass/quality tradeoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators.zipf import zipf_instance
+from repro.multipass import MultiPassThresholdGreedy
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return ReplayableStream(zipf_instance(300, 1200, seed=67), RandomOrder(seed=67))
+
+
+@pytest.mark.parametrize("passes", [1, 4])
+def test_multipass_throughput(benchmark, workload, passes):
+    """Time a p-pass run (cost scales ~linearly with passes)."""
+
+    def run():
+        return MultiPassThresholdGreedy(passes=passes, seed=67).run(workload)
+
+    result = benchmark(run)
+    result.verify(workload.instance)
+
+
+def test_regenerates_multipass_table(benchmark, experiment_report):
+    report = benchmark.pedantic(
+        lambda: experiment_report("multipass"), rounds=1, iterations=1
+    )
+    assert report.findings["improvement_factor"] > 1.05
+    assert report.findings["max_passes_over_greedy"] < 1.5

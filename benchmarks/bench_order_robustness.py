@@ -1,0 +1,35 @@
+"""Benchmark for the semi-random order-robustness extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.generators.random_instances import quadratic_family
+from repro.streaming.orders import LocallyShuffledOrder
+from repro.streaming.stream import ReplayableStream
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return quadratic_family(100, density=0.5, seed=71)
+
+
+@pytest.mark.parametrize("randomness", [0.0, 1.0])
+def test_semi_random_pass_throughput(benchmark, instance, randomness):
+    workload = ReplayableStream(
+        instance, LocallyShuffledOrder(randomness, seed=71)
+    )
+
+    def run():
+        return RandomOrderAlgorithm(seed=71).run(workload.fresh())
+
+    benchmark(run).verify(instance)
+
+
+def test_regenerates_order_robustness_table(benchmark, experiment_report):
+    report = benchmark.pedantic(
+        lambda: experiment_report("order-robustness"), rounds=1, iterations=1
+    )
+    assert 0.7 <= report.findings["full_shuffle_over_uniform_cover"] <= 1.3
+    assert report.findings["adversarial_over_uniform_cover"] >= 0.9

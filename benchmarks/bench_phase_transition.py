@@ -1,0 +1,16 @@
+"""Benchmark for the approximation/space phase-transition chart."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def test_regenerates_phase_transition_table(benchmark, experiment_report):
+    report = benchmark.pedantic(
+        lambda: experiment_report("phase-transition"), rounds=1, iterations=1
+    )
+    findings = report.findings
+    assert findings["store_over_kk_space"] > 1.0
+    assert findings["kk_over_alg1_space"] > 1.0
+    assert findings["kk_over_alg2_space"] > 1.0
+    assert findings["alg2_small_over_big_alpha_space"] > 1.0

@@ -1,0 +1,33 @@
+"""Benchmark for the practical-workloads comparison (Section 1.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.greedy import greedy_cover
+from repro.baselines.lazy_greedy import lazy_greedy_cover
+from repro.generators.zipf import zipf_instance
+
+
+@pytest.fixture(scope="module")
+def zipf():
+    return zipf_instance(400, 2000, seed=37)
+
+
+def test_plain_greedy_throughput(benchmark, zipf):
+    result = benchmark(lambda: greedy_cover(zipf))
+    assert result.cover_size >= 1
+
+
+def test_lazy_greedy_throughput(benchmark, zipf):
+    """Lazy greedy should be markedly faster on heavy-tailed inputs."""
+    result = benchmark(lambda: lazy_greedy_cover(zipf))
+    assert result.cover_size >= 1
+
+
+def test_regenerates_practice_table(benchmark, experiment_report):
+    report = benchmark.pedantic(
+        lambda: experiment_report("practice"), rounds=1, iterations=1
+    )
+    assert report.findings["max_cover_blowup"] < 10.0
+    assert report.findings["min_lazy_speedup"] > 2.0

@@ -1,0 +1,45 @@
+"""Benchmark for the adversarial-vs-random-order separation (Thm 2 + 3).
+
+Times Algorithm 1 on random vs adversarial orderings of the same
+instance and regenerates the separation table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.generators.random_instances import quadratic_family
+from repro.streaming.orders import LargeSetsLastOrder, RandomOrder
+from repro.streaming.stream import ReplayableStream
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return quadratic_family(144, density=0.5, seed=19)
+
+
+def test_random_order_pass(benchmark, instance):
+    workload = ReplayableStream(instance, RandomOrder(seed=19))
+
+    def run():
+        return RandomOrderAlgorithm(seed=19).run(workload.fresh())
+
+    benchmark(run).verify(instance)
+
+
+def test_adversarial_order_pass(benchmark, instance):
+    workload = ReplayableStream(instance, LargeSetsLastOrder(seed=19))
+
+    def run():
+        return RandomOrderAlgorithm(seed=19).run(workload.fresh())
+
+    benchmark(run).verify(instance)
+
+
+def test_regenerates_separation_table(benchmark, experiment_report):
+    report = benchmark.pedantic(
+        lambda: experiment_report("separation"), rounds=1, iterations=1
+    )
+    assert report.findings["space_advantage_at_max_n"] > 4.0
+    assert report.findings["space_advantage_growth"] > 1.3

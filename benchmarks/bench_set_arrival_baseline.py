@@ -1,0 +1,40 @@
+"""Benchmark for the set-arrival context baseline (Section 1).
+
+Times the Õ(n)-space threshold-greedy pass on a set-grouped stream and
+regenerates the baseline table (space flat in m, ratio ≤ 2√n).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.emek_rosen import SetArrivalThresholdGreedy
+from repro.generators.planted import planted_partition_instance
+from repro.streaming.orders import SetGroupedOrder
+from repro.streaming.stream import ReplayableStream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    planted = planted_partition_instance(144, 4000, opt_size=12, seed=11)
+    return ReplayableStream(planted.instance, SetGroupedOrder(seed=11))
+
+
+def test_set_arrival_pass_throughput(benchmark, workload):
+    """Time one threshold-greedy pass over a set-grouped stream."""
+
+    def run():
+        return SetArrivalThresholdGreedy(seed=11).run(workload.fresh())
+
+    result = benchmark(run)
+    result.verify(workload.instance)
+
+
+def test_regenerates_set_arrival_table(benchmark, experiment_report):
+    """Regenerate the set-arrival context table and check the shape."""
+    report = benchmark.pedantic(
+        lambda: experiment_report("set-arrival-baseline"), rounds=1, iterations=1
+    )
+    assert abs(report.findings["space_vs_m_exponent"]) < 0.3
+    assert report.findings["worst_ratio_over_2sqrt_n"] <= 1.0
+    assert report.findings["interleaved_stream_rejected"] == 1.0

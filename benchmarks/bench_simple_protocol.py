@@ -1,0 +1,31 @@
+"""Benchmark for the deterministic 2√(nt) t-party protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators.planted import planted_partition_instance
+from repro.lowerbound.simple_protocol import (
+    run_simple_protocol,
+    split_instance_among_parties,
+)
+
+
+@pytest.fixture(scope="module")
+def parties():
+    planted = planted_partition_instance(225, 1800, opt_size=15, seed=31)
+    return split_instance_among_parties(planted.instance, 8, seed=31)
+
+
+def test_protocol_throughput(benchmark, parties):
+    """Time one full 8-party protocol execution."""
+    result = benchmark(lambda: run_simple_protocol(225, parties))
+    assert result.cover_size >= 1
+
+
+def test_regenerates_protocol_table(benchmark, experiment_report):
+    report = benchmark.pedantic(
+        lambda: experiment_report("simple-protocol"), rounds=1, iterations=1
+    )
+    assert report.findings["worst_cover_over_bound"] <= 1.0
+    assert report.findings["worst_message_over_n"] <= 8.0

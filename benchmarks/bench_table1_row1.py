@@ -1,0 +1,43 @@
+"""Benchmark for Table 1 row 1: element sampling (α = o(√n) regime).
+
+Times one element-sampling pass and regenerates the row-1 α-sweep
+table (projection space ∝ 1/α, cover within α·OPT).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.element_sampling import ElementSamplingAlgorithm
+from repro.generators.planted import planted_partition_instance
+from repro.streaming.orders import RoundRobinInterleaveOrder
+from repro.streaming.stream import ReplayableStream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    planted = planted_partition_instance(400, 4000, opt_size=20, seed=11)
+    return ReplayableStream(
+        planted.instance, RoundRobinInterleaveOrder(seed=11)
+    )
+
+
+def test_element_sampling_pass_throughput(benchmark, workload):
+    """Time one projection-storing pass plus the offline greedy phase."""
+
+    def run():
+        return ElementSamplingAlgorithm(
+            alpha=18, sample_constant=0.5, seed=11
+        ).run(workload.fresh())
+
+    result = benchmark(run)
+    result.verify(workload.instance)
+
+
+def test_regenerates_row1_table(benchmark, experiment_report):
+    """Regenerate the Table-1 row-1 α-sweep and check the exponents."""
+    report = benchmark.pedantic(
+        lambda: experiment_report("table1-row1"), rounds=1, iterations=1
+    )
+    assert -1.5 <= report.findings["projection_vs_alpha_exponent"] <= -0.6
+    assert report.findings["worst_cover_over_alpha_opt"] <= 2.0

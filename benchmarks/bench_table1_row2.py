@@ -1,0 +1,41 @@
+"""Benchmark for Table 1 row 2 (Theorem 1): the KK-algorithm.
+
+Regenerates the row's space/approximation table and times one KK pass
+on a planted adversarial-order stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kk import KKAlgorithm
+from repro.generators.planted import planted_partition_instance
+from repro.streaming.orders import RoundRobinInterleaveOrder
+from repro.streaming.stream import ReplayableStream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    planted = planted_partition_instance(144, 4000, opt_size=12, seed=7)
+    return ReplayableStream(
+        planted.instance, RoundRobinInterleaveOrder(seed=7)
+    )
+
+
+def test_kk_pass_throughput(benchmark, workload):
+    """Time one full KK pass (counters + probabilistic inclusion)."""
+
+    def run():
+        return KKAlgorithm(seed=7).run(workload.fresh())
+
+    result = benchmark(run)
+    result.verify(workload.instance)
+
+
+def test_regenerates_row2_table(benchmark, experiment_report):
+    """Regenerate the Table-1 row-2 measurements and check the shape."""
+    report = benchmark.pedantic(
+        lambda: experiment_report("table1-row2"), rounds=1, iterations=1
+    )
+    assert 0.7 <= report.findings["space_vs_m_exponent"] <= 1.2
+    assert report.findings["max_normalized_ratio"] < 8.0

@@ -1,0 +1,46 @@
+"""Benchmark for Table 1 row 3 (Theorem 4): Algorithm 2.
+
+Times one low-space pass at α = 2√n and regenerates the α-sweep table
+(level-map space ∝ α⁻², cover ∝ α).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.adversarial import LowSpaceAdversarialAlgorithm
+from repro.generators.planted import planted_partition_instance
+from repro.streaming.orders import RoundRobinInterleaveOrder
+from repro.streaming.stream import ReplayableStream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    planted = planted_partition_instance(256, 4096, opt_size=16, seed=13)
+    return ReplayableStream(
+        planted.instance, RoundRobinInterleaveOrder(seed=13)
+    )
+
+
+def test_algorithm2_pass_throughput(benchmark, workload):
+    """Time one Algorithm-2 pass at the theorem's minimum α = 2√n."""
+    alpha = 2 * math.sqrt(workload.instance.n)
+
+    def run():
+        return LowSpaceAdversarialAlgorithm(alpha=alpha, seed=13).run(
+            workload.fresh()
+        )
+
+    result = benchmark(run)
+    result.verify(workload.instance)
+
+
+def test_regenerates_row3_table(benchmark, experiment_report):
+    """Regenerate the Table-1 row-3 α-sweep and check the exponents."""
+    report = benchmark.pedantic(
+        lambda: experiment_report("table1-row3"), rounds=1, iterations=1
+    )
+    assert -2.6 <= report.findings["level_map_vs_alpha_exponent"] <= -1.4
+    assert report.findings["cover_vs_alpha_exponent"] > 0.3

@@ -1,0 +1,43 @@
+"""Benchmark for Table 1 row 4 (Theorem 3): Algorithm 1, the main result.
+
+Times one random-order pass on an m = Θ(n²) instance and regenerates
+the space-scaling table (Alg1 ~ m/√n vs KK ~ m).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.generators.random_instances import quadratic_family
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream
+
+
+@pytest.fixture(scope="module")
+def workload():
+    instance = quadratic_family(144, density=0.5, seed=17)
+    return ReplayableStream(instance, RandomOrder(seed=17))
+
+
+def test_algorithm1_pass_throughput(benchmark, workload):
+    """Time one Algorithm-1 pass (epoch 0 + A(1..K) + remainder)."""
+
+    def run():
+        return RandomOrderAlgorithm(seed=17).run(workload.fresh())
+
+    result = benchmark(run)
+    result.verify(workload.instance)
+
+
+def test_regenerates_row4_table(benchmark, experiment_report):
+    """Regenerate the Table-1 row-4 scaling and check the separation."""
+    report = benchmark.pedantic(
+        lambda: experiment_report("table1-row4"), rounds=1, iterations=1
+    )
+    assert (
+        report.findings["alg1_space_vs_n_exponent"]
+        < report.findings["kk_space_vs_n_exponent"]
+    )
+    assert report.findings["space_advantage_at_max_n"] > 3.0
+    assert report.findings["max_normalized_ratio"] < 8.0

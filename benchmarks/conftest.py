@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark module regenerates one experiment's table (written to
+``benchmarks/reports/<id>.txt``) and times the underlying algorithm
+runs with pytest-benchmark.  Absolute timings are machine-specific;
+the *findings* asserted in each module are the paper-shape checks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    """Directory collecting the regenerated experiment tables."""
+    path = Path(__file__).parent / "reports"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def experiment_report(report_dir):
+    """Run an experiment once per session, persist and cache its report."""
+    cache = {}
+
+    def run(experiment_id: str, seed: int = 0):
+        if experiment_id not in cache:
+            from repro.experiments.registry import get_experiment
+
+            report = get_experiment(experiment_id).run(quick=True, seed=seed)
+            (report_dir / f"{experiment_id}.txt").write_text(
+                report.render() + "\n", encoding="utf-8"
+            )
+            cache[experiment_id] = report
+        return cache[experiment_id]
+
+    return run

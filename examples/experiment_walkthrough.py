@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Building your own experiment with the harness API.
+
+The registered experiments (``repro-setcover list``) cover the paper's
+claims; this walkthrough shows the pieces they are built from, so you
+can measure your own questions:
+
+1. describe a workload (`repro.analysis.stats`);
+2. compare algorithms on identical streams (`ExperimentRunner`);
+3. sweep a parameter with replication and fit a scaling exponent
+   (`Sweep` + `fit_power_law`);
+4. render the results (`render_table`, `render_scatter`).
+
+The question answered here: *how does Algorithm 2's total state scale
+with α on a Zipf workload, and where does it cross the KK-algorithm?*
+
+Run:  python examples/experiment_walkthrough.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import KKAlgorithm, LowSpaceAdversarialAlgorithm, RandomOrder
+from repro.analysis import (
+    ExperimentRunner,
+    Sweep,
+    describe_instance,
+    render_kv,
+    render_table,
+)
+from repro.analysis.tables import render_scatter
+from repro.generators.zipf import zipf_instance
+from repro.streaming.stream import ReplayableStream
+
+
+def main() -> None:
+    n, m = 300, 3000
+    instance = zipf_instance(n, m, seed=1)
+
+    # 1. Know your workload.
+    stats = describe_instance(instance, compute_opt=False)
+    print(render_kv(stats.as_pairs(), title="workload:"))
+    print()
+
+    # 2. Head-to-head on identical streams.
+    runner = ExperimentRunner(
+        algorithms={
+            "kk": lambda s: KKAlgorithm(seed=s),
+            "alg2@2√n": lambda s: LowSpaceAdversarialAlgorithm(
+                alpha=2 * math.sqrt(n), seed=s
+            ),
+        },
+        seed=2,
+    )
+    rows = runner.compare(instance, "random", replications=2)
+    print(
+        render_table(
+            ["algorithm", "cover", "peak words", "valid"],
+            [
+                [r.algorithm, r.cover_size, r.peak_words, r.valid]
+                for r in rows
+            ],
+            title="head-to-head (same streams):",
+        )
+    )
+    print()
+
+    # 3. Sweep alpha, fit the space exponent.
+    def measure(alpha: float, seed: int):
+        stream = ReplayableStream(instance, RandomOrder(seed=seed))
+        result = LowSpaceAdversarialAlgorithm(alpha=alpha, seed=seed).run(
+            stream.fresh()
+        )
+        return {
+            "level_words": max(1.0, result.diagnostics["level_map_peak"]),
+            "cover": float(result.cover_size),
+        }
+
+    sweep = Sweep(
+        "alpha",
+        values=[20, 40, 80, 160],
+        measure=measure,
+        replications=2,
+        seed=3,
+    ).run()
+    print(
+        render_table(
+            ["alpha", "level-map words", "cover"],
+            sweep.rows(["level_words", "cover"]),
+            title="alpha sweep:",
+        )
+    )
+    print(
+        f"\nfitted space exponent: {sweep.fit('level_words'):.2f} "
+        "(the table1-row3 experiment measures ≈ -2 on planted workloads; "
+        "heavy-tailed Zipf covers saturate early and flatten the curve — "
+        "exactly the kind of workload effect this harness lets you see)\n"
+    )
+
+    # 4. Chart it.
+    print(
+        render_scatter(
+            [
+                (f"a{int(a)}", a, w)
+                for a, w in zip(
+                    sweep.parameters(), sweep.series("level_words")
+                )
+            ],
+            x_label="alpha",
+            y_label="level words",
+            title="level-map state vs alpha (log-log):",
+            height=10,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: solve one edge-arrival Set Cover stream three ways.
+
+Builds a planted instance (known OPT), streams it in random order, and
+runs the paper's three algorithms plus offline greedy, printing cover
+sizes and measured space side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import (
+    KKAlgorithm,
+    LowSpaceAdversarialAlgorithm,
+    RandomOrder,
+    RandomOrderAlgorithm,
+    ReplayableStream,
+    greedy_cover,
+    planted_partition_instance,
+)
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    # A universe of 400 elements covered by 10 planted blocks, hidden
+    # among 4 990 decoy sets: OPT = 10.
+    planted = planted_partition_instance(
+        n=400, m=5000, opt_size=10, seed=1
+    )
+    instance = planted.instance
+    print(f"instance: {instance}")
+    print(f"planted OPT: {planted.opt_upper_bound}\n")
+
+    # Freeze ONE random-order stream so every algorithm sees the same
+    # edge sequence (each .fresh() view is an independent single pass).
+    stream = ReplayableStream(instance, RandomOrder(seed=2))
+
+    algorithms = [
+        ("KK-algorithm (Thm 1)", KKAlgorithm(seed=3)),
+        (
+            "Algorithm 2, alpha=2*sqrt(n) (Thm 4)",
+            LowSpaceAdversarialAlgorithm(alpha=2 * math.sqrt(400), seed=4),
+        ),
+        ("Algorithm 1, random order (Thm 3)", RandomOrderAlgorithm(seed=5)),
+    ]
+
+    rows = []
+    for name, algorithm in algorithms:
+        result = algorithm.run(stream.fresh())
+        result.verify(instance)  # raises unless the cover is legal
+        rows.append(
+            [
+                name,
+                result.cover_size,
+                f"{result.cover_size / planted.opt_upper_bound:.1f}x",
+                result.space.peak_words,
+                result.space.dominant_component() or "-",
+            ]
+        )
+
+    offline = greedy_cover(instance)
+    rows.append(
+        [
+            "offline greedy (baseline)",
+            offline.cover_size,
+            f"{offline.cover_size / planted.opt_upper_bound:.1f}x",
+            offline.space.peak_words,
+            "whole input",
+        ]
+    )
+
+    print(
+        render_table(
+            ["algorithm", "cover", "vs OPT", "peak words", "space driver"],
+            rows,
+        )
+    )
+    print(
+        "\nsqrt(n) = {:.0f}: the streaming covers sit within the Õ(√n) "
+        "guarantee while using a fraction of the input's space.".format(
+            math.sqrt(400)
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The paper's headline separation: random vs adversarial arrival order.
+
+On an m = Θ(n²) instance (Theorem 3's regime) this example shows:
+
+1. Algorithm 1 matches the KK-algorithm's cover quality with a
+   fraction of the space — on *random-order* streams;
+2. the same Algorithm 1 run on an adversarially ordered stream carries
+   no guarantee (Theorem 2: no algorithm can keep Õ(√n)-quality in o(m)
+   space adversarially) — its measured cover is shown for context;
+3. the KK/Alg1 space gap widens as n grows — the √n separation.
+
+Run:  python examples/random_vs_adversarial.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import (
+    KKAlgorithm,
+    RandomOrder,
+    RoundRobinInterleaveOrder,
+    RandomOrderAlgorithm,
+    ReplayableStream,
+    quadratic_family,
+)
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    rows = []
+    for n in (64, 144, 256):
+        instance = quadratic_family(n, density=0.5, seed=n)
+        random_stream = ReplayableStream(instance, RandomOrder(seed=n))
+        adversarial_stream = ReplayableStream(
+            instance, RoundRobinInterleaveOrder(seed=n)
+        )
+
+        alg1_random = RandomOrderAlgorithm(seed=n).run(random_stream.fresh())
+        alg1_adversarial = RandomOrderAlgorithm(seed=n).run(
+            adversarial_stream.fresh()
+        )
+        kk = KKAlgorithm(seed=n).run(random_stream.fresh())
+        for result in (alg1_random, alg1_adversarial, kk):
+            result.verify(instance)
+
+        rows.append(
+            [
+                n,
+                instance.m,
+                alg1_random.cover_size,
+                alg1_adversarial.cover_size,
+                kk.cover_size,
+                alg1_random.space.peak_words,
+                kk.space.peak_words,
+                f"{kk.space.peak_words / alg1_random.space.peak_words:.1f}x",
+                f"{math.sqrt(n):.0f}",
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "n",
+                "m",
+                "Alg1 cover (rand)",
+                "Alg1 cover (adv)",
+                "KK cover",
+                "Alg1 words",
+                "KK words",
+                "space gap",
+                "√n",
+            ],
+            rows,
+            title="Theorem 3 vs Theorem 1: same quality, ~√n less space "
+            "(random order only)\n",
+        )
+    )
+    print(
+        "\nThe 'space gap' column tracks √n — the separation Theorems 2+3 "
+        "prove is impossible to achieve in adversarial order."
+    )
+
+
+if __name__ == "__main__":
+    main()

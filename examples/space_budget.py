@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Space as a first-class, *enforced* resource.
+
+The paper's theorems are statements about words of memory; this library
+meters them exactly and can enforce hard budgets.  This example:
+
+1. dials the element-sampling algorithm's α knob and watches the
+   measured space trade against cover quality (Table 1 row 1's
+   Θ̃(m·n/α) ↔ α·OPT tradeoff);
+2. attaches a hard :class:`SpaceBudget` to the KK-algorithm sized from
+   Theorem 1's Õ(m) bound and shows it passes — then shrinks the budget
+   below Θ(m) and shows the run is *rejected*, which is Theorem 2's
+   lower bound experienced as an exception.
+
+Run:  python examples/space_budget.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import (
+    ElementSamplingAlgorithm,
+    KKAlgorithm,
+    RandomOrder,
+    ReplayableStream,
+    SpaceBudget,
+    SpaceBudgetExceededError,
+    planted_partition_instance,
+)
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    planted = planted_partition_instance(n=400, m=4000, opt_size=20, seed=1)
+    instance = planted.instance
+    stream = ReplayableStream(instance, RandomOrder(seed=2))
+    print(f"instance: {instance}, planted OPT = {planted.opt_upper_bound}\n")
+
+    # 1. The alpha dial: space vs quality.
+    rows = []
+    for alpha in (9, 18, 36, 72):
+        algorithm = ElementSamplingAlgorithm(
+            alpha=alpha, sample_constant=0.5, seed=3
+        )
+        result = algorithm.run(stream.fresh())
+        result.verify(instance)
+        rows.append(
+            [
+                alpha,
+                result.space.peak_of("projections"),
+                result.space.peak_words,
+                result.cover_size,
+                f"{result.cover_size / planted.opt_upper_bound:.1f}x",
+            ]
+        )
+    print(
+        render_table(
+            ["alpha", "projection words", "total peak", "cover", "vs OPT"],
+            rows,
+            title="element sampling: Θ̃(m·n/α) space ↔ α·OPT quality\n",
+        )
+    )
+
+    # 2. Hard budgets: Theorem 1's Õ(m) is enough; o(m) is not.
+    m, n = instance.m, instance.n
+    generous = SpaceBudget(words=4 * (m + 4 * n), context="Õ(m) per Thm 1")
+    result = KKAlgorithm(seed=4, space_budget=generous).run(stream.fresh())
+    result.verify(instance)
+    print(
+        f"\nKK under a {generous.words}-word (≈4m) budget: "
+        f"peak {result.space.peak_words} words — fits, as Theorem 1 promises."
+    )
+
+    starved = SpaceBudget(
+        words=m // 10, context="o(m) — below the Theorem 2 bound"
+    )
+    try:
+        KKAlgorithm(seed=4, space_budget=starved).run(stream.fresh())
+    except SpaceBudgetExceededError as error:
+        print(
+            f"KK under a {starved.words}-word (m/10) budget: rejected "
+            f"({error.used} words needed) — the Ω̃(m) lower bound of "
+            "Theorem 2, experienced as an exception."
+        )
+    else:
+        raise AssertionError("expected the starved budget to be exceeded")
+
+    print(
+        "\n(√n = {:.0f}; only the random-order Algorithm 1 may go below "
+        "Θ̃(m) words at this quality — see "
+        "examples/random_vs_adversarial.py.)".format(math.sqrt(n))
+    )
+
+
+if __name__ == "__main__":
+    main()

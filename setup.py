@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package available offline, so PEP-517
+editable installs fail; this shim lets ``pip install -e . --no-use-pep517``
+work.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,137 @@
+"""repro — Set Cover in the one-pass edge-arrival streaming model.
+
+A full reproduction of Khanna, Konrad and Alexandru, *"Set Cover in the
+One-pass Edge-arrival Streaming Model"* (PODS 2023): the KK-algorithm
+(Theorem 1), the low-space adversarial Algorithm 2 (Theorem 4), the
+random-order Algorithm 1 (Theorem 3), and the Theorem-2 lower-bound
+machinery (Lemma-1 families, Set-Disjointness, the reduction, and the
+deterministic 2√(nt) protocol), together with generators, baselines,
+and an experiment harness regenerating every Table-1 row.
+
+Quickstart::
+
+    from repro import (
+        KKAlgorithm, RandomOrder, stream_of, quadratic_family,
+    )
+
+    instance = quadratic_family(n=64, seed=0)
+    stream = stream_of(instance, RandomOrder(seed=1))
+    result = KKAlgorithm(seed=2).run(stream)
+    result.verify(instance)
+    print(result.cover_size, result.space.peak_words)
+"""
+
+from repro._version import __version__
+from repro.baselines import (
+    FirstFitAlgorithm,
+    SetArrivalThresholdGreedy,
+    StoreAllAlgorithm,
+    UniformSampleAlgorithm,
+    greedy_cover,
+    greedy_cover_size,
+    lazy_greedy_cover,
+)
+from repro.core import (
+    AmplifiedAlgorithm,
+    ElementSamplingAlgorithm,
+    KKAlgorithm,
+    LowSpaceAdversarialAlgorithm,
+    RandomOrderAlgorithm,
+    Scaling,
+    StreamingResult,
+    StreamingSetCoverAlgorithm,
+    StreamLengthOblivious,
+)
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleInstanceError,
+    InvalidCoverError,
+    InvalidInstanceError,
+    InvalidStreamError,
+    ProtocolError,
+    ReproError,
+    SpaceBudgetExceededError,
+    StreamExhaustedError,
+)
+from repro.multipass import MultiPassThresholdGreedy
+from repro.generators import (
+    blogwatch_instance,
+    fixed_size_instance,
+    gnp_dominating_set,
+    needle_in_haystack,
+    planted_partition_instance,
+    quadratic_family,
+    two_tier_instance,
+    uniform_instance,
+    zipf_instance,
+)
+from repro.streaming import (
+    CanonicalOrder,
+    EdgeStream,
+    LargeSetsLastOrder,
+    RandomOrder,
+    ReplayableStream,
+    RoundRobinInterleaveOrder,
+    SetCoverInstance,
+    SetGroupedOrder,
+    SpaceBudget,
+    SpaceMeter,
+    stream_of,
+)
+from repro.types import Edge
+
+__all__ = [
+    "__version__",
+    # instances and streams
+    "SetCoverInstance",
+    "Edge",
+    "EdgeStream",
+    "ReplayableStream",
+    "stream_of",
+    "CanonicalOrder",
+    "RandomOrder",
+    "SetGroupedOrder",
+    "RoundRobinInterleaveOrder",
+    "LargeSetsLastOrder",
+    "SpaceMeter",
+    "SpaceBudget",
+    # algorithms
+    "StreamingSetCoverAlgorithm",
+    "StreamingResult",
+    "Scaling",
+    "KKAlgorithm",
+    "ElementSamplingAlgorithm",
+    "AmplifiedAlgorithm",
+    "LowSpaceAdversarialAlgorithm",
+    "RandomOrderAlgorithm",
+    "StreamLengthOblivious",
+    "MultiPassThresholdGreedy",
+    # baselines
+    "greedy_cover",
+    "greedy_cover_size",
+    "lazy_greedy_cover",
+    "SetArrivalThresholdGreedy",
+    "StoreAllAlgorithm",
+    "FirstFitAlgorithm",
+    "UniformSampleAlgorithm",
+    # generators
+    "uniform_instance",
+    "fixed_size_instance",
+    "quadratic_family",
+    "two_tier_instance",
+    "planted_partition_instance",
+    "zipf_instance",
+    "blogwatch_instance",
+    "gnp_dominating_set",
+    "needle_in_haystack",
+    # errors
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidStreamError",
+    "InvalidCoverError",
+    "InfeasibleInstanceError",
+    "SpaceBudgetExceededError",
+    "StreamExhaustedError",
+    "ProtocolError",
+    "ConfigurationError",
+]

@@ -1,0 +1,139 @@
+"""Experiment runner: algorithms × instances × orders × seeds.
+
+:class:`ExperimentRunner` freezes a stream per (instance, order, seed)
+triple via :class:`ReplayableStream`, so every algorithm in a
+comparison sees the identical edge sequence, then collects
+:class:`RunMetrics` rows ready for the table renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import RunMetrics, metrics_from_result
+from repro.analysis.opt import opt_or_bound
+from repro.core.base import StreamingSetCoverAlgorithm
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.orders import ArrivalOrder, make_order
+from repro.streaming.stream import ReplayableStream
+from repro.types import SeedLike, make_rng
+
+AlgorithmFactory = Callable[[int], StreamingSetCoverAlgorithm]
+"""Build a fresh algorithm from an integer seed."""
+
+
+@dataclass
+class RunSpec:
+    """One cell of an experiment grid."""
+
+    instance: SetCoverInstance
+    order_name: str
+    algorithm_name: str
+    opt_handle: Optional[int] = None  # planted OPT if known
+
+
+class ExperimentRunner:
+    """Runs a grid of algorithms over instances and arrival orders.
+
+    Parameters
+    ----------
+    algorithms:
+        Mapping ``name -> factory(seed)``.
+    seed:
+        Master seed; per-run seeds are derived deterministically.
+    """
+
+    def __init__(
+        self,
+        algorithms: Dict[str, AlgorithmFactory],
+        seed: SeedLike = None,
+    ) -> None:
+        if not algorithms:
+            raise ValueError("need at least one algorithm")
+        self.algorithms = dict(algorithms)
+        self._rng = make_rng(seed)
+
+    def run_one(
+        self,
+        instance: SetCoverInstance,
+        order_name: str,
+        algorithm_name: str,
+        opt_handle: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> RunMetrics:
+        """Run a single algorithm on a single ordered stream."""
+        seed = seed if seed is not None else self._rng.getrandbits(63)
+        order = make_order(order_name, seed=seed)
+        replayable = ReplayableStream(instance, order)
+        return self._execute(
+            replayable, algorithm_name, opt_handle=opt_handle, seed=seed
+        )
+
+    def compare(
+        self,
+        instance: SetCoverInstance,
+        order_name: str,
+        opt_handle: Optional[int] = None,
+        replications: int = 1,
+    ) -> List[RunMetrics]:
+        """All algorithms on identical streams, ``replications`` times."""
+        rows: List[RunMetrics] = []
+        for _ in range(replications):
+            seed = self._rng.getrandbits(63)
+            order = make_order(order_name, seed=seed)
+            replayable = ReplayableStream(instance, order)
+            for name in self.algorithms:
+                rows.append(
+                    self._execute(
+                        replayable, name, opt_handle=opt_handle, seed=seed
+                    )
+                )
+        return rows
+
+    def sweep_instances(
+        self,
+        instances: Sequence[Tuple[SetCoverInstance, Optional[int]]],
+        order_name: str,
+        replications: int = 1,
+    ) -> List[RunMetrics]:
+        """All algorithms across ``(instance, planted_opt)`` pairs."""
+        rows: List[RunMetrics] = []
+        for instance, opt_handle in instances:
+            rows.extend(
+                self.compare(
+                    instance,
+                    order_name,
+                    opt_handle=opt_handle,
+                    replications=replications,
+                )
+            )
+        return rows
+
+    # -- internals -------------------------------------------------------
+
+    def _execute(
+        self,
+        replayable: ReplayableStream,
+        algorithm_name: str,
+        opt_handle: Optional[int],
+        seed: int,
+    ) -> RunMetrics:
+        factory = self.algorithms[algorithm_name]
+        algorithm = factory(seed)
+        stream = replayable.fresh()
+        result = algorithm.run(stream)
+        instance = replayable.instance
+        if opt_handle is not None:
+            handle, exact = opt_handle, True
+        else:
+            handle, exact = opt_or_bound(instance)
+        return metrics_from_result(
+            result,
+            instance,
+            order=replayable.order_name,
+            opt_handle=handle,
+            opt_is_exact=exact,
+            stream_length=replayable.length,
+            seed=seed,
+        )

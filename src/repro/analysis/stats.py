@@ -1,0 +1,116 @@
+"""Descriptive statistics for set-cover instances.
+
+Used by the CLI's ``describe`` subcommand and by experiment logs to
+summarise workloads: shapes, degree/size distributions, the quantities
+the paper's parameter choices key on (√n, m/√n, the high-degree cutoff
+of Algorithm 1's epoch 0), and OPT handles.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.opt import opt_or_bound
+from repro.streaming.instance import SetCoverInstance
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-ish summary of a non-empty integer distribution."""
+
+    minimum: int
+    median: float
+    mean: float
+    p90: float
+    maximum: int
+
+    @classmethod
+    def of(cls, values: Sequence[int]) -> "DistributionSummary":
+        if not values:
+            raise ValueError("cannot summarise an empty distribution")
+        ordered = sorted(values)
+        p90_index = min(len(ordered) - 1, int(0.9 * len(ordered)))
+        return cls(
+            minimum=ordered[0],
+            median=statistics.median(ordered),
+            mean=statistics.fmean(ordered),
+            p90=float(ordered[p90_index]),
+            maximum=ordered[-1],
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"min {self.minimum} / med {self.median:g} / mean "
+            f"{self.mean:.1f} / p90 {self.p90:g} / max {self.maximum}"
+        )
+
+
+@dataclass(frozen=True)
+class InstanceStats:
+    """Everything ``describe`` prints about an instance."""
+
+    n: int
+    m: int
+    num_edges: int
+    density: float
+    set_sizes: DistributionSummary
+    element_degrees: DistributionSummary
+    sqrt_n: float
+    high_degree_cutoff: float
+    high_degree_elements: int
+    empty_sets: int
+    opt_handle: int
+    opt_is_exact: bool
+
+    def as_pairs(self) -> List[Tuple[str, object]]:
+        """Key/value pairs for :func:`repro.analysis.tables.render_kv`."""
+        return [
+            ("universe n", self.n),
+            ("sets m", self.m),
+            ("edges N", self.num_edges),
+            ("density N/(n·m)", f"{self.density:.4f}"),
+            ("set sizes", str(self.set_sizes)),
+            ("element degrees", str(self.element_degrees)),
+            ("sqrt(n)", f"{self.sqrt_n:.1f}"),
+            ("epoch-0 cutoff 1.1·m/√n", f"{self.high_degree_cutoff:.1f}"),
+            ("elements above cutoff", self.high_degree_elements),
+            ("empty sets", self.empty_sets),
+            (
+                "OPT " + ("(exact)" if self.opt_is_exact else "(lower bound)"),
+                self.opt_handle,
+            ),
+        ]
+
+
+def describe_instance(
+    instance: SetCoverInstance, compute_opt: bool = True
+) -> InstanceStats:
+    """Compute :class:`InstanceStats` for ``instance``.
+
+    ``compute_opt=False`` skips the OPT handle (useful for very large
+    instances; the handle is then reported as the trivial bound 1).
+    """
+    sizes = [instance.set_size(s) for s in range(instance.m)]
+    degrees = list(instance.element_degrees())
+    cutoff = 1.1 * instance.m / math.sqrt(instance.n)
+    if compute_opt:
+        opt_handle, opt_is_exact = opt_or_bound(instance)
+    else:
+        opt_handle, opt_is_exact = 1, False
+    return InstanceStats(
+        n=instance.n,
+        m=instance.m,
+        num_edges=instance.num_edges,
+        density=instance.num_edges / (instance.n * instance.m),
+        set_sizes=DistributionSummary.of(sizes),
+        element_degrees=DistributionSummary.of(degrees),
+        sqrt_n=math.sqrt(instance.n),
+        high_degree_cutoff=cutoff,
+        high_degree_elements=sum(1 for d in degrees if d >= cutoff),
+        empty_sets=sum(1 for size in sizes if size == 0),
+        opt_handle=opt_handle,
+        opt_is_exact=opt_is_exact,
+    )

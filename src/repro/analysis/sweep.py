@@ -1,0 +1,94 @@
+"""Parameter sweeps with replication and aggregation.
+
+A :class:`Sweep` runs a user-supplied measurement function over a
+parameter grid, replicating each point over derived seeds, and returns
+aggregated points suitable for power-law fitting and table rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import Aggregate, aggregate, fit_power_law
+from repro.types import SeedLike, make_rng
+
+MeasureFn = Callable[[float, int], Dict[str, float]]
+"""Measure one point: ``(parameter_value, seed) -> {metric: value}``."""
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated measurements at one parameter value."""
+
+    parameter: float
+    metrics: Dict[str, Aggregate] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """The whole sweep: points in parameter order plus fit helpers."""
+
+    parameter_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, metric: str) -> List[float]:
+        """Mean values of ``metric`` across points, in parameter order."""
+        return [p.metrics[metric].mean for p in self.points]
+
+    def parameters(self) -> List[float]:
+        """Parameter values in order."""
+        return [p.parameter for p in self.points]
+
+    def fit(self, metric: str) -> float:
+        """Fitted power-law exponent of ``metric`` against the parameter."""
+        exponent, _ = fit_power_law(self.parameters(), self.series(metric))
+        return exponent
+
+    def rows(self, metrics: Sequence[str]) -> List[List[object]]:
+        """Table rows: parameter column then ``mean±stdev`` per metric."""
+        out: List[List[object]] = []
+        for point in self.points:
+            row: List[object] = [point.parameter]
+            for metric in metrics:
+                row.append(str(point.metrics[metric]))
+            out.append(row)
+        return out
+
+
+class Sweep:
+    """Run ``measure`` over ``values`` with ``replications`` seeds each."""
+
+    def __init__(
+        self,
+        parameter_name: str,
+        values: Sequence[float],
+        measure: MeasureFn,
+        replications: int = 3,
+        seed: SeedLike = None,
+    ) -> None:
+        if not values:
+            raise ValueError("sweep needs at least one parameter value")
+        if replications < 1:
+            raise ValueError("replications must be >= 1")
+        self.parameter_name = parameter_name
+        self.values = list(values)
+        self.measure = measure
+        self.replications = replications
+        self._rng = make_rng(seed)
+
+    def run(self) -> SweepResult:
+        """Execute the sweep and aggregate replications per point."""
+        result = SweepResult(parameter_name=self.parameter_name)
+        for value in self.values:
+            samples: Dict[str, List[float]] = {}
+            for _ in range(self.replications):
+                seed = self._rng.getrandbits(63)
+                measured = self.measure(value, seed)
+                for key, metric_value in measured.items():
+                    samples.setdefault(key, []).append(metric_value)
+            point = SweepPoint(parameter=value)
+            for key, sample in samples.items():
+                point.metrics[key] = aggregate(sample)
+            result.points.append(point)
+        return result

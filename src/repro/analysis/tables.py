@@ -1,0 +1,148 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper's Table 1 states
+(one row per regime, columns for approximation and space).  Rendering
+is dependency-free: monospace-aligned ASCII, optionally Markdown.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    markdown: bool = False,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Cells are stringified with :func:`format_cell`; numeric cells are
+    right-aligned, text cells left-aligned.
+    """
+    str_rows: List[List[str]] = [
+        [format_cell(cell) for cell in row] for row in rows
+    ]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        if len(row) != len(str_headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(str_headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        if markdown:
+            return "| " + " | ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(cells)
+            ) + " |"
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(str_headers))
+    if markdown:
+        parts.append(
+            "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+        )
+    else:
+        parts.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def format_cell(value: object) -> str:
+    """Human formatting: floats get 3 significant-ish digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_scatter(
+    points: Sequence[Sequence[object]],
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 60,
+    height: int = 16,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Render labelled (x, y) points as an ASCII scatter chart.
+
+    ``points`` is a sequence of ``(label, x, y)`` triples; each point is
+    drawn as a unique marker (1-9, then a-z), with a legend underneath.
+    Log scales (the default) suit the power-law data the experiments
+    produce.  This is the library's "figure" primitive — the paper has
+    no measurement figures, but the space/approximation tradeoff map
+    reads best as a chart.
+    """
+    import math as _math
+
+    if not points:
+        raise ValueError("need at least one point")
+    labels = [str(p[0]) for p in points]
+    xs = [float(p[1]) for p in points]
+    ys = [float(p[2]) for p in points]
+    if log_x and any(x <= 0 for x in xs):
+        raise ValueError("log_x requires positive x values")
+    if log_y and any(y <= 0 for y in ys):
+        raise ValueError("log_y requires positive y values")
+
+    def transform(values, log):
+        return [(_math.log10(v) if log else v) for v in values]
+
+    tx, ty = transform(xs, log_x), transform(ys, log_y)
+
+    def scale(values, extent):
+        low, high = min(values), max(values)
+        span = (high - low) or 1.0
+        return [int((v - low) / span * (extent - 1)) for v in values]
+
+    columns = scale(tx, width)
+    rows_idx = scale(ty, height)
+
+    markers = "123456789abcdefghijklmnopqrstuvwxyz"
+    if len(points) > len(markers):
+        raise ValueError(f"at most {len(markers)} points supported")
+    grid = [[" "] * width for _ in range(height)]
+    for index, (col, row) in enumerate(zip(columns, rows_idx)):
+        grid[height - 1 - row][col] = markers[index]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} ^" + ("  (log)" if log_y else ""))
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width + f"> {x_label}" + (" (log)" if log_x else ""))
+    legend = ", ".join(
+        f"{markers[index]}={label}" for index, label in enumerate(labels)
+    )
+    lines.append(f"  legend: {legend}")
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[Sequence[object]], title: Optional[str] = None) -> str:
+    """Render key/value pairs, one per line, keys aligned."""
+    str_pairs = [(str(k), format_cell(v)) for k, v in pairs]
+    width = max((len(k) for k, _ in str_pairs), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for key, value in str_pairs:
+        lines.append(f"{key.ljust(width)}  {value}")
+    return "\n".join(lines)

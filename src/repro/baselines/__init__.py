@@ -1,0 +1,17 @@
+"""Baseline algorithms: offline greedy variants and trivial streamers."""
+
+from repro.baselines.emek_rosen import SetArrivalThresholdGreedy
+from repro.baselines.greedy import greedy_cover, greedy_cover_size
+from repro.baselines.lazy_greedy import lazy_greedy_cover
+from repro.baselines.store_all import StoreAllAlgorithm
+from repro.baselines.trivial import FirstFitAlgorithm, UniformSampleAlgorithm
+
+__all__ = [
+    "greedy_cover",
+    "greedy_cover_size",
+    "lazy_greedy_cover",
+    "SetArrivalThresholdGreedy",
+    "StoreAllAlgorithm",
+    "FirstFitAlgorithm",
+    "UniformSampleAlgorithm",
+]

@@ -1,0 +1,49 @@
+"""Store-everything baseline: buffer the stream, solve offline.
+
+The trivial upper end of the space spectrum: Θ(N) words of space buy
+greedy-quality covers regardless of arrival order.  Used as the
+quality ceiling and space anti-baseline in the phase-transition
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.greedy import greedy_cover
+from repro.core.base import StreamingSetCoverAlgorithm
+from repro.core.solution import StreamingResult
+from repro.streaming.instance import instance_from_edges
+from repro.streaming.space import SpaceBudget
+from repro.streaming.stream import EdgeStream
+from repro.types import Edge, SeedLike
+
+
+class StoreAllAlgorithm(StreamingSetCoverAlgorithm):
+    """Buffers all edges, then runs offline greedy on the reconstruction."""
+
+    name = "store-all"
+
+    def __init__(
+        self,
+        seed: SeedLike = None,
+        space_budget: Optional[SpaceBudget] = None,
+    ) -> None:
+        super().__init__(seed=seed, space_budget=space_budget)
+
+    def _run(self, stream: EdgeStream) -> StreamingResult:
+        buffered: List[Edge] = []
+        for edge in stream:
+            buffered.append(edge)
+            self._meter.set_component("buffer", 2 * len(buffered))
+        reconstructed = instance_from_edges(
+            stream.instance.n, stream.instance.m, buffered, name="buffered"
+        )
+        result = greedy_cover(reconstructed)
+        return StreamingResult(
+            cover=result.cover,
+            certificate=result.certificate,
+            space=self._meter.report(),
+            algorithm=self.name,
+            diagnostics={"buffered_edges": float(len(buffered))},
+        )

@@ -1,0 +1,233 @@
+"""Command-line interface: regenerate any experiment from the terminal.
+
+Usage::
+
+    repro-setcover list
+    repro-setcover run table1-row4 [--full] [--seed 7] [--markdown]
+    repro-setcover run all
+    repro-setcover solve INSTANCE.txt --algorithm kk --order random
+
+The ``solve`` subcommand runs one streaming algorithm over an instance
+file in the :mod:`repro.streaming.io` text format and prints the cover.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.analysis.tables import render_kv
+from repro.baselines.emek_rosen import SetArrivalThresholdGreedy
+from repro.baselines.trivial import FirstFitAlgorithm
+from repro.core.adversarial import LowSpaceAdversarialAlgorithm
+from repro.core.kk import KKAlgorithm
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.errors import ReproError
+from repro.streaming.io import load_instance
+from repro.streaming.orders import ORDER_REGISTRY, make_order
+from repro.streaming.stream import stream_of
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-setcover",
+        description="Edge-arrival streaming Set Cover (PODS 2023 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run_parser = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, or 'all'")
+    run_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-size grids (default: quick grids)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--markdown", action="store_true", help="render tables as Markdown"
+    )
+
+    solve_parser = sub.add_parser("solve", help="cover one instance file")
+    solve_parser.add_argument("instance", help="instance file (io text format)")
+    solve_parser.add_argument(
+        "--algorithm",
+        choices=[
+            "kk",
+            "adversarial",
+            "random-order",
+            "element-sampling",
+            "set-arrival",
+            "first-fit",
+        ],
+        default="kk",
+    )
+    solve_parser.add_argument(
+        "--order", choices=sorted(ORDER_REGISTRY), default="random"
+    )
+    solve_parser.add_argument("--alpha", type=float, default=None)
+    solve_parser.add_argument("--seed", type=int, default=0)
+
+    describe_parser = sub.add_parser(
+        "describe", help="print statistics of an instance file"
+    )
+    describe_parser.add_argument("instance")
+    describe_parser.add_argument(
+        "--no-opt",
+        action="store_true",
+        help="skip the (possibly slow) OPT handle computation",
+    )
+
+    generate_parser = sub.add_parser(
+        "generate", help="write a synthetic instance to a file"
+    )
+    generate_parser.add_argument("output", help="destination file")
+    generate_parser.add_argument(
+        "--workload",
+        choices=["uniform", "planted", "zipf", "quadratic", "two-tier", "domset"],
+        default="planted",
+    )
+    generate_parser.add_argument("--n", type=int, default=100)
+    generate_parser.add_argument("--m", type=int, default=500)
+    generate_parser.add_argument("--opt-size", type=int, default=10)
+    generate_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import all_experiment_ids, get_experiment
+
+    for eid in all_experiment_ids():
+        module = get_experiment(eid)
+        print(f"{eid:16s} {module.TITLE}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import all_experiment_ids, get_experiment
+
+    ids = (
+        all_experiment_ids()
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for eid in ids:
+        module = get_experiment(eid)
+        report = module.run(quick=not args.full, seed=args.seed)
+        print(report.render(markdown=args.markdown))
+        print()
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    instance.validate()
+    order = make_order(args.order, seed=args.seed)
+    stream = stream_of(instance, order)
+
+    if args.algorithm == "kk":
+        algorithm = KKAlgorithm(seed=args.seed)
+    elif args.algorithm == "adversarial":
+        alpha = args.alpha if args.alpha else 2 * math.sqrt(instance.n)
+        algorithm = LowSpaceAdversarialAlgorithm(alpha=alpha, seed=args.seed)
+    elif args.algorithm == "random-order":
+        algorithm = RandomOrderAlgorithm(seed=args.seed)
+    elif args.algorithm == "element-sampling":
+        from repro.core.element_sampling import ElementSamplingAlgorithm
+
+        alpha = args.alpha if args.alpha else math.sqrt(instance.n)
+        algorithm = ElementSamplingAlgorithm(alpha=alpha, seed=args.seed)
+    elif args.algorithm == "set-arrival":
+        algorithm = SetArrivalThresholdGreedy(seed=args.seed)
+    else:
+        algorithm = FirstFitAlgorithm(seed=args.seed)
+
+    result = algorithm.run(stream)
+    result.verify(instance)
+    print(
+        render_kv(
+            [
+                ("instance", repr(instance)),
+                ("algorithm", result.algorithm),
+                ("order", args.order),
+                ("cover size", result.cover_size),
+                ("peak words", result.space.peak_words),
+                ("valid", True),
+            ]
+        )
+    )
+    print("cover:", " ".join(str(s) for s in sorted(result.cover)))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.analysis.stats import describe_instance
+
+    instance = load_instance(args.instance)
+    stats = describe_instance(instance, compute_opt=not args.no_opt)
+    print(render_kv(stats.as_pairs(), title=f"{args.instance}:"))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.generators.dominating_set import gnp_dominating_set
+    from repro.generators.planted import planted_partition_instance
+    from repro.generators.random_instances import (
+        quadratic_family,
+        two_tier_instance,
+        uniform_instance,
+    )
+    from repro.generators.zipf import zipf_instance
+    from repro.streaming.io import dump_instance
+
+    if args.workload == "uniform":
+        instance = uniform_instance(args.n, args.m, p=0.05, seed=args.seed)
+    elif args.workload == "planted":
+        instance = planted_partition_instance(
+            args.n, args.m, opt_size=args.opt_size, seed=args.seed
+        ).instance
+    elif args.workload == "zipf":
+        instance = zipf_instance(args.n, args.m, seed=args.seed)
+    elif args.workload == "quadratic":
+        instance = quadratic_family(args.n, seed=args.seed)
+    elif args.workload == "two-tier":
+        instance = two_tier_instance(
+            args.n, num_small=args.m, num_big=max(1, args.m // 100),
+            seed=args.seed,
+        )
+    else:  # domset
+        instance = gnp_dominating_set(args.n, p=0.05, seed=args.seed)
+    dump_instance(instance, args.output)
+    print(f"wrote {instance!r} to {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "solve":
+            return _cmd_solve(args)
+        if args.command == "describe":
+            return _cmd_describe(args)
+        if args.command == "generate":
+            return _cmd_generate(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 2  # unreachable with required=True subparsers
+
+
+if __name__ == "__main__":
+    sys.exit(main())

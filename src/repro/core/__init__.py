@@ -1,0 +1,36 @@
+"""The paper's algorithms: KK (Thm 1), Algorithm 2 (Thm 4), Algorithm 1 (Thm 3).
+
+All algorithms share the :class:`StreamingSetCoverAlgorithm` run
+protocol and produce :class:`StreamingResult` objects that verify
+themselves against the ground-truth instance.
+"""
+
+from repro.core.adversarial import LowSpaceAdversarialAlgorithm
+from repro.core.amplification import AmplifiedAlgorithm
+from repro.core.base import FirstSetStore, StreamingSetCoverAlgorithm
+from repro.core.element_sampling import ElementSamplingAlgorithm
+from repro.core.kk import KKAlgorithm
+from repro.core.random_order import (
+    EpochStats,
+    RandomOrderAlgorithm,
+    RandomOrderProbe,
+    StreamLengthOblivious,
+)
+from repro.core.scaling import Scaling
+from repro.core.solution import StreamingResult, certificate_from_cover
+
+__all__ = [
+    "StreamingSetCoverAlgorithm",
+    "FirstSetStore",
+    "StreamingResult",
+    "certificate_from_cover",
+    "Scaling",
+    "KKAlgorithm",
+    "LowSpaceAdversarialAlgorithm",
+    "ElementSamplingAlgorithm",
+    "AmplifiedAlgorithm",
+    "RandomOrderAlgorithm",
+    "RandomOrderProbe",
+    "EpochStats",
+    "StreamLengthOblivious",
+]

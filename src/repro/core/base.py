@@ -1,0 +1,131 @@
+"""Common machinery shared by all streaming set-cover algorithms.
+
+:class:`StreamingSetCoverAlgorithm` fixes the run protocol: an algorithm
+is constructed once with its parameters and seed, then :meth:`run` makes
+exactly one pass over an :class:`~repro.streaming.stream.EdgeStream` and
+returns a :class:`~repro.core.solution.StreamingResult`.  A fresh
+:class:`SpaceMeter` is created per run, and the standard "remember the
+first set containing each element" patching store (Algorithm 1 line 4 /
+Algorithm 2 line 10) is provided here because every algorithm in the
+paper relies on it to guarantee feasibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional, Set
+
+from repro.core.solution import StreamingResult
+from repro.errors import InvalidCoverError
+from repro.streaming.space import SpaceBudget, SpaceMeter, words_for_mapping
+from repro.streaming.stream import EdgeStream
+from repro.types import ElementId, SeedLike, SetId, make_rng
+
+
+class FirstSetStore:
+    """Remembers, per element, the first set seen to contain it.
+
+    Mirrors Algorithm 1 line 4 and Algorithm 2 lines 9–10.  Costs Õ(n)
+    space, charged to the given meter under the component name
+    ``"first-set"``.
+    """
+
+    COMPONENT = "first-set"
+
+    def __init__(self, meter: SpaceMeter) -> None:
+        self._first: Dict[ElementId, SetId] = {}
+        self._meter = meter
+
+    def observe(self, set_id: SetId, element: ElementId) -> None:
+        """Record ``set_id`` as the witness for ``element`` if it is first."""
+        if element not in self._first:
+            self._first[element] = set_id
+            self._meter.set_component(
+                self.COMPONENT, words_for_mapping(len(self._first))
+            )
+
+    def get(self, element: ElementId) -> Optional[SetId]:
+        """The first set observed to contain ``element``, or ``None``."""
+        return self._first.get(element)
+
+    def __len__(self) -> int:
+        return len(self._first)
+
+    def patch(
+        self,
+        certificate: Dict[ElementId, SetId],
+        cover: Set[SetId],
+        universe_size: int,
+    ) -> int:
+        """Complete ``certificate``/``cover`` using stored first sets.
+
+        Every element without a witness gets its first-seen set; the set
+        is added to the cover.  Returns the number of patched elements.
+        Raises :class:`InvalidCoverError` if some element was never seen
+        in the stream at all (infeasible instance or truncated stream).
+        """
+        patched = 0
+        for element in range(universe_size):
+            if element in certificate:
+                continue
+            first = self._first.get(element)
+            if first is None:
+                raise InvalidCoverError(
+                    f"element {element} never appeared in the stream; cannot "
+                    "patch a feasible cover"
+                )
+            certificate[element] = first
+            cover.add(first)
+            patched += 1
+        return patched
+
+
+class StreamingSetCoverAlgorithm:
+    """Abstract base for one-pass edge-arrival set-cover algorithms.
+
+    Subclasses implement :meth:`_run` and may assume ``self._meter`` and
+    ``self._rng`` are freshly prepared.  Construction parameters are
+    immutable across runs; all per-run state must live inside
+    :meth:`_run`.
+    """
+
+    #: Human-readable algorithm name; subclasses override.
+    name = "abstract"
+
+    def __init__(
+        self,
+        seed: SeedLike = None,
+        space_budget: Optional[SpaceBudget] = None,
+    ) -> None:
+        self._seed = seed
+        self._space_budget = space_budget
+        self._rng: random.Random = make_rng(seed)
+        self._meter = SpaceMeter(budget=space_budget)
+
+    def run(self, stream: EdgeStream) -> StreamingResult:
+        """Execute one pass over ``stream`` and return the result.
+
+        The meter is reset so results reflect this run only; the RNG is
+        *not* reset (consecutive runs draw fresh randomness — pass a new
+        instance for independent replications with recorded seeds).
+        """
+        self._meter = SpaceMeter(budget=self._space_budget)
+        result = self._run(stream)
+        result.algorithm = result.algorithm or self.name
+        return result
+
+    def _run(self, stream: EdgeStream) -> StreamingResult:
+        raise NotImplementedError
+
+    # -- helpers for subclasses -------------------------------------------
+
+    def _coin(self, probability: float) -> bool:
+        """Bernoulli draw — the paper's ``Coin(p)`` primitive."""
+        if probability >= 1.0:
+            return True
+        if probability <= 0.0:
+            return False
+        return self._rng.random() < probability
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,121 @@
+"""The KK-algorithm: Õ(√n)-approximation with Õ(m) space (Theorem 1).
+
+Reimplemented from this paper's Section 1.2 description of
+[Khanna–Konrad, ITCS'22]:
+
+* For every set ``S`` maintain an *uncovered-degree* counter ``d(S)``:
+  each arriving tuple ``(S, u)`` with ``u`` not yet covered increments
+  ``d(S)``.
+* Whenever ``d(S)`` reaches ``i·√n`` for an integer ``i ≥ 1``, include
+  ``S`` in the solution with probability ``2ⁱ·√n/m``; once included,
+  ``S`` covers every one of its elements arriving from that moment on.
+* Elements still uncovered at the end are patched with the first set
+  observed to contain them (cost: one set per element, the same
+  patching rule the paper's other algorithms use).
+
+The analysis of [19] shows the level populations decay geometrically
+(E|Sᵢ| ≤ ½ E|Sᵢ₋₁|), so each level contributes Õ(√n) sets and the
+output is an Õ(√n)-approximation with high probability.  The counters
+dominate the state: Θ(m) words — this is the space bound Theorem 2
+proves optimal for α = Θ̃(√n) in adversarial order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.base import FirstSetStore, StreamingSetCoverAlgorithm
+from repro.core.scaling import Scaling
+from repro.core.solution import StreamingResult
+from repro.streaming.space import SpaceBudget, words_for_mapping, words_for_set
+from repro.streaming.stream import EdgeStream
+from repro.types import ElementId, SeedLike, SetId
+
+
+class KKAlgorithm(StreamingSetCoverAlgorithm):
+    """One-pass edge-arrival set cover with uncovered-degree counters.
+
+    Parameters
+    ----------
+    scaling:
+        Constant pack; only :meth:`Scaling.kk_level_width` and
+        :meth:`Scaling.kk_inclusion_probability` are consulted.
+    seed:
+        RNG seed for the probabilistic inclusion rule.
+    space_budget:
+        Optional hard cap in words (tests use this to certify the
+        Õ(m) bound).
+    """
+
+    name = "kk"
+
+    def __init__(
+        self,
+        scaling: Optional[Scaling] = None,
+        seed: SeedLike = None,
+        space_budget: Optional[SpaceBudget] = None,
+    ) -> None:
+        super().__init__(seed=seed, space_budget=space_budget)
+        self.scaling = scaling if scaling is not None else Scaling.practical()
+
+    def _run(self, stream: EdgeStream) -> StreamingResult:
+        n = stream.instance.n
+        m = stream.instance.m
+        level_width = self.scaling.kk_level_width(n)
+
+        uncovered_degree: Dict[SetId, int] = {}
+        covered: Set[ElementId] = set()
+        cover: Set[SetId] = set()
+        certificate: Dict[ElementId, SetId] = {}
+        first_sets = FirstSetStore(self._meter)
+
+        meter = self._meter
+        max_level_reached = 0
+        inclusion_events = 0
+
+        for set_id, element in stream:
+            first_sets.observe(set_id, element)
+
+            if set_id in cover and element not in covered:
+                # An included set covers its elements from inclusion onward.
+                covered.add(element)
+                certificate[element] = set_id
+                meter.set_component("covered", words_for_set(len(covered)))
+                continue
+
+            if element in covered:
+                continue
+
+            degree = uncovered_degree.get(set_id, 0) + 1
+            uncovered_degree[set_id] = degree
+            meter.set_component(
+                "degree-counters", words_for_mapping(len(uncovered_degree))
+            )
+
+            if degree % level_width == 0:
+                level = degree // level_width
+                max_level_reached = max(max_level_reached, level)
+                p = self.scaling.kk_inclusion_probability(level, n, m)
+                if set_id not in cover and self._coin(p):
+                    cover.add(set_id)
+                    inclusion_events += 1
+                    covered.add(element)
+                    certificate[element] = set_id
+                    meter.set_component("cover", words_for_set(len(cover)))
+                    meter.set_component("covered", words_for_set(len(covered)))
+
+        patched = first_sets.patch(certificate, cover, n)
+        meter.set_component("cover", words_for_set(len(cover)))
+
+        return StreamingResult(
+            cover=frozenset(cover),
+            certificate=certificate,
+            space=meter.report(),
+            algorithm=self.name,
+            diagnostics={
+                "max_level_reached": float(max_level_reached),
+                "inclusion_events": float(inclusion_events),
+                "patched_elements": float(patched),
+                "level_width": float(level_width),
+            },
+        )

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Sub-classes are
+kept deliberately fine-grained: each maps to a distinct failure mode a
+user can act on (bad instance, bad stream, exhausted space budget, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidInstanceError(ReproError):
+    """A set-cover instance violates a structural requirement.
+
+    Raised, for example, when an element belongs to no set (the paper
+    assumes every element is contained in at least one set, Section 2),
+    when ids are out of range, or when a set is empty where that is not
+    permitted.
+    """
+
+
+class InvalidStreamError(ReproError):
+    """An edge stream is malformed or inconsistent with its instance.
+
+    Examples: duplicate edges where duplicates are forbidden, edges that
+    reference unknown sets or elements, or a declared length that does
+    not match the number of produced edges.
+    """
+
+
+class InvalidCoverError(ReproError):
+    """A produced cover or certificate fails verification."""
+
+
+class SpaceBudgetExceededError(ReproError):
+    """An algorithm exceeded the space budget it was configured with.
+
+    Only raised when a hard :class:`repro.streaming.space.SpaceBudget`
+    is attached; by default space is merely *metered*, never enforced.
+    """
+
+    def __init__(self, used: int, budget: int, context: str = "") -> None:
+        self.used = used
+        self.budget = budget
+        self.context = context
+        suffix = f" while {context}" if context else ""
+        super().__init__(
+            f"space budget exceeded: {used} words used, budget {budget}{suffix}"
+        )
+
+
+class StreamExhaustedError(ReproError):
+    """An algorithm asked for more stream than exists.
+
+    One-pass algorithms must never re-read the stream; this error guards
+    against accidental second passes in tests and experiments.
+    """
+
+
+class ProtocolError(ReproError):
+    """A multi-party communication protocol was driven incorrectly.
+
+    Raised for out-of-order message passing, a party speaking twice, or
+    a message sent after the protocol produced its output.
+    """
+
+
+class InfeasibleInstanceError(InvalidInstanceError):
+    """The instance admits no feasible cover (some element is in no set)."""
+
+
+class ConfigurationError(ReproError):
+    """Mutually inconsistent or out-of-range algorithm parameters."""

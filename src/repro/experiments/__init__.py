@@ -1,0 +1,14 @@
+"""Per-experiment modules regenerating the paper's tables and claims.
+
+See DESIGN.md's experiment index for the mapping from paper artifact
+(Table-1 row, theorem, lemma) to experiment id.  Import the registry
+lazily to avoid import cycles::
+
+    from repro.experiments.registry import get_experiment
+    report = get_experiment("table1-row4").run(quick=True)
+    print(report.render())
+"""
+
+from repro.experiments.base import ExperimentReport
+
+__all__ = ["ExperimentReport"]

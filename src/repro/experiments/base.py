@@ -1,0 +1,54 @@
+"""Common experiment-report plumbing.
+
+Every experiment module exposes::
+
+    EXPERIMENT_ID: str          # e.g. "table1-row2"
+    TITLE: str
+    PAPER_CLAIM: str            # the sentence from the paper being tested
+    def run(quick: bool = True, seed: int = 0) -> ExperimentReport
+
+``quick=True`` (used by tests and pytest-benchmark) runs reduced grids
+in seconds; ``quick=False`` (the CLI default for report generation)
+runs the full grids behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.tables import render_kv, render_table
+
+
+@dataclass
+class ExperimentReport:
+    """The rendered outcome of one experiment."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    headers: List[str]
+    rows: List[List[object]]
+    findings: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    extra_text: str = ""
+
+    def render(self, markdown: bool = False) -> str:
+        """Human-readable report: claim, table, chart, findings, notes."""
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim: {self.paper_claim}",
+            "",
+            render_table(self.headers, self.rows, markdown=markdown),
+        ]
+        if self.extra_text:
+            parts.append("")
+            parts.append(self.extra_text)
+        if self.findings:
+            parts.append("")
+            parts.append(
+                render_kv(sorted(self.findings.items()), title="findings:")
+            )
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)

@@ -1,0 +1,137 @@
+"""Experiment ``concentration``: Lemma 2's random-order concentration.
+
+Paper claim (Lemma 2 + Appendix A.1): for a fixed subset X of a set's
+edges and a fixed position window of length ℓ in a uniformly random
+stream order, the number of X-edges landing in the window concentrates
+— multiplicatively (statement 1), with a log-factor ceiling
+(statement 2), and with additive √mean deviations (statement 3) —
+each with probability ≥ 1 − 1/m²⁰.
+
+We simulate the exact process (hypergeometric counts) across parameter
+points in each statement's regime and report empirical violation
+rates, which should be ~0 at laptop trial counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.analysis.concentration import (
+    check_statement_1,
+    check_statement_2,
+    check_statement_3,
+)
+from repro.experiments.base import ExperimentReport
+from repro.types import make_rng
+
+EXPERIMENT_ID = "concentration"
+TITLE = "Lemma 2: concentration of edge counts in random-order windows"
+PAPER_CLAIM = (
+    "Lemma 2: in random order, the number of (S, X)-edges in any fixed "
+    "window of length ℓ concentrates around (ℓ/N)·|X| in three regimes"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    trials = 2000 if quick else 20000
+    log_m = 14.0  # a nominal log2(m) for the statements' bounds
+
+    rows: List[List[object]] = []
+    worst_rate = 0.0
+
+    # Statement 1 points: window <= 0.001*N, mean >= C log m.
+    for stream_length, subset, window in (
+        (10**6, 200_000, 1000),
+        (10**6, 500_000, 800),
+        (2 * 10**6, 400_000, 2000),
+    ):
+        check = check_statement_1(
+            stream_length, subset, window, trials=trials,
+            seed=rng.getrandbits(63),
+        )
+        worst_rate = max(worst_rate, check.violation_rate)
+        rows.append(
+            [
+                check.statement,
+                stream_length,
+                subset,
+                window,
+                f"{check.expected_mean:.1f}",
+                f"{check.observed_mean:.1f}",
+                f"{check.violation_rate:.4f}",
+            ]
+        )
+
+    # Statement 2 points: window <= N/2, including tiny means.
+    for stream_length, subset, window in (
+        (10**5, 50, 1000),      # mean 0.5: the max{.,1} branch
+        (10**5, 5000, 10**4),   # mean 500
+        (10**5, 100, 5 * 10**4),
+    ):
+        check = check_statement_2(
+            stream_length, subset, window, log_m=log_m, trials=trials,
+            seed=rng.getrandbits(63),
+        )
+        worst_rate = max(worst_rate, check.violation_rate)
+        rows.append(
+            [
+                check.statement,
+                stream_length,
+                subset,
+                window,
+                f"{check.expected_mean:.1f}",
+                f"{check.observed_mean:.1f}",
+                f"{check.violation_rate:.4f}",
+            ]
+        )
+
+    # Statement 3 points: window <= N/sqrt(n).
+    n = 400
+    for stream_length, subset, window in (
+        (10**6, 100_000, 10**6 // 20),
+        (10**6, 20_000, 10**6 // 25),
+    ):
+        check = check_statement_3(
+            stream_length, subset, window, n=n, log_m=log_m, trials=trials,
+            seed=rng.getrandbits(63),
+        )
+        worst_rate = max(worst_rate, check.violation_rate)
+        rows.append(
+            [
+                check.statement,
+                stream_length,
+                subset,
+                window,
+                f"{check.expected_mean:.1f}",
+                f"{check.observed_mean:.1f}",
+                f"{check.violation_rate:.4f}",
+            ]
+        )
+
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=[
+            "statement",
+            "N",
+            "|X|",
+            "window ℓ",
+            "mean (ℓ/N)|X|",
+            "observed mean",
+            "violation rate",
+        ],
+        rows=rows,
+        findings={
+            "worst_violation_rate": worst_rate,  # theory: ~1/m^20 ≈ 0
+            "trials_per_point": float(trials),
+        },
+        notes=[
+            "random order ⇒ window counts are exactly hypergeometric; "
+            "the simulation draws that law directly",
+            "the paper proves failure probability 1/m²⁰; at these trial "
+            "counts any violation at all would be surprising",
+        ],
+    )

@@ -1,0 +1,145 @@
+"""Experiment ``lb-reduction``: Theorem 2's reduction, end to end.
+
+Paper claim (Theorem 2): any α-approximation one-pass edge-arrival
+algorithm (α ≥ √n) needs Ω̃(m·n²/α⁴) space, via a reduction from
+t-party Set-Disjointness — the parties embed partial sets into the
+stream, fork the last party over complement sets, and decide
+intersecting/disjoint from the best cover-size estimate.
+
+We run the *actual* reduction with real streaming algorithms:
+
+* the decision distinguishes the two promise cases (cover-size gap
+  between the witness run and every disjoint-case run);
+* the forwarded messages are the algorithm's live state, so the max
+  message tracks the algorithm's space — exactly the quantity the
+  communication bound constrains.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.metrics import aggregate
+from repro.core.kk import KKAlgorithm
+from repro.experiments.base import ExperimentReport
+from repro.lowerbound.disjointness import disjoint_instance, intersecting_instance
+from repro.lowerbound.family import build_family, theoretical_opt_disjoint
+from repro.lowerbound.reduction import (
+    DisjointnessReduction,
+    calibrate_threshold,
+)
+from repro.types import make_rng
+
+EXPERIMENT_ID = "lb-reduction"
+TITLE = "Theorem 2 reduction: Set-Disjointness through a real algorithm"
+PAPER_CLAIM = (
+    "Theorem 2: an α-approximation streaming algorithm solves t-party "
+    "Set-Disjointness via the partial-set embedding; its forwarded state "
+    "must therefore be Ω̃(m/t²) = Ω̃(m·n²/α⁴)"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    trials = 4 if quick else 10
+    n, m, t = (196, 24, 4) if quick else (400, 48, 4)
+    set_size = max(2, m // (2 * t))
+    sampled_runs = 6 if quick else 12
+
+    family = build_family(
+        n, m, t, seed=rng.getrandbits(63), intersection_slack=1.5
+    )
+
+    # Threshold calibration.  The paper places the decision threshold at
+    # OPT₀ − 1 assuming an exactly-α-approximate algorithm; our concrete
+    # algorithm's approximation constant is empirical, so the parties
+    # precompute a threshold from *public* information (the family) by
+    # synthesising reference instances of both promise types.
+    threshold = calibrate_threshold(
+        family,
+        algorithm_factory=lambda seed: KKAlgorithm(seed=seed),
+        set_size=set_size,
+        seed=rng.getrandbits(63),
+        sample=sampled_runs,
+    )
+    reduction = DisjointnessReduction(family, threshold=threshold)
+
+    correct = 0
+    intersect_covers: List[float] = []
+    disjoint_covers: List[float] = []
+    max_messages: List[float] = []
+    rows: List[List[object]] = []
+
+    for trial in range(trials):
+        s = rng.getrandbits(63)
+        if trial % 2 == 0:
+            disjointness = intersecting_instance(m, t, set_size, seed=s)
+        else:
+            disjointness = disjoint_instance(m, t, set_size, seed=s)
+        disjointness.check_promise()
+        run_indices = reduction.default_run_indices(
+            disjointness, sample=sampled_runs, seed=s
+        )
+        outcome = reduction.execute(
+            disjointness,
+            algorithm_factory=lambda seed: KKAlgorithm(seed=seed),
+            seed=s,
+            run_indices=run_indices,
+            amplification=3,
+        )
+        if outcome.correct:
+            correct += 1
+        best = outcome.best_run()
+        if disjointness.is_intersecting:
+            intersect_covers.append(float(best.cover_size))
+        else:
+            disjoint_covers.append(float(best.cover_size))
+        max_messages.append(float(outcome.max_message_words))
+        rows.append(
+            [
+                trial,
+                outcome.truth,
+                outcome.decision,
+                best.cover_size,
+                f"{outcome.threshold:.0f}",
+                outcome.max_message_words,
+            ]
+        )
+
+    gap = (
+        (aggregate(disjoint_covers).mean / aggregate(intersect_covers).mean)
+        if intersect_covers and disjoint_covers
+        else 0.0
+    )
+
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=[
+            "trial",
+            "truth",
+            "decision",
+            "best cover",
+            "threshold",
+            "max message (words)",
+        ],
+        rows=rows,
+        findings={
+            "decision_accuracy": correct / trials,
+            "cover_gap_disjoint_over_intersecting": gap,
+            "max_message_words": max(max_messages),
+            "opt_disjoint_bound": float(theoretical_opt_disjoint(family)),
+            "calibrated_threshold": threshold,
+        },
+        notes=[
+            "the witness run in intersecting instances admits a 2-set "
+            "cover; disjoint runs force Ω(√(nt)/log n) sets — the gap the "
+            "decision rule exploits",
+            "max message = the algorithm's live state at a party hand-off: "
+            "this is the space the communication bound lower-bounds",
+            "Theorem 5 tolerates protocol error up to 1/4; occasional "
+            "misclassifications at laptop scale are within that budget "
+            "(amplification=3 per the paper's remark keeps them rare)",
+        ],
+    )

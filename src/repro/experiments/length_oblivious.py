@@ -1,0 +1,102 @@
+"""Experiment ``length-oblivious``: the §4.1 w.l.o.g. claim.
+
+Paper claim (Section 4.1): assuming the stream length N is known is
+without loss of generality — run O(log) parallel copies of Algorithm 1
+with guesses ``2ⁱ·m/√n``; the copy whose guess is closest to N produces
+a valid solution, and since the guesses are geometric, some guess is
+within a factor 2 of the truth.
+
+We check: (a) the chosen guess is within 2.1× of the true N across
+instance shapes, (b) the oblivious wrapper's cover stays comparable to
+the N-aware algorithm's, (c) the space cost is the expected
+(number-of-guesses) multiple.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.analysis.metrics import aggregate
+from repro.core.random_order import RandomOrderAlgorithm, StreamLengthOblivious
+from repro.experiments.base import ExperimentReport
+from repro.generators.random_instances import quadratic_family
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream
+from repro.types import make_rng
+
+EXPERIMENT_ID = "length-oblivious"
+TITLE = "Knowing N is w.l.o.g.: parallel geometric guesses (Section 4.1)"
+PAPER_CLAIM = (
+    "Section 4.1: run O(log) parallel executions with guesses 2ⁱ·m/√n "
+    "for N; the run with the closest guess produces a valid solution"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    replications = 2 if quick else 4
+    n_values = [64, 144] if quick else [64, 144, 256, 400]
+
+    rows: List[List[object]] = []
+    worst_guess_factor = 0.0
+    cover_ratios: List[float] = []
+
+    for n in n_values:
+        instance = quadratic_family(n, density=0.5, seed=rng.getrandbits(63))
+        guess_factors, ratios, guesses_counts = [], [], []
+        for _ in range(replications):
+            s = rng.getrandbits(63)
+            stream = ReplayableStream(instance, RandomOrder(seed=s))
+            aware = RandomOrderAlgorithm(seed=s).run(stream.fresh())
+            oblivious = StreamLengthOblivious(seed=s).run(stream.fresh())
+            for result in (aware, oblivious):
+                result.verify(instance)
+            guess = oblivious.diagnostics["chosen_guess"]
+            truth = oblivious.diagnostics["true_length"]
+            factor = max(guess / truth, truth / guess)
+            guess_factors.append(factor)
+            ratios.append(
+                oblivious.cover_size / max(1, aware.cover_size)
+            )
+            guesses_counts.append(oblivious.diagnostics["num_guesses"])
+        factor = aggregate(guess_factors)
+        ratio = aggregate(ratios)
+        worst_guess_factor = max(worst_guess_factor, factor.maximum)
+        cover_ratios.extend(ratios)
+        rows.append(
+            [
+                n,
+                instance.m,
+                instance.num_edges,
+                str(factor),
+                str(aggregate(guesses_counts)),
+                str(ratio),
+            ]
+        )
+
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=[
+            "n",
+            "m",
+            "true N",
+            "guess factor",
+            "parallel guesses",
+            "oblivious/aware cover",
+        ],
+        rows=rows,
+        findings={
+            "worst_guess_factor": worst_guess_factor,  # theory: <= 2
+            "mean_cover_ratio": sum(cover_ratios) / len(cover_ratios),
+        },
+        notes=[
+            "geometric guesses 2ⁱ·m/√n put some guess within 2x of any "
+            "N ∈ [m/√n, m·n] — measured as worst_guess_factor ≤ ~2",
+            "the oblivious wrapper's cover tracks the N-aware run; its "
+            "space is (number of guesses) × one copy, the O(log) factor "
+            "the w.l.o.g. argument pays",
+        ],
+    )

@@ -1,0 +1,127 @@
+"""Experiment ``multipass``: the pass/quality tradeoff of Section 1.
+
+Paper context ([6], [10], [22], discussed in §1 and §1.3): allowing p
+passes buys approximation — (1+ε)·log n at p = polylog passes,
+O(n^{1/(p+1)}) at constant p — whereas this paper's subject is the
+p = 1 frontier.
+
+We run the p-pass threshold greedy on a heavy-tailed workload for
+p ∈ {1, 2, 4, 8, ...} and chart cover size against offline greedy
+(the p → ∞ limit) and against the one-pass KK-algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.analysis.metrics import aggregate
+from repro.baselines.greedy import greedy_cover_size
+from repro.core.kk import KKAlgorithm
+from repro.experiments.base import ExperimentReport
+from repro.generators.zipf import zipf_instance
+from repro.multipass import FractionalMWU, MultiPassThresholdGreedy
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream
+from repro.types import make_rng
+
+EXPERIMENT_ID = "multipass"
+TITLE = "Multi-pass threshold greedy: passes buy approximation"
+PAPER_CLAIM = (
+    "Section 1 context ([6], [10]): p passes admit O(n^{1/(p+1)})- to "
+    "log n-approximations; one pass (this paper) pays Θ̃(√n)"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    replications = 2 if quick else 4
+    n = 300 if quick else 900
+    m = 1200 if quick else 4800
+    pass_counts = [1, 2, 4, 8] if quick else [1, 2, 4, 8, 16]
+
+    rows: List[List[object]] = []
+    covers_by_passes = {}
+
+    greedy_sizes, kk_sizes, fractional_sizes, fractional_values = [], [], [], []
+    all_runs = {p: [] for p in pass_counts}
+    for _ in range(replications):
+        s = rng.getrandbits(63)
+        instance = zipf_instance(n, m, seed=s)
+        replayable = ReplayableStream(instance, RandomOrder(seed=s))
+        greedy_sizes.append(float(greedy_cover_size(instance)))
+        kk = KKAlgorithm(seed=s).run(replayable.fresh())
+        kk.verify(instance)
+        kk_sizes.append(float(kk.cover_size))
+        for passes in pass_counts:
+            result = MultiPassThresholdGreedy(passes=passes, seed=s).run(
+                replayable
+            )
+            result.verify(instance)
+            all_runs[passes].append(float(result.cover_size))
+        # Fractional relaxation ([16]'s regime): increments of MWU, then
+        # randomized rounding.
+        fractional = FractionalMWU(increments=12, seed=s).run(replayable)
+        fractional.verify(instance)
+        fractional_sizes.append(float(fractional.cover_size))
+        if fractional.diagnostics["fractional_feasible"]:
+            fractional_values.append(
+                fractional.diagnostics["fractional_value"]
+            )
+
+    greedy_mean = aggregate(greedy_sizes).mean
+    for passes in pass_counts:
+        cover = aggregate(all_runs[passes])
+        covers_by_passes[passes] = cover.mean
+        rows.append(
+            [
+                passes,
+                str(cover),
+                f"{cover.mean / greedy_mean:.2f}x",
+            ]
+        )
+    rows.append(["KK (1 pass, Thm 1)", str(aggregate(kk_sizes)),
+                 f"{aggregate(kk_sizes).mean / greedy_mean:.2f}x"])
+    rows.append(
+        [
+            "fractional MWU + rounding ([16])",
+            str(aggregate(fractional_sizes)),
+            f"{aggregate(fractional_sizes).mean / greedy_mean:.2f}x",
+        ]
+    )
+    rows.append(["greedy (offline)", str(aggregate(greedy_sizes)), "1.00x"])
+
+    first = covers_by_passes[pass_counts[0]]
+    last = covers_by_passes[pass_counts[-1]]
+
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=["passes", "cover", "vs offline greedy"],
+        rows=rows,
+        findings={
+            "single_pass_over_greedy": first / greedy_mean,
+            "max_passes_over_greedy": last / greedy_mean,
+            "improvement_factor": first / last,
+            "fractional_rounded_over_greedy": (
+                aggregate(fractional_sizes).mean / greedy_mean
+            ),
+            **(
+                {
+                    "fractional_value_over_greedy": (
+                        aggregate(fractional_values).mean / greedy_mean
+                    )
+                }
+                if fractional_values
+                else {}
+            ),
+        },
+        notes=[
+            "cover size decreases monotonically-ish in the pass count and "
+            "approaches offline greedy: the pass/quality tradeoff the "
+            "one-pass theorems forgo",
+            "the multi-pass algorithm keeps Õ(m) counters per pass — same "
+            "state as KK, more passes",
+        ],
+    )

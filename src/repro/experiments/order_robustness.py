@@ -1,0 +1,105 @@
+"""Experiment ``order-robustness``: how much randomness does Thm 3 need?
+
+Paper context (Section 6 open problems; Section 1 motivation that
+"in practice, data rarely arrives in the worst possible order"):
+Theorem 3 assumes a uniformly random arrival order.  This experiment
+interpolates between an adversarially spread order and a shuffled one
+via :class:`~repro.streaming.orders.LocallyShuffledOrder` and measures
+Algorithm 1's cover quality along the way — an empirical probe of how
+fragile the random-order assumption is, beyond what the paper proves.
+
+This is an *extension* experiment: the paper makes no quantitative
+claim here, so the findings are descriptive (monotone-ish improvement
+with randomness) rather than a pass/fail reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.metrics import aggregate
+from repro.baselines.greedy import greedy_cover_size
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.experiments.base import ExperimentReport
+from repro.generators.random_instances import quadratic_family
+from repro.streaming.orders import LocallyShuffledOrder, RandomOrder
+from repro.streaming.stream import ReplayableStream
+from repro.types import make_rng
+
+EXPERIMENT_ID = "order-robustness"
+TITLE = "Semi-random orders: Algorithm 1 between adversarial and random"
+PAPER_CLAIM = (
+    "extension of §6's open problems: Theorem 3 assumes uniform order; "
+    "we measure Algorithm 1 on orders with tunable local randomness"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    replications = 3 if quick else 6
+    n = 144 if quick else 256
+    randomness_levels = [0.0, 0.01, 0.1, 0.5, 1.0]
+
+    instance = quadratic_family(n, density=0.5, seed=rng.getrandbits(63))
+    baseline = greedy_cover_size(instance)
+
+    rows: List[List[object]] = []
+    means: List[float] = []
+    for randomness in randomness_levels:
+        covers, spaces = [], []
+        for _ in range(replications):
+            s = rng.getrandbits(63)
+            order = LocallyShuffledOrder(randomness, seed=s)
+            stream = ReplayableStream(instance, order)
+            result = RandomOrderAlgorithm(seed=s).run(stream.fresh())
+            result.verify(instance)
+            covers.append(float(result.cover_size))
+            spaces.append(float(result.space.peak_words))
+        cover = aggregate(covers)
+        means.append(cover.mean)
+        rows.append(
+            [
+                f"{randomness:.2f}",
+                str(cover),
+                f"{cover.mean / baseline:.2f}x",
+                str(aggregate(spaces)),
+            ]
+        )
+
+    # Reference: the fully uniform order of Theorem 3.
+    covers = []
+    for _ in range(replications):
+        s = rng.getrandbits(63)
+        stream = ReplayableStream(instance, RandomOrder(seed=s))
+        result = RandomOrderAlgorithm(seed=s).run(stream.fresh())
+        result.verify(instance)
+        covers.append(float(result.cover_size))
+    uniform = aggregate(covers)
+    rows.append(
+        ["uniform (Thm 3)", str(uniform), f"{uniform.mean / baseline:.2f}x", "-"]
+    )
+
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=[
+            "randomness",
+            "Alg1 cover",
+            "vs greedy",
+            "peak words",
+        ],
+        rows=rows,
+        findings={
+            "adversarial_over_uniform_cover": means[0] / uniform.mean,
+            "full_shuffle_over_uniform_cover": means[-1] / uniform.mean,
+            "greedy_baseline": float(baseline),
+        },
+        notes=[
+            "full window shuffle (randomness 1.0) tracks the uniform "
+            "reference; small windows already recover much of it — the "
+            "statistical signals Algorithm 1 reads are fairly local",
+            "descriptive extension: the paper proves Theorem 3 only for "
+            "uniform order and conjectures Õ(m/√n) is optimal there",
+        ],
+    )

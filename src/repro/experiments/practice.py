@@ -1,0 +1,126 @@
+"""Experiment ``practice``: streaming vs greedy on practical workloads.
+
+Paper context (Section 1.3, citing [5, 11, 21]): on practical inputs,
+streaming set-cover algorithms produce covers only modestly larger than
+offline greedy while using far less memory, and lazy greedy matches
+plain greedy with far fewer gain evaluations.
+
+We measure on heavy-tailed (Zipf), blog-watch, and dominating-set
+workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.metrics import aggregate
+from repro.baselines.greedy import greedy_cover
+from repro.baselines.lazy_greedy import lazy_greedy_cover
+from repro.core.adversarial import LowSpaceAdversarialAlgorithm
+from repro.core.kk import KKAlgorithm
+from repro.experiments.base import ExperimentReport
+from repro.generators.dominating_set import preferential_attachment_dominating_set
+from repro.generators.zipf import blogwatch_instance, zipf_instance
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream
+from repro.types import make_rng
+
+EXPERIMENT_ID = "practice"
+TITLE = "Streaming vs greedy on practical workloads"
+PAPER_CLAIM = (
+    "Section 1.3 [5]: streaming algorithms produce only slightly larger "
+    "covers than Greedy in practice, using substantially less memory"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    replications = 2 if quick else 4
+    scale = 1 if quick else 3
+
+    workloads = [
+        (
+            "zipf",
+            lambda s: zipf_instance(300 * scale, 1500 * scale, seed=s),
+        ),
+        (
+            "blogwatch",
+            lambda s: blogwatch_instance(
+                200 * scale, 1000 * scale, posts_per_blog=25, seed=s
+            ),
+        ),
+        (
+            "scale-free-domset",
+            lambda s: preferential_attachment_dominating_set(
+                400 * scale, attach=3, seed=s
+            ),
+        ),
+    ]
+
+    rows: List[List[object]] = []
+    blowups: List[float] = []
+    savings: List[float] = []
+    lazy_speedups: List[float] = []
+
+    for name, make_instance in workloads:
+        greedy_sizes, kk_sizes, kk_spaces, input_sizes = [], [], [], []
+        lazy_ratios = []
+        for _ in range(replications):
+            s = rng.getrandbits(63)
+            instance = make_instance(s)
+            greedy = greedy_cover(instance)
+            lazy = lazy_greedy_cover(instance)
+            stream = ReplayableStream(instance, RandomOrder(seed=s))
+            kk = KKAlgorithm(seed=s).run(stream.fresh())
+            kk.verify(instance)
+            greedy_sizes.append(float(greedy.cover_size))
+            kk_sizes.append(float(kk.cover_size))
+            kk_spaces.append(float(kk.space.peak_words))
+            input_sizes.append(float(instance.num_edges))
+            # Plain greedy evaluates m gains per pick; lazy far fewer.
+            plain_evals = instance.m * greedy.cover_size
+            lazy_ratios.append(
+                plain_evals / max(1.0, lazy.diagnostics["gain_evaluations"])
+            )
+        blowup = aggregate(kk_sizes).mean / aggregate(greedy_sizes).mean
+        saving = aggregate(input_sizes).mean / aggregate(kk_spaces).mean
+        lazy_speedup = aggregate(lazy_ratios).mean
+        blowups.append(blowup)
+        savings.append(saving)
+        lazy_speedups.append(lazy_speedup)
+        rows.append(
+            [
+                name,
+                str(aggregate(greedy_sizes)),
+                str(aggregate(kk_sizes)),
+                f"{blowup:.2f}x",
+                f"{saving:.1f}x",
+                f"{lazy_speedup:.0f}x",
+            ]
+        )
+
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=[
+            "workload",
+            "greedy cover",
+            "KK cover",
+            "cover blowup",
+            "memory saving vs input",
+            "lazy-greedy eval saving",
+        ],
+        rows=rows,
+        findings={
+            "max_cover_blowup": max(blowups),
+            "min_memory_saving": min(savings),
+            "min_lazy_speedup": min(lazy_speedups),
+        },
+        notes=[
+            "cover blowup is the 'slightly larger covers' of [5]; memory "
+            "saving compares streaming state to the buffered input",
+            "lazy greedy returns greedy-identical covers with orders of "
+            "magnitude fewer gain evaluations ([11, 21])",
+        ],
+    )

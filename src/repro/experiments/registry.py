@@ -1,0 +1,69 @@
+"""Registry mapping experiment ids to their modules.
+
+``get_experiment("table1-row2").run(quick=False)`` regenerates any
+artifact; ``all_experiment_ids()`` drives the CLI and the benchmark
+suite.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    concentration,
+    invariants,
+    length_oblivious,
+    lb_family,
+    lb_reduction,
+    multipass,
+    order_robustness,
+    phase_transition,
+    practice,
+    separation,
+    set_arrival_baseline,
+    simple_protocol_exp,
+    table1_row1,
+    table1_row2,
+    table1_row3,
+    table1_row4,
+)
+
+_REGISTRY: Dict[str, ModuleType] = {
+    module.EXPERIMENT_ID: module
+    for module in (
+        table1_row1,
+        table1_row2,
+        table1_row3,
+        table1_row4,
+        set_arrival_baseline,
+        separation,
+        lb_family,
+        lb_reduction,
+        simple_protocol_exp,
+        phase_transition,
+        length_oblivious,
+        concentration,
+        multipass,
+        order_robustness,
+        practice,
+        invariants,
+    )
+}
+
+
+def all_experiment_ids() -> List[str]:
+    """All registered experiment ids, in Table-1-then-extras order."""
+    return list(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> ModuleType:
+    """The module for ``experiment_id`` (exposes ``run``/``TITLE``/...)."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None

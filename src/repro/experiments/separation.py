@@ -1,0 +1,116 @@
+"""Experiment ``separation``: adversarial vs random order.
+
+Paper claim (Theorems 2 + 3 juxtaposed): Õ(√n)-approximation requires
+Ω̃(m) space in adversarial order but only Õ(m/√n) in random order — a
+strong separation between the two arrival models.
+
+On identical m = Θ(n²) instances we measure:
+
+* Algorithm 1 (random order) vs the KK-algorithm (adversarial-capable):
+  comparable cover quality, space smaller by a factor growing with √n;
+* Algorithm 1 run on adversarially ordered streams of the same
+  instance, for context: its Õ(√n) guarantee only holds under random
+  order (Theorem 2 says *no* algorithm can keep it in o(m) space
+  adversarially) — the measured cover under a specific adversarial
+  heuristic may be better or worse, but carries no guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.analysis.metrics import aggregate
+from repro.baselines.greedy import greedy_cover_size
+from repro.core.kk import KKAlgorithm
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.experiments.base import ExperimentReport
+from repro.generators.random_instances import quadratic_family
+from repro.streaming.orders import RandomOrder, RoundRobinInterleaveOrder
+from repro.streaming.stream import ReplayableStream
+from repro.types import make_rng
+
+EXPERIMENT_ID = "separation"
+TITLE = "Random vs adversarial order: the space separation"
+PAPER_CLAIM = (
+    "Theorem 2 + Theorem 3: Õ(√n)-approx needs Ω̃(m) space adversarially "
+    "but only Õ(m/√n) space in random order"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    replications = 2 if quick else 4
+    n_values = [64, 144, 256] if quick else [64, 144, 256, 484]
+
+    rows: List[List[object]] = []
+    advantages: List[float] = []
+    degradations: List[float] = []
+
+    for n in n_values:
+        instance = quadratic_family(n, density=0.5, seed=rng.getrandbits(63))
+        baseline = greedy_cover_size(instance)
+        adv: List[float] = []
+        ro_random_cover: List[float] = []
+        ro_adversarial_cover: List[float] = []
+        for _ in range(replications):
+            s = rng.getrandbits(63)
+            random_stream = ReplayableStream(instance, RandomOrder(seed=s))
+            adversarial_stream = ReplayableStream(
+                instance, RoundRobinInterleaveOrder(seed=s)
+            )
+            ro = RandomOrderAlgorithm(seed=s).run(random_stream.fresh())
+            kk = KKAlgorithm(seed=s).run(random_stream.fresh())
+            ro_adv = RandomOrderAlgorithm(seed=s).run(
+                adversarial_stream.fresh()
+            )
+            for result in (ro, kk, ro_adv):
+                result.verify(instance)
+            adv.append(kk.space.peak_words / max(1, ro.space.peak_words))
+            ro_random_cover.append(float(ro.cover_size))
+            ro_adversarial_cover.append(float(ro_adv.cover_size))
+        advantage = aggregate(adv)
+        random_cover = aggregate(ro_random_cover)
+        adversarial_cover = aggregate(ro_adversarial_cover)
+        advantages.append(advantage.mean)
+        degradations.append(adversarial_cover.mean / random_cover.mean)
+        rows.append(
+            [
+                n,
+                instance.m,
+                str(advantage),
+                f"{math.sqrt(n):.1f}",
+                str(random_cover),
+                str(adversarial_cover),
+                baseline,
+            ]
+        )
+
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=[
+            "n",
+            "m",
+            "KK/Alg1 space",
+            "√n",
+            "Alg1 cover (random)",
+            "Alg1 cover (adversarial)",
+            "greedy",
+        ],
+        rows=rows,
+        findings={
+            "space_advantage_at_max_n": advantages[-1],
+            "space_advantage_growth": advantages[-1] / advantages[0],
+            "adversarial_cover_ratio_at_max_n": degradations[-1],
+        },
+        notes=[
+            "the KK/Alg1 space ratio tracks √n — the separation's size",
+            "the adversarial-order column is context only: Theorem 3's "
+            "guarantee needs random order, and Theorem 2 proves no "
+            "algorithm can match it in o(m) space adversarially; a "
+            "particular heuristic ordering may land above or below the "
+            "random-order cover, with no guarantee either way",
+        ],
+    )

@@ -1,0 +1,95 @@
+"""Experiment ``set-arrival-baseline``: the set-arrival context.
+
+Paper context (Section 1, [4, 10, 13]): in the *set-arrival* model a
+one-pass Θ(√n)-approximation needs only Õ(n) space — independent of m.
+Edge arrival breaks this: Theorem 2 shows Ω̃(m) space is needed for the
+same quality.  This experiment demonstrates the set-arrival baseline's
+properties and why it cannot run outside its model:
+
+* space of the threshold-greedy baseline is flat in m (fitted exponent
+  ≈ 0) on set-grouped streams;
+* its approximation stays ≤ 2√n·OPT;
+* on a non-grouped (interleaved) stream it *fails structurally* — the
+  model violation is detected, which is the practical face of the
+  set-arrival → edge-arrival hardness jump.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.analysis.metrics import aggregate, fit_power_law
+from repro.baselines.emek_rosen import SetArrivalThresholdGreedy
+from repro.errors import InvalidStreamError
+from repro.experiments.base import ExperimentReport
+from repro.generators.planted import planted_partition_instance
+from repro.streaming.orders import RoundRobinInterleaveOrder, SetGroupedOrder
+from repro.streaming.stream import ReplayableStream
+from repro.types import make_rng
+
+EXPERIMENT_ID = "set-arrival-baseline"
+TITLE = "Set-arrival baseline: Θ(√n)-approx with Õ(n) space (context row)"
+PAPER_CLAIM = (
+    "Set-arrival one-pass: Õ(n) space suffices for Θ(√n)-approximation "
+    "[10, 13]; this is what the edge-arrival model breaks"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    replications = 3 if quick else 6
+    n = 144
+    m_values = [500, 1000, 2000] if quick else [500, 1000, 2000, 4000, 8000]
+
+    rows: List[List[object]] = []
+    space_means: List[float] = []
+    worst_ratio = 0.0
+
+    for m in m_values:
+        peaks, ratios = [], []
+        for _ in range(replications):
+            s = rng.getrandbits(63)
+            planted = planted_partition_instance(n, m, opt_size=12, seed=s)
+            stream = ReplayableStream(planted.instance, SetGroupedOrder(seed=s))
+            result = SetArrivalThresholdGreedy(seed=s).run(stream.fresh())
+            result.verify(planted.instance)
+            peaks.append(float(result.space.peak_words))
+            ratios.append(result.cover_size / planted.opt_upper_bound)
+        space = aggregate(peaks)
+        ratio = aggregate(ratios)
+        space_means.append(space.mean)
+        worst_ratio = max(worst_ratio, ratio.maximum)
+        rows.append([m, str(space), str(ratio)])
+
+    space_exponent, _ = fit_power_law([float(m) for m in m_values], space_means)
+
+    # Model violation check: interleaved streams are rejected.
+    planted = planted_partition_instance(n, m_values[0], opt_size=12, seed=1)
+    stream = ReplayableStream(
+        planted.instance, RoundRobinInterleaveOrder(seed=1)
+    )
+    try:
+        SetArrivalThresholdGreedy(seed=1).run(stream.fresh())
+        rejected = 0.0
+    except InvalidStreamError:
+        rejected = 1.0
+
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=["m", "peak words", "ratio vs OPT"],
+        rows=rows,
+        findings={
+            "space_vs_m_exponent": space_exponent,  # theory: ~0 (independent of m)
+            "worst_ratio_over_2sqrt_n": worst_ratio / (2 * math.sqrt(n)),
+            "interleaved_stream_rejected": rejected,  # 1.0 = model enforced
+        },
+        notes=[
+            "space flat in m: the set-arrival advantage the edge-arrival "
+            "lower bound (Theorem 2) proves impossible in general",
+            "the baseline detects interleaved (true edge-arrival) streams "
+            "and refuses: the two models genuinely differ",
+        ],
+    )

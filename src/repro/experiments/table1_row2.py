@@ -1,0 +1,114 @@
+"""Experiment ``table1-row2``: the KK-algorithm (Theorem 1).
+
+Paper claim (Table 1 row 2 / Theorem 1): in adversarial order the
+KK-algorithm is an Õ(√n)-approximation using Õ(m) space.
+
+We verify two scalings:
+
+* **space vs m** at fixed n — peak words should grow linearly in m
+  (fitted exponent ≈ 1), because a counter is kept per set;
+* **ratio vs n** at fixed planted OPT — the cover should grow like
+  √n·polylog (normalised ratio ``ratio/√n`` stays bounded).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.analysis.metrics import aggregate, fit_power_law
+from repro.core.kk import KKAlgorithm
+from repro.experiments.base import ExperimentReport
+from repro.generators.planted import planted_partition_instance
+from repro.streaming.orders import RoundRobinInterleaveOrder
+from repro.streaming.stream import ReplayableStream
+from repro.types import make_rng
+
+EXPERIMENT_ID = "table1-row2"
+TITLE = "KK-algorithm: Õ(√n)-approx with Õ(m) space, adversarial order"
+PAPER_CLAIM = (
+    "Theorem 1 [19]: randomized one-pass Õ(√n)-approximation with "
+    "space Õ(m) for edge-arrival Set Cover"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    replications = 2 if quick else 5
+
+    if quick:
+        m_values = [500, 1000, 2000]
+        n_values = [64, 144, 256]
+    else:
+        m_values = [1000, 2000, 4000, 8000, 16000]
+        n_values = [64, 144, 256, 576, 1024]
+
+    rows: List[List[object]] = []
+
+    # Sweep 1: space vs m at fixed n.
+    n_fixed = 100
+    space_means: List[float] = []
+    for m in m_values:
+        peaks, ratios = [], []
+        for _ in range(replications):
+            s = rng.getrandbits(63)
+            planted = planted_partition_instance(
+                n_fixed, m, opt_size=10, seed=s
+            )
+            stream = ReplayableStream(
+                planted.instance, RoundRobinInterleaveOrder(seed=s)
+            )
+            result = KKAlgorithm(seed=s).run(stream.fresh())
+            result.verify(planted.instance)
+            peaks.append(result.space.peak_words)
+            ratios.append(result.cover_size / planted.opt_upper_bound)
+        space = aggregate(peaks)
+        space_means.append(space.mean)
+        rows.append(
+            ["space-vs-m", n_fixed, m, str(space), str(aggregate(ratios))]
+        )
+    space_exponent, _ = fit_power_law([float(m) for m in m_values], space_means)
+
+    # Sweep 2: ratio vs n at fixed OPT.
+    ratio_means: List[float] = []
+    for n in n_values:
+        m = 8 * n
+        peaks, ratios = [], []
+        for _ in range(replications):
+            s = rng.getrandbits(63)
+            planted = planted_partition_instance(n, m, opt_size=8, seed=s)
+            stream = ReplayableStream(
+                planted.instance, RoundRobinInterleaveOrder(seed=s)
+            )
+            result = KKAlgorithm(seed=s).run(stream.fresh())
+            result.verify(planted.instance)
+            peaks.append(result.space.peak_words)
+            ratios.append(result.cover_size / planted.opt_upper_bound)
+        ratio = aggregate(ratios)
+        ratio_means.append(ratio.mean)
+        rows.append(
+            ["ratio-vs-n", n, m, str(aggregate(peaks)), str(ratio)]
+        )
+    ratio_exponent, _ = fit_power_law([float(n) for n in n_values], ratio_means)
+    normalized = [
+        r / math.sqrt(n) for r, n in zip(ratio_means, n_values)
+    ]
+
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=["sweep", "n", "m", "peak words", "ratio vs OPT"],
+        rows=rows,
+        findings={
+            "space_vs_m_exponent": space_exponent,  # theory: ~1
+            "ratio_vs_n_exponent": ratio_exponent,  # info only (≤ 0.5)
+            "max_normalized_ratio": max(normalized),  # theory: O(polylog)
+        },
+        notes=[
+            "space exponent ~1 confirms Θ̃(m) space (a counter per set)",
+            "Theorem 1 is an upper bound: ratio/√n stays bounded "
+            "(max_normalized_ratio); the growth exponent may be below "
+            "0.5 on instances easier than the worst case",
+        ],
+    )

@@ -1,0 +1,109 @@
+"""Experiment ``table1-row4``: Algorithm 1 (Theorem 3), the main result.
+
+Paper claim (Table 1 row 4 / Theorem 3): for m = Ω̃(n²) ∩ poly(n), a
+one-pass Õ(√n)-approximation using Õ(m/√n) space on random-order
+streams.
+
+Sweep n with m = Θ(n²): Algorithm 1's peak space should scale like
+m/√n = Θ(n^1.5) (fitted exponent ≈ 1.5) while the KK-algorithm, run on
+the identical streams, scales like m = Θ(n²) (exponent ≈ 2); both
+should deliver Õ(√n)-quality covers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.analysis.metrics import aggregate, fit_power_law
+from repro.baselines.greedy import greedy_cover_size
+from repro.core.kk import KKAlgorithm
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.experiments.base import ExperimentReport
+from repro.generators.random_instances import quadratic_family
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream
+from repro.types import make_rng
+
+EXPERIMENT_ID = "table1-row4"
+TITLE = "Algorithm 1: Õ(√n)-approx with Õ(m/√n) space, random order"
+PAPER_CLAIM = (
+    "Theorem 3: for m = Ω̃(n²) ∩ poly(n), one-pass Õ(√n)-approximation "
+    "with space Õ(m/√n) on random-order streams"
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    replications = 2 if quick else 4
+    n_values = [49, 100, 196] if quick else [49, 100, 196, 400, 784]
+
+    rows: List[List[object]] = []
+    ro_space_means: List[float] = []
+    kk_space_means: List[float] = []
+    ratio_means: List[float] = []
+
+    for n in n_values:
+        instance = quadratic_family(n, density=0.5, seed=rng.getrandbits(63))
+        baseline = greedy_cover_size(instance)
+        ro_peaks, kk_peaks, ratios = [], [], []
+        for _ in range(replications):
+            s = rng.getrandbits(63)
+            stream = ReplayableStream(instance, RandomOrder(seed=s))
+            ro = RandomOrderAlgorithm(seed=s).run(stream.fresh())
+            kk = KKAlgorithm(seed=s).run(stream.fresh())
+            ro.verify(instance)
+            kk.verify(instance)
+            ro_peaks.append(float(ro.space.peak_words))
+            kk_peaks.append(float(kk.space.peak_words))
+            ratios.append(ro.cover_size / max(1, baseline))
+        ro_space = aggregate(ro_peaks)
+        kk_space = aggregate(kk_peaks)
+        ratio = aggregate(ratios)
+        ro_space_means.append(ro_space.mean)
+        kk_space_means.append(kk_space.mean)
+        ratio_means.append(ratio.mean)
+        rows.append(
+            [
+                n,
+                instance.m,
+                str(ro_space),
+                str(kk_space),
+                f"{kk_space.mean / ro_space.mean:.1f}x",
+                str(ratio),
+            ]
+        )
+
+    ns = [float(n) for n in n_values]
+    ro_exponent, _ = fit_power_law(ns, ro_space_means)
+    kk_exponent, _ = fit_power_law(ns, kk_space_means)
+    ratio_exponent, _ = fit_power_law(ns, ratio_means)
+    normalized = [r / math.sqrt(n) for r, n in zip(ratio_means, n_values)]
+
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=[
+            "n",
+            "m",
+            "Alg1 peak words",
+            "KK peak words",
+            "KK/Alg1 space",
+            "Alg1 ratio vs greedy",
+        ],
+        rows=rows,
+        findings={
+            "alg1_space_vs_n_exponent": ro_exponent,  # theory: ~1.5 (m/√n, m=n²/2)
+            "kk_space_vs_n_exponent": kk_exponent,  # theory: ~2 (m)
+            "ratio_vs_n_exponent": ratio_exponent,  # info only (≤ 0.5)
+            "max_normalized_ratio": max(normalized),  # theory: O(polylog)
+            "space_advantage_at_max_n": kk_space_means[-1] / ro_space_means[-1],
+        },
+        notes=[
+            "with m = n²/2, Õ(m/√n) = Θ̃(n^1.5) vs KK's Θ̃(m) = Θ̃(n²): "
+            "the gap between the two fitted exponents should approach 0.5",
+            "ratio is measured against offline greedy (≥ OPT), so reported "
+            "ratios are conservative",
+        ],
+    )

@@ -1,0 +1,47 @@
+"""Workload generators: random, planted, heavy-tailed, graph, and hard.
+
+All generators take explicit seeds and return feasible
+:class:`~repro.streaming.instance.SetCoverInstance` objects (or
+wrappers that also carry the planted optimum).
+"""
+
+from repro.generators.dominating_set import (
+    gnp_dominating_set,
+    preferential_attachment_dominating_set,
+    star_forest_dominating_set,
+)
+from repro.generators.hard import (
+    NeedleInstance,
+    layered_hard_instance,
+    needle_in_haystack,
+)
+from repro.generators.planted import (
+    PlantedInstance,
+    disjoint_blocks_with_noise,
+    planted_partition_instance,
+)
+from repro.generators.random_instances import (
+    fixed_size_instance,
+    quadratic_family,
+    two_tier_instance,
+    uniform_instance,
+)
+from repro.generators.zipf import blogwatch_instance, zipf_instance
+
+__all__ = [
+    "uniform_instance",
+    "fixed_size_instance",
+    "quadratic_family",
+    "two_tier_instance",
+    "PlantedInstance",
+    "planted_partition_instance",
+    "disjoint_blocks_with_noise",
+    "zipf_instance",
+    "blogwatch_instance",
+    "gnp_dominating_set",
+    "star_forest_dominating_set",
+    "preferential_attachment_dominating_set",
+    "NeedleInstance",
+    "needle_in_haystack",
+    "layered_hard_instance",
+]

@@ -1,0 +1,91 @@
+"""Dominating-set workloads: the ``m = n`` special case of edge arrival.
+
+Khanna–Konrad [19] studied Dominating Set in graph streams, which is
+edge-arrival Set Cover with one set (the closed neighbourhood) per
+vertex.  These generators build graphs and encode them through
+:func:`repro.streaming.bipartite.dominating_set_instance`, giving the
+workloads that originally motivated the KK-algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Set
+
+from repro.errors import ConfigurationError
+from repro.streaming.bipartite import dominating_set_instance
+from repro.streaming.instance import SetCoverInstance
+from repro.types import SeedLike, make_rng
+
+
+def gnp_dominating_set(
+    n: int, p: float, seed: SeedLike = None
+) -> SetCoverInstance:
+    """Dominating Set on an Erdős–Rényi G(n, p) graph."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    rng = make_rng(seed)
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        for w in range(v + 1, n):
+            if rng.random() < p:
+                adjacency[v].append(w)
+    return dominating_set_instance(adjacency, name=f"gnp-domset(n={n},p={p:g})")
+
+
+def star_forest_dominating_set(
+    n_stars: int, leaves_per_star: int, seed: SeedLike = None
+) -> SetCoverInstance:
+    """Disjoint stars: OPT is exactly the number of stars.
+
+    The star centres dominate everything, so the optimal dominating set
+    has size ``n_stars`` — a planted optimum for ratio measurements on
+    graph workloads.
+    """
+    if n_stars < 1 or leaves_per_star < 1:
+        raise ConfigurationError("need at least one star and one leaf per star")
+    n = n_stars * (leaves_per_star + 1)
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    for star in range(n_stars):
+        centre = star * (leaves_per_star + 1)
+        for leaf_offset in range(1, leaves_per_star + 1):
+            adjacency[centre].append(centre + leaf_offset)
+    return dominating_set_instance(
+        adjacency, name=f"stars(centres={n_stars},leaves={leaves_per_star})"
+    )
+
+
+def preferential_attachment_dominating_set(
+    n: int, attach: int = 2, seed: SeedLike = None
+) -> SetCoverInstance:
+    """Dominating Set on a Barabási–Albert style scale-free graph.
+
+    Each new vertex attaches to ``attach`` existing vertices chosen
+    with probability proportional to (1 + degree); hubs emerge, making
+    small dominating sets possible and the workload heavy-tailed.
+    """
+    if n < 2:
+        raise ConfigurationError(f"need n >= 2 vertices, got {n}")
+    if attach < 1:
+        raise ConfigurationError(f"attach must be >= 1, got {attach}")
+    rng = make_rng(seed)
+    adjacency: List[Set[int]] = [set() for _ in range(n)]
+    degree = [0] * n
+    # Repeated-vertex sampling list implements the degree-proportional draw.
+    targets: List[int] = [0]
+    for v in range(1, n):
+        chosen: Set[int] = set()
+        k = min(attach, v)
+        while len(chosen) < k:
+            chosen.add(targets[rng.randrange(len(targets))])
+        for w in chosen:
+            adjacency[v].add(w)
+            adjacency[w].add(v)
+            degree[v] += 1
+            degree[w] += 1
+            targets.extend((v, w))
+        targets.append(v)
+    return dominating_set_instance(
+        [sorted(neigh) for neigh in adjacency],
+        name=f"scale-free-domset(n={n},attach={attach})",
+    )

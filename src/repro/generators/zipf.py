@@ -1,0 +1,129 @@
+"""Heavy-tailed ("web-scale") instances with Zipfian set sizes.
+
+Practical set-cover corpora (web crawls, topic coverage [22], the
+ALENEX'21 study [5]) have a few huge sets and many tiny ones.  This
+module generates such workloads: set sizes follow a (truncated) Zipf
+law and element popularity is skewed too, so both sides of the
+incidence graph are heavy-tailed.  Used by the ``practice`` experiment
+that mirrors the paper's Section 1.3 remarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Set
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streaming.instance import SetCoverInstance
+from repro.types import SeedLike, make_numpy_rng
+
+
+def zipf_instance(
+    n: int,
+    m: int,
+    exponent: float = 1.5,
+    max_set_fraction: float = 0.2,
+    element_skew: float = 0.8,
+    seed: SeedLike = None,
+    name: str = "",
+) -> SetCoverInstance:
+    """Instance with Zipf(``exponent``) set sizes and skewed elements.
+
+    Parameters
+    ----------
+    n, m:
+        Universe size and number of sets.
+    exponent:
+        Zipf exponent for set sizes (> 1; larger = lighter tail).
+    max_set_fraction:
+        Cap on a single set's size as a fraction of ``n``.
+    element_skew:
+        Zipf-like exponent for element popularity; 0 = uniform.
+    """
+    if exponent <= 1.0:
+        raise ConfigurationError(f"exponent must be > 1, got {exponent}")
+    if not 0.0 < max_set_fraction <= 1.0:
+        raise ConfigurationError(
+            f"max_set_fraction must be in (0, 1], got {max_set_fraction}"
+        )
+    if element_skew < 0.0:
+        raise ConfigurationError(
+            f"element_skew must be >= 0, got {element_skew}"
+        )
+    rng = make_numpy_rng(seed)
+    max_size = max(1, int(max_set_fraction * n))
+
+    # Truncated Zipf sizes: rank r gets size proportional to r^-exponent.
+    ranks = np.arange(1, m + 1, dtype=float)
+    raw = ranks**-exponent
+    sizes = np.maximum(1, np.minimum(max_size, (raw / raw[0] * max_size))).astype(int)
+    rng.shuffle(sizes)
+
+    # Element popularity weights ~ rank^-skew (rank order randomised).
+    weights = np.arange(1, n + 1, dtype=float) ** -element_skew
+    rng.shuffle(weights)
+    probabilities = weights / weights.sum()
+
+    sets: List[Set[int]] = []
+    for size in sizes:
+        size = int(min(size, n))
+        members = rng.choice(n, size=size, replace=False, p=probabilities)
+        sets.append(set(int(u) for u in members))
+
+    _patch_feasibility(sets, n, rng)
+    return SetCoverInstance(
+        n,
+        sets,
+        name=name or f"zipf(n={n},m={m},s={exponent:g})",
+    )
+
+
+def _patch_feasibility(sets: List[Set[int]], n: int, rng) -> None:
+    """Add uncovered elements to random sets (heavy tails leave gaps)."""
+    covered: Set[int] = set()
+    for members in sets:
+        covered.update(members)
+    for u in range(n):
+        if u not in covered:
+            sets[int(rng.integers(0, len(sets)))].add(u)
+
+
+def blogwatch_instance(
+    n_topics: int,
+    n_blogs: int,
+    posts_per_blog: int = 20,
+    topic_skew: float = 1.2,
+    seed: SeedLike = None,
+) -> SetCoverInstance:
+    """A "multi-topic blog-watch" workload in the spirit of [22].
+
+    Each blog (set) covers the topics (elements) of its posts; topic
+    popularity is Zipf-distributed, so mainstream topics appear in many
+    blogs while niche topics are covered by few.  Streaming a blog's
+    posts over time is the natural edge-arrival order for this workload.
+    """
+    if posts_per_blog < 1:
+        raise ConfigurationError(
+            f"posts_per_blog must be >= 1, got {posts_per_blog}"
+        )
+    rng = make_numpy_rng(seed)
+    weights = np.arange(1, n_topics + 1, dtype=float) ** -max(topic_skew, 0.0)
+    rng.shuffle(weights)
+    probabilities = weights / weights.sum()
+    sets: List[Set[int]] = []
+    for _ in range(n_blogs):
+        topics = rng.choice(
+            n_topics,
+            size=min(posts_per_blog, n_topics),
+            replace=True,
+            p=probabilities,
+        )
+        sets.append(set(int(t) for t in topics))
+    _patch_feasibility(sets, n_topics, rng)
+    return SetCoverInstance(
+        n_topics,
+        sets,
+        name=f"blogwatch(topics={n_topics},blogs={n_blogs})",
+    )

@@ -1,0 +1,59 @@
+"""Communication-complexity substrate for the Theorem-2 lower bound.
+
+Contains the Lemma-1 set family, t-party Set-Disjointness instances,
+a one-way protocol simulator with exact message accounting, the
+Theorem-2 reduction runnable against real streaming algorithms, and the
+deterministic 2√(nt) protocol from the paper's full version.
+"""
+
+from repro.lowerbound.disjointness import (
+    DisjointnessInstance,
+    disjoint_instance,
+    intersecting_instance,
+    random_promise_instance,
+)
+from repro.lowerbound.family import (
+    PartitionedFamily,
+    build_family,
+    theoretical_opt_disjoint,
+)
+from repro.lowerbound.protocol import (
+    Message,
+    OneWayChain,
+    ProtocolResult,
+    run_partitioned_stream,
+)
+from repro.lowerbound.reduction import (
+    DisjointnessReduction,
+    ReductionOutcome,
+    ReductionRun,
+    recommended_parties,
+)
+from repro.lowerbound.simple_protocol import (
+    PartyInput,
+    SimpleProtocolResult,
+    run_simple_protocol,
+    split_instance_among_parties,
+)
+
+__all__ = [
+    "PartitionedFamily",
+    "build_family",
+    "theoretical_opt_disjoint",
+    "DisjointnessInstance",
+    "disjoint_instance",
+    "intersecting_instance",
+    "random_promise_instance",
+    "Message",
+    "OneWayChain",
+    "ProtocolResult",
+    "run_partitioned_stream",
+    "DisjointnessReduction",
+    "ReductionOutcome",
+    "ReductionRun",
+    "recommended_parties",
+    "PartyInput",
+    "SimpleProtocolResult",
+    "run_simple_protocol",
+    "split_instance_among_parties",
+]

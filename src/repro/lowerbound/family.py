@@ -1,0 +1,170 @@
+"""The Lemma-1 set family behind the Theorem-2 lower bound.
+
+Lemma 1: for ``t ≤ n`` and ``m = poly(n)`` there exist sets
+``T₁, …, T_m ⊆ [n]``, each of size ``s = √(n·t)``, with partitions
+``T_i = T_i¹ ∪̇ … ∪̇ T_iᵗ`` into parts of size ``√(n/t)``, such that
+every *partial* set intersects every *other* full set in only
+``O(log n)`` elements.
+
+The proof is probabilistic (random sets work with non-zero
+probability); we construct the family the same way — sample, then
+*verify* — and expose the verification so tests and the ``lb-family``
+experiment can confirm the concentration empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class PartitionedFamily:
+    """A family ``T₁..T_m`` with ``t``-part partitions, as in Lemma 1.
+
+    Attributes
+    ----------
+    n, t:
+        Universe size and number of parts per set.
+    parts:
+        ``parts[i][r]`` is the frozen part ``T_i^{r+1}`` (0-indexed
+        parties).  ``T_i`` is the disjoint union of its parts.
+    """
+
+    n: int
+    t: int
+    parts: Tuple[Tuple[frozenset, ...], ...]
+
+    @property
+    def m(self) -> int:
+        """Number of sets in the family."""
+        return len(self.parts)
+
+    @property
+    def part_size(self) -> int:
+        """``|T_i^r| = √(n/t)`` (after integer rounding)."""
+        return len(self.parts[0][0])
+
+    @property
+    def set_size(self) -> int:
+        """``|T_i| = √(n·t)`` (after integer rounding)."""
+        return self.part_size * self.t
+
+    def full_set(self, i: int) -> frozenset:
+        """``T_i``: the union of its parts."""
+        out: set = set()
+        for part in self.parts[i]:
+            out.update(part)
+        return frozenset(out)
+
+    def complement(self, i: int) -> frozenset:
+        """``[n] \\ T_i`` — the patch set the last party adds in run ``i``."""
+        full = self.full_set(i)
+        return frozenset(u for u in range(self.n) if u not in full)
+
+    def max_partial_intersection(self) -> int:
+        """``max_{i≠j,r} |T_i^r ∩ T_j|`` — Lemma 1 says O(log n)."""
+        fulls = [self.full_set(i) for i in range(self.m)]
+        worst = 0
+        for i in range(self.m):
+            for r in range(self.t):
+                part = self.parts[i][r]
+                for j in range(self.m):
+                    if i == j:
+                        continue
+                    worst = max(worst, len(part & fulls[j]))
+        return worst
+
+    def mean_partial_intersection(self) -> float:
+        """Empirical mean of ``|T_i^r ∩ T_j|`` over i≠j, r (Lemma 1: ≈ 1)."""
+        fulls = [self.full_set(i) for i in range(self.m)]
+        total = 0
+        count = 0
+        for i in range(self.m):
+            for r in range(self.t):
+                part = self.parts[i][r]
+                for j in range(self.m):
+                    if i == j:
+                        continue
+                    total += len(part & fulls[j])
+                    count += 1
+        return total / count if count else 0.0
+
+
+def build_family(
+    n: int,
+    m: int,
+    t: int,
+    seed: SeedLike = None,
+    max_retries: int = 16,
+    intersection_slack: float = 4.0,
+) -> PartitionedFamily:
+    """Sample a Lemma-1 family and verify its intersection property.
+
+    Each ``T_i`` is a uniform random subset of size ``√(n·t)``
+    (rounded to a multiple of ``t``) with a uniform random ``t``-part
+    partition.  The construction retries until
+    ``max |T_i^r ∩ T_j| ≤ intersection_slack · max(1, ln n)`` — the
+    Lemma-1 bound with an explicit constant — and raises
+    :class:`ConfigurationError` if ``max_retries`` samples all fail
+    (which signals parameters outside the lemma's regime, e.g. m far
+    beyond poly(n) for tiny n).
+    """
+    if t < 1 or t > n:
+        raise ConfigurationError(f"need 1 <= t <= n, got t={t}, n={n}")
+    if m < 1:
+        raise ConfigurationError(f"need m >= 1, got {m}")
+    part_size = max(1, round(math.sqrt(n / t)))
+    set_size = part_size * t
+    if set_size > n:
+        raise ConfigurationError(
+            f"set size √(n·t) ≈ {set_size} exceeds universe n={n}; "
+            "reduce t"
+        )
+    rng = make_rng(seed)
+    threshold = intersection_slack * max(1.0, math.log(n))
+
+    last_worst = -1
+    for _ in range(max_retries):
+        family = _sample_family(n, m, t, part_size, rng)
+        worst = family.max_partial_intersection()
+        last_worst = worst
+        if worst <= threshold:
+            return family
+    raise ConfigurationError(
+        f"could not sample a family with max partial intersection <= "
+        f"{threshold:.1f} after {max_retries} tries (best seen: {last_worst}); "
+        "parameters are outside Lemma 1's regime"
+    )
+
+
+def _sample_family(
+    n: int, m: int, t: int, part_size: int, rng
+) -> PartitionedFamily:
+    universe = list(range(n))
+    all_parts: List[Tuple[frozenset, ...]] = []
+    for _ in range(m):
+        members = rng.sample(universe, part_size * t)
+        parts = tuple(
+            frozenset(members[r * part_size : (r + 1) * part_size])
+            for r in range(t)
+        )
+        all_parts.append(parts)
+    return PartitionedFamily(n=n, t=t, parts=tuple(all_parts))
+
+
+def theoretical_opt_disjoint(family: PartitionedFamily) -> int:
+    """Lower bound on OPT when the Disjointness sets are pairwise disjoint.
+
+    In parallel run ``j`` the ``s`` elements of ``T_j`` must be covered;
+    at most one partial set of ``T_j`` itself is present and every other
+    partial set covers O(log n) of them, so OPT ≥ (s − s/t)/maxint where
+    ``maxint`` is the family's realised intersection bound.
+    """
+    s = family.set_size
+    maxint = max(1, family.max_partial_intersection())
+    return max(1, (s - family.part_size) // maxint)

@@ -1,0 +1,181 @@
+"""One-way multi-party communication protocol simulation.
+
+Theorem 2 converts a one-pass streaming algorithm into a one-way
+``t``-party protocol: party 1 runs the algorithm on its share of the
+edges and forwards the *memory state*; party ``i`` resumes from the
+received state; the longest forwarded message lower-bounds the
+algorithm's space.
+
+This module provides both directions:
+
+* :class:`OneWayChain` — a generic simulator for hand-written protocols
+  (parties are callables ``(incoming_message, party_input) -> Message``)
+  with exact word-level message accounting; used by the deterministic
+  2√(nt) protocol.
+* :func:`run_partitioned_stream` — drives a *real* streaming algorithm
+  over edges partitioned among parties and records the algorithm's live
+  state size (its :class:`SpaceMeter` reading) at every party boundary.
+  Those readings are exactly the message sizes of the induced protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.base import StreamingSetCoverAlgorithm
+from repro.core.solution import StreamingResult
+from repro.errors import ProtocolError
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.stream import EdgeStream
+from repro.types import Edge
+
+PayloadT = TypeVar("PayloadT")
+
+
+@dataclass
+class Message(Generic[PayloadT]):
+    """A protocol message: a payload plus its size in words.
+
+    Parties are on their honour to declare ``words`` consistent with
+    their payload; the hand-written protocols in this package compute it
+    from explicit formulas that the tests check against the payload.
+    """
+
+    payload: PayloadT
+    words: int
+
+    def __post_init__(self) -> None:
+        if self.words < 0:
+            raise ProtocolError(f"message size must be >= 0, got {self.words}")
+
+
+@dataclass
+class ProtocolResult(Generic[PayloadT]):
+    """Transcript summary of one protocol execution."""
+
+    output: PayloadT
+    message_words: List[int] = field(default_factory=list)
+
+    @property
+    def max_message_words(self) -> int:
+        """Length of the longest message — the quantity lower bounds govern."""
+        return max(self.message_words) if self.message_words else 0
+
+
+PartyFn = Callable[[Optional[Message], object], Message]
+
+
+class OneWayChain:
+    """Sequential one-way protocol: party 1 → party 2 → … → party t.
+
+    Parameters
+    ----------
+    parties:
+        One callable per party.  Party ``i`` receives the message of
+        party ``i-1`` (``None`` for the first) and its own input, and
+        returns a :class:`Message`.  The last party's message payload is
+        the protocol output.
+    """
+
+    def __init__(self, parties: Sequence[PartyFn]) -> None:
+        if len(parties) < 2:
+            raise ProtocolError(
+                f"a protocol needs at least 2 parties, got {len(parties)}"
+            )
+        self._parties = list(parties)
+
+    def execute(self, inputs: Sequence[object]) -> ProtocolResult:
+        """Run the chain on per-party ``inputs`` and return the transcript."""
+        if len(inputs) != len(self._parties):
+            raise ProtocolError(
+                f"{len(self._parties)} parties but {len(inputs)} inputs"
+            )
+        message: Optional[Message] = None
+        sizes: List[int] = []
+        for party, party_input in zip(self._parties, inputs):
+            message = party(message, party_input)
+            if not isinstance(message, Message):
+                raise ProtocolError(
+                    f"party returned {type(message).__name__}, expected Message"
+                )
+            sizes.append(message.words)
+        assert message is not None
+        # The final "message" is the output announcement; by convention
+        # it is excluded from the max-message statistic (the lower bound
+        # concerns inter-party communication).
+        return ProtocolResult(output=message.payload, message_words=sizes[:-1])
+
+
+class _BoundaryProbingStream(EdgeStream):
+    """Stream that snapshots an algorithm's meter at party boundaries.
+
+    ``boundaries[i]`` is the number of edges owned by parties ``1..i``
+    combined; just before yielding the first edge of party ``i+1`` (and
+    once at stream end) the algorithm's current word count is recorded.
+    """
+
+    def __init__(
+        self,
+        instance: SetCoverInstance,
+        edges: Sequence[Edge],
+        boundaries: Sequence[int],
+        meter_reader: Callable[[], int],
+        order_name: str = "partitioned",
+    ) -> None:
+        super().__init__(instance, edges, order_name=order_name)
+        # Duplicates are meaningful: an empty party yields a boundary at
+        # the same position as its predecessor and still sends a message.
+        self._boundaries = sorted(boundaries)
+        self._meter_reader = meter_reader
+        self.recorded: List[int] = []
+
+    def _generate(self) -> Iterator[Edge]:
+        pending = list(self._boundaries)
+        for index, edge in enumerate(self.peek_all()):
+            while pending and pending[0] == index:
+                self.recorded.append(self._meter_reader())
+                pending.pop(0)
+            self._position += 1
+            yield edge
+        total = self.length
+        while pending and pending[0] <= total:
+            self.recorded.append(self._meter_reader())
+            pending.pop(0)
+
+
+def run_partitioned_stream(
+    algorithm: StreamingSetCoverAlgorithm,
+    instance: SetCoverInstance,
+    party_edges: Sequence[Sequence[Edge]],
+) -> Tuple[StreamingResult, List[int]]:
+    """Run ``algorithm`` over party-partitioned edges, measuring messages.
+
+    The edges of all parties are concatenated in party order (this *is*
+    the adversarial stream of the reduction) and the algorithm's live
+    state size is recorded at each of the ``len(party_edges) - 1``
+    hand-off points.  Returns the run result and those message sizes in
+    words.
+    """
+    if len(party_edges) < 2:
+        raise ProtocolError("need at least two parties worth of edges")
+    flat: List[Edge] = []
+    boundaries: List[int] = []
+    for edges in party_edges[:-1]:
+        flat.extend(edges)
+        boundaries.append(len(flat))
+    flat.extend(party_edges[-1])
+
+    stream = _BoundaryProbingStream(
+        instance,
+        flat,
+        boundaries,
+        meter_reader=lambda: algorithm._meter.current_words,
+    )
+    result = algorithm.run(stream)
+    if len(stream.recorded) != len(boundaries):
+        raise ProtocolError(
+            f"expected {len(boundaries)} boundary snapshots, got "
+            f"{len(stream.recorded)} (algorithm did not consume the stream?)"
+        )
+    return result, stream.recorded

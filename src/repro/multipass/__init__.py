@@ -1,0 +1,21 @@
+"""Multi-pass streaming algorithms (the §1 related-work regime)."""
+
+from repro.multipass.base import MultiPassSetCoverAlgorithm
+from repro.multipass.fractional import (
+    FractionalCover,
+    FractionalMWU,
+    randomized_rounding,
+)
+from repro.multipass.threshold_greedy import (
+    MultiPassThresholdGreedy,
+    geometric_thresholds,
+)
+
+__all__ = [
+    "MultiPassSetCoverAlgorithm",
+    "MultiPassThresholdGreedy",
+    "geometric_thresholds",
+    "FractionalCover",
+    "FractionalMWU",
+    "randomized_rounding",
+]

@@ -1,0 +1,59 @@
+"""Multi-pass streaming algorithms: the p-pass regime of Section 1.
+
+The paper's introduction situates its one-pass results against
+multi-pass work — Bateni–Esfandiari–Mirrokni's p-pass
+((1+ε)·log n)-approximation [6] and Chakrabarti–Wirth's
+O(n^{1/(p+1)})-approximation [10].  This subpackage implements the
+classic threshold-greedy multi-pass scheme in the edge-arrival model so
+those tradeoffs can be measured against the one-pass algorithms.
+
+A multi-pass algorithm consumes a :class:`ReplayableStream`: each pass
+is a fresh one-pass view of the *same* ordering, and the number of
+passes is recorded.  Space is metered exactly as for one-pass
+algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.solution import StreamingResult
+from repro.streaming.space import SpaceBudget, SpaceMeter
+from repro.streaming.stream import ReplayableStream
+from repro.types import SeedLike, make_rng
+
+
+class MultiPassSetCoverAlgorithm:
+    """Base class for p-pass edge-arrival set-cover algorithms.
+
+    Mirrors :class:`~repro.core.base.StreamingSetCoverAlgorithm` but
+    :meth:`run` takes a :class:`ReplayableStream` (the only sanctioned
+    way to see the same ordering more than once) and the result's
+    diagnostics record ``passes_used``.
+    """
+
+    name = "abstract-multipass"
+
+    def __init__(
+        self,
+        seed: SeedLike = None,
+        space_budget: Optional[SpaceBudget] = None,
+    ) -> None:
+        self._seed = seed
+        self._space_budget = space_budget
+        self._rng: random.Random = make_rng(seed)
+        self._meter = SpaceMeter(budget=space_budget)
+
+    def run(self, replayable: ReplayableStream) -> StreamingResult:
+        """Execute the multi-pass computation and return the result."""
+        self._meter = SpaceMeter(budget=self._space_budget)
+        result = self._run(replayable)
+        result.algorithm = result.algorithm or self.name
+        return result
+
+    def _run(self, replayable: ReplayableStream) -> StreamingResult:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

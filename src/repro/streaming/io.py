@@ -1,0 +1,142 @@
+"""Plain-text persistence for instances and streams.
+
+The format is deliberately simple and diff-friendly::
+
+    # optional comment lines
+    setcover <n> <m>
+    <set_id> <element>
+    <set_id> <element>
+    ...
+
+One edge per line; sets with no edges are empty sets.  This is the
+interchange format used by the examples and accepted by the CLI.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, TextIO, Tuple, Union
+
+from repro.errors import InvalidInstanceError
+from repro.streaming.instance import SetCoverInstance, instance_from_edges
+from repro.types import Edge
+
+PathLike = Union[str, Path]
+
+_HEADER = "setcover"
+
+
+def dump_instance(instance: SetCoverInstance, target: Union[PathLike, TextIO]) -> None:
+    """Write ``instance`` in the text format to a path or open text file."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            _write(instance, handle)
+    else:
+        _write(instance, target)
+
+
+def _write(instance: SetCoverInstance, handle: TextIO) -> None:
+    if instance.name:
+        handle.write(f"# {instance.name}\n")
+    handle.write(f"{_HEADER} {instance.n} {instance.m}\n")
+    for edge in instance.edges():
+        handle.write(f"{edge.set_id} {edge.element}\n")
+
+
+def load_instance(source: Union[PathLike, TextIO]) -> SetCoverInstance:
+    """Read an instance written by :func:`dump_instance`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def _read(handle: TextIO) -> SetCoverInstance:
+    name = ""
+    header: Tuple[int, int] = (0, 0)
+    edges: List[Tuple[int, int]] = []
+    saw_header = False
+    for line_no, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not saw_header and not name:
+                name = line.lstrip("#").strip()
+            continue
+        parts = line.split()
+        if not saw_header:
+            if parts[0] != _HEADER or len(parts) != 3:
+                raise InvalidInstanceError(
+                    f"line {line_no}: expected '{_HEADER} <n> <m>' header, got "
+                    f"{line!r}"
+                )
+            try:
+                header = (int(parts[1]), int(parts[2]))
+            except ValueError:
+                raise InvalidInstanceError(
+                    f"line {line_no}: non-integer header fields in {line!r}"
+                ) from None
+            saw_header = True
+            continue
+        if len(parts) != 2:
+            raise InvalidInstanceError(
+                f"line {line_no}: expected '<set_id> <element>', got {line!r}"
+            )
+        try:
+            edges.append((int(parts[0]), int(parts[1])))
+        except ValueError:
+            raise InvalidInstanceError(
+                f"line {line_no}: non-integer edge fields in {line!r}"
+            ) from None
+    if not saw_header:
+        raise InvalidInstanceError("missing 'setcover <n> <m>' header")
+    n, m = header
+    return instance_from_edges(n, m, edges, name=name)
+
+
+def dumps_instance(instance: SetCoverInstance) -> str:
+    """Serialise ``instance`` to a string."""
+    buffer = io.StringIO()
+    _write(instance, buffer)
+    return buffer.getvalue()
+
+
+def loads_instance(text: str) -> SetCoverInstance:
+    """Parse an instance from a string produced by :func:`dumps_instance`."""
+    return _read(io.StringIO(text))
+
+
+def dump_stream(edges: Iterable[Edge], target: Union[PathLike, TextIO]) -> None:
+    """Write an ordered edge sequence, one ``set element`` pair per line."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            for edge in edges:
+                handle.write(f"{edge.set_id} {edge.element}\n")
+    else:
+        for edge in edges:
+            target.write(f"{edge.set_id} {edge.element}\n")
+
+
+def load_stream(source: Union[PathLike, TextIO]) -> List[Edge]:
+    """Read an ordered edge sequence written by :func:`dump_stream`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read_stream(handle)
+    return _read_stream(source)
+
+
+def _read_stream(handle: TextIO) -> List[Edge]:
+    edges: List[Edge] = []
+    for line_no, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise InvalidInstanceError(
+                f"line {line_no}: expected '<set_id> <element>', got {line!r}"
+            )
+        edges.append(Edge(int(parts[0]), int(parts[1])))
+    return edges

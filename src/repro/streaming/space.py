@@ -1,0 +1,195 @@
+"""Word-level space accounting for streaming algorithms.
+
+Streaming space bounds in the paper are stated in machine *words* (each
+word holds an id or counter of O(log(mn)) bits).  To reproduce the
+Table-1 space rows empirically we charge every piece of live algorithm
+state to a :class:`SpaceMeter` and report the *peak* word count reached
+during the pass.
+
+Two usage styles are supported:
+
+1. **Ledger style** (preferred): the algorithm registers named
+   components with :meth:`SpaceMeter.set_component`, typically sized as
+   ``len`` of a dict/set it maintains.  The meter sums components and
+   tracks the peak of the sum.
+2. **Delta style**: :meth:`SpaceMeter.charge` / :meth:`SpaceMeter.release`
+   adjust an anonymous component directly.
+
+A :class:`SpaceBudget` can optionally be attached to turn the meter into
+an enforcer that raises :class:`~repro.errors.SpaceBudgetExceededError`
+the moment the peak would cross the budget — used by tests that assert
+an algorithm genuinely fits in its advertised space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SpaceBudgetExceededError
+
+
+@dataclass
+class SpaceBudget:
+    """A hard cap, in words, that a :class:`SpaceMeter` may enforce."""
+
+    words: int
+    context: str = ""
+
+    def __post_init__(self) -> None:
+        if self.words <= 0:
+            raise ValueError(f"space budget must be positive, got {self.words}")
+
+
+@dataclass
+class SpaceReport:
+    """Immutable snapshot of a meter, suitable for experiment records."""
+
+    peak_words: int
+    final_words: int
+    components_at_peak: Dict[str, int] = field(default_factory=dict)
+    component_peaks: Dict[str, int] = field(default_factory=dict)
+
+    def dominant_component(self) -> Optional[str]:
+        """Name of the largest component at the peak, or ``None`` if empty."""
+        if not self.components_at_peak:
+            return None
+        return max(self.components_at_peak, key=self.components_at_peak.get)
+
+    def peak_of(self, name: str) -> int:
+        """Highest size component ``name`` ever reached (0 if never set)."""
+        return self.component_peaks.get(name, 0)
+
+
+class SpaceMeter:
+    """Tracks current and peak word usage of a streaming algorithm.
+
+    The meter deliberately does *not* use ``sys.getsizeof``: Python
+    object overhead would drown the asymptotics the paper states.  One
+    dict entry mapping an id to a counter costs a constant number of
+    words; we charge exactly the number of words the idealised RAM
+    algorithm would use, which is what the theorems count.
+    """
+
+    def __init__(self, budget: Optional[SpaceBudget] = None) -> None:
+        self._components: Dict[str, int] = {}
+        self._anonymous = 0
+        self._peak = 0
+        self._components_at_peak: Dict[str, int] = {}
+        self._component_peaks: Dict[str, int] = {}
+        self.budget = budget
+
+    # -- ledger style ---------------------------------------------------
+
+    def set_component(self, name: str, words: int) -> None:
+        """Set the current size of component ``name`` to ``words``."""
+        if words < 0:
+            raise ValueError(f"component size must be >= 0, got {words} for {name!r}")
+        self._components[name] = words
+        if words > self._component_peaks.get(name, 0):
+            self._component_peaks[name] = words
+        self._after_update()
+
+    def add_to_component(self, name: str, delta: int) -> None:
+        """Adjust component ``name`` by ``delta`` words (creating it at 0)."""
+        new = self._components.get(name, 0) + delta
+        if new < 0:
+            raise ValueError(
+                f"component {name!r} would become negative ({new} words)"
+            )
+        self._components[name] = new
+        if new > self._component_peaks.get(name, 0):
+            self._component_peaks[name] = new
+        self._after_update()
+
+    def component(self, name: str) -> int:
+        """Current size in words of component ``name`` (0 if absent)."""
+        return self._components.get(name, 0)
+
+    # -- delta style ----------------------------------------------------
+
+    def charge(self, words: int) -> None:
+        """Charge ``words`` words of anonymous state."""
+        if words < 0:
+            raise ValueError("use release() to free space")
+        self._anonymous += words
+        self._after_update()
+
+    def release(self, words: int) -> None:
+        """Release ``words`` words of anonymous state."""
+        if words < 0:
+            raise ValueError("use charge() to add space")
+        if words > self._anonymous:
+            raise ValueError(
+                f"releasing {words} words but only {self._anonymous} anonymous "
+                "words are charged"
+            )
+        self._anonymous -= words
+        self._after_update()
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def current_words(self) -> int:
+        """Total words currently charged across all components."""
+        return self._anonymous + sum(self._components.values())
+
+    @property
+    def peak_words(self) -> int:
+        """Highest value :attr:`current_words` has reached."""
+        return self._peak
+
+    def report(self) -> SpaceReport:
+        """Snapshot of peak/final usage and the per-component breakdown."""
+        return SpaceReport(
+            peak_words=self._peak,
+            final_words=self.current_words,
+            components_at_peak=dict(self._components_at_peak),
+            component_peaks=dict(self._component_peaks),
+        )
+
+    def reset(self) -> None:
+        """Clear all charges and the recorded peak."""
+        self._components.clear()
+        self._anonymous = 0
+        self._peak = 0
+        self._components_at_peak = {}
+        self._component_peaks = {}
+
+    # -- internals --------------------------------------------------------
+
+    def _after_update(self) -> None:
+        current = self.current_words
+        if current > self._peak:
+            self._peak = current
+            self._components_at_peak = dict(self._components)
+            if self._anonymous:
+                self._components_at_peak["<anonymous>"] = self._anonymous
+        if self.budget is not None and current > self.budget.words:
+            raise SpaceBudgetExceededError(
+                used=current, budget=self.budget.words, context=self.budget.context
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpaceMeter(current={self.current_words}, peak={self._peak}, "
+            f"components={len(self._components)})"
+        )
+
+
+def words_for_mapping(entries: int, words_per_entry: int = 2) -> int:
+    """Words for a mapping with ``entries`` key/value entries.
+
+    A key -> value entry of id-sized integers costs two words in the
+    idealised model; pass ``words_per_entry`` for richer values.
+    """
+    if entries < 0:
+        raise ValueError("entries must be >= 0")
+    return entries * words_per_entry
+
+
+def words_for_set(entries: int) -> int:
+    """Words for storing a set of ``entries`` ids (one word each)."""
+    if entries < 0:
+        raise ValueError("entries must be >= 0")
+    return entries

@@ -1,0 +1,162 @@
+"""One-pass edge streams over a set-cover instance.
+
+An :class:`EdgeStream` couples an instance with an arrival order and
+enforces the single-pass discipline: once consumed, a stream refuses to
+be iterated again (algorithms that accidentally take two passes fail
+loudly in tests instead of silently cheating).
+
+Use :func:`stream_of` for the common case, or :class:`ReplayableStream`
+in experiment harnesses where several algorithms must see the *same*
+ordered stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import StreamExhaustedError
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.orders import ArrivalOrder, CanonicalOrder
+from repro.types import Edge, SeedLike
+
+
+class EdgeStream:
+    """A single-pass stream of ``(set_id, element)`` edges.
+
+    Parameters
+    ----------
+    instance:
+        The underlying set-cover instance.
+    edges:
+        The ordered edge sequence to present; callers usually obtain it
+        by applying an :class:`~repro.streaming.orders.ArrivalOrder` to
+        ``instance.edges()``.
+    order_name:
+        Label recorded in experiment output.
+    """
+
+    def __init__(
+        self,
+        instance: SetCoverInstance,
+        edges: Sequence[Edge],
+        order_name: str = "canonical",
+    ) -> None:
+        self.instance = instance
+        self._edges = list(edges)
+        self.order_name = order_name
+        self._consumed = False
+        self._position = 0
+
+    @property
+    def length(self) -> int:
+        """The stream length N (total number of edges)."""
+        return len(self._edges)
+
+    @property
+    def position(self) -> int:
+        """Number of edges already yielded."""
+        return self._position
+
+    @property
+    def consumed(self) -> bool:
+        """Whether iteration has started (one-pass guard)."""
+        return self._consumed
+
+    def __iter__(self) -> Iterator[Edge]:
+        if self._consumed:
+            raise StreamExhaustedError(
+                "edge stream already consumed; one-pass algorithms may not "
+                "re-read the stream (use ReplayableStream in harnesses)"
+            )
+        self._consumed = True
+        return self._generate()
+
+    def _generate(self) -> Iterator[Edge]:
+        for edge in self._edges:
+            self._position += 1
+            yield edge
+
+    def peek_all(self) -> Sequence[Edge]:
+        """The full ordered edge list, for verification only.
+
+        Experiment harnesses and tests may inspect the stream; streaming
+        algorithms must not (they receive the iterator, not the stream
+        object's internals).
+        """
+        return tuple(self._edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeStream(N={self.length}, order={self.order_name!r}, "
+            f"instance={self.instance!r})"
+        )
+
+
+class ReplayableStream:
+    """Factory producing fresh one-pass :class:`EdgeStream` views.
+
+    Freezes one ordered edge sequence so that multiple algorithms can be
+    compared on the *identical* stream, each receiving its own one-pass
+    view.
+    """
+
+    def __init__(
+        self,
+        instance: SetCoverInstance,
+        order: Optional[ArrivalOrder] = None,
+    ) -> None:
+        self.instance = instance
+        order = order if order is not None else CanonicalOrder()
+        self.order_name = order.name
+        self._edges: List[Edge] = order.apply(list(instance.edges()))
+
+    @property
+    def length(self) -> int:
+        """The stream length N."""
+        return len(self._edges)
+
+    def fresh(self) -> EdgeStream:
+        """A new, unconsumed one-pass view of the frozen ordering."""
+        return EdgeStream(self.instance, self._edges, order_name=self.order_name)
+
+    def edges(self) -> Sequence[Edge]:
+        """The frozen ordered edge sequence (verification only)."""
+        return tuple(self._edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplayableStream(N={self.length}, order={self.order_name!r}, "
+            f"instance={self.instance!r})"
+        )
+
+
+def stream_of(
+    instance: SetCoverInstance,
+    order: Optional[ArrivalOrder] = None,
+) -> EdgeStream:
+    """Build a one-pass stream of ``instance`` under ``order``.
+
+    With ``order=None`` the canonical (set-grouped, deterministic)
+    enumeration is streamed.
+    """
+    order = order if order is not None else CanonicalOrder()
+    edges = order.apply(list(instance.edges()))
+    return EdgeStream(instance, edges, order_name=order.name)
+
+
+def concat_streams(first: EdgeStream, second: EdgeStream) -> EdgeStream:
+    """Concatenate two unconsumed streams over the same universe.
+
+    Used by the lower-bound reduction, where the last party appends the
+    complement set's edges after the shared prefix.  Both inputs must be
+    unconsumed; the result is a fresh stream over the combined instance
+    of the *first* stream (callers are responsible for id consistency).
+    """
+    if first.consumed or second.consumed:
+        raise StreamExhaustedError("cannot concatenate consumed streams")
+    edges = list(first.peek_all()) + list(second.peek_all())
+    return EdgeStream(
+        first.instance,
+        edges,
+        order_name=f"{first.order_name}+{second.order_name}",
+    )

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming.instance import SetCoverInstance
+
+
+@pytest.fixture
+def tiny_instance() -> SetCoverInstance:
+    """4 elements, 3 sets; OPT = 2 ({0,1} via set 0, {2,3} via set 2)."""
+    return SetCoverInstance(4, [{0, 1}, {1, 2}, {2, 3}], name="tiny")
+
+
+@pytest.fixture
+def chain_instance() -> SetCoverInstance:
+    """6 elements in overlapping pairs; classic greedy-friendly chain."""
+    return SetCoverInstance(
+        6, [{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}], name="chain"
+    )
+
+
+@pytest.fixture
+def star_instance() -> SetCoverInstance:
+    """One big set covering everything plus singletons; OPT = 1."""
+    return SetCoverInstance(
+        5, [{0, 1, 2, 3, 4}, {0}, {1}, {2}, {3}, {4}], name="star"
+    )

@@ -1,0 +1,100 @@
+"""Tests for the Lemma-2 concentration module."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.concentration import (
+    check_statement_1,
+    check_statement_2,
+    check_statement_3,
+    simulate_occupancy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSimulateOccupancy:
+    def test_mean_matches_hypergeometric(self):
+        counts = simulate_occupancy(10**5, 10**4, 1000, trials=5000, seed=1)
+        expected = 1000 / 10**5 * 10**4  # = 100
+        assert abs(counts.mean() - expected) < 3
+
+    def test_bounds(self):
+        counts = simulate_occupancy(1000, 100, 50, trials=2000, seed=2)
+        assert counts.min() >= 0
+        assert counts.max() <= 50
+
+    def test_degenerate_full_window(self):
+        counts = simulate_occupancy(100, 30, 100, trials=10, seed=3)
+        assert (counts == 30).all()
+
+    def test_degenerate_empty_subset(self):
+        counts = simulate_occupancy(100, 0, 50, trials=10, seed=4)
+        assert (counts == 0).all()
+
+    def test_deterministic(self):
+        a = simulate_occupancy(1000, 100, 50, trials=100, seed=5)
+        b = simulate_occupancy(1000, 100, 50, trials=100, seed=5)
+        assert (a == b).all()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            simulate_occupancy(100, 200, 50, trials=10)
+        with pytest.raises(ConfigurationError):
+            simulate_occupancy(100, 50, 200, trials=10)
+        with pytest.raises(ConfigurationError):
+            simulate_occupancy(100, 50, 50, trials=0)
+
+
+class TestStatement1:
+    def test_concentrates(self):
+        check = check_statement_1(10**6, 300_000, 900, trials=1000, seed=6)
+        assert check.violation_rate < 0.01
+        assert abs(check.observed_mean - check.expected_mean) < 10
+
+    def test_precondition_window(self):
+        with pytest.raises(ConfigurationError):
+            check_statement_1(1000, 500, 500)
+
+    def test_precondition_mean(self):
+        with pytest.raises(ConfigurationError):
+            check_statement_1(10**6, 1000, 900)
+
+
+class TestStatement2:
+    def test_tiny_mean_branch(self):
+        check = check_statement_2(
+            10**5, 20, 1000, log_m=14.0, trials=1000, seed=7
+        )
+        # mean = 0.2; bound = C*log m*1 = 56 — essentially never violated.
+        assert check.violation_rate == 0.0
+
+    def test_large_mean_branch(self):
+        check = check_statement_2(
+            10**5, 5000, 10**4, log_m=14.0, trials=1000, seed=8
+        )
+        assert check.violation_rate == 0.0
+
+    def test_precondition(self):
+        with pytest.raises(ConfigurationError):
+            check_statement_2(100, 10, 80, log_m=10.0)
+
+
+class TestStatement3:
+    def test_concentrates(self):
+        check = check_statement_3(
+            10**6, 50_000, 10**6 // 25, n=400, log_m=14.0,
+            trials=1000, seed=9,
+        )
+        assert check.violation_rate < 0.01
+
+    def test_precondition_window(self):
+        with pytest.raises(ConfigurationError):
+            check_statement_3(10**4, 5000, 10**4 // 2, n=400, log_m=14.0)
+
+    def test_precondition_mean(self):
+        with pytest.raises(ConfigurationError):
+            check_statement_3(10**6, 10, 1000, n=400, log_m=14.0)

@@ -1,0 +1,137 @@
+"""Tests for metrics, aggregation, and power-law fitting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    RunMetrics,
+    aggregate,
+    fit_power_law,
+    geometric_decay_rate,
+    metrics_from_result,
+)
+from repro.core.kk import KKAlgorithm
+from repro.generators.random_instances import fixed_size_instance
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import stream_of
+
+
+class TestAggregate:
+    def test_single_value(self):
+        agg = aggregate([5.0])
+        assert agg.mean == 5.0
+        assert agg.stdev == 0.0
+        assert agg.count == 1
+
+    def test_multiple_values(self):
+        agg = aggregate([1.0, 2.0, 3.0])
+        assert agg.mean == 2.0
+        assert agg.minimum == 1.0
+        assert agg.maximum == 3.0
+        assert agg.stdev == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_str_format(self):
+        assert "±" in str(aggregate([1.0, 2.0]))
+
+
+class TestFitPowerLaw:
+    def test_exact_fit(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [3.0 * x**1.5 for x in xs]
+        exponent, constant = fit_power_law(xs, ys)
+        assert exponent == pytest.approx(1.5)
+        assert constant == pytest.approx(3.0)
+
+    def test_negative_exponent(self):
+        xs = [1.0, 2.0, 4.0]
+        ys = [10.0 / (x * x) for x in xs]
+        exponent, _ = fit_power_law(xs, ys)
+        assert exponent == pytest.approx(-2.0)
+
+    def test_flat_series(self):
+        exponent, constant = fit_power_law([1, 2, 4], [7, 7, 7])
+        assert exponent == pytest.approx(0.0)
+        assert constant == pytest.approx(7.0)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([0, 2], [1, 1])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([2, 2], [1, 3])
+
+
+class TestGeometricDecay:
+    def test_halving_series(self):
+        assert geometric_decay_rate([8, 4, 2, 1]) == pytest.approx(0.5)
+
+    def test_drop_to_zero_counts(self):
+        rate = geometric_decay_rate([4, 0])
+        assert rate == pytest.approx(0.0)
+
+    def test_insufficient_data(self):
+        assert geometric_decay_rate([]) is None
+        assert geometric_decay_rate([5]) is None
+        assert geometric_decay_rate([0, 0]) is None
+
+
+class TestRunMetrics:
+    def make(self, **overrides):
+        base = dict(
+            algorithm="kk",
+            order="random",
+            n=100,
+            m=1000,
+            stream_length=5000,
+            cover_size=40,
+            peak_words=2000,
+            opt_handle=10,
+            opt_is_exact=True,
+            valid=True,
+        )
+        base.update(overrides)
+        return RunMetrics(**base)
+
+    def test_ratio(self):
+        assert self.make().ratio == 4.0
+
+    def test_normalized_ratio(self):
+        assert self.make().normalized_ratio == pytest.approx(
+            4.0 / math.sqrt(100)
+        )
+
+    def test_words_per_set(self):
+        assert self.make().words_per_set == 2.0
+
+    def test_from_result(self):
+        instance = fixed_size_instance(30, 60, set_size=5, seed=1)
+        result = KKAlgorithm(seed=1).run(
+            stream_of(instance, RandomOrder(seed=1))
+        )
+        metrics = metrics_from_result(
+            result, instance, order="random", opt_handle=5, opt_is_exact=False
+        )
+        assert metrics.algorithm == "kk"
+        assert metrics.cover_size == result.cover_size
+        assert metrics.peak_words == result.space.peak_words
+        assert metrics.valid
+        assert metrics.n == 30
+        assert metrics.stream_length == instance.num_edges

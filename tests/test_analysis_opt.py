@@ -1,0 +1,109 @@
+"""Tests for exact OPT and lower bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.opt import exact_opt, opt_lower_bound, opt_or_bound
+from repro.baselines.greedy import greedy_cover_size
+from repro.errors import ConfigurationError, InfeasibleInstanceError
+from repro.generators.planted import planted_partition_instance
+from repro.generators.random_instances import fixed_size_instance
+from repro.streaming.instance import SetCoverInstance
+
+
+class TestExactOpt:
+    def test_tiny_instance(self, tiny_instance):
+        size, cover = exact_opt(tiny_instance)
+        assert size == 2
+        assert tiny_instance.is_cover(cover)
+
+    def test_star_instance(self, star_instance):
+        size, cover = exact_opt(star_instance)
+        assert size == 1
+        assert cover == frozenset({0})
+
+    def test_chain_instance(self, chain_instance):
+        size, cover = exact_opt(chain_instance)
+        assert size == 3
+        assert chain_instance.is_cover(cover)
+
+    def test_matches_planted_optimum(self):
+        planted = planted_partition_instance(24, 40, opt_size=4, seed=1)
+        size, _ = exact_opt(planted.instance)
+        assert size <= 4  # planted cover is an upper bound; exact <= it
+
+    def test_never_beats_lower_bound(self):
+        instance = fixed_size_instance(25, 50, set_size=5, seed=2)
+        size, _ = exact_opt(instance)
+        assert size >= opt_lower_bound(instance)
+
+    def test_never_exceeds_greedy(self):
+        instance = fixed_size_instance(25, 50, set_size=5, seed=3)
+        size, _ = exact_opt(instance)
+        assert size <= greedy_cover_size(instance)
+
+    def test_cover_returned_is_cover(self):
+        instance = fixed_size_instance(20, 30, set_size=5, seed=4)
+        size, cover = exact_opt(instance)
+        assert instance.is_cover(cover)
+        assert len(cover) == size
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleInstanceError):
+            exact_opt(SetCoverInstance(3, [{0}]))
+
+    def test_node_limit_enforced(self):
+        instance = fixed_size_instance(60, 200, set_size=6, seed=5)
+        with pytest.raises(ConfigurationError):
+            exact_opt(instance, node_limit=10)
+
+    def test_singleton_universe(self):
+        size, cover = exact_opt(SetCoverInstance(1, [{0}, {0}]))
+        assert size == 1
+
+
+class TestLowerBound:
+    def test_counting_bound(self):
+        # 10 elements, max set size 3 -> at least ceil(10/3) = 4.
+        instance = SetCoverInstance(
+            10, [set(range(i, min(i + 3, 10))) for i in range(0, 10, 2)]
+        )
+        assert opt_lower_bound(instance) >= 4
+
+    def test_dual_bound_disjoint_elements(self):
+        # Three elements with disjoint covering sets force OPT >= 3.
+        instance = SetCoverInstance(3, [{0}, {1}, {2}])
+        assert opt_lower_bound(instance) == 3
+
+    def test_bound_at_most_opt(self):
+        for seed in range(4):
+            instance = fixed_size_instance(20, 40, set_size=5, seed=seed)
+            size, _ = exact_opt(instance)
+            assert opt_lower_bound(instance) <= size
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleInstanceError):
+            opt_lower_bound(SetCoverInstance(2, [{0}]))
+
+    def test_at_least_one(self, star_instance):
+        assert opt_lower_bound(star_instance) >= 1
+
+
+class TestOptOrBound:
+    def test_exact_for_small(self, tiny_instance):
+        value, is_exact = opt_or_bound(tiny_instance)
+        assert is_exact
+        assert value == 2
+
+    def test_falls_back_for_large(self):
+        instance = fixed_size_instance(200, 4000, set_size=10, seed=6)
+        value, is_exact = opt_or_bound(instance)
+        assert not is_exact
+        assert value >= 1
+
+    def test_fallback_on_node_limit(self):
+        instance = fixed_size_instance(30, 60, set_size=5, seed=7)
+        value, is_exact = opt_or_bound(instance, node_limit=5)
+        # Exact solve aborted; bound returned.
+        assert value >= 1

@@ -1,0 +1,114 @@
+"""Tests for instance statistics and the describe/generate CLI paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import DistributionSummary, describe_instance
+from repro.cli import main
+from repro.generators.planted import planted_partition_instance
+from repro.streaming.instance import SetCoverInstance
+
+
+class TestDistributionSummary:
+    def test_basic(self):
+        summary = DistributionSummary.of([1, 2, 3, 4, 100])
+        assert summary.minimum == 1
+        assert summary.maximum == 100
+        assert summary.median == 3
+        assert summary.mean == pytest.approx(22.0)
+
+    def test_singleton(self):
+        summary = DistributionSummary.of([7])
+        assert summary.minimum == summary.maximum == 7
+        assert summary.p90 == 7.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DistributionSummary.of([])
+
+    def test_str_readable(self):
+        assert "min 1" in str(DistributionSummary.of([1, 2]))
+
+
+class TestDescribeInstance:
+    def test_shapes(self, tiny_instance):
+        stats = describe_instance(tiny_instance)
+        assert stats.n == 4
+        assert stats.m == 3
+        assert stats.num_edges == 6
+        assert stats.density == pytest.approx(6 / 12)
+
+    def test_opt_exact_for_small(self, tiny_instance):
+        stats = describe_instance(tiny_instance)
+        assert stats.opt_is_exact
+        assert stats.opt_handle == 2
+
+    def test_no_opt_mode(self, tiny_instance):
+        stats = describe_instance(tiny_instance, compute_opt=False)
+        assert not stats.opt_is_exact
+        assert stats.opt_handle == 1
+
+    def test_high_degree_count(self):
+        # One element in every set: cutoff = 1.1*m/sqrt(n).
+        instance = SetCoverInstance(
+            9, [{0, i} for i in range(1, 9)]
+        )
+        stats = describe_instance(instance)
+        assert stats.high_degree_elements >= 1
+
+    def test_empty_sets_counted(self):
+        instance = SetCoverInstance(2, [{0, 1}, set(), set()])
+        assert describe_instance(instance).empty_sets == 2
+
+    def test_as_pairs_complete(self, tiny_instance):
+        pairs = describe_instance(tiny_instance).as_pairs()
+        keys = [k for k, _ in pairs]
+        assert "universe n" in keys
+        assert any(k.startswith("OPT") for k in keys)
+
+
+class TestCliDescribeGenerate:
+    @pytest.mark.parametrize(
+        "workload", ["uniform", "planted", "zipf", "quadratic", "domset"]
+    )
+    def test_generate_then_describe(self, tmp_path, capsys, workload):
+        path = tmp_path / "inst.txt"
+        code = main(
+            [
+                "generate",
+                str(path),
+                "--workload",
+                workload,
+                "--n",
+                "30",
+                "--m",
+                "60",
+                "--opt-size",
+                "3",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+        code = main(["describe", str(path), "--no-opt"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "universe n" in out
+
+    def test_generate_two_tier(self, tmp_path):
+        path = tmp_path / "tt.txt"
+        assert main(
+            ["generate", str(path), "--workload", "two-tier", "--n", "100",
+             "--m", "200", "--seed", "2"]
+        ) == 0
+
+    def test_describe_with_opt(self, tmp_path, capsys):
+        planted = planted_partition_instance(20, 30, opt_size=2, seed=3)
+        from repro.streaming.io import dump_instance
+
+        path = tmp_path / "p.txt"
+        dump_instance(planted.instance, path)
+        assert main(["describe", str(path)]) == 0
+        assert "OPT" in capsys.readouterr().out

@@ -1,0 +1,201 @@
+"""Tests for baselines: greedy, lazy greedy, set-arrival, trivial."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.opt import exact_opt
+from repro.baselines.emek_rosen import SetArrivalThresholdGreedy
+from repro.baselines.greedy import greedy_cover, greedy_cover_size
+from repro.baselines.lazy_greedy import lazy_greedy_cover
+from repro.baselines.store_all import StoreAllAlgorithm
+from repro.baselines.trivial import FirstFitAlgorithm, UniformSampleAlgorithm
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleInstanceError,
+    InvalidStreamError,
+)
+from repro.generators.planted import planted_partition_instance
+from repro.generators.random_instances import fixed_size_instance
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.orders import (
+    RandomOrder,
+    RoundRobinInterleaveOrder,
+    SetGroupedOrder,
+)
+from repro.streaming.stream import ReplayableStream, stream_of
+
+
+class TestGreedy:
+    def test_valid_cover(self, chain_instance):
+        result = greedy_cover(chain_instance)
+        result.verify(chain_instance)
+
+    def test_optimal_on_star(self, star_instance):
+        assert greedy_cover(star_instance).cover_size == 1
+
+    def test_ln_n_guarantee(self):
+        import math
+
+        instance = fixed_size_instance(50, 100, set_size=7, seed=1)
+        opt_size, _ = exact_opt(instance)
+        greedy_size = greedy_cover_size(instance)
+        assert greedy_size <= opt_size * (math.log(50) + 1)
+
+    def test_greedy_at_least_opt(self):
+        instance = fixed_size_instance(30, 60, set_size=6, seed=2)
+        opt_size, _ = exact_opt(instance)
+        assert greedy_cover_size(instance) >= opt_size
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleInstanceError):
+            greedy_cover(SetCoverInstance(3, [{0, 1}]))
+
+    def test_deterministic(self, chain_instance):
+        assert greedy_cover(chain_instance).cover == greedy_cover(
+            chain_instance
+        ).cover
+
+
+class TestLazyGreedy:
+    def test_valid_cover(self, chain_instance):
+        result = lazy_greedy_cover(chain_instance)
+        result.verify(chain_instance)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_plain_greedy_size(self, seed):
+        instance = fixed_size_instance(50, 150, set_size=7, seed=seed)
+        assert (
+            lazy_greedy_cover(instance).cover_size
+            == greedy_cover(instance).cover_size
+        )
+
+    def test_fewer_evaluations_than_naive(self):
+        instance = fixed_size_instance(80, 400, set_size=8, seed=4)
+        result = lazy_greedy_cover(instance)
+        naive_evaluations = instance.m * result.cover_size
+        assert result.diagnostics["gain_evaluations"] < naive_evaluations
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleInstanceError):
+            lazy_greedy_cover(SetCoverInstance(3, [{0}]))
+
+
+class TestSetArrivalThresholdGreedy:
+    def test_valid_on_grouped_stream(self):
+        planted = planted_partition_instance(64, 200, opt_size=8, seed=1)
+        result = SetArrivalThresholdGreedy(seed=1).run(
+            stream_of(planted.instance, SetGroupedOrder(seed=1))
+        )
+        result.verify(planted.instance)
+
+    def test_rejects_interleaved_stream(self):
+        planted = planted_partition_instance(64, 50, opt_size=8, seed=2)
+        algorithm = SetArrivalThresholdGreedy(seed=2)
+        with pytest.raises(InvalidStreamError):
+            algorithm.run(
+                stream_of(
+                    planted.instance, RoundRobinInterleaveOrder(seed=2)
+                )
+            )
+
+    def test_canonical_order_is_grouped(self, chain_instance):
+        result = SetArrivalThresholdGreedy(seed=3).run(
+            stream_of(chain_instance)
+        )
+        result.verify(chain_instance)
+
+    def test_two_sqrt_n_guarantee(self):
+        import math
+
+        n = 100
+        planted = planted_partition_instance(n, 400, opt_size=10, seed=4)
+        result = SetArrivalThresholdGreedy(seed=4).run(
+            stream_of(planted.instance, SetGroupedOrder(seed=4))
+        )
+        assert result.cover_size <= 2 * math.sqrt(n) * planted.opt_upper_bound
+
+    def test_space_independent_of_m(self):
+        peaks = []
+        for m in (100, 800):
+            planted = planted_partition_instance(64, m, opt_size=8, seed=5)
+            result = SetArrivalThresholdGreedy(seed=5).run(
+                stream_of(planted.instance, SetGroupedOrder(seed=5))
+            )
+            peaks.append(result.space.peak_words)
+        assert peaks[1] < peaks[0] * 1.5  # flat in m
+
+    def test_custom_threshold(self, star_instance):
+        result = SetArrivalThresholdGreedy(threshold=1.0, seed=6).run(
+            stream_of(star_instance, SetGroupedOrder(seed=6))
+        )
+        result.verify(star_instance)
+
+
+class TestStoreAll:
+    def test_matches_greedy(self):
+        instance = fixed_size_instance(40, 100, set_size=6, seed=7)
+        stored = StoreAllAlgorithm(seed=7).run(
+            stream_of(instance, RandomOrder(seed=7))
+        )
+        stored.verify(instance)
+        assert stored.cover_size == greedy_cover_size(instance)
+
+    def test_space_is_stream_length(self):
+        instance = fixed_size_instance(40, 100, set_size=6, seed=8)
+        result = StoreAllAlgorithm(seed=8).run(stream_of(instance))
+        assert result.space.peak_words >= instance.num_edges
+
+    def test_order_invariant_quality(self):
+        instance = fixed_size_instance(40, 100, set_size=6, seed=9)
+        replayable_a = ReplayableStream(instance, RandomOrder(seed=9))
+        replayable_b = ReplayableStream(
+            instance, RoundRobinInterleaveOrder(seed=9)
+        )
+        a = StoreAllAlgorithm(seed=9).run(replayable_a.fresh())
+        b = StoreAllAlgorithm(seed=9).run(replayable_b.fresh())
+        assert a.cover_size == b.cover_size
+
+
+class TestFirstFit:
+    def test_valid_cover(self, chain_instance):
+        result = FirstFitAlgorithm(seed=1).run(stream_of(chain_instance))
+        result.verify(chain_instance)
+
+    def test_cover_at_most_n(self):
+        instance = fixed_size_instance(50, 300, set_size=5, seed=10)
+        result = FirstFitAlgorithm(seed=10).run(
+            stream_of(instance, RandomOrder(seed=10))
+        )
+        assert result.cover_size <= instance.n
+
+    def test_every_element_patched(self, tiny_instance):
+        result = FirstFitAlgorithm(seed=11).run(stream_of(tiny_instance))
+        assert result.diagnostics["patched_elements"] == tiny_instance.n
+
+
+class TestUniformSample:
+    def test_valid_cover(self):
+        instance = fixed_size_instance(50, 200, set_size=6, seed=12)
+        result = UniformSampleAlgorithm(rate=0.1, seed=12).run(
+            stream_of(instance, RandomOrder(seed=12))
+        )
+        result.verify(instance)
+
+    def test_rate_one_covers_with_first_sets(self, chain_instance):
+        result = UniformSampleAlgorithm(rate=1.0, seed=13).run(
+            stream_of(chain_instance)
+        )
+        result.verify(chain_instance)
+        assert result.diagnostics["patched_elements"] == 0
+
+    def test_rate_zero_degenerates_to_first_fit(self, chain_instance):
+        result = UniformSampleAlgorithm(rate=0.0, seed=14).run(
+            stream_of(chain_instance)
+        )
+        result.verify(chain_instance)
+        assert result.diagnostics["patched_elements"] == chain_instance.n
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            UniformSampleAlgorithm(rate=1.5)

@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.generators.planted import planted_partition_instance
+from repro.streaming.io import dump_instance
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    planted = planted_partition_instance(30, 60, opt_size=3, seed=1)
+    path = tmp_path / "instance.txt"
+    dump_instance(planted.instance, path)
+    return str(path)
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses(self):
+        args = build_parser().parse_args(["run", "table1-row2", "--full"])
+        assert args.experiment == "table1-row2"
+        assert args.full
+
+    def test_solve_parses(self):
+        args = build_parser().parse_args(
+            ["solve", "x.txt", "--algorithm", "kk", "--order", "random"]
+        )
+        assert args.algorithm == "kk"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestList:
+    def test_lists_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1-row1" in out
+        assert "invariants" in out
+
+
+class TestRun:
+    def test_runs_quick_experiment(self, capsys):
+        assert main(["run", "lb-family", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "lb-family" in out
+        assert "findings:" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "bogus"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_markdown_flag(self, capsys):
+        assert main(["run", "lb-family", "--markdown"]) == 0
+        assert "|" in capsys.readouterr().out
+
+
+class TestSolve:
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["kk", "adversarial", "random-order", "element-sampling", "first-fit"],
+    )
+    def test_solves_with_each_algorithm(self, capsys, instance_file, algorithm):
+        code = main(
+            [
+                "solve",
+                instance_file,
+                "--algorithm",
+                algorithm,
+                "--order",
+                "random",
+                "--seed",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cover size" in out
+        assert "cover:" in out
+
+    def test_set_arrival_on_grouped_order(self, capsys, instance_file):
+        code = main(
+            [
+                "solve",
+                instance_file,
+                "--algorithm",
+                "set-arrival",
+                "--order",
+                "set-grouped",
+            ]
+        )
+        assert code == 0
+
+    def test_set_arrival_on_random_order_fails_gracefully(
+        self, capsys, instance_file
+    ):
+        code = main(
+            [
+                "solve",
+                instance_file,
+                "--algorithm",
+                "set-arrival",
+                "--order",
+                "random",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_alpha_option(self, capsys, instance_file):
+        code = main(
+            [
+                "solve",
+                instance_file,
+                "--algorithm",
+                "adversarial",
+                "--alpha",
+                "20",
+            ]
+        )
+        assert code == 0
+
+    def test_missing_file_errors(self):
+        with pytest.raises(FileNotFoundError):
+            main(["solve", "/nonexistent/file.txt"])

@@ -1,0 +1,94 @@
+"""Tests for the O(log m) parallel-copies amplification wrapper."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.amplification import AmplifiedAlgorithm
+from repro.core.adversarial import LowSpaceAdversarialAlgorithm
+from repro.core.kk import KKAlgorithm
+from repro.errors import ConfigurationError
+from repro.generators.planted import planted_partition_instance
+from repro.generators.random_instances import fixed_size_instance
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream, stream_of
+
+
+class TestCorrectness:
+    def test_valid_cover(self):
+        instance = fixed_size_instance(50, 200, set_size=8, seed=1)
+        amplified = AmplifiedAlgorithm(
+            factory=lambda s: KKAlgorithm(seed=s), copies=3, seed=1
+        )
+        result = amplified.run(stream_of(instance, RandomOrder(seed=1)))
+        result.verify(instance)
+
+    def test_rejects_zero_copies(self):
+        with pytest.raises(ConfigurationError):
+            AmplifiedAlgorithm(factory=lambda s: KKAlgorithm(seed=s), copies=0)
+
+    def test_default_copies_log_m(self):
+        instance = fixed_size_instance(30, 64, set_size=6, seed=2)
+        amplified = AmplifiedAlgorithm(
+            factory=lambda s: KKAlgorithm(seed=s), seed=2
+        )
+        result = amplified.run(stream_of(instance, RandomOrder(seed=2)))
+        assert result.diagnostics["copies"] == math.ceil(math.log2(64))
+
+
+class TestAmplificationEffect:
+    def test_best_at_most_any_single_copy(self):
+        planted = planted_partition_instance(80, 400, opt_size=8, seed=3)
+        replayable = ReplayableStream(planted.instance, RandomOrder(seed=3))
+        amplified = AmplifiedAlgorithm(
+            factory=lambda s: LowSpaceAdversarialAlgorithm(alpha=18, seed=s),
+            copies=5,
+            seed=3,
+        )
+        result = amplified.run(replayable.fresh())
+        result.verify(planted.instance)
+        assert (
+            result.diagnostics["best_cover"]
+            <= result.diagnostics["mean_cover"]
+            <= result.diagnostics["worst_cover"]
+        )
+        assert result.cover_size == result.diagnostics["best_cover"]
+
+    def test_more_copies_never_worse_in_expectation(self):
+        planted = planted_partition_instance(80, 400, opt_size=8, seed=4)
+        replayable = ReplayableStream(planted.instance, RandomOrder(seed=4))
+
+        def run_with(copies):
+            amplified = AmplifiedAlgorithm(
+                factory=lambda s: LowSpaceAdversarialAlgorithm(
+                    alpha=18, seed=s
+                ),
+                copies=copies,
+                seed=4,
+            )
+            return amplified.run(replayable.fresh()).cover_size
+
+        # With a shared stream, min over 8 seeds <= min over the first 1
+        # is not deterministic seed-nesting here, so compare loosely.
+        assert run_with(8) <= run_with(1) + 5
+
+
+class TestSpaceAccounting:
+    def test_space_sums_copies(self):
+        instance = fixed_size_instance(50, 300, set_size=8, seed=5)
+        replayable = ReplayableStream(instance, RandomOrder(seed=5))
+        single = KKAlgorithm(seed=5).run(replayable.fresh())
+        amplified = AmplifiedAlgorithm(
+            factory=lambda s: KKAlgorithm(seed=s), copies=4, seed=5
+        ).run(replayable.fresh())
+        assert amplified.space.peak_words >= 3 * single.space.peak_words
+
+    def test_algorithm_name_tagged(self):
+        instance = fixed_size_instance(30, 60, set_size=5, seed=6)
+        result = AmplifiedAlgorithm(
+            factory=lambda s: KKAlgorithm(seed=s), copies=2, seed=6
+        ).run(stream_of(instance, RandomOrder(seed=6)))
+        assert "amplified" in result.algorithm
+        assert "kk" in result.algorithm

@@ -1,0 +1,115 @@
+"""Tests for the shared algorithm base machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import FirstSetStore, StreamingSetCoverAlgorithm
+from repro.core.solution import StreamingResult
+from repro.errors import InvalidCoverError
+from repro.streaming.space import SpaceMeter
+from repro.streaming.stream import stream_of
+
+
+class TestFirstSetStore:
+    def test_records_first_only(self):
+        store = FirstSetStore(SpaceMeter())
+        store.observe(5, 0)
+        store.observe(7, 0)
+        assert store.get(0) == 5
+
+    def test_get_missing_none(self):
+        store = FirstSetStore(SpaceMeter())
+        assert store.get(3) is None
+
+    def test_len(self):
+        store = FirstSetStore(SpaceMeter())
+        store.observe(1, 0)
+        store.observe(2, 1)
+        store.observe(3, 1)
+        assert len(store) == 2
+
+    def test_space_charged(self):
+        meter = SpaceMeter()
+        store = FirstSetStore(meter)
+        store.observe(1, 0)
+        store.observe(2, 1)
+        assert meter.component(FirstSetStore.COMPONENT) == 4  # 2 words each
+
+    def test_patch_completes_cover(self):
+        store = FirstSetStore(SpaceMeter())
+        store.observe(1, 0)
+        store.observe(2, 1)
+        certificate = {0: 9}
+        cover = {9}
+        patched = store.patch(certificate, cover, universe_size=2)
+        assert patched == 1
+        assert certificate[1] == 2
+        assert cover == {9, 2}
+
+    def test_patch_raises_for_unseen_element(self):
+        store = FirstSetStore(SpaceMeter())
+        store.observe(1, 0)
+        with pytest.raises(InvalidCoverError):
+            store.patch({}, set(), universe_size=2)
+
+    def test_patch_idempotent_on_complete(self):
+        store = FirstSetStore(SpaceMeter())
+        certificate = {0: 4}
+        cover = {4}
+        assert store.patch(certificate, cover, universe_size=1) == 0
+
+
+class _ConstantAlgorithm(StreamingSetCoverAlgorithm):
+    """Test double: covers everything with the first set seen per element."""
+
+    name = "constant"
+
+    def _run(self, stream):
+        from repro.core.base import FirstSetStore
+
+        store = FirstSetStore(self._meter)
+        for set_id, element in stream:
+            store.observe(set_id, element)
+        certificate = {}
+        cover = set()
+        store.patch(certificate, cover, stream.instance.n)
+        return StreamingResult(
+            cover=frozenset(cover),
+            certificate=certificate,
+            space=self._meter.report(),
+        )
+
+
+class TestBaseContract:
+    def test_run_sets_algorithm_name(self, tiny_instance):
+        result = _ConstantAlgorithm(seed=1).run(stream_of(tiny_instance))
+        assert result.algorithm == "constant"
+
+    def test_meter_reset_between_runs(self, tiny_instance):
+        algorithm = _ConstantAlgorithm(seed=1)
+        first = algorithm.run(stream_of(tiny_instance))
+        second = algorithm.run(stream_of(tiny_instance))
+        assert first.space.peak_words == second.space.peak_words
+
+    def test_coin_extremes(self):
+        algorithm = _ConstantAlgorithm(seed=1)
+        assert algorithm._coin(1.0) is True
+        assert algorithm._coin(0.0) is False
+        assert algorithm._coin(1.5) is True
+        assert algorithm._coin(-0.5) is False
+
+    def test_coin_seeded(self):
+        a = _ConstantAlgorithm(seed=9)
+        b = _ConstantAlgorithm(seed=9)
+        assert [a._coin(0.5) for _ in range(20)] == [
+            b._coin(0.5) for _ in range(20)
+        ]
+
+    def test_repr(self):
+        assert "constant" in repr(_ConstantAlgorithm(seed=1))
+
+    def test_abstract_run_raises(self, tiny_instance):
+        algorithm = StreamingSetCoverAlgorithm(seed=1)
+        with pytest.raises(NotImplementedError):
+            algorithm.run(stream_of(tiny_instance))

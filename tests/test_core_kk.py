@@ -1,0 +1,166 @@
+"""Tests for the KK-algorithm (Theorem 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.opt import exact_opt
+from repro.core.kk import KKAlgorithm
+from repro.core.scaling import Scaling
+from repro.errors import SpaceBudgetExceededError
+from repro.generators.planted import planted_partition_instance
+from repro.generators.random_instances import fixed_size_instance
+from repro.streaming.orders import (
+    RandomOrder,
+    RoundRobinInterleaveOrder,
+)
+from repro.streaming.space import SpaceBudget
+from repro.streaming.stream import ReplayableStream, stream_of
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_valid_cover_random_order(self, seed):
+        instance = fixed_size_instance(40, 120, set_size=6, seed=seed)
+        result = KKAlgorithm(seed=seed).run(
+            stream_of(instance, RandomOrder(seed=seed))
+        )
+        result.verify(instance)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_valid_cover_adversarial_order(self, seed):
+        instance = fixed_size_instance(40, 120, set_size=6, seed=seed)
+        result = KKAlgorithm(seed=seed).run(
+            stream_of(instance, RoundRobinInterleaveOrder(seed=seed))
+        )
+        result.verify(instance)
+
+    def test_star_instance_small_cover(self, star_instance):
+        result = KKAlgorithm(seed=1).run(stream_of(star_instance))
+        result.verify(star_instance)
+        assert result.cover_size <= star_instance.m
+
+    def test_tiny_instance(self, tiny_instance):
+        result = KKAlgorithm(seed=3).run(stream_of(tiny_instance))
+        result.verify(tiny_instance)
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        instance = fixed_size_instance(30, 90, set_size=5, seed=7)
+        replayable = ReplayableStream(instance, RandomOrder(seed=7))
+        a = KKAlgorithm(seed=11).run(replayable.fresh())
+        b = KKAlgorithm(seed=11).run(replayable.fresh())
+        assert a.cover == b.cover
+        assert a.certificate == b.certificate
+
+
+class TestSpace:
+    def test_space_linear_in_m(self):
+        """Peak words grow roughly linearly with m: the Θ̃(m) bound."""
+        peaks = []
+        for m in (200, 400, 800):
+            instance = fixed_size_instance(50, m, set_size=5, seed=m)
+            result = KKAlgorithm(seed=1).run(
+                stream_of(instance, RandomOrder(seed=1))
+            )
+            peaks.append(result.space.peak_words)
+        assert peaks[1] / peaks[0] > 1.5
+        assert peaks[2] / peaks[1] > 1.5
+
+    def test_counters_dominate(self):
+        instance = fixed_size_instance(30, 600, set_size=5, seed=1)
+        result = KKAlgorithm(seed=1).run(
+            stream_of(instance, RandomOrder(seed=1))
+        )
+        assert result.space.dominant_component() == "degree-counters"
+
+    def test_fits_generous_budget(self):
+        instance = fixed_size_instance(30, 200, set_size=5, seed=2)
+        budget = SpaceBudget(words=10 * (200 + 30 * 3))
+        result = KKAlgorithm(seed=2, space_budget=budget).run(
+            stream_of(instance, RandomOrder(seed=2))
+        )
+        result.verify(instance)
+
+    def test_budget_enforced_when_too_small(self):
+        instance = fixed_size_instance(30, 200, set_size=5, seed=2)
+        algorithm = KKAlgorithm(seed=2, space_budget=SpaceBudget(words=10))
+        with pytest.raises(SpaceBudgetExceededError):
+            algorithm.run(stream_of(instance, RandomOrder(seed=2)))
+
+
+class TestQuality:
+    def test_ratio_within_polylog_sqrt_n(self):
+        """Cover at most ~√n·polylog times the planted optimum."""
+        n = 100
+        planted = planted_partition_instance(n, 500, opt_size=10, seed=5)
+        result = KKAlgorithm(seed=5).run(
+            stream_of(planted.instance, RoundRobinInterleaveOrder(seed=5))
+        )
+        result.verify(planted.instance)
+        ratio = result.cover_size / planted.opt_upper_bound
+        assert ratio <= 4 * math.sqrt(n)
+
+    def test_beats_all_singletons_on_structured(self):
+        planted = planted_partition_instance(80, 300, opt_size=4, seed=6)
+        result = KKAlgorithm(seed=6).run(
+            stream_of(planted.instance, RandomOrder(seed=6))
+        )
+        assert result.cover_size < planted.instance.n
+
+    def test_exact_ratio_on_small_instance(self):
+        instance = fixed_size_instance(20, 40, set_size=5, seed=8)
+        opt_size, _ = exact_opt(instance)
+        result = KKAlgorithm(seed=8).run(
+            stream_of(instance, RandomOrder(seed=8))
+        )
+        assert result.cover_size <= opt_size * instance.n  # sanity ceiling
+        assert result.cover_size >= opt_size  # can't beat OPT
+
+
+class TestMechanism:
+    def test_diagnostics_present(self):
+        instance = fixed_size_instance(30, 100, set_size=5, seed=9)
+        result = KKAlgorithm(seed=9).run(
+            stream_of(instance, RandomOrder(seed=9))
+        )
+        for key in (
+            "max_level_reached",
+            "inclusion_events",
+            "patched_elements",
+            "level_width",
+        ):
+            assert key in result.diagnostics
+
+    def test_level_width_follows_scaling(self):
+        scaling = Scaling.practical().with_overrides(kk_level_width_factor=2.0)
+        instance = fixed_size_instance(100, 50, set_size=10, seed=1)
+        result = KKAlgorithm(scaling=scaling, seed=1).run(
+            stream_of(instance, RandomOrder(seed=1))
+        )
+        assert result.diagnostics["level_width"] == 20.0
+
+    def test_levels_reached_with_large_sets(self):
+        # Sets of size ~n guarantee counters cross the sqrt(n) width.
+        instance = fixed_size_instance(64, 20, set_size=60, seed=2)
+        result = KKAlgorithm(seed=2).run(
+            stream_of(instance, RandomOrder(seed=2))
+        )
+        assert result.diagnostics["max_level_reached"] >= 1
+
+    def test_included_set_witnesses_later_elements(self):
+        # A set included early must serve as witness for its later edges.
+        instance = fixed_size_instance(64, 10, set_size=60, seed=3)
+        result = KKAlgorithm(seed=3).run(
+            stream_of(instance, RandomOrder(seed=3))
+        )
+        result.verify(instance)
+        if result.diagnostics["inclusion_events"] > 0:
+            included_witness_count = sum(
+                1 for witness in result.certificate.values()
+                if witness in result.cover
+            )
+            assert included_witness_count == instance.n

@@ -1,0 +1,199 @@
+"""Tests for Algorithm 1 (Theorem 3): phases, probes, space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kk import KKAlgorithm
+from repro.core.random_order import (
+    RandomOrderAlgorithm,
+    StreamLengthOblivious,
+)
+from repro.core.scaling import Scaling
+from repro.generators.random_instances import (
+    quadratic_family,
+    two_tier_instance,
+)
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream, stream_of
+
+
+@pytest.fixture(scope="module")
+def quadratic():
+    return quadratic_family(100, density=0.5, seed=42)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_valid_cover(self, quadratic, seed):
+        result = RandomOrderAlgorithm(seed=seed).run(
+            stream_of(quadratic, RandomOrder(seed=seed))
+        )
+        result.verify(quadratic)
+
+    def test_tiny_instance(self, tiny_instance):
+        result = RandomOrderAlgorithm(seed=3).run(stream_of(tiny_instance))
+        result.verify(tiny_instance)
+
+    def test_star_instance(self, star_instance):
+        result = RandomOrderAlgorithm(seed=4).run(
+            stream_of(star_instance, RandomOrder(seed=4))
+        )
+        result.verify(star_instance)
+
+    def test_works_on_canonical_order_too(self, quadratic):
+        # No random-order guarantee, but the output must stay feasible.
+        result = RandomOrderAlgorithm(seed=5).run(stream_of(quadratic))
+        result.verify(quadratic)
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self, quadratic):
+        replayable = ReplayableStream(quadratic, RandomOrder(seed=6))
+        a = RandomOrderAlgorithm(seed=6).run(replayable.fresh())
+        b = RandomOrderAlgorithm(seed=6).run(replayable.fresh())
+        assert a.cover == b.cover
+
+
+class TestSpace:
+    def test_beats_kk_space_on_quadratic_family(self, quadratic):
+        replayable = ReplayableStream(quadratic, RandomOrder(seed=7))
+        alg1 = RandomOrderAlgorithm(seed=7).run(replayable.fresh())
+        kk = KKAlgorithm(seed=7).run(replayable.fresh())
+        assert alg1.space.peak_words * 2 < kk.space.peak_words
+
+    def test_batch_counters_bounded_by_m_over_sqrt_n(self, quadratic):
+        algorithm = RandomOrderAlgorithm(seed=8)
+        result = algorithm.run(stream_of(quadratic, RandomOrder(seed=8)))
+        batch_peak = result.space.peak_of("batch-counters")
+        import math
+
+        bound = 2 * (quadratic.m / math.isqrt(quadratic.n) + 1) * 2
+        assert batch_peak <= bound
+
+    def test_space_advantage_grows_with_n(self):
+        ratios = []
+        for n in (49, 144):
+            instance = quadratic_family(n, density=0.5, seed=n)
+            replayable = ReplayableStream(instance, RandomOrder(seed=n))
+            alg1 = RandomOrderAlgorithm(seed=n).run(replayable.fresh())
+            kk = KKAlgorithm(seed=n).run(replayable.fresh())
+            ratios.append(kk.space.peak_words / alg1.space.peak_words)
+        assert ratios[1] > ratios[0]
+
+
+class TestPhases:
+    def test_probe_populated(self, quadratic):
+        algorithm = RandomOrderAlgorithm(seed=9)
+        result = algorithm.run(stream_of(quadratic, RandomOrder(seed=9)))
+        probe = algorithm.last_probe
+        assert probe is not None
+        assert probe.sol_after_algorithm[0] == result.diagnostics["epoch0_sol"]
+        assert len(probe.epoch_stats) >= 1
+
+    def test_phase_budget_respected(self, quadratic):
+        algorithm = RandomOrderAlgorithm(seed=10)
+        result = algorithm.run(stream_of(quadratic, RandomOrder(seed=10)))
+        consumed = result.diagnostics["phase_edges_consumed"]
+        assert consumed <= 0.75 * quadratic.num_edges
+
+    def test_epoch0_sample_size(self, quadratic):
+        import math
+
+        result = RandomOrderAlgorithm(seed=11).run(
+            stream_of(quadratic, RandomOrder(seed=11))
+        )
+        expected = (
+            math.sqrt(quadratic.n)
+            * math.log2(quadratic.m)
+        )
+        assert result.diagnostics["epoch0_sol"] <= 3 * expected
+
+    def test_loop_counts_recorded(self, quadratic):
+        result = RandomOrderAlgorithm(seed=12).run(
+            stream_of(quadratic, RandomOrder(seed=12))
+        )
+        assert result.diagnostics["num_algorithms"] >= 1
+        assert result.diagnostics["num_epochs"] >= 1
+        assert result.diagnostics["num_batches"] >= 1
+
+
+class TestInnerMachinery:
+    def test_special_sets_fire_on_two_tier(self):
+        instance = two_tier_instance(
+            2500, num_small=20000, num_big=60, seed=13
+        )
+        algorithm = RandomOrderAlgorithm(seed=13)
+        result = algorithm.run(stream_of(instance, RandomOrder(seed=13)))
+        result.verify(instance)
+        probe = algorithm.last_probe
+        total_specials = sum(s.special_sets for s in probe.epoch_stats)
+        assert total_specials > 0
+
+    def test_inclusion_positions_consistent(self):
+        instance = two_tier_instance(
+            2500, num_small=20000, num_big=60, seed=14
+        )
+        algorithm = RandomOrderAlgorithm(seed=14)
+        result = algorithm.run(stream_of(instance, RandomOrder(seed=14)))
+        probe = algorithm.last_probe
+        for set_id, position in probe.inclusion_positions.items():
+            assert 0 <= position <= instance.num_edges
+            assert 0 <= set_id < instance.m
+        # The pre-patching Sol count matches the probe's records.
+        assert len(probe.inclusion_positions) == int(
+            result.diagnostics["sol_before_patching"]
+        )
+
+    def test_tracking_can_be_disabled(self):
+        scaling = Scaling.practical().with_overrides(enable_tracking=False)
+        instance = two_tier_instance(
+            2500, num_small=20000, num_big=60, seed=15
+        )
+        algorithm = RandomOrderAlgorithm(scaling=scaling, seed=15)
+        result = algorithm.run(stream_of(instance, RandomOrder(seed=15)))
+        result.verify(instance)
+        probe = algorithm.last_probe
+        assert all(s.marked_by_tracking == 0 for s in probe.epoch_stats)
+
+
+class TestBatches:
+    def test_batches_partition_sets(self):
+        batches = RandomOrderAlgorithm._make_batches(10, 3)
+        union = set()
+        for batch in batches:
+            assert union.isdisjoint(batch)
+            union |= batch
+        assert union == set(range(10))
+
+    def test_more_batches_than_sets(self):
+        batches = RandomOrderAlgorithm._make_batches(3, 10)
+        assert sum(len(b) for b in batches) == 3
+
+    def test_single_batch(self):
+        batches = RandomOrderAlgorithm._make_batches(5, 1)
+        assert batches == [set(range(5))]
+
+
+class TestStreamLengthOblivious:
+    def test_valid_cover(self, quadratic):
+        result = StreamLengthOblivious(seed=16).run(
+            stream_of(quadratic, RandomOrder(seed=16))
+        )
+        result.verify(quadratic)
+
+    def test_guess_near_truth(self, quadratic):
+        result = StreamLengthOblivious(seed=17).run(
+            stream_of(quadratic, RandomOrder(seed=17))
+        )
+        guess = result.diagnostics["chosen_guess"]
+        truth = result.diagnostics["true_length"]
+        assert guess / truth < 2.1
+        assert truth / guess < 2.1
+
+    def test_space_charged_for_all_guesses(self, quadratic):
+        result = StreamLengthOblivious(seed=18).run(
+            stream_of(quadratic, RandomOrder(seed=18))
+        )
+        assert result.diagnostics["num_guesses"] > 1
+        assert result.space.peak_words > 0

@@ -1,0 +1,79 @@
+"""Tests for StreamingResult and certificate helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solution import StreamingResult, certificate_from_cover
+from repro.errors import InvalidCoverError
+from repro.streaming.space import SpaceMeter
+
+
+def make_result(cover, certificate, algorithm="test"):
+    return StreamingResult(
+        cover=frozenset(cover),
+        certificate=dict(certificate),
+        space=SpaceMeter().report(),
+        algorithm=algorithm,
+    )
+
+
+class TestVerify:
+    def test_valid_result(self, tiny_instance):
+        result = make_result({0, 2}, {0: 0, 1: 0, 2: 2, 3: 2})
+        result.verify(tiny_instance)
+        assert result.is_valid(tiny_instance)
+
+    def test_missing_witness(self, tiny_instance):
+        result = make_result({0, 2}, {0: 0, 1: 0, 2: 2})
+        with pytest.raises(InvalidCoverError):
+            result.verify(tiny_instance)
+        assert not result.is_valid(tiny_instance)
+
+    def test_witness_not_in_cover(self, tiny_instance):
+        result = make_result({0}, {0: 0, 1: 0, 2: 2, 3: 2})
+        with pytest.raises(InvalidCoverError):
+            result.verify(tiny_instance)
+
+    def test_witness_not_containing(self, tiny_instance):
+        result = make_result({0, 2}, {0: 2, 1: 0, 2: 2, 3: 2})
+        with pytest.raises(InvalidCoverError):
+            result.verify(tiny_instance)
+
+
+class TestMetrics:
+    def test_cover_size(self):
+        assert make_result({1, 5, 9}, {}).cover_size == 3
+
+    def test_ratio(self):
+        result = make_result({1, 2, 3, 4}, {})
+        assert result.approximation_ratio(2) == 2.0
+
+    def test_ratio_rejects_bad_opt(self):
+        with pytest.raises(ValueError):
+            make_result({1}, {}).approximation_ratio(0)
+
+    def test_covered_elements(self, tiny_instance):
+        result = make_result({0}, {})
+        assert result.covered_elements(tiny_instance) == {0, 1}
+
+
+class TestCertificateFromCover:
+    def test_builds_total_certificate(self, tiny_instance):
+        certificate = certificate_from_cover(tiny_instance, frozenset({0, 2}))
+        tiny_instance.verify_certificate(certificate)
+        assert set(certificate) == set(range(4))
+
+    def test_witnesses_in_cover(self, tiny_instance):
+        certificate = certificate_from_cover(tiny_instance, frozenset({0, 2}))
+        assert set(certificate.values()) <= {0, 2}
+
+    def test_rejects_non_cover(self, tiny_instance):
+        with pytest.raises(InvalidCoverError):
+            certificate_from_cover(tiny_instance, frozenset({0, 1}))
+
+    def test_overlap_prefers_lowest_id(self, tiny_instance):
+        certificate = certificate_from_cover(
+            tiny_instance, frozenset({0, 1, 2})
+        )
+        assert certificate[1] == 0  # sets 0 and 1 both contain element 1

@@ -1,0 +1,176 @@
+"""Edge cases and failure injection across the whole stack.
+
+Degenerate shapes (singleton universes, one set, full sets, empty
+sets), truncated and duplicated streams, infeasible inputs, and
+mid-stream adversities every component must survive or reject loudly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.greedy import greedy_cover
+from repro.baselines.trivial import FirstFitAlgorithm
+from repro.core.adversarial import LowSpaceAdversarialAlgorithm
+from repro.core.element_sampling import ElementSamplingAlgorithm
+from repro.core.kk import KKAlgorithm
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.errors import InvalidCoverError
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.stream import EdgeStream, stream_of
+from repro.types import Edge
+
+ALL_ALGORITHMS = [
+    lambda: KKAlgorithm(seed=1),
+    lambda: LowSpaceAdversarialAlgorithm(alpha=2, seed=1),
+    lambda: RandomOrderAlgorithm(seed=1),
+    lambda: ElementSamplingAlgorithm(alpha=2, seed=1),
+    lambda: FirstFitAlgorithm(seed=1),
+]
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("make_algorithm", ALL_ALGORITHMS)
+    def test_single_element_single_set(self, make_algorithm):
+        instance = SetCoverInstance(1, [{0}])
+        result = make_algorithm().run(stream_of(instance))
+        result.verify(instance)
+        assert result.cover_size == 1
+
+    @pytest.mark.parametrize("make_algorithm", ALL_ALGORITHMS)
+    def test_one_set_covers_everything(self, make_algorithm):
+        instance = SetCoverInstance(8, [set(range(8))])
+        result = make_algorithm().run(stream_of(instance))
+        result.verify(instance)
+        assert result.cover == frozenset({0})
+
+    @pytest.mark.parametrize("make_algorithm", ALL_ALGORITHMS)
+    def test_all_singleton_sets(self, make_algorithm):
+        instance = SetCoverInstance(6, [{u} for u in range(6)])
+        result = make_algorithm().run(stream_of(instance))
+        result.verify(instance)
+        assert result.cover_size == 6  # no smaller cover exists
+
+    @pytest.mark.parametrize("make_algorithm", ALL_ALGORITHMS)
+    def test_duplicate_identical_sets(self, make_algorithm):
+        instance = SetCoverInstance(4, [{0, 1, 2, 3}] * 5)
+        result = make_algorithm().run(stream_of(instance))
+        result.verify(instance)
+        assert result.cover_size == 1
+
+    @pytest.mark.parametrize("make_algorithm", ALL_ALGORITHMS)
+    def test_empty_sets_ignored(self, make_algorithm):
+        instance = SetCoverInstance(3, [set(), {0, 1, 2}, set()])
+        result = make_algorithm().run(stream_of(instance))
+        result.verify(instance)
+        assert result.cover == frozenset({1})
+
+
+class TestStreamAdversities:
+    def test_truncated_stream_fails_loudly(self):
+        """A stream missing an element's every edge cannot be patched."""
+        instance = SetCoverInstance(3, [{0, 1}, {2}])
+        truncated = EdgeStream(
+            instance, [Edge(0, 0), Edge(0, 1)]  # element 2 never appears
+        )
+        with pytest.raises(InvalidCoverError):
+            KKAlgorithm(seed=1).run(truncated)
+
+    def test_duplicate_edges_tolerated(self):
+        """Repeated tuples may occur upstream; covers stay valid."""
+        instance = SetCoverInstance(3, [{0, 1}, {1, 2}])
+        edges = list(instance.edges()) * 3
+        result = FirstFitAlgorithm(seed=1).run(EdgeStream(instance, edges))
+        result.verify(instance)
+
+    def test_duplicate_edges_kk_still_valid(self):
+        instance = SetCoverInstance(4, [{0, 1}, {1, 2}, {2, 3}])
+        edges = list(instance.edges()) * 2
+        result = KKAlgorithm(seed=2).run(EdgeStream(instance, edges))
+        result.verify(instance)
+
+    def test_empty_stream_on_positive_universe(self):
+        instance = SetCoverInstance(2, [{0, 1}])
+        empty = EdgeStream(instance, [])
+        with pytest.raises(InvalidCoverError):
+            FirstFitAlgorithm(seed=1).run(empty)
+
+
+class TestExtremeParameters:
+    def test_alpha_one_adversarial(self):
+        """α = 1 promotes on every uncovered edge; must stay valid."""
+        instance = SetCoverInstance(5, [{0, 1, 2}, {2, 3, 4}, {0, 4}])
+        result = LowSpaceAdversarialAlgorithm(alpha=1, seed=3).run(
+            stream_of(instance)
+        )
+        result.verify(instance)
+
+    def test_huge_alpha_adversarial(self):
+        """α ≫ everything: promotions almost never fire; patching saves us."""
+        instance = SetCoverInstance(5, [{0, 1, 2}, {2, 3, 4}, {0, 4}])
+        result = LowSpaceAdversarialAlgorithm(alpha=10**6, seed=3).run(
+            stream_of(instance)
+        )
+        result.verify(instance)
+
+    def test_element_sampling_alpha_huge(self):
+        """p ≈ 0: nothing sampled; everything patched, still valid."""
+        instance = SetCoverInstance(5, [{0, 1, 2}, {2, 3, 4}])
+        result = ElementSamplingAlgorithm(alpha=10**9, seed=4).run(
+            stream_of(instance)
+        )
+        result.verify(instance)
+        assert result.diagnostics["sampled_elements"] <= 5
+
+    def test_random_order_algorithm_on_tiny_stream(self):
+        """Stream shorter than one subepoch: loops exhaust gracefully."""
+        instance = SetCoverInstance(2, [{0}, {1}])
+        result = RandomOrderAlgorithm(seed=5).run(stream_of(instance))
+        result.verify(instance)
+
+
+class TestVerificationCatchesCorruption:
+    """The verifier must reject every corruption mode (failure injection)."""
+
+    @pytest.fixture
+    def good_result(self, tiny_instance):
+        result = FirstFitAlgorithm(seed=1).run(stream_of(tiny_instance))
+        result.verify(tiny_instance)
+        return result
+
+    def test_dropping_certificate_entry(self, tiny_instance, good_result):
+        del good_result.certificate[0]
+        with pytest.raises(InvalidCoverError):
+            good_result.verify(tiny_instance)
+
+    def test_wrong_witness(self, tiny_instance, good_result):
+        # Point element 0 to a set that does not contain it (set 2 = {2,3}).
+        good_result.certificate[0] = 2
+        object.__setattr__(
+            good_result, "cover", good_result.cover | {2}
+        )
+        with pytest.raises(InvalidCoverError):
+            good_result.verify(tiny_instance)
+
+    def test_witness_outside_cover(self, tiny_instance, good_result):
+        object.__setattr__(
+            good_result,
+            "cover",
+            frozenset(good_result.cover - {good_result.certificate[0]}),
+        )
+        with pytest.raises(InvalidCoverError):
+            good_result.verify(tiny_instance)
+
+
+class TestGreedyEdgeCases:
+    def test_greedy_on_single_set(self):
+        instance = SetCoverInstance(3, [{0, 1, 2}])
+        assert greedy_cover(instance).cover_size == 1
+
+    def test_greedy_tie_breaking_deterministic(self):
+        instance = SetCoverInstance(4, [{0, 1}, {2, 3}, {0, 1}, {2, 3}])
+        a = greedy_cover(instance).cover
+        b = greedy_cover(instance).cover
+        assert a == b

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is imported as a module and its ``main()`` executed; the
+examples double as integration tests of the public API surface.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    def test_at_least_five(self):
+        assert len(EXAMPLE_FILES) >= 5
+
+    def test_quickstart_present(self):
+        assert "quickstart.py" in EXAMPLE_FILES
+
+    @pytest.mark.parametrize("name", EXAMPLE_FILES)
+    def test_has_main_and_docstring(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+        assert module.__doc__
+
+
+@pytest.mark.parametrize("name", EXAMPLE_FILES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip()  # every example prints its findings

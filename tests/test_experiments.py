@@ -1,0 +1,237 @@
+"""Smoke + assertion tests for every experiment in quick mode.
+
+Each experiment runs once (module-scoped cache) and its findings are
+checked against the theory-predicted direction — these are the
+"shape, not absolute numbers" checks EXPERIMENTS.md reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import all_experiment_ids, get_experiment
+
+
+@pytest.fixture(scope="module")
+def reports():
+    cache = {}
+
+    def get(eid):
+        if eid not in cache:
+            cache[eid] = get_experiment(eid).run(quick=True, seed=0)
+        return cache[eid]
+
+    return get
+
+
+class TestRegistry:
+    def test_sixteen_experiments(self):
+        assert len(all_experiment_ids()) == 16
+
+    def test_table1_rows_present(self):
+        ids = all_experiment_ids()
+        for row in range(1, 5):
+            assert f"table1-row{row}" in ids
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("nope")
+
+    def test_modules_expose_contract(self):
+        for eid in all_experiment_ids():
+            module = get_experiment(eid)
+            assert module.EXPERIMENT_ID == eid
+            assert module.TITLE
+            assert module.PAPER_CLAIM
+            assert callable(module.run)
+
+
+class TestReportsRender:
+    @pytest.mark.parametrize("eid", all_experiment_ids())
+    def test_renders(self, reports, eid):
+        report = reports(eid)
+        text = report.render()
+        assert eid in text
+        assert report.rows
+        assert report.findings
+
+    def test_markdown_mode(self, reports):
+        text = reports("lb-family").render(markdown=True)
+        assert "|" in text
+
+
+class TestRow1Findings:
+    def test_projection_space_shrinks_inverse_alpha(self, reports):
+        exponent = reports("table1-row1").findings[
+            "projection_vs_alpha_exponent"
+        ]
+        assert -1.5 <= exponent <= -0.6
+
+    def test_cover_within_alpha_opt(self, reports):
+        assert (
+            reports("table1-row1").findings["worst_cover_over_alpha_opt"]
+            <= 2.0
+        )
+
+    def test_cover_grows_with_alpha(self, reports):
+        assert reports("table1-row1").findings["cover_vs_alpha_exponent"] > 0.2
+
+
+class TestSetArrivalBaselineFindings:
+    def test_space_flat_in_m(self, reports):
+        findings = reports("set-arrival-baseline").findings
+        assert abs(findings["space_vs_m_exponent"]) < 0.3
+
+    def test_ratio_within_guarantee(self, reports):
+        assert (
+            reports("set-arrival-baseline").findings["worst_ratio_over_2sqrt_n"]
+            <= 1.0
+        )
+
+    def test_model_enforced(self, reports):
+        assert (
+            reports("set-arrival-baseline").findings[
+                "interleaved_stream_rejected"
+            ]
+            == 1.0
+        )
+
+
+class TestRow2Findings:
+    def test_space_linear_in_m(self, reports):
+        exponent = reports("table1-row2").findings["space_vs_m_exponent"]
+        assert 0.7 <= exponent <= 1.2
+
+    def test_ratio_bounded_by_polylog_sqrt_n(self, reports):
+        assert reports("table1-row2").findings["max_normalized_ratio"] < 8.0
+
+
+class TestRow3Findings:
+    def test_level_map_shrinks_quadratically(self, reports):
+        exponent = reports("table1-row3").findings[
+            "level_map_vs_alpha_exponent"
+        ]
+        assert -2.6 <= exponent <= -1.4
+
+    def test_cover_grows_with_alpha(self, reports):
+        assert reports("table1-row3").findings["cover_vs_alpha_exponent"] > 0.3
+
+
+class TestRow4Findings:
+    def test_alg1_space_below_kk(self, reports):
+        findings = reports("table1-row4").findings
+        assert (
+            findings["alg1_space_vs_n_exponent"]
+            < findings["kk_space_vs_n_exponent"]
+        )
+
+    def test_space_advantage_material(self, reports):
+        assert reports("table1-row4").findings["space_advantage_at_max_n"] > 3.0
+
+    def test_quality_within_polylog_sqrt_n(self, reports):
+        assert reports("table1-row4").findings["max_normalized_ratio"] < 8.0
+
+
+class TestSeparationFindings:
+    def test_advantage_grows_with_n(self, reports):
+        assert reports("separation").findings["space_advantage_growth"] > 1.3
+
+    def test_advantage_material(self, reports):
+        assert reports("separation").findings["space_advantage_at_max_n"] > 4.0
+
+
+class TestLowerBoundFindings:
+    def test_family_concentration(self, reports):
+        findings = reports("lb-family").findings
+        assert findings["max_intersection_over_log_n"] <= 4.0
+        assert 0.5 <= findings["mean_intersection_overall"] <= 2.0
+
+    def test_reduction_decides_correctly(self, reports):
+        findings = reports("lb-reduction").findings
+        assert findings["decision_accuracy"] >= 0.75
+        assert findings["cover_gap_disjoint_over_intersecting"] > 1.2
+
+    def test_protocol_guarantees(self, reports):
+        findings = reports("simple-protocol").findings
+        assert findings["worst_cover_over_bound"] <= 1.0
+        assert findings["worst_message_over_n"] <= 8.0
+
+
+class TestPhaseTransitionFindings:
+    def test_space_ordering(self, reports):
+        findings = reports("phase-transition").findings
+        assert findings["store_over_kk_space"] > 1.0
+        assert findings["kk_over_alg1_space"] > 1.0
+        assert findings["kk_over_alg2_space"] > 1.0
+        assert findings["alg2_small_over_big_alpha_space"] > 1.0
+
+
+class TestPracticeFindings:
+    def test_blowup_modest(self, reports):
+        assert reports("practice").findings["max_cover_blowup"] < 10.0
+
+    def test_lazy_greedy_saves_evaluations(self, reports):
+        assert reports("practice").findings["min_lazy_speedup"] > 2.0
+
+
+class TestInvariantFindings:
+    def test_specials_decay(self, reports):
+        rate = reports("invariants").findings["mean_special_decay_rate"]
+        assert rate < 1.0
+
+    def test_additions_bounded(self, reports):
+        assert (
+            reports("invariants").findings["max_additions_over_sqrtn_log2m"]
+            < 5.0
+        )
+
+    def test_marked_uncovered_rare(self, reports):
+        assert (
+            reports("invariants").findings["max_marked_uncovered_fraction"]
+            < 0.05
+        )
+
+
+class TestLengthObliviousFindings:
+    def test_guess_within_factor_two(self, reports):
+        assert reports("length-oblivious").findings["worst_guess_factor"] <= 2.1
+
+    def test_cover_tracks_aware_run(self, reports):
+        assert reports("length-oblivious").findings["mean_cover_ratio"] <= 2.0
+
+
+class TestConcentrationFindings:
+    def test_no_violations(self, reports):
+        assert (
+            reports("concentration").findings["worst_violation_rate"] <= 0.01
+        )
+
+
+class TestMultipassFindings:
+    def test_passes_improve_quality(self, reports):
+        assert reports("multipass").findings["improvement_factor"] > 1.05
+
+    def test_many_passes_near_greedy(self, reports):
+        assert reports("multipass").findings["max_passes_over_greedy"] < 1.5
+
+
+class TestOrderRobustnessFindings:
+    def test_full_shuffle_tracks_uniform(self, reports):
+        ratio = reports("order-robustness").findings[
+            "full_shuffle_over_uniform_cover"
+        ]
+        assert 0.7 <= ratio <= 1.3
+
+    def test_adversarial_no_better_than_uniform(self, reports):
+        ratio = reports("order-robustness").findings[
+            "adversarial_over_uniform_cover"
+        ]
+        assert ratio >= 0.9
+
+
+class TestDeterminism:
+    def test_same_seed_same_findings(self):
+        a = get_experiment("lb-family").run(quick=True, seed=3)
+        b = get_experiment("lb-family").run(quick=True, seed=3)
+        assert a.findings == b.findings

@@ -1,0 +1,294 @@
+"""Tests for all workload generators: shapes, feasibility, planted OPTs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.generators.dominating_set import (
+    gnp_dominating_set,
+    preferential_attachment_dominating_set,
+    star_forest_dominating_set,
+)
+from repro.generators.hard import (
+    layered_hard_instance,
+    needle_in_haystack,
+)
+from repro.generators.planted import (
+    disjoint_blocks_with_noise,
+    planted_partition_instance,
+)
+from repro.generators.random_instances import (
+    fixed_size_instance,
+    quadratic_family,
+    two_tier_instance,
+    uniform_instance,
+)
+from repro.generators.zipf import blogwatch_instance, zipf_instance
+
+
+class TestUniformInstance:
+    def test_shape(self):
+        instance = uniform_instance(50, 30, p=0.1, seed=1)
+        assert instance.n == 50
+        assert instance.m == 30
+
+    def test_feasible(self):
+        uniform_instance(50, 30, p=0.05, seed=2).validate()
+
+    def test_density_scales(self):
+        sparse = uniform_instance(200, 50, p=0.01, seed=3)
+        dense = uniform_instance(200, 50, p=0.3, seed=3)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_deterministic(self):
+        a = uniform_instance(30, 10, p=0.2, seed=4)
+        b = uniform_instance(30, 10, p=0.2, seed=4)
+        assert a == b
+
+    def test_p_one_full_sets(self):
+        instance = uniform_instance(10, 3, p=1.0, seed=5)
+        assert all(instance.set_size(s) == 10 for s in range(3))
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            uniform_instance(10, 3, p=0.0)
+        with pytest.raises(ConfigurationError):
+            uniform_instance(10, 3, p=1.5)
+
+
+class TestFixedSizeInstance:
+    def test_exact_sizes(self):
+        instance = fixed_size_instance(40, 20, set_size=7, seed=1)
+        # Feasibility patching may grow a set by a few elements.
+        assert all(instance.set_size(s) >= 7 for s in range(20))
+
+    def test_feasible(self):
+        fixed_size_instance(40, 20, set_size=7, seed=1).validate()
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            fixed_size_instance(10, 3, set_size=0)
+        with pytest.raises(ConfigurationError):
+            fixed_size_instance(10, 3, set_size=11)
+
+
+class TestQuadraticFamily:
+    def test_m_is_quadratic(self):
+        instance = quadratic_family(20, seed=1)
+        assert instance.m == 400
+
+    def test_density_scales_m(self):
+        assert quadratic_family(20, density=0.5, seed=1).m == 200
+
+    def test_default_set_size_sqrt_n(self):
+        instance = quadratic_family(25, seed=1)
+        assert instance.set_size(0) >= 5
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ConfigurationError):
+            quadratic_family(20, density=0)
+
+
+class TestTwoTier:
+    def test_shape(self):
+        instance = two_tier_instance(100, num_small=50, num_big=5, seed=1)
+        assert instance.m == 55
+
+    def test_big_sets_bigger(self):
+        instance = two_tier_instance(
+            400, num_small=50, num_big=5, small_size=3, seed=1
+        )
+        sizes = sorted(instance.set_size(s) for s in range(instance.m))
+        assert sizes[-1] > sizes[0]
+        # big default = 32*sqrt(400) = 640 -> clamped to n = 400.
+        assert sizes[-1] <= 400
+
+    def test_feasible(self):
+        two_tier_instance(100, num_small=50, num_big=5, seed=2).validate()
+
+    def test_rejects_zero_counts(self):
+        with pytest.raises(ConfigurationError):
+            two_tier_instance(10, num_small=0, num_big=1)
+
+
+class TestPlanted:
+    def test_planted_sets_are_cover(self):
+        planted = planted_partition_instance(60, 200, opt_size=6, seed=1)
+        assert planted.instance.is_cover(planted.planted_sets)
+
+    def test_planted_count(self):
+        planted = planted_partition_instance(60, 200, opt_size=6, seed=1)
+        assert len(planted.planted_sets) == 6
+        assert planted.opt_upper_bound == 6
+
+    def test_planted_sets_partition(self):
+        planted = planted_partition_instance(60, 200, opt_size=6, seed=2)
+        total = sum(
+            planted.instance.set_size(s) for s in planted.planted_sets
+        )
+        assert total == 60  # disjoint blocks covering everything
+
+    def test_shape(self):
+        planted = planted_partition_instance(60, 200, opt_size=6, seed=1)
+        assert planted.instance.n == 60
+        assert planted.instance.m == 200
+
+    def test_rounding_edge_case(self):
+        # n not divisible by opt_size.
+        planted = planted_partition_instance(10, 20, opt_size=3, seed=3)
+        assert len(planted.planted_sets) == 3
+        assert planted.instance.is_cover(planted.planted_sets)
+
+    def test_opt_size_equals_n(self):
+        planted = planted_partition_instance(5, 10, opt_size=5, seed=4)
+        assert planted.instance.is_cover(planted.planted_sets)
+
+    def test_rejects_opt_beyond_n(self):
+        with pytest.raises(ConfigurationError):
+            planted_partition_instance(5, 10, opt_size=6)
+
+    def test_rejects_m_below_opt(self):
+        with pytest.raises(ConfigurationError):
+            planted_partition_instance(10, 3, opt_size=5)
+
+    def test_deterministic(self):
+        a = planted_partition_instance(30, 60, opt_size=5, seed=7)
+        b = planted_partition_instance(30, 60, opt_size=5, seed=7)
+        assert a.instance == b.instance
+        assert a.planted_sets == b.planted_sets
+
+
+class TestBlocksWithNoise:
+    def test_planted_cover_valid(self):
+        planted = disjoint_blocks_with_noise(
+            48, opt_size=4, decoys_per_block=3, seed=1
+        )
+        assert planted.instance.is_cover(planted.planted_sets)
+
+    def test_decoy_count(self):
+        planted = disjoint_blocks_with_noise(
+            48, opt_size=4, decoys_per_block=3, seed=1
+        )
+        assert planted.instance.m == 4 + 12
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ConfigurationError):
+            disjoint_blocks_with_noise(48, 4, 3, noise_overlap=0.0)
+
+
+class TestZipf:
+    def test_shape_and_feasible(self):
+        instance = zipf_instance(100, 300, seed=1)
+        assert (instance.n, instance.m) == (100, 300)
+        instance.validate()
+
+    def test_heavy_tail(self):
+        instance = zipf_instance(200, 500, exponent=1.5, seed=2)
+        sizes = sorted(
+            (instance.set_size(s) for s in range(instance.m)), reverse=True
+        )
+        assert sizes[0] >= 5 * sizes[len(sizes) // 2]
+
+    def test_max_fraction_respected(self):
+        instance = zipf_instance(100, 100, max_set_fraction=0.1, seed=3)
+        # feasibility patching can add at most a few extra elements
+        assert max(instance.set_size(s) for s in range(100)) <= 15
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ConfigurationError):
+            zipf_instance(100, 100, exponent=1.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            zipf_instance(100, 100, max_set_fraction=0.0)
+
+
+class TestBlogwatch:
+    def test_shape_and_feasible(self):
+        instance = blogwatch_instance(50, 200, seed=1)
+        assert instance.n == 50
+        assert instance.m == 200
+        instance.validate()
+
+    def test_rejects_zero_posts(self):
+        with pytest.raises(ConfigurationError):
+            blogwatch_instance(50, 200, posts_per_blog=0)
+
+
+class TestDominatingSetGenerators:
+    def test_gnp_shape(self):
+        instance = gnp_dominating_set(30, p=0.2, seed=1)
+        assert instance.n == instance.m == 30
+        instance.validate()
+
+    def test_gnp_rejects_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            gnp_dominating_set(10, p=1.5)
+
+    def test_star_forest_opt(self):
+        instance = star_forest_dominating_set(4, leaves_per_star=5, seed=1)
+        assert instance.n == 24
+        # The 4 centres cover everything.
+        centres = [i * 6 for i in range(4)]
+        assert instance.is_cover(centres)
+
+    def test_star_forest_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            star_forest_dominating_set(0, 5)
+
+    def test_preferential_attachment(self):
+        instance = preferential_attachment_dominating_set(50, attach=2, seed=1)
+        assert instance.n == instance.m == 50
+        instance.validate()
+
+    def test_preferential_attachment_has_hubs(self):
+        instance = preferential_attachment_dominating_set(200, attach=2, seed=2)
+        sizes = sorted(
+            (instance.set_size(s) for s in range(200)), reverse=True
+        )
+        assert sizes[0] >= 10  # a genuine hub emerges
+
+    def test_preferential_rejects_small(self):
+        with pytest.raises(ConfigurationError):
+            preferential_attachment_dominating_set(1)
+
+
+class TestHardInstances:
+    def test_needle_opt_two(self):
+        needle = needle_in_haystack(100, num_decoys=20, t=4, seed=1)
+        assert needle.instance.is_cover(
+            [needle.needle_set, needle.complement_set]
+        )
+        assert needle.opt_upper_bound == 2
+
+    def test_needle_size_structure(self):
+        needle = needle_in_haystack(100, num_decoys=20, t=4, seed=1)
+        needle_size = needle.instance.set_size(needle.needle_set)
+        decoy_ids = [
+            s
+            for s in range(needle.instance.m)
+            if s not in (needle.needle_set, needle.complement_set)
+        ]
+        max_decoy = max(needle.instance.set_size(s) for s in decoy_ids)
+        assert needle_size > max_decoy
+
+    def test_needle_rejects_zero_decoys(self):
+        with pytest.raises(ConfigurationError):
+            needle_in_haystack(100, num_decoys=0)
+
+    def test_layered_shape(self):
+        instance = layered_hard_instance(64, layers=4, sets_per_layer=5, seed=1)
+        assert instance.m == 20
+        instance.validate()
+
+    def test_layered_sizes_shrink(self):
+        instance = layered_hard_instance(64, layers=4, sets_per_layer=1, seed=2)
+        sizes = [instance.set_size(s) for s in range(4)]
+        assert sizes[0] > sizes[-1]
+
+    def test_layered_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            layered_hard_instance(64, layers=0, sets_per_layer=1)

@@ -1,0 +1,138 @@
+"""Cross-module integration tests: full pipelines end to end."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.opt import opt_or_bound
+from repro.analysis.runner import ExperimentRunner
+from repro.baselines.greedy import greedy_cover
+from repro.core.adversarial import LowSpaceAdversarialAlgorithm
+from repro.core.kk import KKAlgorithm
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.generators.hard import needle_in_haystack
+from repro.generators.planted import planted_partition_instance
+from repro.generators.random_instances import quadratic_family
+from repro.lowerbound.disjointness import intersecting_instance
+from repro.lowerbound.family import build_family
+from repro.lowerbound.reduction import DisjointnessReduction
+from repro.streaming.io import dumps_instance, loads_instance
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream, stream_of
+
+
+class TestFullComparisonPipeline:
+    """Generator -> stream -> three algorithms -> verified metrics."""
+
+    def test_all_algorithms_one_stream(self):
+        planted = planted_partition_instance(100, 800, opt_size=10, seed=1)
+        runner = ExperimentRunner(
+            algorithms={
+                "kk": lambda s: KKAlgorithm(seed=s),
+                "alg2": lambda s: LowSpaceAdversarialAlgorithm(
+                    alpha=2 * math.sqrt(100), seed=s
+                ),
+                "alg1": lambda s: RandomOrderAlgorithm(seed=s),
+            },
+            seed=1,
+        )
+        rows = runner.compare(planted.instance, "random", opt_handle=10)
+        assert len(rows) == 3
+        assert all(row.valid for row in rows)
+        # None of the streaming algorithms may beat OPT.
+        assert all(row.cover_size >= 10 for row in rows)
+
+    def test_metrics_ratios_ordered_sanely(self):
+        planted = planted_partition_instance(100, 800, opt_size=10, seed=2)
+        greedy = greedy_cover(planted.instance)
+        # Greedy with full information beats all one-pass algorithms here.
+        stream = ReplayableStream(planted.instance, RandomOrder(seed=2))
+        kk = KKAlgorithm(seed=2).run(stream.fresh())
+        assert greedy.cover_size <= kk.cover_size
+
+
+class TestSerializeSolveRoundtrip:
+    def test_instance_survives_io_and_solving(self):
+        planted = planted_partition_instance(50, 200, opt_size=5, seed=3)
+        text = dumps_instance(planted.instance)
+        loaded = loads_instance(text)
+        result = KKAlgorithm(seed=3).run(
+            stream_of(loaded, RandomOrder(seed=3))
+        )
+        result.verify(planted.instance)  # original and loaded agree
+
+
+class TestNeedleWorkload:
+    """The hard-instance pipeline: OPT=2 needle, streaming algorithms."""
+
+    def test_opt_handle_detects_two(self):
+        needle = needle_in_haystack(64, num_decoys=12, t=4, seed=4)
+        value, is_exact = opt_or_bound(needle.instance)
+        assert value <= 2
+
+    def test_algorithms_stay_feasible_on_needle(self):
+        needle = needle_in_haystack(100, num_decoys=30, t=4, seed=5)
+        stream = ReplayableStream(needle.instance, RandomOrder(seed=5))
+        for algorithm in (
+            KKAlgorithm(seed=5),
+            LowSpaceAdversarialAlgorithm(alpha=20, seed=5),
+            RandomOrderAlgorithm(seed=5),
+        ):
+            result = algorithm.run(stream.fresh())
+            result.verify(needle.instance)
+            assert result.cover_size <= needle.instance.m
+
+
+class TestReductionWithMultipleAlgorithms:
+    """Theorem-2 reduction drives different algorithms interchangeably."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s: KKAlgorithm(seed=s),
+            lambda s: LowSpaceAdversarialAlgorithm(alpha=30, seed=s),
+        ],
+    )
+    def test_witness_run_beats_disjoint_runs(self, factory):
+        family = build_family(100, 16, 4, seed=6)
+        reduction = DisjointnessReduction(family)
+        disjointness = intersecting_instance(16, 4, 3, seed=6)
+        witness = disjointness.intersecting_element
+        non_witness = (witness + 1) % 16
+        outcome = reduction.execute(
+            disjointness,
+            algorithm_factory=factory,
+            seed=6,
+            run_indices=[witness, non_witness],
+        )
+        covers = {run.run_index: run.cover_size for run in outcome.runs}
+        assert covers[witness] <= covers[non_witness]
+
+
+class TestQuadraticRegimePipeline:
+    """Theorem 3's regime: m = Θ(n²), random order, space hierarchy."""
+
+    def test_space_hierarchy(self):
+        instance = quadratic_family(100, density=0.5, seed=7)
+        stream = ReplayableStream(instance, RandomOrder(seed=7))
+        alg1 = RandomOrderAlgorithm(seed=7).run(stream.fresh())
+        kk = KKAlgorithm(seed=7).run(stream.fresh())
+        alg2 = LowSpaceAdversarialAlgorithm(alpha=20, seed=7).run(
+            stream.fresh()
+        )
+        # KK pays Θ(m); both low-space algorithms must be well below it.
+        assert alg1.space.peak_words < kk.space.peak_words / 2
+        assert alg2.space.peak_words < kk.space.peak_words / 2
+
+    def test_all_covers_valid_and_nontrivial(self):
+        instance = quadratic_family(100, density=0.5, seed=8)
+        stream = ReplayableStream(instance, RandomOrder(seed=8))
+        for algorithm in (
+            RandomOrderAlgorithm(seed=8),
+            KKAlgorithm(seed=8),
+        ):
+            result = algorithm.run(stream.fresh())
+            result.verify(instance)
+            assert result.cover_size <= instance.n

@@ -1,0 +1,103 @@
+"""Tests for t-party Set-Disjointness promise instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbound.disjointness import (
+    disjoint_instance,
+    intersecting_instance,
+    random_promise_instance,
+)
+
+
+class TestDisjointInstance:
+    def test_pairwise_disjoint(self):
+        instance = disjoint_instance(40, 4, 5, seed=1)
+        instance.check_promise()
+        assert not instance.is_intersecting
+
+    def test_set_sizes(self):
+        instance = disjoint_instance(40, 4, 5, seed=2)
+        assert all(len(s) == 5 for s in instance.sets)
+
+    def test_party_count(self):
+        assert disjoint_instance(40, 4, 5, seed=3).t == 4
+
+    def test_rejects_too_small_ground_set(self):
+        with pytest.raises(ConfigurationError):
+            disjoint_instance(10, 4, 5)
+
+    def test_rejects_single_party(self):
+        with pytest.raises(ConfigurationError):
+            disjoint_instance(40, 1, 5)
+
+    def test_deterministic(self):
+        assert (
+            disjoint_instance(40, 4, 5, seed=4).sets
+            == disjoint_instance(40, 4, 5, seed=4).sets
+        )
+
+
+class TestIntersectingInstance:
+    def test_unique_intersection(self):
+        instance = intersecting_instance(40, 4, 5, seed=1)
+        instance.check_promise()
+        assert instance.is_intersecting
+        shared = instance.intersecting_element
+        for s in instance.sets:
+            assert shared in s
+
+    def test_pairwise_intersections_singleton(self):
+        instance = intersecting_instance(40, 4, 5, seed=2)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert instance.sets[i] & instance.sets[j] == {
+                    instance.intersecting_element
+                }
+
+    def test_set_sizes(self):
+        instance = intersecting_instance(40, 4, 5, seed=3)
+        assert all(len(s) == 5 for s in instance.sets)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            intersecting_instance(40, 4, 0)
+
+
+class TestPromiseChecking:
+    def test_check_promise_catches_violation(self):
+        instance = disjoint_instance(40, 4, 5, seed=5)
+        # Tamper: claim intersecting with a bogus witness.
+        from dataclasses import replace
+
+        tampered = replace(instance, intersecting_element=0)
+        with pytest.raises(ConfigurationError):
+            tampered.check_promise()
+
+    def test_check_promise_catches_extra_overlap(self):
+        instance = intersecting_instance(40, 3, 5, seed=6)
+        from dataclasses import replace
+
+        # Add an extra shared element between parties 0 and 1.
+        extra = next(iter(instance.sets[0] - {instance.intersecting_element}))
+        sets = list(instance.sets)
+        sets[1] = sets[1] | {extra}
+        tampered = replace(instance, sets=tuple(sets))
+        with pytest.raises(ConfigurationError):
+            tampered.check_promise()
+
+
+class TestRandomPromise:
+    def test_always_satisfies_promise(self):
+        for seed in range(8):
+            instance = random_promise_instance(60, 4, 6, seed=seed)
+            instance.check_promise()
+
+    def test_both_cases_occur(self):
+        cases = {
+            random_promise_instance(60, 4, 6, seed=seed).is_intersecting
+            for seed in range(20)
+        }
+        assert cases == {True, False}

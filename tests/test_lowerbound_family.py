@@ -1,0 +1,117 @@
+"""Tests for the Lemma-1 partitioned family."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lowerbound.family import (
+    build_family,
+    theoretical_opt_disjoint,
+)
+
+
+class TestConstruction:
+    def test_shape(self):
+        family = build_family(100, 10, 4, seed=1)
+        assert family.m == 10
+        assert family.t == 4
+        assert family.n == 100
+
+    def test_part_size_sqrt_n_over_t(self):
+        family = build_family(100, 10, 4, seed=1)
+        assert family.part_size == round(math.sqrt(100 / 4))
+
+    def test_set_size_sqrt_nt(self):
+        family = build_family(100, 10, 4, seed=1)
+        assert family.set_size == family.part_size * family.t
+        # sqrt(n*t) = sqrt(400) = 20
+        assert family.set_size == 20
+
+    def test_parts_disjoint_within_set(self):
+        family = build_family(100, 8, 4, seed=2)
+        for i in range(family.m):
+            seen = set()
+            for part in family.parts[i]:
+                assert seen.isdisjoint(part)
+                seen |= part
+
+    def test_full_set_is_union(self):
+        family = build_family(100, 8, 4, seed=3)
+        for i in range(family.m):
+            union = set()
+            for part in family.parts[i]:
+                union |= part
+            assert family.full_set(i) == union
+
+    def test_elements_in_universe(self):
+        family = build_family(64, 6, 4, seed=4)
+        for i in range(family.m):
+            assert all(0 <= u < 64 for u in family.full_set(i))
+
+    def test_complement(self):
+        family = build_family(64, 6, 4, seed=5)
+        full = family.full_set(0)
+        comp = family.complement(0)
+        assert full.isdisjoint(comp)
+        assert len(full) + len(comp) == 64
+
+    def test_deterministic(self):
+        assert (
+            build_family(64, 6, 4, seed=6).parts
+            == build_family(64, 6, 4, seed=6).parts
+        )
+
+
+class TestIntersectionProperty:
+    def test_max_partial_intersection_small(self):
+        family = build_family(225, 20, 4, seed=7)
+        assert family.max_partial_intersection() <= 4 * math.log(225)
+
+    def test_mean_partial_intersection_near_one(self):
+        family = build_family(400, 25, 4, seed=8)
+        assert 0.3 <= family.mean_partial_intersection() <= 2.5
+
+    def test_retry_exhaustion_raises(self):
+        # Force an impossible threshold.
+        with pytest.raises(ConfigurationError):
+            build_family(
+                100, 20, 4, seed=9, intersection_slack=0.0001, max_retries=2
+            )
+
+
+class TestValidation:
+    def test_rejects_t_above_n(self):
+        with pytest.raises(ConfigurationError):
+            build_family(4, 3, 8)
+
+    def test_rejects_zero_m(self):
+        with pytest.raises(ConfigurationError):
+            build_family(100, 0, 4)
+
+    @pytest.mark.parametrize("n,t", [(9, 9), (16, 4), (100, 10), (64, 2)])
+    def test_set_size_never_exceeds_universe(self, n, t):
+        family = build_family(n, 3, t, seed=1, intersection_slack=100.0)
+        assert family.set_size <= n
+
+
+class TestTheoreticalOpt:
+    def test_opt_formula(self):
+        family = build_family(225, 15, 4, seed=10)
+        opt = theoretical_opt_disjoint(family)
+        s = family.set_size
+        assert opt >= (s - family.part_size) // max(
+            1, family.max_partial_intersection()
+        )
+        assert opt >= 1
+
+    def test_grows_with_t(self):
+        small_t = build_family(400, 10, 2, seed=11)
+        large_t = build_family(400, 10, 8, seed=11)
+        # Larger t -> larger sets -> more sets needed to cover them.
+        assert (
+            theoretical_opt_disjoint(large_t)
+            >= theoretical_opt_disjoint(small_t)
+        )

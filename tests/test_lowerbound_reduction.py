@@ -1,0 +1,149 @@
+"""Tests for the Theorem-2 reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kk import KKAlgorithm
+from repro.errors import ConfigurationError
+from repro.lowerbound.disjointness import (
+    disjoint_instance,
+    intersecting_instance,
+)
+from repro.lowerbound.family import build_family
+from repro.lowerbound.reduction import (
+    DisjointnessReduction,
+    recommended_parties,
+)
+
+
+@pytest.fixture(scope="module")
+def family():
+    return build_family(100, 16, 4, seed=1)
+
+
+@pytest.fixture(scope="module")
+def reduction(family):
+    return DisjointnessReduction(family)
+
+
+class TestEncoding:
+    def test_party_edges_use_own_parts(self, family, reduction):
+        disjointness = disjoint_instance(16, 4, 3, seed=2)
+        party_edges = reduction.party_edges(disjointness, seed=2)
+        assert len(party_edges) == 4
+        for p, edges in enumerate(party_edges):
+            for set_id, element in edges:
+                assert set_id in disjointness.sets[p]
+                assert element in family.parts[set_id][p]
+
+    def test_edge_count_matches_part_sizes(self, family, reduction):
+        disjointness = disjoint_instance(16, 4, 3, seed=3)
+        party_edges = reduction.party_edges(disjointness, seed=3)
+        for p, edges in enumerate(party_edges):
+            expected = len(disjointness.sets[p]) * family.part_size
+            assert len(edges) == expected
+
+    def test_intersecting_assembles_full_set(self, family, reduction):
+        disjointness = intersecting_instance(16, 4, 3, seed=4)
+        witness = disjointness.intersecting_element
+        instance, _ = reduction.run_instance(disjointness, witness)
+        # Set `witness` accumulated parts from every party.
+        assert instance.set_size(witness) == family.set_size
+
+    def test_disjoint_sets_stay_partial(self, family, reduction):
+        disjointness = disjoint_instance(16, 4, 3, seed=5)
+        instance, _ = reduction.run_instance(disjointness, 0)
+        for b in range(16):
+            assert instance.set_size(b) <= family.part_size
+
+    def test_complement_set_is_last(self, family, reduction):
+        disjointness = disjoint_instance(16, 4, 3, seed=6)
+        instance, _ = reduction.run_instance(disjointness, 5)
+        complement_id = instance.m - 1
+        comp = instance.set_members(complement_id)
+        assert family.complement(5) <= comp
+
+    def test_run_instance_feasible(self, family, reduction):
+        disjointness = disjoint_instance(16, 4, 3, seed=7)
+        instance, patches = reduction.run_instance(disjointness, 3)
+        instance.validate()
+        assert patches >= 0
+
+    def test_witness_run_has_cover_of_two(self, family, reduction):
+        disjointness = intersecting_instance(16, 4, 3, seed=8)
+        witness = disjointness.intersecting_element
+        instance, _ = reduction.run_instance(disjointness, witness)
+        assert instance.is_cover([witness, instance.m - 1])
+
+
+class TestExecution:
+    def test_execute_produces_outcome(self, reduction):
+        disjointness = intersecting_instance(16, 4, 3, seed=9)
+        outcome = reduction.execute(
+            disjointness,
+            algorithm_factory=lambda seed: KKAlgorithm(seed=seed),
+            seed=9,
+            run_indices=[disjointness.intersecting_element, 0, 1],
+        )
+        assert outcome.truth == "intersecting"
+        assert len(outcome.runs) == 3
+        assert outcome.message_words
+
+    def test_witness_run_small_cover(self, reduction):
+        disjointness = intersecting_instance(16, 4, 3, seed=10)
+        witness = disjointness.intersecting_element
+        outcome = reduction.execute(
+            disjointness,
+            algorithm_factory=lambda seed: KKAlgorithm(seed=seed),
+            seed=10,
+            run_indices=[witness],
+        )
+        witness_run = outcome.runs[0]
+        assert witness_run.feasible
+        # The witness run contains a 2-cover; the algorithm's answer is
+        # an approximation but should be far below the universe size.
+        assert witness_run.cover_size < reduction.family.n / 2
+
+    def test_default_run_indices_include_witness(self, reduction):
+        disjointness = intersecting_instance(16, 4, 3, seed=11)
+        indices = reduction.default_run_indices(disjointness, sample=3, seed=11)
+        assert disjointness.intersecting_element in indices
+
+    def test_messages_recorded_once(self, reduction):
+        disjointness = disjoint_instance(16, 4, 3, seed=12)
+        outcome = reduction.execute(
+            disjointness,
+            algorithm_factory=lambda seed: KKAlgorithm(seed=seed),
+            seed=12,
+            run_indices=[0, 1],
+        )
+        assert len(outcome.message_words) == reduction.family.t - 1
+
+
+class TestCompatibility:
+    def test_rejects_party_mismatch(self, reduction):
+        disjointness = disjoint_instance(16, 2, 3, seed=13)
+        with pytest.raises(ConfigurationError):
+            reduction.party_edges(disjointness)
+
+    def test_rejects_ground_set_overflow(self, family):
+        reduction = DisjointnessReduction(family)
+        disjointness = disjoint_instance(100, 4, 3, seed=14)
+        with pytest.raises(ConfigurationError):
+            reduction.party_edges(disjointness)
+
+
+class TestRecommendedParties:
+    def test_formula_shape(self):
+        import math
+
+        alpha, n = 100.0, 400
+        expected = int(alpha**2 * math.log(n) ** 2 / n)
+        assert recommended_parties(alpha, n) == max(2, expected)
+
+    def test_floor_two(self):
+        assert recommended_parties(1.0, 10**6) == 2
+
+    def test_grows_with_alpha(self):
+        assert recommended_parties(500, 400) > recommended_parties(100, 400)

@@ -1,0 +1,103 @@
+"""Tests for the deterministic 2√(nt) protocol."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.generators.planted import planted_partition_instance
+from repro.lowerbound.simple_protocol import (
+    PartyInput,
+    run_simple_protocol,
+    split_instance_among_parties,
+)
+
+
+class TestBasicExecution:
+    def test_output_is_cover(self):
+        planted = planted_partition_instance(60, 120, opt_size=6, seed=1)
+        parties = split_instance_among_parties(planted.instance, 3, seed=1)
+        result = run_simple_protocol(60, parties)
+        covered = set()
+        for party_id, local_id in result.cover:
+            covered |= parties[party_id].sets[local_id]
+        assert covered == set(range(60))
+
+    def test_certificate_total_and_correct(self):
+        planted = planted_partition_instance(40, 80, opt_size=4, seed=2)
+        parties = split_instance_among_parties(planted.instance, 4, seed=2)
+        result = run_simple_protocol(40, parties)
+        assert set(result.certificate) == set(range(40))
+        for u, (party_id, local_id) in result.certificate.items():
+            assert u in parties[party_id].sets[local_id]
+
+    def test_cover_entries_unique(self):
+        planted = planted_partition_instance(40, 80, opt_size=4, seed=3)
+        parties = split_instance_among_parties(planted.instance, 2, seed=3)
+        result = run_simple_protocol(40, parties)
+        assert len(result.cover) == len(set(result.cover))
+
+    def test_rejects_single_party(self):
+        with pytest.raises(ConfigurationError):
+            run_simple_protocol(10, [PartyInput([{0}])])
+
+    def test_infeasible_raises(self):
+        parties = [PartyInput([{0, 1}]), PartyInput([{1}])]
+        with pytest.raises(ProtocolError):
+            run_simple_protocol(4, parties)
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("t", [2, 4, 8])
+    def test_approximation_bound(self, t):
+        n = 100
+        planted = planted_partition_instance(n, 600, opt_size=10, seed=t)
+        parties = split_instance_among_parties(planted.instance, t, seed=t)
+        result = run_simple_protocol(n, parties)
+        bound = 2 * math.sqrt(n * t) * planted.opt_upper_bound
+        assert result.cover_size <= bound
+
+    @pytest.mark.parametrize("t", [2, 4, 8])
+    def test_message_length_o_tilde_n(self, t):
+        n = 100
+        planted = planted_partition_instance(n, 600, opt_size=10, seed=t)
+        parties = split_instance_among_parties(planted.instance, t, seed=t)
+        result = run_simple_protocol(n, parties)
+        # words: <= n uncovered + 2n witnesses + 2*chosen; chosen <= sqrt(nt)+n
+        assert result.max_message_words <= 6 * n
+
+    def test_default_threshold_sqrt_n_over_t(self):
+        planted = planted_partition_instance(64, 128, opt_size=8, seed=9)
+        parties = split_instance_among_parties(planted.instance, 4, seed=9)
+        result = run_simple_protocol(64, parties)
+        assert result.threshold == pytest.approx(math.sqrt(64 / 4))
+
+    def test_message_flat_in_m(self):
+        n = 64
+        messages = []
+        for m in (100, 1000):
+            planted = planted_partition_instance(n, m, opt_size=8, seed=10)
+            parties = split_instance_among_parties(planted.instance, 4, seed=10)
+            result = run_simple_protocol(n, parties)
+            messages.append(result.max_message_words)
+        assert messages[1] <= messages[0] * 2
+
+
+class TestSplitInstance:
+    def test_all_sets_distributed(self):
+        planted = planted_partition_instance(30, 50, opt_size=3, seed=11)
+        parties = split_instance_among_parties(planted.instance, 4, seed=11)
+        assert sum(len(p.sets) for p in parties) == 50
+
+    def test_rejects_single_party(self):
+        planted = planted_partition_instance(30, 50, opt_size=3, seed=12)
+        with pytest.raises(ConfigurationError):
+            split_instance_among_parties(planted.instance, 1)
+
+    def test_deterministic(self):
+        planted = planted_partition_instance(30, 50, opt_size=3, seed=13)
+        a = split_instance_among_parties(planted.instance, 3, seed=13)
+        b = split_instance_among_parties(planted.instance, 3, seed=13)
+        assert [p.sets for p in a] == [p.sets for p in b]

@@ -1,0 +1,159 @@
+"""Tests for the multi-pass threshold-greedy algorithm."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.greedy import greedy_cover_size
+from repro.errors import ConfigurationError, InvalidCoverError
+from repro.generators.planted import planted_partition_instance
+from repro.generators.random_instances import fixed_size_instance
+from repro.multipass import (
+    MultiPassThresholdGreedy,
+    geometric_thresholds,
+)
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.orders import RandomOrder, RoundRobinInterleaveOrder
+from repro.streaming.stream import ReplayableStream
+
+
+class TestThresholdSchedule:
+    def test_geometric_shape(self):
+        schedule = geometric_thresholds(256, 4)
+        assert len(schedule) == 4
+        assert schedule[-1] == 1.0
+        assert all(a >= b for a, b in zip(schedule, schedule[1:]))
+        assert schedule[0] == pytest.approx(256 ** (3 / 4))
+
+    def test_single_pass_is_first_fit_threshold(self):
+        assert geometric_thresholds(100, 1) == [1.0]
+
+    def test_rejects_zero_passes(self):
+        with pytest.raises(ConfigurationError):
+            geometric_thresholds(100, 0)
+
+    def test_explicit_schedule_validated(self):
+        with pytest.raises(ConfigurationError):
+            MultiPassThresholdGreedy(thresholds=[4.0, 8.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            MultiPassThresholdGreedy(thresholds=[4.0, 2.0])  # must end at 1
+        with pytest.raises(ConfigurationError):
+            MultiPassThresholdGreedy(thresholds=[])
+
+    def test_schedule_for_uses_explicit(self):
+        algorithm = MultiPassThresholdGreedy(thresholds=[8.0, 2.0, 1.0])
+        assert algorithm.schedule_for(10**6) == [8.0, 2.0, 1.0]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("passes", [1, 2, 4])
+    def test_valid_cover(self, passes):
+        instance = fixed_size_instance(60, 200, set_size=8, seed=passes)
+        replayable = ReplayableStream(instance, RandomOrder(seed=passes))
+        result = MultiPassThresholdGreedy(passes=passes, seed=passes).run(
+            replayable
+        )
+        result.verify(instance)
+
+    def test_no_patching_needed(self):
+        instance = fixed_size_instance(60, 200, set_size=8, seed=5)
+        replayable = ReplayableStream(instance, RandomOrder(seed=5))
+        result = MultiPassThresholdGreedy(passes=3, seed=5).run(replayable)
+        # Every element witnessed by a cover set during the passes.
+        assert set(result.certificate) == set(range(60))
+
+    def test_adversarial_order_valid(self):
+        instance = fixed_size_instance(60, 200, set_size=8, seed=6)
+        replayable = ReplayableStream(
+            instance, RoundRobinInterleaveOrder(seed=6)
+        )
+        result = MultiPassThresholdGreedy(passes=3, seed=6).run(replayable)
+        result.verify(instance)
+
+    def test_infeasible_raises(self):
+        instance = SetCoverInstance(3, [{0, 1}])
+        replayable = ReplayableStream(instance)
+        with pytest.raises(InvalidCoverError):
+            MultiPassThresholdGreedy(passes=2, seed=7).run(replayable)
+
+    def test_deterministic(self):
+        instance = fixed_size_instance(40, 100, set_size=6, seed=8)
+        replayable = ReplayableStream(instance, RandomOrder(seed=8))
+        a = MultiPassThresholdGreedy(passes=3, seed=8).run(replayable)
+        b = MultiPassThresholdGreedy(passes=3, seed=8).run(replayable)
+        assert a.cover == b.cover
+
+
+class TestQualityVsPasses:
+    def test_more_passes_better_cover(self):
+        """Cover quality improves with more passes (layered workload)."""
+        from repro.generators.hard import layered_hard_instance
+
+        instance = layered_hard_instance(
+            256, layers=6, sets_per_layer=40, seed=9
+        )
+        replayable = ReplayableStream(instance, RandomOrder(seed=9))
+        sizes = {}
+        for passes in (1, 3, 6):
+            result = MultiPassThresholdGreedy(passes=passes, seed=9).run(
+                replayable
+            )
+            result.verify(instance)
+            sizes[passes] = result.cover_size
+        assert sizes[6] < sizes[1]
+        assert sizes[3] < sizes[1]
+
+    def test_many_passes_approach_greedy(self):
+        """On heavy-tailed inputs the quality curve approaches greedy.
+
+        (On uniform-set-size instances only one threshold of the
+        geometric schedule bites, so the multi-pass advantage needs
+        heterogeneous set sizes — the workloads [11, 21] target.)
+        """
+        from repro.generators.zipf import zipf_instance
+
+        instance = zipf_instance(300, 1200, seed=10)
+        replayable = ReplayableStream(instance, RandomOrder(seed=10))
+        passes = math.ceil(math.log2(300))
+        result = MultiPassThresholdGreedy(passes=passes, seed=10).run(
+            replayable
+        )
+        greedy = greedy_cover_size(instance)
+        assert result.cover_size <= 1.5 * greedy
+
+    def test_single_pass_matches_first_fit_bound(self):
+        instance = fixed_size_instance(60, 300, set_size=6, seed=11)
+        replayable = ReplayableStream(instance, RandomOrder(seed=11))
+        result = MultiPassThresholdGreedy(passes=1, seed=11).run(replayable)
+        assert result.cover_size <= instance.n
+
+
+class TestDiagnosticsAndSpace:
+    def test_pass_counts_recorded(self):
+        instance = fixed_size_instance(50, 150, set_size=6, seed=12)
+        replayable = ReplayableStream(instance, RandomOrder(seed=12))
+        result = MultiPassThresholdGreedy(passes=3, seed=12).run(replayable)
+        assert result.diagnostics["passes_configured"] == 3
+        assert 1 <= result.diagnostics["passes_used"] <= 3
+        assert "added_pass_1" in result.diagnostics
+
+    def test_space_is_o_of_m(self):
+        """Counters dominate: Õ(m) like the KK-algorithm."""
+        peaks = []
+        for m in (200, 800):
+            instance = fixed_size_instance(50, m, set_size=6, seed=13)
+            replayable = ReplayableStream(instance, RandomOrder(seed=13))
+            result = MultiPassThresholdGreedy(passes=3, seed=13).run(
+                replayable
+            )
+            peaks.append(result.space.peak_words)
+        assert peaks[1] > 2 * peaks[0]
+
+    def test_early_stop_when_covered(self):
+        """Once everything is covered mid-schedule, later passes skip."""
+        instance = SetCoverInstance(4, [{0, 1, 2, 3}])
+        replayable = ReplayableStream(instance)
+        result = MultiPassThresholdGreedy(passes=6, seed=14).run(replayable)
+        assert result.diagnostics["passes_used"] < 6

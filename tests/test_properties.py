@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Strategies generate arbitrary feasible instances; properties assert the
+paper-level invariants every component must satisfy regardless of
+input: covers verify, orders permute, meters never under-count, greedy
+dominates OPT, serialisation round-trips, etc.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.opt import exact_opt, opt_lower_bound
+from repro.baselines.greedy import greedy_cover
+from repro.baselines.trivial import FirstFitAlgorithm
+from repro.core.adversarial import LowSpaceAdversarialAlgorithm
+from repro.core.kk import KKAlgorithm
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.io import dumps_instance, loads_instance
+from repro.streaming.orders import (
+    LargeSetsLastOrder,
+    RandomOrder,
+    RoundRobinInterleaveOrder,
+    SetGroupedOrder,
+    check_permutation,
+)
+from repro.streaming.stream import stream_of
+
+
+@st.composite
+def feasible_instances(draw, max_n=24, max_m=12):
+    """Arbitrary feasible instances (every element in >= 1 set)."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    sets = [
+        draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n - 1), max_size=n
+            )
+        )
+        for _ in range(m)
+    ]
+    # Guarantee feasibility: deal uncovered elements round-robin.
+    covered = set().union(*sets) if sets else set()
+    for u in range(n):
+        if u not in covered:
+            sets[u % m].add(u)
+    return SetCoverInstance(n, sets, name="hyp")
+
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+class TestOrderProperties:
+    @given(instance=feasible_instances(), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_random_order_is_permutation(self, instance, seed):
+        edges = list(instance.edges())
+        check_permutation(edges, RandomOrder(seed=seed).apply(edges))
+
+    @given(instance=feasible_instances(), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_round_robin_is_permutation(self, instance, seed):
+        edges = list(instance.edges())
+        check_permutation(
+            edges, RoundRobinInterleaveOrder(seed=seed).apply(edges)
+        )
+
+    @given(instance=feasible_instances(), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_set_grouped_groups(self, instance, seed):
+        edges = SetGroupedOrder(seed=seed).apply(list(instance.edges()))
+        closed = set()
+        current = None
+        for edge in edges:
+            if edge.set_id != current:
+                assert edge.set_id not in closed
+                if current is not None:
+                    closed.add(current)
+                current = edge.set_id
+
+    @given(instance=feasible_instances(), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_large_sets_last_sorted(self, instance, seed):
+        edges = LargeSetsLastOrder(seed=seed).apply(list(instance.edges()))
+        sizes = [instance.set_size(e.set_id) for e in edges]
+        # Set sizes are non-decreasing at group boundaries.
+        group_sizes = []
+        current = None
+        for edge, size in zip(edges, sizes):
+            if edge.set_id != current:
+                group_sizes.append(size)
+                current = edge.set_id
+        assert group_sizes == sorted(group_sizes)
+
+
+class TestAlgorithmProperties:
+    @given(instance=feasible_instances(), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_kk_always_valid(self, instance, seed):
+        result = KKAlgorithm(seed=seed).run(
+            stream_of(instance, RandomOrder(seed=seed))
+        )
+        result.verify(instance)
+
+    @given(instance=feasible_instances(), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_adversarial_always_valid(self, instance, seed):
+        alpha = max(2.0, 2 * math.sqrt(instance.n))
+        result = LowSpaceAdversarialAlgorithm(alpha=alpha, seed=seed).run(
+            stream_of(instance, RoundRobinInterleaveOrder(seed=seed))
+        )
+        result.verify(instance)
+
+    @given(instance=feasible_instances(), seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_random_order_always_valid(self, instance, seed):
+        result = RandomOrderAlgorithm(seed=seed).run(
+            stream_of(instance, RandomOrder(seed=seed))
+        )
+        result.verify(instance)
+
+    @given(instance=feasible_instances(), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_cover_never_beats_opt(self, instance, seed):
+        size, _ = exact_opt(instance)
+        result = FirstFitAlgorithm(seed=seed).run(
+            stream_of(instance, RandomOrder(seed=seed))
+        )
+        assert result.cover_size >= size
+
+    @given(instance=feasible_instances(), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_space_meter_nonnegative_peak(self, instance, seed):
+        result = KKAlgorithm(seed=seed).run(
+            stream_of(instance, RandomOrder(seed=seed))
+        )
+        assert result.space.peak_words >= result.space.final_words >= 0
+
+
+class TestSolverProperties:
+    @given(instance=feasible_instances(max_n=16, max_m=8))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_between_opt_and_ln_bound(self, instance):
+        size, _ = exact_opt(instance)
+        greedy = greedy_cover(instance)
+        greedy.verify(instance)
+        assert size <= greedy.cover_size
+        assert greedy.cover_size <= size * (math.log(instance.n) + 1)
+
+    @given(instance=feasible_instances(max_n=16, max_m=8))
+    @settings(max_examples=30, deadline=None)
+    def test_lower_bound_below_opt(self, instance):
+        size, _ = exact_opt(instance)
+        assert opt_lower_bound(instance) <= size
+
+    @given(instance=feasible_instances(max_n=16, max_m=8))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_cover_is_minimal_cover(self, instance):
+        size, cover = exact_opt(instance)
+        assert instance.is_cover(cover)
+        # Removing any set breaks optimality-as-cover or it wasn't minimal
+        # in size; at least check size consistency.
+        assert len(cover) == size
+
+
+class TestSerializationProperties:
+    @given(instance=feasible_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_io_roundtrip(self, instance):
+        assert loads_instance(dumps_instance(instance)) == instance
+
+    @given(instance=feasible_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_edges_reconstruct_instance(self, instance):
+        from repro.streaming.instance import instance_from_edges
+
+        rebuilt = instance_from_edges(
+            instance.n, instance.m, instance.edges()
+        )
+        assert rebuilt == instance
+
+
+class TestDegreeProperties:
+    @given(instance=feasible_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sum_equals_edges(self, instance):
+        assert sum(instance.element_degrees()) == instance.num_edges
+
+    @given(instance=feasible_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_every_element_positive_degree(self, instance):
+        assert all(d >= 1 for d in instance.element_degrees())

@@ -1,0 +1,137 @@
+"""Property-based tests for the extension algorithms.
+
+Hypothesis coverage for the components added on top of the paper's
+three core algorithms: element sampling, success amplification, the
+multi-pass threshold greedy, and the fractional MWU pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.amplification import AmplifiedAlgorithm
+from repro.core.element_sampling import ElementSamplingAlgorithm
+from repro.core.kk import KKAlgorithm
+from repro.multipass import (
+    FractionalMWU,
+    MultiPassThresholdGreedy,
+    geometric_thresholds,
+)
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream, stream_of
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@st.composite
+def feasible_instances(draw, max_n=20, max_m=10):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    sets = [
+        draw(st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n))
+        for _ in range(m)
+    ]
+    covered = set().union(*sets) if sets else set()
+    for u in range(n):
+        if u not in covered:
+            sets[u % m].add(u)
+    return SetCoverInstance(n, sets, name="hyp2")
+
+
+class TestElementSamplingProperties:
+    @given(
+        instance=feasible_instances(),
+        seed=seeds,
+        alpha=st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid(self, instance, seed, alpha):
+        result = ElementSamplingAlgorithm(alpha=alpha, seed=seed).run(
+            stream_of(instance, RandomOrder(seed=seed))
+        )
+        result.verify(instance)
+
+    @given(instance=feasible_instances(), seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_cache_disabled_still_valid(self, instance, seed):
+        result = ElementSamplingAlgorithm(
+            alpha=4, witness_cache_size=0, seed=seed
+        ).run(stream_of(instance, RandomOrder(seed=seed)))
+        result.verify(instance)
+        assert result.diagnostics["cached_certifications"] == 0
+
+
+class TestAmplificationProperties:
+    @given(
+        instance=feasible_instances(),
+        seed=seeds,
+        copies=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_always_valid_and_best_of_copies(self, instance, seed, copies):
+        replayable = ReplayableStream(instance, RandomOrder(seed=seed))
+        amplified = AmplifiedAlgorithm(
+            factory=lambda s: KKAlgorithm(seed=s), copies=copies, seed=seed
+        )
+        result = amplified.run(replayable.fresh())
+        result.verify(instance)
+        assert (
+            result.diagnostics["best_cover"]
+            <= result.diagnostics["worst_cover"]
+        )
+        assert result.cover_size == result.diagnostics["best_cover"]
+
+
+class TestMultiPassProperties:
+    @given(
+        instance=feasible_instances(),
+        seed=seeds,
+        passes=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_always_valid(self, instance, seed, passes):
+        replayable = ReplayableStream(instance, RandomOrder(seed=seed))
+        result = MultiPassThresholdGreedy(passes=passes, seed=seed).run(
+            replayable
+        )
+        result.verify(instance)
+
+    @given(
+        n=st.integers(min_value=1, max_value=10**6),
+        passes=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_schedule_invariants(self, n, passes):
+        schedule = geometric_thresholds(n, passes)
+        assert len(schedule) == passes
+        assert schedule[-1] == 1.0
+        assert all(t >= 1.0 for t in schedule)
+        assert all(a >= b for a, b in zip(schedule, schedule[1:]))
+
+
+class TestFractionalProperties:
+    @given(
+        instance=feasible_instances(max_n=12, max_m=8),
+        seed=seeds,
+        increments=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_rounding_pipeline_always_valid(self, instance, seed, increments):
+        replayable = ReplayableStream(instance, RandomOrder(seed=seed))
+        result = FractionalMWU(increments=increments, seed=seed).run(
+            replayable
+        )
+        result.verify(instance)
+
+    @given(instance=feasible_instances(max_n=12, max_m=8), seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_feasible_fractional_covers_everything(self, instance, seed):
+        replayable = ReplayableStream(instance, RandomOrder(seed=seed))
+        algorithm = FractionalMWU(
+            increments=4 * instance.m, epsilon=0.5, seed=seed
+        )
+        fractional = algorithm.solve_fractional(replayable)
+        assert fractional.min_coverage(instance) >= 1.0 - 1e-9

@@ -1,0 +1,148 @@
+"""Property-based tests for the lower-bound substrate.
+
+Hypothesis strategies drive the Lemma-1 family sampler, the promise
+instances, and the protocol plumbing across their whole parameter
+spaces.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.lowerbound.disjointness import (
+    disjoint_instance,
+    intersecting_instance,
+)
+from repro.lowerbound.family import build_family
+from repro.lowerbound.protocol import Message, OneWayChain
+from repro.lowerbound.simple_protocol import (
+    PartyInput,
+    run_simple_protocol,
+)
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+class TestFamilyProperties:
+    @given(
+        n=st.integers(min_value=16, max_value=256),
+        m=st.integers(min_value=2, max_value=12),
+        t=st.integers(min_value=2, max_value=4),
+        seed=seeds,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_structure_invariants(self, n, m, t, seed):
+        assume(t <= n)
+        family = build_family(n, m, t, seed=seed, intersection_slack=50.0)
+        # Sizes.
+        assert family.part_size == max(1, round(math.sqrt(n / t)))
+        assert family.set_size == family.part_size * t
+        assert family.set_size <= n
+        # Partition property.
+        for i in range(family.m):
+            union = set()
+            total = 0
+            for part in family.parts[i]:
+                assert union.isdisjoint(part)
+                union |= part
+                total += len(part)
+            assert total == family.set_size
+            assert union <= set(range(n))
+
+    @given(
+        n=st.integers(min_value=64, max_value=256),
+        seed=seeds,
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_complement_partitions_universe(self, n, seed):
+        family = build_family(n, 4, 4, seed=seed, intersection_slack=50.0)
+        for i in range(family.m):
+            full = family.full_set(i)
+            comp = family.complement(i)
+            assert full | comp == set(range(n))
+            assert full & comp == set()
+
+
+class TestDisjointnessProperties:
+    @given(
+        t=st.integers(min_value=2, max_value=6),
+        size=st.integers(min_value=1, max_value=6),
+        seed=seeds,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_disjoint_promise_holds(self, t, size, seed):
+        m = t * size + 4
+        instance = disjoint_instance(m, t, size, seed=seed)
+        instance.check_promise()
+        assert all(len(s) == size for s in instance.sets)
+
+    @given(
+        t=st.integers(min_value=2, max_value=6),
+        size=st.integers(min_value=1, max_value=6),
+        seed=seeds,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_intersecting_promise_holds(self, t, size, seed):
+        m = t * size + 4
+        instance = intersecting_instance(m, t, size, seed=seed)
+        instance.check_promise()
+        shared = instance.intersecting_element
+        assert all(shared in s for s in instance.sets)
+
+
+class TestProtocolProperties:
+    @given(
+        words=st.lists(
+            st.integers(min_value=0, max_value=100), min_size=2, max_size=8
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_max_message_is_max_of_forwarded(self, words):
+        def party_for(w):
+            def fn(incoming, _input):
+                return Message(payload=None, words=w)
+
+            return fn
+
+        chain = OneWayChain([party_for(w) for w in words])
+        result = chain.execute([None] * len(words))
+        # The last message is the output announcement, excluded.
+        assert result.message_words == words[:-1]
+        assert result.max_message_words == max(words[:-1])
+
+
+class TestSimpleProtocolProperties:
+    @given(
+        t=st.integers(min_value=2, max_value=5),
+        n=st.integers(min_value=8, max_value=40),
+        seed=seeds,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_always_produces_cover_within_bound(self, t, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        # Build t parties whose sets jointly cover [n]: deal a partition
+        # plus random extras.
+        elements = list(range(n))
+        rng.shuffle(elements)
+        parties = []
+        chunk = max(1, n // t)
+        for p in range(t):
+            share = elements[p * chunk : (p + 1) * chunk]
+            sets = [set(share)] if share else []
+            for _ in range(3):
+                sets.append(
+                    set(rng.sample(range(n), min(n, rng.randint(1, 5))))
+                )
+            parties.append(PartyInput(sets))
+        # Last party sweeps up any remainder.
+        remainder = elements[t * chunk :]
+        if remainder:
+            parties[-1].sets.append(set(remainder))
+        result = run_simple_protocol(n, parties)
+        assert set(result.certificate) == set(range(n))
+        # Cover within the 2·sqrt(n·t)·OPT guarantee with OPT <= t + 1.
+        assert result.cover_size <= 2 * math.sqrt(n * t) * (t + 1) + t

@@ -1,0 +1,177 @@
+"""White-box tests for Algorithm 1's individual mechanisms.
+
+Each test isolates one phase — epoch-0 high-degree detection, the
+witness-marking rule, batch rotation, special-set promotion — on
+instances engineered to trigger it deterministically (or nearly so).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.core.scaling import Scaling
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import stream_of
+
+
+def high_degree_instance(n=60, m=600, hot_element=0, seed=3):
+    """Every set contains ``hot_element``; other elements are spread."""
+    import random
+
+    rng = random.Random(seed)
+    sets = []
+    for _ in range(m):
+        members = {hot_element}
+        members.update(rng.sample(range(1, n), 3))
+        sets.append(members)
+    return SetCoverInstance(n, sets, name="high-degree")
+
+
+class TestEpochZeroDetection:
+    def test_hot_element_detected_by_counting(self):
+        """Degree ≫ m/√n is detected from the prefix occurrence count.
+
+        The epoch-0 sample is suppressed (tiny sample constant) so that
+        witness-marking cannot pre-empt the count-based detection the
+        test targets.
+        """
+        instance = high_degree_instance()
+        scaling = Scaling.practical().with_overrides(sample_constant=0.001)
+        algorithm = RandomOrderAlgorithm(scaling=scaling, seed=5)
+        result = algorithm.run(stream_of(instance, RandomOrder(seed=5)))
+        result.verify(instance)
+        assert result.diagnostics["epoch0_marked"] >= 1
+
+    def test_hot_element_witnessed_by_sample(self):
+        """With the normal sample, the hot element is witness-marked by
+        an epoch-0 set (it belongs to every set, so to the sample too)."""
+        instance = high_degree_instance()
+        algorithm = RandomOrderAlgorithm(seed=5)
+        result = algorithm.run(stream_of(instance, RandomOrder(seed=5)))
+        result.verify(instance)
+        probe = algorithm.last_probe
+        witness = result.certificate[0]
+        assert probe.inclusion_positions.get(witness) == 0
+
+    def test_no_detection_on_flat_degrees(self):
+        """With all degrees ≈ m·k/n ≪ m/√n nothing is marked by count."""
+        from repro.generators.random_instances import fixed_size_instance
+
+        instance = fixed_size_instance(400, 800, set_size=4, seed=6)
+        # degrees ~ 8; cutoff = 1.1*m/sqrt(n) = 44.
+        algorithm = RandomOrderAlgorithm(seed=6)
+        result = algorithm.run(stream_of(instance, RandomOrder(seed=6)))
+        assert result.diagnostics["epoch0_marked"] == 0
+
+    def test_hot_element_eventually_witnessed(self):
+        """Optimistic marking is vindicated: the hot element gets a
+        witness from the epoch-0 sample before patching (Lemma 7)."""
+        instance = high_degree_instance()
+        algorithm = RandomOrderAlgorithm(seed=7)
+        result = algorithm.run(stream_of(instance, RandomOrder(seed=7)))
+        assert result.diagnostics["marked_uncovered_at_end"] == 0
+        assert 0 in result.certificate
+
+
+class TestEpochZeroSampling:
+    def test_sample_size_concentrates(self):
+        from repro.generators.random_instances import quadratic_family
+
+        instance = quadratic_family(100, density=0.5, seed=8)
+        sizes = []
+        for seed in range(5):
+            algorithm = RandomOrderAlgorithm(seed=seed)
+            result = algorithm.run(
+                stream_of(instance, RandomOrder(seed=seed))
+            )
+            sizes.append(result.diagnostics["epoch0_sol"])
+        expected = math.sqrt(100) * math.log2(instance.m)
+        mean = sum(sizes) / len(sizes)
+        assert 0.5 * expected <= mean <= 2.0 * expected
+
+    def test_epoch0_positions_zero(self):
+        from repro.generators.random_instances import quadratic_family
+
+        instance = quadratic_family(64, density=0.5, seed=9)
+        algorithm = RandomOrderAlgorithm(seed=9)
+        result = algorithm.run(stream_of(instance, RandomOrder(seed=9)))
+        probe = algorithm.last_probe
+        epoch0_count = int(result.diagnostics["epoch0_sol"])
+        zero_positions = sum(
+            1 for pos in probe.inclusion_positions.values() if pos == 0
+        )
+        assert zero_positions == epoch0_count
+
+
+class TestSpecialPromotion:
+    def test_threshold_equality_triggers_once_per_subepoch(self):
+        """Counters trigger exactly at the threshold, not repeatedly."""
+        scaling = Scaling.practical()
+        threshold = math.ceil(scaling.special_threshold(1, 20000))
+        assert threshold >= 1
+        # Counting semantics: the trigger fires when count == threshold;
+        # subsequent increments in the same subepoch don't re-fire.
+        # (Structural property — verified via the probe's special counts
+        # never exceeding the number of watched sets per subepoch.)
+        from repro.generators.random_instances import two_tier_instance
+        from repro.streaming.stream import stream_of as _stream_of
+
+        instance = two_tier_instance(
+            2500, num_small=20000, num_big=60, seed=10
+        )
+        algorithm = RandomOrderAlgorithm(seed=10)
+        algorithm.run(_stream_of(instance, RandomOrder(seed=10)))
+        probe = algorithm.last_probe
+        batch_size = math.ceil(instance.m / scaling.num_batches(instance.n))
+        for stats in probe.epoch_stats:
+            assert stats.special_sets <= batch_size * scaling.num_batches(
+                instance.n
+            )
+
+    def test_tracking_candidates_come_from_specials(self):
+        from repro.generators.random_instances import two_tier_instance
+
+        instance = two_tier_instance(
+            2500, num_small=20000, num_big=60, seed=11
+        )
+        algorithm = RandomOrderAlgorithm(seed=11)
+        algorithm.run(stream_of(instance, RandomOrder(seed=11)))
+        probe = algorithm.last_probe
+        for stats in probe.epoch_stats:
+            assert stats.added_to_tracking <= stats.special_sets
+            assert stats.added_to_sol <= stats.special_sets
+
+
+class TestScalingInteraction:
+    def test_paper_scaling_runs_but_is_inert_at_small_scale(self):
+        """Paper constants: thresholds are astronomically high, so no
+        specials fire, but the run must still produce a valid cover."""
+        from repro.generators.random_instances import quadratic_family
+
+        instance = quadratic_family(64, density=0.5, seed=12)
+        algorithm = RandomOrderAlgorithm(scaling=Scaling.paper(), seed=12)
+        result = algorithm.run(stream_of(instance, RandomOrder(seed=12)))
+        result.verify(instance)
+        probe = algorithm.last_probe
+        assert sum(s.added_to_sol for s in probe.epoch_stats) == 0
+
+    def test_phase_budget_shrinks_consumption(self):
+        from repro.generators.random_instances import quadratic_family
+
+        instance = quadratic_family(100, density=0.5, seed=13)
+        tight = Scaling.practical().with_overrides(phase_budget_fraction=0.2)
+        loose = Scaling.practical().with_overrides(phase_budget_fraction=0.6)
+        tight_run = RandomOrderAlgorithm(scaling=tight, seed=13).run(
+            stream_of(instance, RandomOrder(seed=13))
+        )
+        loose_run = RandomOrderAlgorithm(scaling=loose, seed=13).run(
+            stream_of(instance, RandomOrder(seed=13))
+        )
+        assert (
+            tight_run.diagnostics["phase_edges_consumed"]
+            < loose_run.diagnostics["phase_edges_consumed"]
+        )

@@ -1,0 +1,110 @@
+"""Tests for the bipartite view and Dominating-Set encoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.streaming.bipartite import (
+    degree_histogram,
+    dominating_set_instance,
+    element_adjacency,
+    from_networkx,
+    set_size_histogram,
+    to_biadjacency,
+    to_networkx,
+)
+from repro.streaming.instance import SetCoverInstance
+
+
+class TestAdjacency:
+    def test_biadjacency(self, tiny_instance):
+        adj = to_biadjacency(tiny_instance)
+        assert adj[0] == {0, 1}
+        assert adj[2] == {2, 3}
+
+    def test_element_adjacency(self, tiny_instance):
+        adj = element_adjacency(tiny_instance)
+        assert adj[1] == {0, 1}
+        assert adj[3] == {2}
+
+    def test_adjacency_consistent(self, chain_instance):
+        left = to_biadjacency(chain_instance)
+        right = element_adjacency(chain_instance)
+        for s, members in enumerate(left):
+            for u in members:
+                assert s in right[u]
+
+
+class TestNetworkxRoundtrip:
+    def test_roundtrip(self, tiny_instance):
+        graph = to_networkx(tiny_instance)
+        rebuilt = from_networkx(graph)
+        assert rebuilt == tiny_instance
+
+    def test_graph_shape(self, tiny_instance):
+        graph = to_networkx(tiny_instance)
+        assert graph.number_of_nodes() == tiny_instance.n + tiny_instance.m
+        assert graph.number_of_edges() == tiny_instance.num_edges
+
+    def test_bipartite_attribute(self, tiny_instance):
+        graph = to_networkx(tiny_instance)
+        assert graph.nodes[("S", 0)]["bipartite"] == 0
+        assert graph.nodes[("U", 0)]["bipartite"] == 1
+
+
+class TestDominatingSet:
+    def test_closed_neighbourhoods(self):
+        # Path 0-1-2.
+        instance = dominating_set_instance([[1], [0, 2], [1]])
+        assert instance.set_members(0) == frozenset({0, 1})
+        assert instance.set_members(1) == frozenset({0, 1, 2})
+        assert instance.set_members(2) == frozenset({1, 2})
+
+    def test_m_equals_n(self):
+        instance = dominating_set_instance([[1], [0], []])
+        assert instance.m == instance.n == 3
+
+    def test_symmetrised(self):
+        # Edge listed once only.
+        instance = dominating_set_instance([[1], []])
+        assert instance.contains(1, 0)
+
+    def test_isolated_vertex_covers_itself(self):
+        instance = dominating_set_instance([[], []])
+        assert instance.set_members(0) == frozenset({0})
+
+    def test_dominating_set_is_cover(self):
+        # Star centred at 0: {0} dominates.
+        instance = dominating_set_instance([[1, 2, 3], [], [], []])
+        assert instance.is_cover([0])
+
+    def test_rejects_bad_neighbour(self):
+        with pytest.raises(InvalidInstanceError):
+            dominating_set_instance([[5]])
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(InvalidInstanceError):
+            dominating_set_instance([])
+
+    def test_self_loop_ignored(self):
+        instance = dominating_set_instance([[0, 1], []])
+        assert instance.set_members(0) == frozenset({0, 1})
+
+
+class TestHistograms:
+    def test_degree_histogram(self, tiny_instance):
+        # degrees: [1, 2, 2, 1]
+        assert degree_histogram(tiny_instance) == {1: 2, 2: 2}
+
+    def test_set_size_histogram(self, tiny_instance):
+        assert set_size_histogram(tiny_instance) == {2: 3}
+
+    def test_histogram_totals(self, chain_instance):
+        assert (
+            sum(degree_histogram(chain_instance).values()) == chain_instance.n
+        )
+        assert (
+            sum(set_size_histogram(chain_instance).values())
+            == chain_instance.m
+        )

@@ -1,0 +1,200 @@
+"""Tests for SetCoverInstance: shape, feasibility, covers, certificates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    InfeasibleInstanceError,
+    InvalidCoverError,
+    InvalidInstanceError,
+)
+from repro.streaming.instance import SetCoverInstance, instance_from_edges
+from repro.types import Edge
+
+
+class TestConstruction:
+    def test_basic_shape(self, tiny_instance):
+        assert tiny_instance.n == 4
+        assert tiny_instance.m == 3
+        assert tiny_instance.num_edges == 6
+
+    def test_rejects_zero_universe(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance(0, [{0}])
+
+    def test_rejects_no_sets(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance(3, [])
+
+    def test_rejects_out_of_range_element(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance(3, [{0, 3}])
+
+    def test_rejects_negative_element(self):
+        with pytest.raises(InvalidInstanceError):
+            SetCoverInstance(3, [{-1}])
+
+    def test_empty_sets_allowed(self):
+        instance = SetCoverInstance(2, [{0, 1}, set()])
+        assert instance.set_size(1) == 0
+
+    def test_duplicate_members_collapse(self):
+        instance = SetCoverInstance(3, [[0, 0, 1]])
+        assert instance.set_size(0) == 2
+
+    def test_name_recorded(self):
+        assert SetCoverInstance(1, [{0}], name="x").name == "x"
+
+
+class TestAccessors:
+    def test_set_members(self, tiny_instance):
+        assert tiny_instance.set_members(1) == frozenset({1, 2})
+
+    def test_set_members_out_of_range(self, tiny_instance):
+        with pytest.raises(InvalidInstanceError):
+            tiny_instance.set_members(3)
+
+    def test_contains(self, tiny_instance):
+        assert tiny_instance.contains(0, 1)
+        assert not tiny_instance.contains(0, 2)
+
+    def test_sets_tuple(self, tiny_instance):
+        assert len(tiny_instance.sets()) == 3
+
+    def test_element_degrees(self, tiny_instance):
+        # element 0: set 0 only; 1: sets 0,1; 2: sets 1,2; 3: set 2.
+        assert list(tiny_instance.element_degrees()) == [1, 2, 2, 1]
+
+    def test_element_degree_single(self, tiny_instance):
+        assert tiny_instance.element_degree(1) == 2
+
+    def test_element_degree_out_of_range(self, tiny_instance):
+        with pytest.raises(InvalidInstanceError):
+            tiny_instance.element_degree(4)
+
+    def test_covering_sets(self, tiny_instance):
+        assert tiny_instance.covering_sets(2) == frozenset({1, 2})
+
+    def test_covering_sets_out_of_range(self, tiny_instance):
+        with pytest.raises(InvalidInstanceError):
+            tiny_instance.covering_sets(9)
+
+
+class TestEdges:
+    def test_edges_enumeration(self, tiny_instance):
+        edges = list(tiny_instance.edges())
+        assert len(edges) == 6
+        assert edges[0] == Edge(0, 0)
+        assert all(isinstance(e, Edge) for e in edges)
+
+    def test_edges_sorted_within_set(self, tiny_instance):
+        edges = list(tiny_instance.edges())
+        by_set = {}
+        for e in edges:
+            by_set.setdefault(e.set_id, []).append(e.element)
+        for elements in by_set.values():
+            assert elements == sorted(elements)
+
+    def test_edges_match_membership(self, chain_instance):
+        for set_id, element in chain_instance.edges():
+            assert chain_instance.contains(set_id, element)
+
+
+class TestFeasibility:
+    def test_feasible_instance_validates(self, tiny_instance):
+        tiny_instance.validate()
+
+    def test_infeasible_raises(self):
+        instance = SetCoverInstance(3, [{0, 1}])
+        with pytest.raises(InfeasibleInstanceError):
+            instance.validate()
+
+    def test_is_feasible_flags(self):
+        assert SetCoverInstance(2, [{0, 1}]).is_feasible()
+        assert not SetCoverInstance(2, [{0}]).is_feasible()
+
+
+class TestCovers:
+    def test_is_cover_true(self, tiny_instance):
+        assert tiny_instance.is_cover([0, 2])
+
+    def test_is_cover_false(self, tiny_instance):
+        assert not tiny_instance.is_cover([0, 1])
+
+    def test_coverage_of(self, tiny_instance):
+        assert tiny_instance.coverage_of([1]) == {1, 2}
+
+    def test_uncovered_by(self, tiny_instance):
+        assert tiny_instance.uncovered_by([0]) == {2, 3}
+
+    def test_uncovered_by_full_cover_empty(self, tiny_instance):
+        assert tiny_instance.uncovered_by([0, 1, 2]) == set()
+
+
+class TestCertificates:
+    def test_valid_certificate(self, tiny_instance):
+        tiny_instance.verify_certificate({0: 0, 1: 0, 2: 2, 3: 2})
+
+    def test_missing_entry_rejected(self, tiny_instance):
+        with pytest.raises(InvalidCoverError):
+            tiny_instance.verify_certificate({0: 0, 1: 0, 2: 2})
+
+    def test_wrong_witness_rejected(self, tiny_instance):
+        with pytest.raises(InvalidCoverError):
+            tiny_instance.verify_certificate({0: 2, 1: 0, 2: 2, 3: 2})
+
+
+class TestDerivedInstances:
+    def test_restrict_to_sets(self, tiny_instance):
+        sub = tiny_instance.restrict_to_sets([0, 2])
+        assert sub.m == 2
+        assert sub.set_members(1) == frozenset({2, 3})
+
+    def test_with_extra_sets(self, tiny_instance):
+        ext = tiny_instance.with_extra_sets([{0, 3}])
+        assert ext.m == 4
+        assert ext.set_members(3) == frozenset({0, 3})
+
+    def test_original_unmodified(self, tiny_instance):
+        tiny_instance.with_extra_sets([{0}])
+        assert tiny_instance.m == 3
+
+
+class TestEquality:
+    def test_equal_instances(self):
+        a = SetCoverInstance(3, [{0}, {1, 2}])
+        b = SetCoverInstance(3, [{0}, {1, 2}])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_sets_unequal(self):
+        a = SetCoverInstance(3, [{0}, {1, 2}])
+        b = SetCoverInstance(3, [{0}, {1}])
+        assert a != b
+
+    def test_different_universe_unequal(self):
+        a = SetCoverInstance(3, [{0}])
+        b = SetCoverInstance(4, [{0}])
+        assert a != b
+
+
+class TestInstanceFromEdges:
+    def test_roundtrip(self, tiny_instance):
+        rebuilt = instance_from_edges(
+            tiny_instance.n, tiny_instance.m, tiny_instance.edges()
+        )
+        assert rebuilt == tiny_instance
+
+    def test_missing_sets_become_empty(self):
+        instance = instance_from_edges(2, 3, [(0, 0), (0, 1)])
+        assert instance.set_size(1) == 0
+        assert instance.set_size(2) == 0
+
+    def test_rejects_set_id_beyond_m(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_edges(2, 1, [(1, 0)])
+
+    def test_duplicate_edges_collapse(self):
+        instance = instance_from_edges(2, 1, [(0, 0), (0, 0), (0, 1)])
+        assert instance.num_edges == 2

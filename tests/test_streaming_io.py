@@ -1,0 +1,98 @@
+"""Tests for instance/stream text persistence."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.io import (
+    dump_instance,
+    dump_stream,
+    dumps_instance,
+    load_instance,
+    load_stream,
+    loads_instance,
+)
+from repro.types import Edge
+
+
+class TestInstanceRoundtrip:
+    def test_string_roundtrip(self, tiny_instance):
+        assert loads_instance(dumps_instance(tiny_instance)) == tiny_instance
+
+    def test_file_roundtrip(self, tiny_instance, tmp_path):
+        path = tmp_path / "inst.txt"
+        dump_instance(tiny_instance, path)
+        assert load_instance(path) == tiny_instance
+
+    def test_handle_roundtrip(self, tiny_instance):
+        buffer = io.StringIO()
+        dump_instance(tiny_instance, buffer)
+        buffer.seek(0)
+        assert load_instance(buffer) == tiny_instance
+
+    def test_name_preserved(self, tiny_instance):
+        loaded = loads_instance(dumps_instance(tiny_instance))
+        assert loaded.name == "tiny"
+
+    def test_empty_sets_preserved(self):
+        instance = SetCoverInstance(2, [{0, 1}, set()])
+        assert loads_instance(dumps_instance(instance)).m == 2
+
+
+class TestInstanceParsing:
+    def test_header_required(self):
+        with pytest.raises(InvalidInstanceError):
+            loads_instance("0 1\n")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            loads_instance("setcover 3\n")
+
+    def test_non_integer_header(self):
+        with pytest.raises(InvalidInstanceError):
+            loads_instance("setcover x y\n")
+
+    def test_bad_edge_line(self):
+        with pytest.raises(InvalidInstanceError):
+            loads_instance("setcover 2 1\n0 1 2\n")
+
+    def test_non_integer_edge(self):
+        with pytest.raises(InvalidInstanceError):
+            loads_instance("setcover 2 1\n0 a\n")
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = "# hello\n\nsetcover 2 1\n# mid comment\n0 0\n0 1\n"
+        instance = loads_instance(text)
+        assert instance.set_members(0) == frozenset({0, 1})
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            loads_instance("")
+
+
+class TestStreamPersistence:
+    def test_roundtrip(self, tmp_path):
+        edges = [Edge(0, 1), Edge(2, 0), Edge(1, 1)]
+        path = tmp_path / "stream.txt"
+        dump_stream(edges, path)
+        assert load_stream(path) == edges
+
+    def test_order_preserved(self, tmp_path):
+        edges = [Edge(5, 5), Edge(0, 0)]
+        path = tmp_path / "stream.txt"
+        dump_stream(edges, path)
+        assert load_stream(path) == edges  # not sorted
+
+    def test_handle_write(self):
+        buffer = io.StringIO()
+        dump_stream([Edge(1, 2)], buffer)
+        buffer.seek(0)
+        assert load_stream(buffer) == [Edge(1, 2)]
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            load_stream(io.StringIO("1 2 3\n"))

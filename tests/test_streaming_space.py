@@ -1,0 +1,177 @@
+"""Tests for SpaceMeter / SpaceBudget: accounting semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpaceBudgetExceededError
+from repro.streaming.space import (
+    SpaceBudget,
+    SpaceMeter,
+    words_for_mapping,
+    words_for_set,
+)
+
+
+class TestComponents:
+    def test_set_component(self):
+        meter = SpaceMeter()
+        meter.set_component("a", 10)
+        assert meter.current_words == 10
+
+    def test_components_sum(self):
+        meter = SpaceMeter()
+        meter.set_component("a", 10)
+        meter.set_component("b", 5)
+        assert meter.current_words == 15
+
+    def test_overwrite_replaces(self):
+        meter = SpaceMeter()
+        meter.set_component("a", 10)
+        meter.set_component("a", 3)
+        assert meter.current_words == 3
+
+    def test_component_query(self):
+        meter = SpaceMeter()
+        meter.set_component("a", 7)
+        assert meter.component("a") == 7
+        assert meter.component("missing") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceMeter().set_component("a", -1)
+
+    def test_add_to_component(self):
+        meter = SpaceMeter()
+        meter.add_to_component("a", 4)
+        meter.add_to_component("a", 3)
+        assert meter.component("a") == 7
+
+    def test_add_to_component_negative_floor(self):
+        meter = SpaceMeter()
+        meter.add_to_component("a", 2)
+        with pytest.raises(ValueError):
+            meter.add_to_component("a", -3)
+
+
+class TestPeak:
+    def test_peak_tracks_maximum(self):
+        meter = SpaceMeter()
+        meter.set_component("a", 10)
+        meter.set_component("a", 2)
+        assert meter.peak_words == 10
+        assert meter.current_words == 2
+
+    def test_peak_across_components(self):
+        meter = SpaceMeter()
+        meter.set_component("a", 5)
+        meter.set_component("b", 5)
+        meter.set_component("a", 0)
+        assert meter.peak_words == 10
+
+    def test_component_peaks_individual(self):
+        meter = SpaceMeter()
+        meter.set_component("a", 8)
+        meter.set_component("a", 1)
+        meter.set_component("b", 3)
+        report = meter.report()
+        assert report.peak_of("a") == 8
+        assert report.peak_of("b") == 3
+        assert report.peak_of("zzz") == 0
+
+    def test_components_at_peak_snapshot(self):
+        meter = SpaceMeter()
+        meter.set_component("a", 5)
+        meter.set_component("b", 7)  # peak now: a=5, b=7
+        meter.set_component("b", 1)
+        report = meter.report()
+        assert report.components_at_peak == {"a": 5, "b": 7}
+
+    def test_dominant_component(self):
+        meter = SpaceMeter()
+        meter.set_component("small", 1)
+        meter.set_component("big", 100)
+        assert meter.report().dominant_component() == "big"
+
+    def test_dominant_component_empty(self):
+        assert SpaceMeter().report().dominant_component() is None
+
+
+class TestAnonymousCharges:
+    def test_charge_release(self):
+        meter = SpaceMeter()
+        meter.charge(10)
+        meter.release(4)
+        assert meter.current_words == 6
+
+    def test_release_too_much(self):
+        meter = SpaceMeter()
+        meter.charge(2)
+        with pytest.raises(ValueError):
+            meter.release(3)
+
+    def test_charge_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceMeter().charge(-1)
+
+    def test_release_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceMeter().release(-1)
+
+    def test_anonymous_appears_at_peak(self):
+        meter = SpaceMeter()
+        meter.charge(9)
+        assert meter.report().components_at_peak.get("<anonymous>") == 9
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        meter = SpaceMeter(budget=SpaceBudget(words=5))
+        meter.set_component("a", 5)
+        with pytest.raises(SpaceBudgetExceededError):
+            meter.set_component("a", 6)
+
+    def test_budget_error_details(self):
+        meter = SpaceMeter(budget=SpaceBudget(words=5, context="kk run"))
+        try:
+            meter.charge(7)
+        except SpaceBudgetExceededError as error:
+            assert error.used == 7
+            assert error.budget == 5
+            assert "kk run" in str(error)
+        else:
+            pytest.fail("budget not enforced")
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpaceBudget(words=0)
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        meter = SpaceMeter()
+        meter.set_component("a", 10)
+        meter.charge(2)
+        meter.reset()
+        assert meter.current_words == 0
+        assert meter.peak_words == 0
+        assert meter.report().component_peaks == {}
+
+
+class TestHelpers:
+    def test_words_for_mapping_default(self):
+        assert words_for_mapping(3) == 6
+
+    def test_words_for_mapping_custom(self):
+        assert words_for_mapping(3, words_per_entry=4) == 12
+
+    def test_words_for_mapping_negative(self):
+        with pytest.raises(ValueError):
+            words_for_mapping(-1)
+
+    def test_words_for_set(self):
+        assert words_for_set(5) == 5
+
+    def test_words_for_set_negative(self):
+        with pytest.raises(ValueError):
+            words_for_set(-1)

@@ -1,0 +1,99 @@
+"""Tests for EdgeStream / ReplayableStream: one-pass discipline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamExhaustedError
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import (
+    EdgeStream,
+    ReplayableStream,
+    concat_streams,
+    stream_of,
+)
+from repro.types import Edge
+
+
+class TestEdgeStream:
+    def test_iterates_all_edges(self, tiny_instance):
+        stream = stream_of(tiny_instance)
+        assert len(list(stream)) == tiny_instance.num_edges
+
+    def test_length_matches_instance(self, tiny_instance):
+        assert stream_of(tiny_instance).length == tiny_instance.num_edges
+
+    def test_position_tracks_consumption(self, tiny_instance):
+        stream = stream_of(tiny_instance)
+        it = iter(stream)
+        next(it)
+        next(it)
+        assert stream.position == 2
+
+    def test_second_pass_rejected(self, tiny_instance):
+        stream = stream_of(tiny_instance)
+        list(stream)
+        with pytest.raises(StreamExhaustedError):
+            iter(stream)
+
+    def test_second_iter_rejected_even_unconsumed_items(self, tiny_instance):
+        stream = stream_of(tiny_instance)
+        iter(stream)
+        with pytest.raises(StreamExhaustedError):
+            iter(stream)
+
+    def test_peek_all_does_not_consume(self, tiny_instance):
+        stream = stream_of(tiny_instance)
+        assert len(stream.peek_all()) == stream.length
+        assert not stream.consumed
+
+    def test_order_name_recorded(self, tiny_instance):
+        stream = stream_of(tiny_instance, RandomOrder(seed=1))
+        assert stream.order_name == "random"
+
+    def test_default_order_canonical(self, tiny_instance):
+        stream = stream_of(tiny_instance)
+        assert stream.order_name == "canonical"
+        assert list(stream) == list(tiny_instance.edges())
+
+
+class TestReplayableStream:
+    def test_fresh_streams_identical(self, chain_instance):
+        replayable = ReplayableStream(chain_instance, RandomOrder(seed=2))
+        a = list(replayable.fresh())
+        b = list(replayable.fresh())
+        assert a == b
+
+    def test_fresh_streams_independent(self, chain_instance):
+        replayable = ReplayableStream(chain_instance, RandomOrder(seed=2))
+        first = replayable.fresh()
+        list(first)
+        second = replayable.fresh()
+        assert list(second)  # not exhausted by the first view
+
+    def test_edges_accessor(self, chain_instance):
+        replayable = ReplayableStream(chain_instance)
+        assert len(replayable.edges()) == chain_instance.num_edges
+
+    def test_length(self, chain_instance):
+        assert ReplayableStream(chain_instance).length == chain_instance.num_edges
+
+
+class TestConcatStreams:
+    def test_concatenates_in_order(self, tiny_instance):
+        first = EdgeStream(tiny_instance, [Edge(0, 0)])
+        second = EdgeStream(tiny_instance, [Edge(2, 3)])
+        combined = concat_streams(first, second)
+        assert list(combined) == [Edge(0, 0), Edge(2, 3)]
+
+    def test_rejects_consumed_input(self, tiny_instance):
+        first = EdgeStream(tiny_instance, [Edge(0, 0)])
+        list(first)
+        second = EdgeStream(tiny_instance, [Edge(2, 3)])
+        with pytest.raises(StreamExhaustedError):
+            concat_streams(first, second)
+
+    def test_order_name_combines(self, tiny_instance):
+        first = EdgeStream(tiny_instance, [Edge(0, 0)], order_name="a")
+        second = EdgeStream(tiny_instance, [Edge(2, 3)], order_name="b")
+        assert concat_streams(first, second).order_name == "a+b"

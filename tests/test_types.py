@@ -1,0 +1,115 @@
+"""Tests for repro.types: edges, rng construction, coercions."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    Edge,
+    as_edge,
+    iter_edges,
+    make_numpy_rng,
+    make_rng,
+)
+
+
+class TestEdge:
+    def test_edge_fields(self):
+        edge = Edge(3, 7)
+        assert edge.set_id == 3
+        assert edge.element == 7
+
+    def test_edge_is_tuple(self):
+        assert Edge(1, 2) == (1, 2)
+
+    def test_edge_unpacking(self):
+        set_id, element = Edge(5, 9)
+        assert (set_id, element) == (5, 9)
+
+    def test_edge_hashable(self):
+        assert len({Edge(1, 2), Edge(1, 2), Edge(2, 1)}) == 2
+
+
+class TestAsEdge:
+    def test_from_tuple(self):
+        assert as_edge((4, 5)) == Edge(4, 5)
+
+    def test_from_list(self):
+        assert as_edge([4, 5]) == Edge(4, 5)
+
+    def test_from_edge(self):
+        assert as_edge(Edge(4, 5)) == Edge(4, 5)
+
+    def test_coerces_numpy_ints(self):
+        edge = as_edge((np.int64(2), np.int64(3)))
+        assert isinstance(edge.set_id, int)
+        assert edge == Edge(2, 3)
+
+    def test_rejects_negative_set(self):
+        with pytest.raises(ValueError):
+            as_edge((-1, 0))
+
+    def test_rejects_negative_element(self):
+        with pytest.raises(ValueError):
+            as_edge((0, -1))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises((ValueError, TypeError)):
+            as_edge((1, 2, 3))
+
+
+class TestIterEdges:
+    def test_yields_edges(self):
+        out = list(iter_edges([(0, 1), (2, 3)]))
+        assert out == [Edge(0, 1), Edge(2, 3)]
+
+    def test_empty(self):
+        assert list(iter_edges([])) == []
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_passthrough_random_instance(self):
+        rng = random.Random(7)
+        assert make_rng(rng) is rng
+
+    def test_from_numpy_generator(self):
+        gen = np.random.default_rng(3)
+        rng = make_rng(gen)
+        assert isinstance(rng, random.Random)
+
+    def test_from_numpy_generator_deterministic(self):
+        a = make_rng(np.random.default_rng(3)).random()
+        b = make_rng(np.random.default_rng(3)).random()
+        assert a == b
+
+    def test_none_seed_allowed(self):
+        assert 0.0 <= make_rng(None).random() < 1.0
+
+
+class TestMakeNumpyRng:
+    def test_int_seed_deterministic(self):
+        a = make_numpy_rng(5).integers(0, 1000)
+        b = make_numpy_rng(5).integers(0, 1000)
+        assert a == b
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert make_numpy_rng(gen) is gen
+
+    def test_from_python_random(self):
+        gen = make_numpy_rng(random.Random(9))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_from_python_random_deterministic(self):
+        a = make_numpy_rng(random.Random(9)).integers(0, 10**9)
+        b = make_numpy_rng(random.Random(9)).integers(0, 10**9)
+        assert a == b
