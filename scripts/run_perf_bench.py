@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Run the hot-path throughput benchmark and maintain BENCH_perf.json.
+
+Usage
+-----
+Full benchmark (three sizes up to ~1e6 edges), updating BENCH_perf.json
+in place while preserving the recorded seed baseline::
+
+    PYTHONPATH=src python scripts/run_perf_bench.py
+
+CI smoke tier — quick run, fail (exit 1) on a >2x edges/sec regression
+against the committed smoke numbers::
+
+    PYTHONPATH=src python scripts/run_perf_bench.py --smoke --check
+
+Record the current code as the "seed baseline" (done once, before the
+hot-path optimization, so the speedup trajectory stays in the file)::
+
+    PYTHONPATH=src python scripts/run_perf_bench.py --record-seed-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.perfbench import (  # noqa: E402
+    check_regression,
+    load_bench_file,
+    records_to_json,
+    run_bench,
+    speedup_table,
+    write_bench_file,
+)
+
+BENCH_FILE = REPO_ROOT / "BENCH_perf.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="run only the small smoke tier"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against committed BENCH_perf.json; exit 1 on >FACTOR"
+        " regression (implies --no-write)",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="allowed edges/sec regression factor for --check (default 2.0)",
+    )
+    parser.add_argument(
+        "--record-seed-baseline",
+        action="store_true",
+        help="store this run's full-tier numbers as the immutable "
+        "pre-optimization baseline",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="do not touch BENCH_perf.json"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    def progress(line: str) -> None:
+        print(line, flush=True)
+
+    if args.check:
+        current = run_bench(tier="smoke", seed=args.seed, progress=progress)
+        committed = load_bench_file(BENCH_FILE).get("smoke", [])
+        if not committed:
+            print("no committed smoke numbers in BENCH_perf.json; nothing to check")
+            return 0
+        failures = check_regression(current, committed, factor=args.factor)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print(f"ok: no >{args.factor}x regression against committed smoke numbers")
+        return 0
+
+    smoke = run_bench(tier="smoke", seed=args.seed, progress=progress)
+    full = [] if args.smoke else run_bench(tier="full", seed=args.seed, progress=progress)
+
+    if args.record_seed_baseline:
+        if not full:
+            full = run_bench(tier="full", seed=args.seed, progress=progress)
+        write_bench_file(
+            BENCH_FILE, smoke, full, seed_baseline=records_to_json(full)
+        )
+        print(f"recorded seed baseline in {BENCH_FILE}")
+        return 0
+
+    if not args.no_write and not args.smoke:
+        payload = write_bench_file(BENCH_FILE, smoke, full)
+        rows = speedup_table(payload.get("seed_baseline", []), full)
+        if rows:
+            print("\nspeedup vs seed baseline:")
+            for config, algorithm, before, after, speedup in rows:
+                print(
+                    f"  {config:>7} {algorithm:<13} "
+                    f"{before:>12,.0f} -> {after:>12,.0f} edges/s  "
+                    f"({speedup:.1f}x)"
+                )
+        print(f"\nwrote {BENCH_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

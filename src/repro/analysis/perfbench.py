@@ -1,0 +1,235 @@
+"""Throughput benchmark harness for the streaming hot path.
+
+Measures end-to-end edges/sec (and peak RSS) of the three core one-pass
+algorithms — KK, random-order (Algorithm 1) and the low-space
+adversarial algorithm (Algorithm 2) — on a ladder of instance sizes.
+Results are written to ``BENCH_perf.json`` at the repository root so
+every future PR has a trajectory to regress against; CI runs the
+``smoke`` tier and fails on a >2x edges/sec regression.
+
+Three tiers:
+
+* ``smoke``  — one small instance (~3e4 edges), seconds; used by CI.
+* ``full``   — three sizes up to ~1e6 edges; the committed numbers.
+
+Use :func:`run_bench` programmatically or ``scripts/run_perf_bench.py``
+from the command line.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import resource
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.adversarial import LowSpaceAdversarialAlgorithm
+from repro.core.base import StreamingSetCoverAlgorithm
+from repro.core.kk import KKAlgorithm
+from repro.core.random_order import RandomOrderAlgorithm
+from repro.generators.random_instances import fixed_size_instance
+from repro.streaming.orders import RandomOrder
+from repro.streaming.stream import ReplayableStream
+
+#: Benchmark tiers: label -> list of (config_name, n, m, set_size).
+#: Stream length is m * set_size edges (fixed-size sets, all distinct).
+TIERS: Dict[str, List[Tuple[str, int, int, int]]] = {
+    "smoke": [
+        ("small", 200, 1500, 20),  # 3.0e4 edges
+    ],
+    "full": [
+        ("small", 300, 3000, 30),  # 9.0e4 edges
+        ("medium", 600, 8000, 40),  # 3.2e5 edges
+        ("large", 1000, 20000, 50),  # 1.0e6 edges
+    ],
+}
+
+
+@dataclass
+class BenchRecord:
+    """One (algorithm, instance) timing measurement."""
+
+    config: str
+    algorithm: str
+    n: int
+    m: int
+    stream_length: int
+    seconds: float
+    edges_per_sec: float
+    peak_words: int
+    cover_size: int
+    max_rss_kb: int
+
+
+def _algorithms(n: int, seed: int) -> Dict[str, Callable[[], StreamingSetCoverAlgorithm]]:
+    """Fresh algorithm factories for one benchmark cell."""
+    alpha = 2.0 * math.sqrt(n)
+    return {
+        "kk": lambda: KKAlgorithm(seed=seed),
+        "random-order": lambda: RandomOrderAlgorithm(seed=seed),
+        "adversarial": lambda: LowSpaceAdversarialAlgorithm(alpha=alpha, seed=seed),
+    }
+
+
+def _max_rss_kb() -> int:
+    """Process high-water RSS in KiB (Linux ``ru_maxrss`` unit)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def run_bench(
+    tier: str = "full",
+    seed: int = 0,
+    algorithms: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchRecord]:
+    """Run one benchmark tier and return its records.
+
+    Parameters
+    ----------
+    tier:
+        ``"smoke"`` or ``"full"`` (see :data:`TIERS`).
+    seed:
+        Master seed for instance generation, stream order and algorithms.
+    algorithms:
+        Optional subset of ``{"kk", "random-order", "adversarial"}``.
+    progress:
+        Optional callback receiving one status line per measurement.
+    """
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; known: {sorted(TIERS)}")
+    records: List[BenchRecord] = []
+    for config, n, m, set_size in TIERS[tier]:
+        instance = fixed_size_instance(n, m, set_size, seed=seed)
+        replayable = ReplayableStream(instance, RandomOrder(seed=seed))
+        for name, factory in _algorithms(n, seed).items():
+            if algorithms is not None and name not in algorithms:
+                continue
+            algorithm = factory()
+            stream = replayable.fresh()
+            start = time.perf_counter()
+            result = algorithm.run(stream)
+            seconds = time.perf_counter() - start
+            record = BenchRecord(
+                config=config,
+                algorithm=name,
+                n=n,
+                m=m,
+                stream_length=replayable.length,
+                seconds=round(seconds, 4),
+                edges_per_sec=round(replayable.length / max(seconds, 1e-9), 1),
+                peak_words=result.space.peak_words,
+                cover_size=result.cover_size,
+                max_rss_kb=_max_rss_kb(),
+            )
+            records.append(record)
+            if progress is not None:
+                progress(
+                    f"{config:>7} {name:<13} N={record.stream_length:>8} "
+                    f"{record.edges_per_sec:>12,.0f} edges/s "
+                    f"({record.seconds:.2f}s)"
+                )
+    return records
+
+
+def records_to_json(records: Sequence[BenchRecord]) -> List[dict]:
+    """Plain-dict form of the records, ready for ``json.dump``."""
+    return [asdict(r) for r in records]
+
+
+def load_bench_file(path: Path) -> dict:
+    """Read a ``BENCH_perf.json`` file (empty dict if absent)."""
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def write_bench_file(
+    path: Path,
+    smoke: Sequence[BenchRecord],
+    full: Sequence[BenchRecord],
+    seed_baseline: Optional[List[dict]] = None,
+) -> dict:
+    """Write ``BENCH_perf.json``, preserving any recorded seed baseline.
+
+    ``seed_baseline`` holds the pre-optimization ("before") numbers; it
+    is kept verbatim across re-runs so the speedup trajectory stays
+    visible in the committed file.
+    """
+    existing = load_bench_file(path)
+    payload = {
+        "schema": 1,
+        "description": (
+            "Hot-path throughput benchmark; see scripts/run_perf_bench.py. "
+            "'seed_baseline' is the pre-optimization measurement, "
+            "'full'/'smoke' are the current code."
+        ),
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "seed_baseline": (
+            seed_baseline
+            if seed_baseline is not None
+            else existing.get("seed_baseline", [])
+        ),
+        "smoke": records_to_json(smoke),
+        "full": records_to_json(full),
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return payload
+
+
+def check_regression(
+    current: Sequence[BenchRecord],
+    committed: Sequence[dict],
+    factor: float = 2.0,
+) -> List[str]:
+    """Compare a smoke run against committed numbers.
+
+    Returns a list of human-readable failure strings, one per
+    (config, algorithm) cell whose edges/sec dropped by more than
+    ``factor`` versus the committed measurement.  An empty list means
+    no regression.
+    """
+    baseline = {
+        (row["config"], row["algorithm"]): row["edges_per_sec"]
+        for row in committed
+    }
+    failures: List[str] = []
+    for record in current:
+        key = (record.config, record.algorithm)
+        reference = baseline.get(key)
+        if reference is None or reference <= 0:
+            continue
+        if record.edges_per_sec * factor < reference:
+            failures.append(
+                f"{record.config}/{record.algorithm}: "
+                f"{record.edges_per_sec:,.0f} edges/s is more than {factor}x "
+                f"below the committed {reference:,.0f} edges/s"
+            )
+    return failures
+
+
+def speedup_table(
+    before: Sequence[dict], after: Sequence[BenchRecord]
+) -> List[Tuple[str, str, float, float, float]]:
+    """Rows of (config, algorithm, before, after, speedup) for reporting."""
+    by_key = {(r["config"], r["algorithm"]): r["edges_per_sec"] for r in before}
+    rows = []
+    for record in after:
+        ref = by_key.get((record.config, record.algorithm))
+        if ref:
+            rows.append(
+                (
+                    record.config,
+                    record.algorithm,
+                    ref,
+                    record.edges_per_sec,
+                    record.edges_per_sec / ref,
+                )
+            )
+    return rows

@@ -8,14 +8,15 @@ comparison sees the identical edge sequence, then collects
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import RunMetrics, metrics_from_result
 from repro.analysis.opt import opt_or_bound
 from repro.core.base import StreamingSetCoverAlgorithm
 from repro.streaming.instance import SetCoverInstance
-from repro.streaming.orders import ArrivalOrder, make_order
+from repro.streaming.orders import make_order
 from repro.streaming.stream import ReplayableStream
 from repro.types import SeedLike, make_rng
 
@@ -76,41 +77,88 @@ class ExperimentRunner:
         order_name: str,
         opt_handle: Optional[int] = None,
         replications: int = 1,
+        max_workers: int = 1,
     ) -> List[RunMetrics]:
-        """All algorithms on identical streams, ``replications`` times."""
-        rows: List[RunMetrics] = []
-        for _ in range(replications):
-            seed = self._rng.getrandbits(63)
-            order = make_order(order_name, seed=seed)
-            replayable = ReplayableStream(instance, order)
-            for name in self.algorithms:
-                rows.append(
-                    self._execute(
-                        replayable, name, opt_handle=opt_handle, seed=seed
-                    )
-                )
-        return rows
+        """All algorithms on identical streams, ``replications`` times.
+
+        With ``max_workers > 1`` the runs execute on a thread pool.  The
+        per-replication seeds are drawn up front in the same order the
+        serial path draws them, every run gets its own algorithm
+        instance and one-pass stream view over the shared frozen edge
+        buffer, and rows are collected in submission order — so the
+        result is *identical* to ``max_workers=1`` for a fixed master
+        seed, whatever the pool's scheduling.
+        """
+        specs = self._build_specs(instance, order_name, opt_handle, replications)
+        return self._execute_specs(specs, max_workers)
 
     def sweep_instances(
         self,
         instances: Sequence[Tuple[SetCoverInstance, Optional[int]]],
         order_name: str,
         replications: int = 1,
+        max_workers: int = 1,
     ) -> List[RunMetrics]:
-        """All algorithms across ``(instance, planted_opt)`` pairs."""
-        rows: List[RunMetrics] = []
+        """All algorithms across ``(instance, planted_opt)`` pairs.
+
+        ``max_workers`` parallelises the whole grid (not one instance at
+        a time) with the same determinism guarantee as :meth:`compare`.
+        """
+        specs: List[Tuple[ReplayableStream, str, Optional[int], int]] = []
         for instance, opt_handle in instances:
-            rows.extend(
-                self.compare(
-                    instance,
-                    order_name,
-                    opt_handle=opt_handle,
-                    replications=replications,
-                )
+            specs.extend(
+                self._build_specs(instance, order_name, opt_handle, replications)
             )
-        return rows
+        return self._execute_specs(specs, max_workers)
 
     # -- internals -------------------------------------------------------
+
+    def _build_specs(
+        self,
+        instance: SetCoverInstance,
+        order_name: str,
+        opt_handle: Optional[int],
+        replications: int,
+    ) -> List[Tuple[ReplayableStream, str, Optional[int], int]]:
+        """Draw seeds and freeze streams for one comparison, serially.
+
+        All randomness is consumed here, before any (possibly
+        concurrent) execution, which is what makes the parallel path
+        bit-identical to the serial one.
+        """
+        specs: List[Tuple[ReplayableStream, str, Optional[int], int]] = []
+        for _ in range(replications):
+            seed = self._rng.getrandbits(63)
+            order = make_order(order_name, seed=seed)
+            replayable = ReplayableStream(instance, order)
+            for name in self.algorithms:
+                specs.append((replayable, name, opt_handle, seed))
+        return specs
+
+    def _execute_specs(
+        self,
+        specs: Sequence[Tuple[ReplayableStream, str, Optional[int], int]],
+        max_workers: int,
+    ) -> List[RunMetrics]:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_workers == 1 or len(specs) <= 1:
+            return [
+                self._execute(replayable, name, opt_handle=opt_handle, seed=seed)
+                for replayable, name, opt_handle, seed in specs
+            ]
+        # Pre-build the shared numpy columns serially: worker threads
+        # then only read the frozen buffers.
+        for replayable, _, _, _ in specs:
+            replayable._frozen.columns()
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(
+                    self._execute, replayable, name, opt_handle=opt_handle, seed=seed
+                )
+                for replayable, name, opt_handle, seed in specs
+            ]
+            return [future.result() for future in futures]
 
     def _execute(
         self,

@@ -26,13 +26,17 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Set
 
+import numpy as np
+
 from repro.core.base import FirstSetStore, StreamingSetCoverAlgorithm
-from repro.core.scaling import Scaling
 from repro.core.solution import StreamingResult
 from repro.errors import ConfigurationError
-from repro.streaming.space import SpaceBudget, words_for_mapping, words_for_set
+from repro.streaming.space import ChargedDict, ChargedSet, SpaceBudget, words_for_set
 from repro.streaming.stream import EdgeStream
 from repro.types import ElementId, SeedLike, SetId
+
+#: Edges consumed per vectorized batch (see :mod:`repro.core.kk`).
+_CHUNK = 8192
 
 
 class LowSpaceAdversarialAlgorithm(StreamingSetCoverAlgorithm):
@@ -84,42 +88,57 @@ class LowSpaceAdversarialAlgorithm(StreamingSetCoverAlgorithm):
         d0: Set[SetId] = {
             set_id for set_id in range(m) if self._rng.random() < p0
         } if p0 < 1.0 else set(range(m))
-        partial_cover: Set[SetId] = set(d0)
-        meter.set_component("partial-cover", words_for_set(len(partial_cover)))
+        partial_cover: Set[SetId] = ChargedSet(
+            meter, "partial-cover", words_per_entry=1, iterable=d0
+        )
 
-        levels: Dict[SetId, int] = {}
-        covered: Set[ElementId] = set()
+        levels: Dict[SetId, int] = ChargedDict(
+            meter, "levels", words_per_entry=2, charge_initial=False
+        )
+        covered: Set[ElementId] = ChargedSet(
+            meter, "covered", words_per_entry=1, charge_initial=False
+        )
         certificate: Dict[ElementId, SetId] = {}
-        first_sets = FirstSetStore(meter)
+        first_sets = FirstSetStore(meter, universe_size=n)
 
         promotions = 0
         max_level = 0
         promote_p = 1.0 / self.alpha
 
-        for set_id, element in stream:
-            first_sets.observe(set_id, element)
+        # Vectorized pre-filter: an element covered at chunk start stays
+        # covered (nothing in this algorithm shrinks), and covered
+        # elements draw no coins, so bulk-skipping them preserves both
+        # the RNG sequence and every meter charge.
+        covered_mask = np.zeros(n, dtype=bool)
 
-            if element in covered:
+        reader = stream.reader()
+        while reader.remaining:
+            set_ids, elements = reader.take_columns(_CHUNK)
+            first_sets.observe_columns(set_ids, elements)
+            interesting = np.nonzero(~covered_mask[elements])[0]
+            if not len(interesting):
                 continue
+            for set_id, element in zip(
+                set_ids[interesting].tolist(), elements[interesting].tolist()
+            ):
+                if element in covered:
+                    continue
 
-            if self._coin(promote_p):
-                level = levels.get(set_id, 0) + 1
-                levels[set_id] = level
-                promotions += 1
-                max_level = max(max_level, level)
-                meter.set_component("levels", words_for_mapping(len(levels)))
-                if set_id not in partial_cover and self._coin(
-                    self.inclusion_probability(level, n, m)
-                ):
-                    partial_cover.add(set_id)
-                    meter.set_component(
-                        "partial-cover", words_for_set(len(partial_cover))
-                    )
+                if self._coin(promote_p):
+                    level = levels.get(set_id, 0) + 1
+                    levels[set_id] = level
+                    promotions += 1
+                    if level > max_level:
+                        max_level = level
+                    if set_id not in partial_cover and self._coin(
+                        self.inclusion_probability(level, n, m)
+                    ):
+                        partial_cover.add(set_id)
 
-            if set_id in partial_cover:
-                covered.add(element)
-                certificate[element] = set_id
-                meter.set_component("covered", words_for_set(len(covered)))
+                if set_id in partial_cover:
+                    covered.add(element)
+                    covered_mask[element] = True
+                    certificate[element] = set_id
 
         cover = set(partial_cover)
         patched = first_sets.patch(certificate, cover, n)

@@ -13,11 +13,13 @@ paper relies on it to guarantee feasibility.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Optional, Set
+
+import numpy as np
 
 from repro.core.solution import StreamingResult
 from repro.errors import InvalidCoverError
-from repro.streaming.space import SpaceBudget, SpaceMeter, words_for_mapping
+from repro.streaming.space import ChargedDict, SpaceBudget, SpaceMeter
 from repro.streaming.stream import EdgeStream
 from repro.types import ElementId, SeedLike, SetId, make_rng
 
@@ -27,22 +29,65 @@ class FirstSetStore:
 
     Mirrors Algorithm 1 line 4 and Algorithm 2 lines 9–10.  Costs Õ(n)
     space, charged to the given meter under the component name
-    ``"first-set"``.
+    ``"first-set"`` via a :class:`~repro.streaming.space.ChargedDict`
+    (the meter is updated only when a new element is recorded, never per
+    edge).
     """
 
     COMPONENT = "first-set"
 
-    def __init__(self, meter: SpaceMeter) -> None:
-        self._first: Dict[ElementId, SetId] = {}
-        self._meter = meter
+    def __init__(
+        self, meter: SpaceMeter, universe_size: Optional[int] = None
+    ) -> None:
+        self._first: Dict[ElementId, SetId] = ChargedDict(
+            meter, self.COMPONENT, words_per_entry=2, charge_initial=False
+        )
+        self._universe_size = universe_size
+        self._seen: Optional[np.ndarray] = None
 
     def observe(self, set_id: SetId, element: ElementId) -> None:
         """Record ``set_id`` as the witness for ``element`` if it is first."""
         if element not in self._first:
             self._first[element] = set_id
-            self._meter.set_component(
-                self.COMPONENT, words_for_mapping(len(self._first))
+
+    def observe_columns(
+        self, set_ids: np.ndarray, elements: np.ndarray
+    ) -> None:
+        """Batch :meth:`observe` over numpy edge columns.
+
+        Equivalent to calling :meth:`observe` for every edge in order,
+        but O(chunk) vectorized: once every universe element has been
+        seen this degenerates to a single boolean check per chunk.
+        """
+        if self._universe_size is not None and len(self._first) == self._universe_size:
+            return
+        if self._seen is None:
+            size = (
+                self._universe_size
+                if self._universe_size is not None
+                else int(elements.max()) + 1 if len(elements) else 1
             )
+            self._seen = np.zeros(size, dtype=bool)
+            for element in self._first:
+                self._seen[element] = True
+        seen = self._seen
+        if len(elements) and int(elements.max()) >= len(seen):
+            grown = np.zeros(int(elements.max()) + 1, dtype=bool)
+            grown[: len(seen)] = seen
+            self._seen = seen = grown
+        new_mask = ~seen[elements]
+        if not new_mask.any():
+            return
+        new_positions = np.nonzero(new_mask)[0]
+        uniques, first_within = np.unique(
+            elements[new_positions], return_index=True
+        )
+        first = self._first
+        for element, offset in zip(
+            uniques.tolist(), new_positions[first_within].tolist()
+        ):
+            first[element] = int(set_ids[offset])
+            seen[element] = True
 
     def get(self, element: ElementId) -> Optional[SetId]:
         """The first set observed to contain ``element``, or ``None``."""

@@ -34,12 +34,17 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Set
 
+import numpy as np
+
 from repro.core.base import FirstSetStore, StreamingSetCoverAlgorithm
 from repro.core.solution import StreamingResult
 from repro.errors import ConfigurationError, InfeasibleInstanceError
-from repro.streaming.space import SpaceBudget, words_for_set
+from repro.streaming.space import ChargedSet, SpaceBudget, words_for_set
 from repro.streaming.stream import EdgeStream
 from repro.types import ElementId, SeedLike, SetId
+
+#: Edges consumed per vectorized batch (see :mod:`repro.core.kk`).
+_CHUNK = 8192
 
 
 class ElementSamplingAlgorithm(StreamingSetCoverAlgorithm):
@@ -96,14 +101,16 @@ class ElementSamplingAlgorithm(StreamingSetCoverAlgorithm):
         meter = self._meter
 
         p = self.sample_probability(m)
-        sampled: Set[ElementId] = {
-            u for u in range(n) if self._rng.random() < p
-        }
-        meter.set_component("sampled-universe", words_for_set(len(sampled)))
+        sampled: Set[ElementId] = ChargedSet(
+            meter,
+            "sampled-universe",
+            words_per_entry=1,
+            iterable=(u for u in range(n) if self._rng.random() < p),
+        )
 
         projections: Dict[SetId, Set[ElementId]] = {}
         stored_edges = 0
-        first_sets = FirstSetStore(meter)
+        first_sets = FirstSetStore(meter, universe_size=n)
         cache_size = (
             self.witness_cache_size
             if self.witness_cache_size is not None
@@ -111,19 +118,39 @@ class ElementSamplingAlgorithm(StreamingSetCoverAlgorithm):
         )
         witness_cache: Dict[ElementId, Set[SetId]] = {}
 
-        for set_id, element in stream:
-            first_sets.observe(set_id, element)
-            if cache_size > 0:
-                cache = witness_cache.setdefault(element, set())
-                if len(cache) < cache_size and set_id not in cache:
-                    cache.add(set_id)
-                    meter.add_to_component("witness-cache", 1)
-            if element in sampled:
-                members = projections.setdefault(set_id, set())
-                if element not in members:
-                    members.add(element)
-                    stored_edges += 1
-                    meter.add_to_component("projections", 2)
+        # Vectorized pre-filter: an edge is a guaranteed no-op once its
+        # element's witness cache is full and the element is not sampled;
+        # both conditions are monotone, so chunk-start masks are sound.
+        sampled_mask = np.zeros(n, dtype=bool)
+        for u in sampled:
+            sampled_mask[u] = True
+        cache_open = np.full(n, cache_size > 0, dtype=bool)
+
+        reader = stream.reader()
+        while reader.remaining:
+            set_ids, elements = reader.take_columns(_CHUNK)
+            first_sets.observe_columns(set_ids, elements)
+            interesting = np.nonzero(
+                cache_open[elements] | sampled_mask[elements]
+            )[0]
+            if not len(interesting):
+                continue
+            for set_id, element in zip(
+                set_ids[interesting].tolist(), elements[interesting].tolist()
+            ):
+                if cache_size > 0:
+                    cache = witness_cache.setdefault(element, set())
+                    if len(cache) < cache_size and set_id not in cache:
+                        cache.add(set_id)
+                        meter.add_to_component("witness-cache", 1)
+                        if len(cache) >= cache_size:
+                            cache_open[element] = False
+                if element in sampled:
+                    members = projections.setdefault(set_id, set())
+                    if element not in members:
+                        members.add(element)
+                        stored_edges += 1
+                        meter.add_to_component("projections", 2)
 
         # Offline phase: greedy cover of the sampled universe using the
         # stored projections (elements of L never seen in the stream can

@@ -24,12 +24,19 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
+import numpy as np
+
 from repro.core.base import FirstSetStore, StreamingSetCoverAlgorithm
 from repro.core.scaling import Scaling
 from repro.core.solution import StreamingResult
-from repro.streaming.space import SpaceBudget, words_for_mapping, words_for_set
+from repro.streaming.space import ChargedDict, ChargedSet, SpaceBudget, words_for_set
 from repro.streaming.stream import EdgeStream
 from repro.types import ElementId, SeedLike, SetId
+
+#: Edges consumed per vectorized batch; large enough to amortize numpy
+#: per-call overhead, small enough to keep the covered-element pre-filter
+#: reasonably fresh within a chunk.
+_CHUNK = 8192
 
 
 class KKAlgorithm(StreamingSetCoverAlgorithm):
@@ -63,46 +70,61 @@ class KKAlgorithm(StreamingSetCoverAlgorithm):
         m = stream.instance.m
         level_width = self.scaling.kk_level_width(n)
 
-        uncovered_degree: Dict[SetId, int] = {}
-        covered: Set[ElementId] = set()
-        cover: Set[SetId] = set()
-        certificate: Dict[ElementId, SetId] = {}
-        first_sets = FirstSetStore(self._meter)
-
         meter = self._meter
+        uncovered_degree: Dict[SetId, int] = ChargedDict(
+            meter, "degree-counters", words_per_entry=2, charge_initial=False
+        )
+        covered: Set[ElementId] = ChargedSet(
+            meter, "covered", words_per_entry=1, charge_initial=False
+        )
+        cover: Set[SetId] = ChargedSet(
+            meter, "cover", words_per_entry=1, charge_initial=False
+        )
+        certificate: Dict[ElementId, SetId] = {}
+        first_sets = FirstSetStore(meter, universe_size=n)
+
+        # Boolean mirror of `covered` for the vectorized pre-filter;
+        # every component in this algorithm only ever grows, so an edge
+        # whose element was covered at chunk start is a guaranteed no-op
+        # and can be skipped in bulk.
+        covered_mask = np.zeros(n, dtype=bool)
+
         max_level_reached = 0
         inclusion_events = 0
 
-        for set_id, element in stream:
-            first_sets.observe(set_id, element)
-
-            if set_id in cover and element not in covered:
-                # An included set covers its elements from inclusion onward.
-                covered.add(element)
-                certificate[element] = set_id
-                meter.set_component("covered", words_for_set(len(covered)))
+        reader = stream.reader()
+        while reader.remaining:
+            set_ids, elements = reader.take_columns(_CHUNK)
+            first_sets.observe_columns(set_ids, elements)
+            interesting = np.nonzero(~covered_mask[elements])[0]
+            if not len(interesting):
                 continue
-
-            if element in covered:
-                continue
-
-            degree = uncovered_degree.get(set_id, 0) + 1
-            uncovered_degree[set_id] = degree
-            meter.set_component(
-                "degree-counters", words_for_mapping(len(uncovered_degree))
-            )
-
-            if degree % level_width == 0:
-                level = degree // level_width
-                max_level_reached = max(max_level_reached, level)
-                p = self.scaling.kk_inclusion_probability(level, n, m)
-                if set_id not in cover and self._coin(p):
-                    cover.add(set_id)
-                    inclusion_events += 1
+            for set_id, element in zip(
+                set_ids[interesting].tolist(), elements[interesting].tolist()
+            ):
+                if element in covered:
+                    continue
+                if set_id in cover:
+                    # An included set covers its elements from inclusion
+                    # onward.
                     covered.add(element)
+                    covered_mask[element] = True
                     certificate[element] = set_id
-                    meter.set_component("cover", words_for_set(len(cover)))
-                    meter.set_component("covered", words_for_set(len(covered)))
+                    continue
+
+                degree = uncovered_degree.get(set_id, 0) + 1
+                uncovered_degree[set_id] = degree
+
+                if degree % level_width == 0:
+                    level = degree // level_width
+                    max_level_reached = max(max_level_reached, level)
+                    p = self.scaling.kk_inclusion_probability(level, n, m)
+                    if self._coin(p):
+                        cover.add(set_id)
+                        inclusion_events += 1
+                        covered.add(element)
+                        covered_mask[element] = True
+                        certificate[element] = set_id
 
         patched = first_sets.patch(certificate, cover, n)
         meter.set_component("cover", words_for_set(len(cover)))

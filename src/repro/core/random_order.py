@@ -38,14 +38,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
+
+import numpy as np
 
 from repro.core.base import FirstSetStore, StreamingSetCoverAlgorithm
 from repro.core.scaling import Scaling
 from repro.core.solution import StreamingResult
 from repro.streaming.space import SpaceBudget, words_for_mapping, words_for_set
 from repro.streaming.stream import EdgeStream
-from repro.types import Edge, ElementId, SeedLike, SetId
+from repro.types import ElementId, SeedLike, SetId
 
 
 @dataclass
@@ -153,11 +155,21 @@ class RandomOrderAlgorithm(StreamingSetCoverAlgorithm):
         marked: Set[ElementId] = set()
         sol: Set[SetId] = set()
         certificate: Dict[ElementId, SetId] = {}
-        first_sets = FirstSetStore(meter)
-        edges = iter(stream)
+        first_sets = FirstSetStore(meter, universe_size=n)
+        reader = stream.reader()
         position = 0  # edges consumed so far
 
         batches = self._make_batches(m, scaling.num_batches(n))
+
+        # Boolean mirrors of Sol / the tracked sample for the vectorized
+        # per-chunk pre-filter.  Every state change an edge can trigger
+        # requires its set to be in Sol, in the current batch, or in the
+        # tracked sample at subepoch start (mid-subepoch Sol additions
+        # come only from batch sets, which the batch-range test keeps),
+        # so all other edges are consumed in bulk: they contribute
+        # first-set observations and nothing else.
+        in_sol = np.zeros(m, dtype=bool)
+        in_tracked = np.zeros(m, dtype=bool)
 
         def witness(u: ElementId, s: SetId) -> None:
             marked.add(u)
@@ -171,25 +183,41 @@ class RandomOrderAlgorithm(StreamingSetCoverAlgorithm):
         for set_id in range(m):
             if self._rng.random() < p0:
                 sol.add(set_id)
+                in_sol[set_id] = True
                 probe.inclusion_positions[set_id] = 0
         meter.set_component("sol", words_for_set(len(sol)))
 
         window = scaling.detection_window(n, m, big_n)
         mark_count = scaling.detection_mark_count(n, m, big_n)
-        occurrence: Dict[ElementId, int] = {}
-        for _ in range(window):
-            edge = next(edges, None)
-            if edge is None:
-                break
-            position += 1
-            set_id, u = edge
-            first_sets.observe(set_id, u)
-            occurrence[u] = occurrence.get(u, 0) + 1
-            meter.set_component("epoch0-counts", words_for_mapping(len(occurrence)))
-            if set_id in sol and u not in marked:
-                witness(u, set_id)
-        for u, count in occurrence.items():
-            if count >= mark_count and u not in marked:
+        # Degree detection by bincount; the per-element counts (and the
+        # peak "epoch0-counts" charge of two words per distinct element)
+        # match the per-edge dict exactly — all window-phase state only
+        # grows, so batching the charges preserves the peak breakdown.
+        # Takes may come back short of the quota at a stream checkpoint,
+        # hence the loop.
+        occurrence = np.zeros(n, dtype=np.int64)
+        while position < window and reader.remaining:
+            set_ids, elements = reader.take_columns(window - position)
+            position += len(set_ids)
+            first_sets.observe_columns(set_ids, elements)
+            occurrence += np.bincount(elements, minlength=n)
+            meter.set_component(
+                "epoch0-counts",
+                words_for_mapping(int(np.count_nonzero(occurrence))),
+            )
+            # Witnesses: the first Sol-edge of each element marks it.
+            sol_hits = np.nonzero(in_sol[set_ids])[0]
+            if len(sol_hits):
+                uniques, first_within = np.unique(
+                    elements[sol_hits], return_index=True
+                )
+                for u, hit in zip(
+                    uniques.tolist(), sol_hits[first_within].tolist()
+                ):
+                    if u not in marked:
+                        witness(u, int(set_ids[hit]))
+        for u in np.nonzero(occurrence >= mark_count)[0].tolist():
+            if u not in marked:
                 marked.add(u)
                 probe.epoch0_marked += 1
         meter.set_component("marked", words_for_set(len(marked)))
@@ -221,6 +249,9 @@ class RandomOrderAlgorithm(StreamingSetCoverAlgorithm):
                 s for s in range(m) if self._rng.random() < q0
             }
             meter.set_component("tracked-sets", words_for_set(len(tracked)))
+            in_tracked.fill(False)
+            for s in tracked:
+                in_tracked[s] = True
             subepoch_len = subepoch_lengths[i]
 
             for j in range(1, num_epochs + 1):
@@ -234,53 +265,67 @@ class RandomOrderAlgorithm(StreamingSetCoverAlgorithm):
                 exhausted = False
 
                 for batch in batches:
+                    batch_start, batch_stop = batch.start, batch.stop
                     counters: Dict[SetId, int] = {}
                     meter.set_component(
                         "batch-counters", words_for_mapping(len(batch))
                     )
-                    for _ in range(subepoch_len):
-                        edge = next(edges, None)
-                        if edge is None:
+                    need = subepoch_len
+                    while need:
+                        set_ids, elements = reader.take_columns(need)
+                        got = len(set_ids)
+                        if not got:
                             exhausted = True
                             break
-                        position += 1
-                        set_id, u = edge
-                        first_sets.observe(set_id, u)
-
-                        if set_id in sol:  # lines 20–21
-                            if u not in marked or u not in certificate:
-                                witness(u, set_id)
-                            continue
-                        if u in marked:  # line 22
-                            continue
-                        if set_id in tracked:  # lines 24–25
-                            tracked_edges[u] = tracked_edges.get(u, 0) + 1
-                            stats.tracked_edges += 1
-                            meter.set_component(
-                                "tracked-edges",
-                                words_for_mapping(len(tracked_edges)),
-                            )
-                        if set_id in batch:  # lines 26–30
-                            count = counters.get(set_id, 0) + 1
-                            counters[set_id] = count
-                            if count == threshold:
-                                stats.special_sets += 1
-                                if self._coin(p_j):
-                                    sol.add(set_id)
-                                    probe.inclusion_positions.setdefault(
-                                        set_id, position
-                                    )
-                                    stats.added_to_sol += 1
-                                    meter.set_component(
-                                        "sol", words_for_set(len(sol))
-                                    )
-                                if self._coin(q_j):
-                                    next_tracked.add(set_id)
-                                    stats.added_to_tracking += 1
-                                    meter.set_component(
-                                        "next-tracked",
-                                        words_for_set(len(next_tracked)),
-                                    )
+                        subepoch_base = position
+                        position += got
+                        need -= got
+                        first_sets.observe_columns(set_ids, elements)
+                        keep = np.nonzero(
+                            in_sol[set_ids]
+                            | in_tracked[set_ids]
+                            | ((set_ids >= batch_start) & (set_ids < batch_stop))
+                        )[0]
+                        for idx, set_id, u in zip(
+                            keep.tolist(),
+                            set_ids[keep].tolist(),
+                            elements[keep].tolist(),
+                        ):
+                            if set_id in sol:  # lines 20–21
+                                if u not in marked or u not in certificate:
+                                    witness(u, set_id)
+                                continue
+                            if u in marked:  # line 22
+                                continue
+                            if set_id in tracked:  # lines 24–25
+                                tracked_edges[u] = tracked_edges.get(u, 0) + 1
+                                stats.tracked_edges += 1
+                                meter.set_component(
+                                    "tracked-edges",
+                                    words_for_mapping(len(tracked_edges)),
+                                )
+                            if batch_start <= set_id < batch_stop:  # lines 26–30
+                                count = counters.get(set_id, 0) + 1
+                                counters[set_id] = count
+                                if count == threshold:
+                                    stats.special_sets += 1
+                                    if self._coin(p_j):
+                                        sol.add(set_id)
+                                        in_sol[set_id] = True
+                                        probe.inclusion_positions.setdefault(
+                                            set_id, subepoch_base + idx + 1
+                                        )
+                                        stats.added_to_sol += 1
+                                        meter.set_component(
+                                            "sol", words_for_set(len(sol))
+                                        )
+                                    if self._coin(q_j):
+                                        next_tracked.add(set_id)
+                                        stats.added_to_tracking += 1
+                                        meter.set_component(
+                                            "next-tracked",
+                                            words_for_set(len(next_tracked)),
+                                        )
                     if exhausted:
                         break
 
@@ -294,6 +339,9 @@ class RandomOrderAlgorithm(StreamingSetCoverAlgorithm):
                     meter.set_component("marked", words_for_set(len(marked)))
 
                 tracked = next_tracked  # line 32
+                in_tracked.fill(False)
+                for s in tracked:
+                    in_tracked[s] = True
                 meter.set_component("tracked-sets", words_for_set(len(tracked)))
                 meter.set_component("next-tracked", 0)
                 meter.set_component("tracked-edges", 0)
@@ -307,12 +355,24 @@ class RandomOrderAlgorithm(StreamingSetCoverAlgorithm):
         probe.stream_positions_consumed_by_phases = position
 
         # ---------------- remainder (lines 33–36) ----------------
-        for edge in edges:
-            position += 1
-            set_id, u = edge
-            first_sets.observe(set_id, u)
-            if set_id in sol and u not in certificate:
-                witness(u, set_id)
+        # Sol is frozen here, so the remainder reduces to two vectorized
+        # scans: batch first-set observation, then one witness per still
+        # uncertified element at its first Sol-edge (stream order — the
+        # unique() index is the first occurrence; the loop only repeats
+        # when a take stops short at a stream checkpoint).
+        while reader.remaining:
+            set_ids, elements = reader.take_rest_columns()
+            first_sets.observe_columns(set_ids, elements)
+            sol_hits = np.nonzero(in_sol[set_ids])[0]
+            if len(sol_hits):
+                uniques, first_within = np.unique(
+                    elements[sol_hits], return_index=True
+                )
+                for u, hit in zip(
+                    uniques.tolist(), sol_hits[first_within].tolist()
+                ):
+                    if u not in certificate:
+                        witness(u, int(set_ids[hit]))
 
         # ---------------- patching (lines 37–38) ----------------
         probe.marked_uncovered_at_end = sum(
@@ -350,18 +410,19 @@ class RandomOrderAlgorithm(StreamingSetCoverAlgorithm):
     # -- internals -----------------------------------------------------------
 
     @staticmethod
-    def _make_batches(m: int, num_batches: int) -> List[Set[SetId]]:
+    def _make_batches(m: int, num_batches: int) -> List[range]:
         """Partition set ids into ``num_batches`` contiguous batches.
 
         Any partition works (the paper says "arbitrarily partitioned");
-        contiguous slices make membership checks cheap and deterministic.
+        contiguous ``range`` slices reduce batch membership to two
+        integer comparisons against the range bounds — no hashing on the
+        per-edge hot path.
         """
         num_batches = max(1, min(num_batches, m))
         size = math.ceil(m / num_batches)
-        batches: List[Set[SetId]] = []
-        for start in range(0, m, size):
-            batches.append(set(range(start, min(start + size, m))))
-        return batches
+        return [
+            range(start, min(start + size, m)) for start in range(0, m, size)
+        ]
 
 
 class StreamLengthOblivious(StreamingSetCoverAlgorithm):
@@ -404,12 +465,15 @@ class StreamLengthOblivious(StreamingSetCoverAlgorithm):
         guesses.append(m * n)
 
         best_guess = min(guesses, key=lambda g: abs(math.log(g) - math.log(true_n)))
-        edges = list(stream)
-        inner_stream = EdgeStream(stream.instance, edges, order_name=stream.order_name)
-        # The chosen copy runs with N = best_guess; its loop sizing sees
-        # the guess, not the true length.
-        inner = RandomOrderAlgorithm(scaling=self.scaling, seed=self._rng.random())
-        result = _run_with_forced_length(inner, inner_stream, best_guess)
+        # Honour the one-pass discipline on the outer stream, then hand
+        # the frozen edge buffer (shared, never copied) to the chosen
+        # copy; it runs with N = best_guess — its loop sizing sees the
+        # guess, not the true length.
+        stream.reader()
+        inner = RandomOrderAlgorithm(
+            scaling=self.scaling, seed=self._rng.getrandbits(63)
+        )
+        result = _run_with_forced_length(inner, stream, best_guess)
         # Charge the log-many parallel copies: each copy's state is the
         # same asymptotic size, so total space is (number of guesses) x
         # the chosen copy's peak.
@@ -433,7 +497,11 @@ class StreamLengthOblivious(StreamingSetCoverAlgorithm):
 def _run_with_forced_length(
     algorithm: RandomOrderAlgorithm, stream: EdgeStream, forced_length: int
 ) -> StreamingResult:
-    """Run ``algorithm`` on ``stream`` pretending N == forced_length."""
+    """Run ``algorithm`` on ``stream``'s edges pretending N == forced_length.
+
+    The forced view adopts ``stream``'s frozen edge buffer directly
+    (O(1), no copy); ``stream`` itself is left untouched.
+    """
 
     class _ForcedLengthStream(EdgeStream):
         @property
@@ -441,6 +509,6 @@ def _run_with_forced_length(
             return forced_length
 
     forced = _ForcedLengthStream(
-        stream.instance, list(stream.peek_all()), order_name=stream.order_name
+        stream.instance, stream._frozen, order_name=stream.order_name
     )
     return algorithm.run(forced)

@@ -21,7 +21,7 @@ This module provides both directions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generic, Iterator, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.base import StreamingSetCoverAlgorithm
 from repro.core.solution import StreamingResult
@@ -111,8 +111,12 @@ class _BoundaryProbingStream(EdgeStream):
     """Stream that snapshots an algorithm's meter at party boundaries.
 
     ``boundaries[i]`` is the number of edges owned by parties ``1..i``
-    combined; just before yielding the first edge of party ``i+1`` (and
-    once at stream end) the algorithm's current word count is recorded.
+    combined; just before the first edge of party ``i+1`` is consumed
+    (and once at stream end) the algorithm's current word count is
+    recorded.  Implemented on the base stream's checkpoint hooks, so it
+    works for per-edge iteration and batched readers alike — batched
+    takes are clamped at the boundaries, guaranteeing the algorithm has
+    processed exactly parties ``1..i`` when the snapshot is taken.
     """
 
     def __init__(
@@ -126,22 +130,12 @@ class _BoundaryProbingStream(EdgeStream):
         super().__init__(instance, edges, order_name=order_name)
         # Duplicates are meaningful: an empty party yields a boundary at
         # the same position as its predecessor and still sends a message.
-        self._boundaries = sorted(boundaries)
+        self._checkpoints = sorted(boundaries)
         self._meter_reader = meter_reader
         self.recorded: List[int] = []
 
-    def _generate(self) -> Iterator[Edge]:
-        pending = list(self._boundaries)
-        for index, edge in enumerate(self.peek_all()):
-            while pending and pending[0] == index:
-                self.recorded.append(self._meter_reader())
-                pending.pop(0)
-            self._position += 1
-            yield edge
-        total = self.length
-        while pending and pending[0] <= total:
-            self.recorded.append(self._meter_reader())
-            pending.pop(0)
+    def _on_checkpoint(self) -> None:
+        self.recorded.append(self._meter_reader())
 
 
 def run_partitioned_stream(
@@ -173,6 +167,9 @@ def run_partitioned_stream(
         meter_reader=lambda: algorithm._meter.current_words,
     )
     result = algorithm.run(stream)
+    # A boundary at the very end of the stream (empty last party) fires
+    # once the algorithm has consumed everything.
+    stream.flush_checkpoints()
     if len(stream.recorded) != len(boundaries):
         raise ProtocolError(
             f"expected {len(boundaries)} boundary snapshots, got "

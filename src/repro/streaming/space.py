@@ -6,14 +6,25 @@ Table-1 space rows empirically we charge every piece of live algorithm
 state to a :class:`SpaceMeter` and report the *peak* word count reached
 during the pass.
 
-Two usage styles are supported:
+Three usage styles are supported:
 
-1. **Ledger style** (preferred): the algorithm registers named
-   components with :meth:`SpaceMeter.set_component`, typically sized as
-   ``len`` of a dict/set it maintains.  The meter sums components and
-   tracks the peak of the sum.
-2. **Delta style**: :meth:`SpaceMeter.charge` / :meth:`SpaceMeter.release`
+1. **Charged containers** (preferred on hot paths):
+   :class:`ChargedDict` / :class:`ChargedSet` behave exactly like
+   ``dict`` / ``set`` but charge their meter component whenever their
+   size changes, so algorithms never hand-call the meter per edge.
+2. **Ledger style**: the algorithm registers named components with
+   :meth:`SpaceMeter.set_component`, typically sized as ``len`` of a
+   dict/set it maintains.  The meter sums components and tracks the
+   peak of the sum.
+3. **Delta style**: :meth:`SpaceMeter.charge` / :meth:`SpaceMeter.release`
    adjust an anonymous component directly.
+
+Every meter update is O(1) amortized: the running total is maintained
+incrementally, and the per-component breakdown at the peak is recorded
+*lazily* — while usage grows monotonically the meter only remembers that
+"the peak is the current state", and the actual dict copy is taken at
+most once per departure from a peak (e.g. a phase boundary releasing a
+buffer), not on every growth step.
 
 A :class:`SpaceBudget` can optionally be attached to turn the meter into
 an enforcer that raises :class:`~repro.errors.SpaceBudgetExceededError`
@@ -24,7 +35,7 @@ an algorithm genuinely fits in its advertised space.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from repro.errors import SpaceBudgetExceededError
 
@@ -69,13 +80,32 @@ class SpaceMeter:
     dict entry mapping an id to a counter costs a constant number of
     words; we charge exactly the number of words the idealised RAM
     algorithm would use, which is what the theorems count.
+
+    All updates are O(1): the component sum is maintained as a running
+    total, and the breakdown-at-peak copy is deferred until the state
+    actually moves off the peak (or a report is requested).
     """
+
+    __slots__ = (
+        "_components",
+        "_anonymous",
+        "_current",
+        "_peak",
+        "_components_at_peak",
+        "_peak_is_current",
+        "_component_peaks",
+        "budget",
+    )
 
     def __init__(self, budget: Optional[SpaceBudget] = None) -> None:
         self._components: Dict[str, int] = {}
         self._anonymous = 0
+        self._current = 0
         self._peak = 0
         self._components_at_peak: Dict[str, int] = {}
+        # True while the recorded peak coincides with the *current* state,
+        # meaning the breakdown copy can still be deferred.
+        self._peak_is_current = False
         self._component_peaks: Dict[str, int] = {}
         self.budget = budget
 
@@ -85,10 +115,32 @@ class SpaceMeter:
         """Set the current size of component ``name`` to ``words``."""
         if words < 0:
             raise ValueError(f"component size must be >= 0, got {words} for {name!r}")
-        self._components[name] = words
+        components = self._components
+        old = components.get(name, 0)
+        if words == old:
+            if name not in components:
+                # Creating an (empty) entry changes the breakdown without
+                # changing the total: settle any deferred peak copy first.
+                if self._peak_is_current:
+                    self._materialize_peak()
+                components[name] = words
+            self._check_budget()
+            return
+        current = self._current + words - old
+        if current <= self._peak and self._peak_is_current:
+            self._materialize_peak()
+        components[name] = words
+        self._current = current
         if words > self._component_peaks.get(name, 0):
             self._component_peaks[name] = words
-        self._after_update()
+        if current > self._peak:
+            self._peak = current
+            self._peak_is_current = True
+        budget = self.budget
+        if budget is not None and current > budget.words:
+            raise SpaceBudgetExceededError(
+                used=current, budget=budget.words, context=budget.context
+            )
 
     def add_to_component(self, name: str, delta: int) -> None:
         """Adjust component ``name`` by ``delta`` words (creating it at 0)."""
@@ -97,10 +149,7 @@ class SpaceMeter:
             raise ValueError(
                 f"component {name!r} would become negative ({new} words)"
             )
-        self._components[name] = new
-        if new > self._component_peaks.get(name, 0):
-            self._component_peaks[name] = new
-        self._after_update()
+        self.set_component(name, new)
 
     def component(self, name: str) -> int:
         """Current size in words of component ``name`` (0 if absent)."""
@@ -112,8 +161,7 @@ class SpaceMeter:
         """Charge ``words`` words of anonymous state."""
         if words < 0:
             raise ValueError("use release() to free space")
-        self._anonymous += words
-        self._after_update()
+        self._shift_anonymous(words)
 
     def release(self, words: int) -> None:
         """Release ``words`` words of anonymous state."""
@@ -124,15 +172,32 @@ class SpaceMeter:
                 f"releasing {words} words but only {self._anonymous} anonymous "
                 "words are charged"
             )
-        self._anonymous -= words
-        self._after_update()
+        self._shift_anonymous(-words)
+
+    def _shift_anonymous(self, delta: int) -> None:
+        if delta == 0:
+            self._check_budget()
+            return
+        current = self._current + delta
+        if current <= self._peak and self._peak_is_current:
+            self._materialize_peak()
+        self._anonymous += delta
+        self._current = current
+        if current > self._peak:
+            self._peak = current
+            self._peak_is_current = True
+        budget = self.budget
+        if budget is not None and current > budget.words:
+            raise SpaceBudgetExceededError(
+                used=current, budget=budget.words, context=budget.context
+            )
 
     # -- queries ---------------------------------------------------------
 
     @property
     def current_words(self) -> int:
         """Total words currently charged across all components."""
-        return self._anonymous + sum(self._components.values())
+        return self._current
 
     @property
     def peak_words(self) -> int:
@@ -141,9 +206,11 @@ class SpaceMeter:
 
     def report(self) -> SpaceReport:
         """Snapshot of peak/final usage and the per-component breakdown."""
+        if self._peak_is_current:
+            self._materialize_peak()
         return SpaceReport(
             peak_words=self._peak,
-            final_words=self.current_words,
+            final_words=self._current,
             components_at_peak=dict(self._components_at_peak),
             component_peaks=dict(self._component_peaks),
         )
@@ -152,29 +219,179 @@ class SpaceMeter:
         """Clear all charges and the recorded peak."""
         self._components.clear()
         self._anonymous = 0
+        self._current = 0
         self._peak = 0
         self._components_at_peak = {}
+        self._peak_is_current = False
         self._component_peaks = {}
 
     # -- internals --------------------------------------------------------
 
-    def _after_update(self) -> None:
-        current = self.current_words
-        if current > self._peak:
-            self._peak = current
-            self._components_at_peak = dict(self._components)
-            if self._anonymous:
-                self._components_at_peak["<anonymous>"] = self._anonymous
-        if self.budget is not None and current > self.budget.words:
+    def _materialize_peak(self) -> None:
+        """Take the deferred breakdown copy for the recorded peak."""
+        snapshot = dict(self._components)
+        if self._anonymous:
+            snapshot["<anonymous>"] = self._anonymous
+        self._components_at_peak = snapshot
+        self._peak_is_current = False
+
+    def _check_budget(self) -> None:
+        budget = self.budget
+        if budget is not None and self._current > budget.words:
             raise SpaceBudgetExceededError(
-                used=current, budget=self.budget.words, context=self.budget.context
+                used=self._current, budget=budget.words, context=budget.context
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"SpaceMeter(current={self.current_words}, peak={self._peak}, "
+            f"SpaceMeter(current={self._current}, peak={self._peak}, "
             f"components={len(self._components)})"
         )
+
+
+class ChargedSet(set):
+    """A ``set`` that charges a meter component whenever its size changes.
+
+    Algorithms use this instead of hand-calling
+    ``meter.set_component(name, words_for_set(len(s)))`` after every
+    mutation: membership tests and iteration run at native ``set`` speed
+    (no Python-level indirection), and only genuine size changes touch
+    the meter — each an O(1) update.
+
+    Parameters
+    ----------
+    meter, component:
+        The meter and component name charged on size change.
+    words_per_entry:
+        Words charged per element (1 for a set of ids).
+    iterable:
+        Initial contents.
+    charge_initial:
+        When true (default) the component is charged immediately at
+        construction, even if empty — matching algorithms that register
+        a component up front.  When false, the component is only created
+        by the first mutation, matching lazily-registered components.
+    """
+
+    def __init__(
+        self,
+        meter: SpaceMeter,
+        component: str,
+        words_per_entry: int = 1,
+        iterable: Iterable = (),
+        charge_initial: bool = True,
+    ) -> None:
+        super().__init__(iterable)
+        self._meter = meter
+        self._component = component
+        self._words_per_entry = words_per_entry
+        if charge_initial or self:
+            self._recharge()
+
+    def _recharge(self) -> None:
+        self._meter.set_component(
+            self._component, len(self) * self._words_per_entry
+        )
+
+    def add(self, item) -> None:
+        if item not in self:
+            set.add(self, item)
+            self._recharge()
+
+    def discard(self, item) -> None:
+        if item in self:
+            set.discard(self, item)
+            self._recharge()
+
+    def remove(self, item) -> None:
+        set.remove(self, item)
+        self._recharge()
+
+    def pop(self):
+        item = set.pop(self)
+        self._recharge()
+        return item
+
+    def clear(self) -> None:
+        if self:
+            set.clear(self)
+            self._recharge()
+
+    def update(self, *iterables) -> None:
+        before = len(self)
+        set.update(self, *iterables)
+        if len(self) != before:
+            self._recharge()
+
+
+class ChargedDict(dict):
+    """A ``dict`` that charges a meter component whenever its size changes.
+
+    Lookups (``d[k]``, ``k in d``, ``d.get``) run at native ``dict``
+    speed; insertions and deletions charge ``words_per_entry`` words per
+    entry (2 for an id -> counter mapping) with an O(1) meter update.
+    See :class:`ChargedSet` for the parameter meanings.
+    """
+
+    def __init__(
+        self,
+        meter: SpaceMeter,
+        component: str,
+        words_per_entry: int = 2,
+        mapping: Union[Mapping, Iterable[Tuple]] = (),
+        charge_initial: bool = True,
+    ) -> None:
+        super().__init__(mapping)
+        self._meter = meter
+        self._component = component
+        self._words_per_entry = words_per_entry
+        if charge_initial or self:
+            self._recharge()
+
+    def _recharge(self) -> None:
+        self._meter.set_component(
+            self._component, len(self) * self._words_per_entry
+        )
+
+    def __setitem__(self, key, value) -> None:
+        grew = key not in self
+        dict.__setitem__(self, key, value)
+        if grew:
+            self._recharge()
+
+    def __delitem__(self, key) -> None:
+        dict.__delitem__(self, key)
+        self._recharge()
+
+    def setdefault(self, key, default=None):
+        if key in self:
+            return dict.__getitem__(self, key)
+        dict.__setitem__(self, key, default)
+        self._recharge()
+        return default
+
+    def pop(self, key, *default):
+        had = key in self
+        value = dict.pop(self, key, *default)
+        if had:
+            self._recharge()
+        return value
+
+    def popitem(self):
+        item = dict.popitem(self)
+        self._recharge()
+        return item
+
+    def clear(self) -> None:
+        if self:
+            dict.clear(self)
+            self._recharge()
+
+    def update(self, *args, **kwargs) -> None:
+        before = len(self)
+        dict.update(self, *args, **kwargs)
+        if len(self) != before:
+            self._recharge()
 
 
 def words_for_mapping(entries: int, words_per_entry: int = 2) -> int:

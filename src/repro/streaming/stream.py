@@ -5,6 +5,13 @@ enforces the single-pass discipline: once consumed, a stream refuses to
 be iterated again (algorithms that accidentally take two passes fail
 loudly in tests instead of silently cheating).
 
+The ordered edge sequence is frozen once into a :class:`FrozenEdges`
+buffer — an immutable tuple plus a lazily-built numpy ``(N,)`` column
+pair — and *shared* across every view of the ordering: creating a fresh
+one-pass view is O(1), and batch consumers (see :meth:`EdgeStream.iter_chunks`
+and :class:`StreamReader`) slice the shared buffer instead of stepping a
+generator one edge at a time.
+
 Use :func:`stream_of` for the common case, or :class:`ReplayableStream`
 in experiment harnesses where several algorithms must see the *same*
 ordered stream.
@@ -12,12 +19,141 @@ ordered stream.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import StreamExhaustedError
 from repro.streaming.instance import SetCoverInstance
 from repro.streaming.orders import ArrivalOrder, CanonicalOrder
-from repro.types import Edge, SeedLike
+from repro.types import Edge
+
+EdgesLike = Union["FrozenEdges", Sequence[Edge]]
+
+
+class FrozenEdges:
+    """An immutable edge ordering shared by every view of a stream.
+
+    Holds the edges as a tuple (the canonical Python representation) and
+    builds, on first request, a pair of numpy ``int64`` columns
+    ``(set_ids, elements)`` for vectorized batch processing.  Both
+    representations are built at most once and shared — wrapping an
+    existing :class:`FrozenEdges` or passing the same instance to many
+    streams never copies.
+    """
+
+    __slots__ = ("_edges", "_set_ids", "_elements")
+
+    def __init__(self, edges: EdgesLike) -> None:
+        if isinstance(edges, FrozenEdges):
+            self._edges = edges._edges
+            self._set_ids = edges._set_ids
+            self._elements = edges._elements
+            return
+        self._edges: Tuple[Edge, ...] = (
+            edges if isinstance(edges, tuple) else tuple(edges)
+        )
+        self._set_ids: Optional[np.ndarray] = None
+        self._elements: Optional[np.ndarray] = None
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """The full ordered edge tuple (shared, never copied)."""
+        return self._edges
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def __getitem__(self, index):
+        return self._edges[index]
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Numpy ``(set_ids, elements)`` columns of the ordering.
+
+        Built once on first call (O(N)), then shared by every stream
+        view; slices of the returned arrays are numpy views, so chunked
+        consumers never copy edge data.
+        """
+        if self._set_ids is None:
+            n = len(self._edges)
+            flat = np.fromiter(
+                (value for edge in self._edges for value in edge),
+                dtype=np.int64,
+                count=2 * n,
+            )
+            pairs = flat.reshape(n, 2) if n else flat.reshape(0, 2)
+            # Assign _elements before _set_ids: concurrent callers gate on
+            # _set_ids, so both columns must be ready once it is visible.
+            self._elements = np.ascontiguousarray(pairs[:, 1])
+            self._set_ids = np.ascontiguousarray(pairs[:, 0])
+        return self._set_ids, self._elements
+
+
+class StreamReader:
+    """Sequential batched cursor over a one-pass :class:`EdgeStream`.
+
+    Obtained from :meth:`EdgeStream.reader`; the stream is marked
+    consumed at that point, so the reader is the only way to advance it.
+    ``take(k)`` returns the next ``k`` edges as a tuple slice of the
+    shared buffer (no per-edge generator step), and
+    :meth:`take_columns` returns the matching numpy views for
+    vectorized processing.
+    """
+
+    __slots__ = ("_stream", "_frozen")
+
+    def __init__(self, stream: "EdgeStream") -> None:
+        self._stream = stream
+        self._frozen = stream._frozen
+
+    @property
+    def position(self) -> int:
+        """Number of edges consumed so far."""
+        return self._stream._position
+
+    @property
+    def remaining(self) -> int:
+        """Number of edges not yet consumed."""
+        return len(self._frozen) - self._stream._position
+
+    def take(self, k: int) -> Tuple[Edge, ...]:
+        """Consume and return up to ``k`` edges.
+
+        The returned chunk may be shorter than ``k`` at end of stream
+        *or* when the stream has a pending checkpoint (takes never cross
+        one); callers consuming a fixed quota must loop until the quota
+        is filled or the chunk comes back empty.
+        """
+        if k < 0:
+            raise ValueError(f"cannot take {k} edges")
+        stream = self._stream
+        start, stop = stream._take_bounds(k)
+        stream._position = stop
+        return self._frozen.edges[start:stop]
+
+    def take_rest(self) -> Tuple[Edge, ...]:
+        """Consume and return every remaining edge (up to a checkpoint)."""
+        return self.take(len(self._frozen) - self._stream._position)
+
+    def take_columns(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Consume up to ``k`` edges, returned as numpy column views.
+
+        Subject to the same checkpoint clamping as :meth:`take`.
+        """
+        if k < 0:
+            raise ValueError(f"cannot take {k} edges")
+        set_ids, elements = self._frozen.columns()
+        stream = self._stream
+        start, stop = stream._take_bounds(k)
+        stream._position = stop
+        return set_ids[start:stop], elements[start:stop]
+
+    def take_rest_columns(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Consume every remaining edge as numpy column views."""
+        return self.take_columns(len(self._frozen) - self._stream._position)
 
 
 class EdgeStream:
@@ -30,7 +166,9 @@ class EdgeStream:
     edges:
         The ordered edge sequence to present; callers usually obtain it
         by applying an :class:`~repro.streaming.orders.ArrivalOrder` to
-        ``instance.edges()``.
+        ``instance.edges()``.  A :class:`FrozenEdges` (or a plain tuple)
+        is adopted without copying, so replayable harnesses share one
+        buffer across every view.
     order_name:
         Label recorded in experiment output.
     """
@@ -38,19 +176,25 @@ class EdgeStream:
     def __init__(
         self,
         instance: SetCoverInstance,
-        edges: Sequence[Edge],
+        edges: EdgesLike,
         order_name: str = "canonical",
     ) -> None:
         self.instance = instance
-        self._edges = list(edges)
+        self._frozen = edges if isinstance(edges, FrozenEdges) else FrozenEdges(edges)
         self.order_name = order_name
         self._consumed = False
         self._position = 0
+        # Sorted positions at which _on_checkpoint() fires before the
+        # edge at that position is consumed.  Subclasses (e.g. the
+        # lower-bound boundary prober) populate this; batched takes are
+        # clamped so they never cross a pending checkpoint, keeping the
+        # hook's view of consumer state exact.
+        self._checkpoints: List[int] = []
 
     @property
     def length(self) -> int:
         """The stream length N (total number of edges)."""
-        return len(self._edges)
+        return len(self._frozen)
 
     @property
     def position(self) -> int:
@@ -62,19 +206,99 @@ class EdgeStream:
         """Whether iteration has started (one-pass guard)."""
         return self._consumed
 
-    def __iter__(self) -> Iterator[Edge]:
+    def _start_pass(self) -> None:
         if self._consumed:
             raise StreamExhaustedError(
                 "edge stream already consumed; one-pass algorithms may not "
                 "re-read the stream (use ReplayableStream in harnesses)"
             )
         self._consumed = True
+
+    def __iter__(self) -> Iterator[Edge]:
+        self._start_pass()
         return self._generate()
 
     def _generate(self) -> Iterator[Edge]:
-        for edge in self._edges:
+        if self._checkpoints:
+            yield from self._generate_with_checkpoints()
+            return
+        for edge in self._frozen.edges:
             self._position += 1
             yield edge
+
+    def _generate_with_checkpoints(self) -> Iterator[Edge]:
+        checkpoints = self._checkpoints
+        for edge in self._frozen.edges:
+            while checkpoints and checkpoints[0] == self._position:
+                self._on_checkpoint()
+                checkpoints.pop(0)
+            self._position += 1
+            yield edge
+        self.flush_checkpoints()
+
+    # -- checkpoint hooks ------------------------------------------------
+
+    def _on_checkpoint(self) -> None:
+        """Called when consumption reaches a position in ``_checkpoints``."""
+
+    def flush_checkpoints(self) -> None:
+        """Fire checkpoints at or before the consumed position.
+
+        Harnesses call this after the consumer finishes so a checkpoint
+        placed exactly at the stream end (e.g. an empty final party in
+        the lower-bound reduction) still fires — but only once the
+        consumer genuinely reached it.
+        """
+        checkpoints = self._checkpoints
+        while checkpoints and checkpoints[0] <= self._position:
+            self._on_checkpoint()
+            checkpoints.pop(0)
+
+    def _take_bounds(self, k: int) -> Tuple[int, int]:
+        """Resolve a batched take: fire due checkpoints, clamp the stop.
+
+        Returns the half-open ``[start, stop)`` slice the take may
+        consume; ``stop`` never crosses a pending checkpoint, so the
+        next take fires it only after the consumer has processed every
+        earlier edge.
+        """
+        start = self._position
+        stop = min(start + k, len(self._frozen))
+        checkpoints = self._checkpoints
+        if checkpoints:
+            while checkpoints and checkpoints[0] == start:
+                self._on_checkpoint()
+                checkpoints.pop(0)
+            if checkpoints and checkpoints[0] < stop:
+                stop = checkpoints[0]
+        return start, stop
+
+    def iter_chunks(self, chunk_size: int) -> Iterator[Tuple[Edge, ...]]:
+        """One-pass iteration in chunks of up to ``chunk_size`` edges.
+
+        Each chunk is a tuple slice of the shared frozen buffer — batch
+        consumers (occurrence counting, witness collection) avoid the
+        per-edge generator step entirely.  Subject to the same one-pass
+        discipline as :meth:`__iter__`.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._start_pass()
+        return self._generate_chunks(chunk_size)
+
+    def _generate_chunks(self, chunk_size: int) -> Iterator[Tuple[Edge, ...]]:
+        edges = self._frozen.edges
+        total = len(edges)
+        while self._position < total:
+            start, stop = self._take_bounds(chunk_size)
+            self._position = stop
+            yield edges[start:stop]
+        self.flush_checkpoints()
+
+    def reader(self) -> StreamReader:
+        """A batched one-pass cursor over this stream (marks it consumed)."""
+        self._start_pass()
+        return StreamReader(self)
 
     def peek_all(self) -> Sequence[Edge]:
         """The full ordered edge list, for verification only.
@@ -83,7 +307,7 @@ class EdgeStream:
         algorithms must not (they receive the iterator, not the stream
         object's internals).
         """
-        return tuple(self._edges)
+        return self._frozen.edges
 
     def __repr__(self) -> str:
         return (
@@ -97,7 +321,8 @@ class ReplayableStream:
 
     Freezes one ordered edge sequence so that multiple algorithms can be
     compared on the *identical* stream, each receiving its own one-pass
-    view.
+    view.  The frozen buffer (tuple and numpy columns alike) is shared
+    by every view: :meth:`fresh` is O(1) and never copies edges.
     """
 
     def __init__(
@@ -108,20 +333,20 @@ class ReplayableStream:
         self.instance = instance
         order = order if order is not None else CanonicalOrder()
         self.order_name = order.name
-        self._edges: List[Edge] = order.apply(list(instance.edges()))
+        self._frozen = FrozenEdges(order.apply(list(instance.edges())))
 
     @property
     def length(self) -> int:
         """The stream length N."""
-        return len(self._edges)
+        return len(self._frozen)
 
     def fresh(self) -> EdgeStream:
         """A new, unconsumed one-pass view of the frozen ordering."""
-        return EdgeStream(self.instance, self._edges, order_name=self.order_name)
+        return EdgeStream(self.instance, self._frozen, order_name=self.order_name)
 
     def edges(self) -> Sequence[Edge]:
         """The frozen ordered edge sequence (verification only)."""
-        return tuple(self._edges)
+        return self._frozen.edges
 
     def __repr__(self) -> str:
         return (
@@ -154,7 +379,7 @@ def concat_streams(first: EdgeStream, second: EdgeStream) -> EdgeStream:
     """
     if first.consumed or second.consumed:
         raise StreamExhaustedError("cannot concatenate consumed streams")
-    edges = list(first.peek_all()) + list(second.peek_all())
+    edges = tuple(first.peek_all()) + tuple(second.peek_all())
     return EdgeStream(
         first.instance,
         edges,

@@ -163,7 +163,7 @@ class TestBatches:
         union = set()
         for batch in batches:
             assert union.isdisjoint(batch)
-            union |= batch
+            union.update(batch)
         assert union == set(range(10))
 
     def test_more_batches_than_sets(self):
@@ -172,7 +172,18 @@ class TestBatches:
 
     def test_single_batch(self):
         batches = RandomOrderAlgorithm._make_batches(5, 1)
-        assert batches == [set(range(5))]
+        assert [set(batch) for batch in batches] == [set(range(5))]
+
+    def test_batches_are_contiguous_ranges(self):
+        # Batch membership on the hot path is two integer comparisons
+        # against the range bounds, so the partition must stay contiguous.
+        batches = RandomOrderAlgorithm._make_batches(10, 3)
+        assert all(isinstance(batch, range) for batch in batches)
+        assert all(batch.step == 1 for batch in batches)
+        starts = [batch.start for batch in batches]
+        stops = [batch.stop for batch in batches]
+        assert starts[0] == 0 and stops[-1] == 10
+        assert starts[1:] == stops[:-1]
 
 
 class TestStreamLengthOblivious:

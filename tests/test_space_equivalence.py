@@ -1,0 +1,227 @@
+"""Equivalence of the O(1) SpaceMeter against the original re-summing one.
+
+The meter was rewritten to maintain ``current_words`` incrementally and
+to defer the breakdown-at-peak copy (see ``repro/streaming/space.py``).
+Every report field must stay byte-identical: the invariant benchmarks
+compare space numbers across PRs, so even a one-word drift is a bug.
+This module keeps a verbatim copy of the original implementation as the
+oracle and drives both meters through random charge/set/release traces,
+including budget-enforced traces where the *ordering* (apply the update,
+record the peak, then raise) is part of the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpaceBudgetExceededError
+from repro.streaming.space import ChargedDict, ChargedSet, SpaceBudget, SpaceMeter
+
+
+class LegacySpaceMeter:
+    """The original meter: re-sums components and copies at every peak."""
+
+    def __init__(self, budget: Optional[SpaceBudget] = None) -> None:
+        self._components: Dict[str, int] = {}
+        self._anonymous = 0
+        self._peak = 0
+        self._components_at_peak: Dict[str, int] = {}
+        self._component_peaks: Dict[str, int] = {}
+        self.budget = budget
+
+    def set_component(self, name: str, words: int) -> None:
+        if words < 0:
+            raise ValueError(f"component size must be >= 0, got {words} for {name!r}")
+        self._components[name] = words
+        if words > self._component_peaks.get(name, 0):
+            self._component_peaks[name] = words
+        self._after_update()
+
+    def add_to_component(self, name: str, delta: int) -> None:
+        new = self._components.get(name, 0) + delta
+        if new < 0:
+            raise ValueError(f"component {name!r} would become negative ({new} words)")
+        self._components[name] = new
+        if new > self._component_peaks.get(name, 0):
+            self._component_peaks[name] = new
+        self._after_update()
+
+    def charge(self, words: int) -> None:
+        if words < 0:
+            raise ValueError("use release() to free space")
+        self._anonymous += words
+        self._after_update()
+
+    def release(self, words: int) -> None:
+        if words < 0:
+            raise ValueError("use charge() to add space")
+        if words > self._anonymous:
+            raise ValueError("releasing more than charged")
+        self._anonymous -= words
+        self._after_update()
+
+    @property
+    def current_words(self) -> int:
+        return self._anonymous + sum(self._components.values())
+
+    @property
+    def peak_words(self) -> int:
+        return self._peak
+
+    def snapshot(self):
+        return (
+            self._peak,
+            self.current_words,
+            dict(self._components_at_peak),
+            dict(self._component_peaks),
+        )
+
+    def _after_update(self) -> None:
+        current = self.current_words
+        if current > self._peak:
+            self._peak = current
+            self._components_at_peak = dict(self._components)
+            if self._anonymous:
+                self._components_at_peak["<anonymous>"] = self._anonymous
+        if self.budget is not None and current > self.budget.words:
+            raise SpaceBudgetExceededError(
+                used=current, budget=self.budget.words, context=self.budget.context
+            )
+
+
+NAMES = ["sol", "marked", "tracked", "counters", "cover"]
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("set"), st.sampled_from(NAMES), st.integers(0, 40)
+        ),
+        st.tuples(
+            st.just("add"), st.sampled_from(NAMES), st.integers(-15, 15)
+        ),
+        st.tuples(st.just("charge"), st.integers(0, 25)),
+        st.tuples(st.just("release"), st.integers(0, 25)),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+def apply_op(meter, op):
+    kind = op[0]
+    if kind == "set":
+        meter.set_component(op[1], op[2])
+    elif kind == "add":
+        meter.add_to_component(op[1], op[2])
+    elif kind == "charge":
+        meter.charge(op[1])
+    else:
+        meter.release(op[1])
+
+
+def new_snapshot(meter: SpaceMeter):
+    report = meter.report()
+    return (
+        report.peak_words,
+        report.final_words,
+        report.components_at_peak,
+        report.component_peaks,
+    )
+
+
+class TestTraceEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(ops=OPS)
+    def test_unbudgeted_traces_match(self, ops):
+        legacy = LegacySpaceMeter()
+        current = SpaceMeter()
+        for op in ops:
+            legacy_error = current_error = None
+            try:
+                apply_op(legacy, op)
+            except ValueError as error:
+                legacy_error = str(error)
+            try:
+                apply_op(current, op)
+            except ValueError as error:
+                current_error = str(error)
+            assert (legacy_error is None) == (current_error is None)
+            assert legacy.current_words == current.current_words
+            assert legacy.peak_words == current.peak_words
+        assert legacy.snapshot() == new_snapshot(current)
+
+    @settings(max_examples=300, deadline=None)
+    @given(ops=OPS, budget_words=st.integers(1, 60))
+    def test_budgeted_traces_raise_identically(self, ops, budget_words):
+        legacy = LegacySpaceMeter(budget=SpaceBudget(words=budget_words, context="t"))
+        current = SpaceMeter(budget=SpaceBudget(words=budget_words, context="t"))
+        legacy_stop = current_stop = None
+        legacy_used = current_used = None
+        for index, op in enumerate(ops):
+            if legacy_stop is None:
+                try:
+                    apply_op(legacy, op)
+                except SpaceBudgetExceededError as error:
+                    legacy_stop, legacy_used = index, error.used
+                except ValueError:
+                    break
+            if current_stop is None:
+                try:
+                    apply_op(current, op)
+                except SpaceBudgetExceededError as error:
+                    current_stop, current_used = index, error.used
+                except ValueError:
+                    break
+            if legacy_stop is not None or current_stop is not None:
+                break
+        # Same op raises, with the same reported usage, and the update
+        # was applied before raising in both implementations.
+        assert legacy_stop == current_stop
+        assert legacy_used == current_used
+        assert legacy.current_words == current.current_words
+        assert legacy.snapshot() == new_snapshot(current)
+
+    def test_budget_checked_on_no_op_update(self):
+        # The legacy meter checked the budget on every update, even one
+        # that left the total unchanged; the rewrite must too.
+        legacy = LegacySpaceMeter(budget=SpaceBudget(words=5))
+        current = SpaceMeter(budget=SpaceBudget(words=5))
+        for meter in (legacy, current):
+            with pytest.raises(SpaceBudgetExceededError):
+                meter.set_component("a", 9)  # applied, then raised
+            with pytest.raises(SpaceBudgetExceededError):
+                meter.set_component("a", 9)  # no-op value, still over budget
+
+
+class TestChargedContainersMatchHandCharging:
+    def test_charged_set_trace(self):
+        legacy = LegacySpaceMeter()
+        hand = set()
+        current = SpaceMeter()
+        charged = ChargedSet(current, "c", words_per_entry=1)
+        legacy.set_component("c", 0)
+        for item, action in [(1, "add"), (1, "add"), (2, "add"), (1, "discard")]:
+            getattr(charged, action)(item)
+            getattr(hand, action)(item)
+            legacy.set_component("c", len(hand))
+        assert legacy.snapshot() == new_snapshot(current)
+
+    def test_charged_dict_trace(self):
+        legacy = LegacySpaceMeter()
+        hand = {}
+        current = SpaceMeter()
+        charged = ChargedDict(current, "d", words_per_entry=2)
+        legacy.set_component("d", 0)
+        for key, value in [(1, 10), (1, 11), (2, 5), (3, 1)]:
+            charged[key] = value
+            hand[key] = value
+            legacy.set_component("d", 2 * len(hand))
+        del charged[2]
+        del hand[2]
+        legacy.set_component("d", 2 * len(hand))
+        assert charged == hand
+        assert legacy.snapshot() == new_snapshot(current)

@@ -78,6 +78,30 @@ class TestReplayableStream:
     def test_length(self, chain_instance):
         assert ReplayableStream(chain_instance).length == chain_instance.num_edges
 
+    def test_fresh_is_zero_copy(self, chain_instance):
+        # Regression guard: fresh() must hand out a view over the shared
+        # frozen buffer, not a defensive copy — O(1) per view is what
+        # makes replications over large instances affordable.
+        replayable = ReplayableStream(chain_instance, RandomOrder(seed=2))
+        view = replayable.fresh()
+        assert view.peek_all() is replayable.edges()
+        assert view._frozen is replayable._frozen
+
+    def test_fresh_views_share_buffer(self, chain_instance):
+        replayable = ReplayableStream(chain_instance, RandomOrder(seed=2))
+        first = replayable.fresh()
+        second = replayable.fresh()
+        assert first.peek_all() is second.peek_all()
+
+    def test_fresh_views_share_columns(self, chain_instance):
+        # The lazily-built numpy columns are cached on the frozen buffer,
+        # so every view (and every batched reader) reuses one build.
+        replayable = ReplayableStream(chain_instance, RandomOrder(seed=2))
+        cols_a = replayable.fresh()._frozen.columns()
+        cols_b = replayable.fresh()._frozen.columns()
+        assert cols_a[0] is cols_b[0]
+        assert cols_a[1] is cols_b[1]
+
 
 class TestConcatStreams:
     def test_concatenates_in_order(self, tiny_instance):
