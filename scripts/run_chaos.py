@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Run the fault-injection chaos sweep and assert the degradation invariant.
+
+Usage
+-----
+Full grid — every registered algorithm × every fault kind × rates
+{0.01, 0.1, 0.5} × {round-robin, random} arrival — exiting 1 if any
+cell ends in a bare exception or a silently wrong answer::
+
+    PYTHONPATH=src python scripts/run_chaos.py
+
+CI smoke tier (two algorithms, one rate)::
+
+    PYTHONPATH=src python scripts/run_chaos.py --smoke --seed $RUN_NUMBER
+
+The seed rotates in CI so successive runs explore different fault
+placements; any failing cell prints its own seed and reproduces
+standalone via ``repro.analysis.chaos.run_chaos_cell``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.chaos import run_chaos  # noqa: E402
+from repro.faults.resilient import POLICIES  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small grid (two algorithms, one rate) for CI smoke",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--policy",
+        choices=list(POLICIES),
+        default="best_effort",
+        help="degradation policy for every cell (default best_effort)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="render the table as Markdown"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_chaos(seed=args.seed, quick=args.smoke, policy=args.policy)
+    print(report.render(markdown=args.markdown))
+    violations = report.violations()
+    if violations:
+        print(
+            f"\nchaos invariant VIOLATED in {len(violations)} of "
+            f"{len(report.rows)} cells:",
+            file=sys.stderr,
+        )
+        for cell in violations:
+            print(
+                f"  {cell.algorithm} × {cell.fault_kind}@{cell.rate} × "
+                f"{cell.order} (seed={cell.seed}): {cell.detail}",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"\nchaos invariant holds over {len(report.rows)} cells "
+        f"(policy={args.policy}, seed={args.seed})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,255 @@
+"""Chaos harness: fault type × rate × algorithm × order sweeps.
+
+Drives every registered algorithm over fault-injected streams and
+classifies each cell's outcome against the global robustness invariant:
+
+    **valid cover**, or **typed** :class:`~repro.errors.ReproError`, or
+    **explicit degradation record** — never a bare ``KeyError`` /
+    ``IndexError`` and never a silently wrong answer.
+
+Outcomes:
+
+``valid-cover``
+    The run returned a result that verifies against the ground truth
+    (total certificate, in-range witnesses, witnesses in the cover).
+``degraded``
+    The resilient wrapper emitted a :class:`DegradationRecord` — the
+    relaxed invariant, skipped-edge count, and coverage fraction are all
+    explicit.
+``typed-error``
+    A :class:`ReproError` subclass was raised (the paper-faithful
+    response to violated assumptions).
+``violation``
+    Anything else: a bare builtin exception or a result that claims
+    validity but fails verification.  :meth:`ChaosReport.assert_invariant`
+    raises if any cell lands here.
+
+Every cell is independently seeded from the master seed, so a failing
+cell reproduces in isolation from its row alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.algorithms import make_algorithm, registered_algorithms
+from repro.analysis.tables import render_table
+from repro.errors import ReproError
+from repro.faults.injectors import FAULT_KINDS, FaultSpec, inject
+from repro.faults.resilient import ResilientAlgorithm, ResilientResult
+from repro.generators.planted import planted_partition_instance
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.orders import make_order
+from repro.streaming.stream import stream_of
+from repro.types import SeedLike, make_rng
+
+#: Arrival orders the sweep contrasts: adversarially spread vs random.
+DEFAULT_ORDERS = ("round-robin", "random")
+
+#: Fault intensities exercised by default (mild, moderate, severe).
+DEFAULT_RATES = (0.01, 0.1, 0.5)
+
+
+@dataclass
+class ChaosCell:
+    """Outcome of one (algorithm, fault, rate, order) cell."""
+
+    algorithm: str
+    fault_kind: str
+    rate: float
+    order: str
+    policy: str
+    seed: int
+    outcome: str
+    detail: str = ""
+    cover_size: int = 0
+    coverage_fraction: float = 0.0
+
+    @property
+    def is_violation(self) -> bool:
+        return self.outcome == "violation"
+
+
+@dataclass
+class ChaosReport:
+    """All cells of one chaos sweep, plus invariant checking."""
+
+    policy: str
+    seed: int
+    instance_label: str
+    rows: List[ChaosCell] = field(default_factory=list)
+
+    def violations(self) -> List[ChaosCell]:
+        """Cells that break the robustness invariant."""
+        return [cell for cell in self.rows if cell.is_violation]
+
+    def outcome_counts(self) -> dict:
+        counts: dict = {}
+        for cell in self.rows:
+            counts[cell.outcome] = counts.get(cell.outcome, 0) + 1
+        return counts
+
+    def assert_invariant(self) -> None:
+        """Raise ``AssertionError`` listing every violating cell."""
+        bad = self.violations()
+        if bad:
+            lines = [
+                f"  {c.algorithm} × {c.fault_kind}@{c.rate} × {c.order} "
+                f"(seed={c.seed}): {c.detail}"
+                for c in bad
+            ]
+            raise AssertionError(
+                f"chaos invariant violated in {len(bad)} cell(s):\n"
+                + "\n".join(lines)
+            )
+
+    def render(self, markdown: bool = False) -> str:
+        headers = [
+            "algorithm",
+            "fault",
+            "rate",
+            "order",
+            "outcome",
+            "cover",
+            "coverage",
+            "detail",
+        ]
+        rows = [
+            [
+                c.algorithm,
+                c.fault_kind,
+                c.rate,
+                c.order,
+                c.outcome,
+                c.cover_size,
+                c.coverage_fraction,
+                c.detail[:48],
+            ]
+            for c in self.rows
+        ]
+        title = (
+            f"chaos sweep — policy={self.policy}, seed={self.seed}, "
+            f"instance={self.instance_label}"
+        )
+        summary = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.outcome_counts().items())
+        )
+        return (
+            render_table(headers, rows, title=title, markdown=markdown)
+            + f"\noutcomes: {summary}"
+        )
+
+
+def run_chaos_cell(
+    instance: SetCoverInstance,
+    algorithm_name: str,
+    fault_kind: str,
+    rate: float,
+    order_name: str,
+    policy: str,
+    seed: int,
+) -> ChaosCell:
+    """Execute and classify a single chaos cell (fully seed-determined)."""
+    cell = ChaosCell(
+        algorithm=algorithm_name,
+        fault_kind=fault_kind,
+        rate=rate,
+        order=order_name,
+        policy=policy,
+        seed=seed,
+        outcome="violation",
+    )
+    try:
+        order = make_order(order_name, seed=seed)
+        faulty = inject(
+            stream_of(instance, order),
+            [FaultSpec(kind=fault_kind, rate=rate, seed=seed)],
+        )
+        algorithm = make_algorithm(algorithm_name, instance, seed=seed)
+        resilient = ResilientAlgorithm(algorithm, policy=policy)
+        outcome: ResilientResult = resilient.run(faulty)
+    except ReproError as error:
+        cell.outcome = "typed-error"
+        cell.detail = f"{type(error).__name__}: {error}"
+        return cell
+    except Exception as error:  # noqa: BLE001 — the invariant under test
+        cell.outcome = "violation"
+        cell.detail = f"bare {type(error).__name__}: {error}"
+        return cell
+
+    if outcome.degradation is not None:
+        cell.outcome = "degraded"
+        degradation = outcome.degradation
+        cell.detail = degradation.relaxed_invariant
+        cell.coverage_fraction = degradation.coverage_fraction
+        if outcome.result is not None:
+            cell.cover_size = outcome.result.cover_size
+        return cell
+
+    result = outcome.result
+    if result is None:
+        cell.detail = "no result and no degradation record"
+        return cell
+    # A clean claim must be a genuinely valid cover: total in-range
+    # certificate, witnesses in the cover, and no phantom set ids.
+    if not all(0 <= s < instance.m for s in result.cover):
+        cell.detail = "cover references unknown set ids (silent wrong answer)"
+        return cell
+    if not result.is_valid(instance):
+        cell.detail = "result fails verification (silent wrong answer)"
+        return cell
+    cell.outcome = "valid-cover"
+    cell.cover_size = result.cover_size
+    cell.coverage_fraction = 1.0
+    return cell
+
+
+def run_chaos(
+    instance: Optional[SetCoverInstance] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    fault_kinds: Sequence[str] = FAULT_KINDS,
+    rates: Sequence[float] = DEFAULT_RATES,
+    orders: Sequence[str] = DEFAULT_ORDERS,
+    policy: str = "best_effort",
+    seed: SeedLike = 0,
+    quick: bool = False,
+) -> ChaosReport:
+    """Sweep the full fault grid and classify every cell.
+
+    With ``quick=True`` the grid shrinks to two algorithms and one
+    moderate rate — the CI smoke tier.  Cell seeds are derived from the
+    master seed up front, so the report is reproducible and each cell
+    can be re-run standalone via :func:`run_chaos_cell`.
+    """
+    rng = make_rng(seed)
+    if instance is None:
+        instance = planted_partition_instance(
+            n=36, m=24, opt_size=4, seed=rng.getrandbits(63)
+        ).instance
+    if algorithms is None:
+        algorithms = ["kk", "first-fit"] if quick else registered_algorithms()
+    if quick:
+        rates = (0.1,)
+    report = ChaosReport(
+        policy=policy,
+        seed=seed if isinstance(seed, int) else -1,
+        instance_label=repr(instance),
+    )
+    for algorithm_name in algorithms:
+        for fault_kind in fault_kinds:
+            for rate in rates:
+                for order_name in orders:
+                    cell_seed = rng.getrandbits(63)
+                    report.rows.append(
+                        run_chaos_cell(
+                            instance,
+                            algorithm_name,
+                            fault_kind,
+                            rate,
+                            order_name,
+                            policy,
+                            cell_seed,
+                        )
+                    )
+    return report

@@ -1,0 +1,88 @@
+"""Checkpoint/resume journal for experiment sweeps.
+
+A :class:`SweepJournal` is an append-only JSONL file: one line per
+completed run, keyed by a deterministic *fingerprint* of the run's spec
+(algorithm, order, seed, instance shape, grid index).  A sweep that is
+killed mid-grid restarts from the journal: fingerprints already present
+are loaded back as :class:`RunMetrics` rows — bit-identical, because
+JSON float serialisation round-trips exactly — and only the missing
+cells execute.
+
+The file is flushed (and fsync'd) after every append, so at most the
+in-flight run is lost on a hard kill.  Rows whose fingerprint no longer
+matches any spec (e.g. the grid changed) are simply ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.analysis.metrics import RunMetrics
+
+PathLike = Union[str, Path]
+
+
+def spec_fingerprint(
+    index: int,
+    algorithm: str,
+    order: str,
+    seed: int,
+    n: int,
+    m: int,
+    num_edges: int,
+) -> str:
+    """Deterministic identity of one sweep cell.
+
+    Includes the grid index so two cells with identical parameters
+    (e.g. a replicated deterministic algorithm) stay distinct.
+    """
+    return f"{index}|{algorithm}|{order}|{seed}|{n}x{m}x{num_edges}"
+
+
+class SweepJournal:
+    """Append-only JSONL store of completed sweep cells."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._rows: Dict[str, RunMetrics] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    metrics = RunMetrics.from_json_dict(record["metrics"])
+                    self._rows[str(record["fingerprint"])] = metrics
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # A torn final line from a hard kill is expected;
+                    # the cell simply re-executes.
+                    continue
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def get(self, fingerprint: str) -> Optional[RunMetrics]:
+        """The journaled row for ``fingerprint``, or ``None``."""
+        return self._rows.get(fingerprint)
+
+    def record(self, fingerprint: str, metrics: RunMetrics) -> None:
+        """Append one completed cell and flush it to disk immediately."""
+        self._rows[fingerprint] = metrics
+        line = json.dumps(
+            {"fingerprint": fingerprint, "metrics": metrics.to_json_dict()},
+            separators=(",", ":"),
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

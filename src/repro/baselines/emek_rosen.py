@@ -63,6 +63,7 @@ class SetArrivalThresholdGreedy(StreamingSetCoverAlgorithm):
         cover: Set[SetId] = set()
         certificate: Dict[ElementId, SetId] = {}
         first_sets = FirstSetStore(meter)
+        self._register_salvage(cover=cover, certificate=certificate)
         closed: Set[SetId] = set()
 
         current_set: Optional[SetId] = None

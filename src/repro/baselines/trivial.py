@@ -29,6 +29,7 @@ class FirstFitAlgorithm(StreamingSetCoverAlgorithm):
 
     def _run(self, stream: EdgeStream) -> StreamingResult:
         first_sets = FirstSetStore(self._meter)
+        self._register_salvage(certificate=first_sets.mapping)
         for set_id, element in stream:
             first_sets.observe(set_id, element)
         certificate: Dict[ElementId, SetId] = {}
@@ -74,6 +75,7 @@ class UniformSampleAlgorithm(StreamingSetCoverAlgorithm):
 
         certificate: Dict[ElementId, SetId] = {}
         first_sets = FirstSetStore(self._meter)
+        self._register_salvage(certificate=certificate)
         for set_id, element in stream:
             first_sets.observe(set_id, element)
             if set_id in sampled and element not in certificate:

@@ -14,17 +14,12 @@ file in the :mod:`repro.streaming.io` text format and prints the cover.
 from __future__ import annotations
 
 import argparse
-import math
 import sys
 from typing import List, Optional
 
 from repro._version import __version__
+from repro.algorithms import make_algorithm, registered_algorithms
 from repro.analysis.tables import render_kv
-from repro.baselines.emek_rosen import SetArrivalThresholdGreedy
-from repro.baselines.trivial import FirstFitAlgorithm
-from repro.core.adversarial import LowSpaceAdversarialAlgorithm
-from repro.core.kk import KKAlgorithm
-from repro.core.random_order import RandomOrderAlgorithm
 from repro.errors import ReproError
 from repro.streaming.io import load_instance
 from repro.streaming.orders import ORDER_REGISTRY, make_order
@@ -58,14 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve_parser.add_argument("instance", help="instance file (io text format)")
     solve_parser.add_argument(
         "--algorithm",
-        choices=[
-            "kk",
-            "adversarial",
-            "random-order",
-            "element-sampling",
-            "set-arrival",
-            "first-fit",
-        ],
+        choices=registered_algorithms(),
         default="kk",
     )
     solve_parser.add_argument(
@@ -73,6 +61,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve_parser.add_argument("--alpha", type=float, default=None)
     solve_parser.add_argument("--seed", type=int, default=0)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep asserting the degradation invariant",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small grid (one rate, two algorithms) for smoke testing",
+    )
+    chaos_parser.add_argument(
+        "--policy",
+        choices=["fail_fast", "skip_bad_edges", "best_effort"],
+        default="best_effort",
+    )
+    chaos_parser.add_argument(
+        "--markdown", action="store_true", help="render the table as Markdown"
+    )
 
     describe_parser = sub.add_parser(
         "describe", help="print statistics of an instance file"
@@ -130,24 +137,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     instance.validate()
     order = make_order(args.order, seed=args.seed)
     stream = stream_of(instance, order)
-
-    if args.algorithm == "kk":
-        algorithm = KKAlgorithm(seed=args.seed)
-    elif args.algorithm == "adversarial":
-        alpha = args.alpha if args.alpha else 2 * math.sqrt(instance.n)
-        algorithm = LowSpaceAdversarialAlgorithm(alpha=alpha, seed=args.seed)
-    elif args.algorithm == "random-order":
-        algorithm = RandomOrderAlgorithm(seed=args.seed)
-    elif args.algorithm == "element-sampling":
-        from repro.core.element_sampling import ElementSamplingAlgorithm
-
-        alpha = args.alpha if args.alpha else math.sqrt(instance.n)
-        algorithm = ElementSamplingAlgorithm(alpha=alpha, seed=args.seed)
-    elif args.algorithm == "set-arrival":
-        algorithm = SetArrivalThresholdGreedy(seed=args.seed)
-    else:
-        algorithm = FirstFitAlgorithm(seed=args.seed)
-
+    algorithm = make_algorithm(
+        args.algorithm, instance, seed=args.seed, alpha=args.alpha
+    )
     result = algorithm.run(stream)
     result.verify(instance)
     print(
@@ -163,6 +155,27 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
     )
     print("cover:", " ".join(str(s) for s in sorted(result.cover)))
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.analysis.chaos import run_chaos
+
+    report = run_chaos(
+        seed=args.seed, quick=args.quick, policy=args.policy
+    )
+    print(report.render(markdown=args.markdown))
+    violations = report.violations()
+    if violations:
+        print(
+            f"chaos invariant VIOLATED in {len(violations)} cell(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"chaos invariant holds over {len(report.rows)} cells "
+        f"(seed={args.seed})"
+    )
     return 0
 
 
@@ -219,6 +232,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "solve":
             return _cmd_solve(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "describe":
             return _cmd_describe(args)
         if args.command == "generate":

@@ -100,6 +100,7 @@ class LowSpaceAdversarialAlgorithm(StreamingSetCoverAlgorithm):
         )
         certificate: Dict[ElementId, SetId] = {}
         first_sets = FirstSetStore(meter, universe_size=n)
+        self._register_salvage(cover=partial_cover, certificate=certificate)
 
         promotions = 0
         max_level = 0

@@ -13,12 +13,12 @@ paper relies on it to guarantee feasibility.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Set
+from typing import Dict, Iterable, Mapping, Optional, Set
 
 import numpy as np
 
 from repro.core.solution import StreamingResult
-from repro.errors import InvalidCoverError
+from repro.errors import InvalidCoverError, PartialState, ReproError
 from repro.streaming.space import ChargedDict, SpaceBudget, SpaceMeter
 from repro.streaming.stream import EdgeStream
 from repro.types import ElementId, SeedLike, SetId, make_rng
@@ -93,6 +93,16 @@ class FirstSetStore:
         """The first set observed to contain ``element``, or ``None``."""
         return self._first.get(element)
 
+    @property
+    def mapping(self) -> Dict[ElementId, SetId]:
+        """The live ``element -> first set`` map (treat as read-only).
+
+        Exposed so algorithms can register it as salvageable state: if
+        a pass dies mid-stream, the first-set witnesses collected so far
+        are a legitimate partial certificate.
+        """
+        return self._first
+
     def __len__(self) -> int:
         return len(self._first)
 
@@ -146,6 +156,8 @@ class StreamingSetCoverAlgorithm:
         self._space_budget = space_budget
         self._rng: random.Random = make_rng(seed)
         self._meter = SpaceMeter(budget=space_budget)
+        self._salvage_cover: Optional[Iterable[SetId]] = None
+        self._salvage_certificate: Optional[Mapping[ElementId, SetId]] = None
 
     def run(self, stream: EdgeStream) -> StreamingResult:
         """Execute one pass over ``stream`` and return the result.
@@ -153,9 +165,36 @@ class StreamingSetCoverAlgorithm:
         The meter is reset so results reflect this run only; the RNG is
         *not* reset (consecutive runs draw fresh randomness — pass a new
         instance for independent replications with recorded seeds).
+
+        Any :class:`ReproError` escaping the pass (budget exhaustion,
+        infeasible patching on a truncated stream, ...) is re-raised
+        carrying a :class:`~repro.errors.PartialState` snapshot of the
+        live containers the subclass registered via
+        :meth:`_register_salvage`, so ``best_effort`` degradation can
+        salvage the work already done instead of discarding the pass.
         """
         self._meter = SpaceMeter(budget=self._space_budget)
-        result = self._run(stream)
+        self._salvage_cover = None
+        self._salvage_certificate = None
+        try:
+            result = self._run(stream)
+        except ReproError as error:
+            if error.partial is None:
+                certificate = dict(self._salvage_certificate or {})
+                # With no explicit cover container, the witnesses named
+                # by the certificate are the best available cover.
+                cover = (
+                    frozenset(self._salvage_cover)
+                    if self._salvage_cover is not None
+                    else frozenset(certificate.values())
+                )
+                error.partial = PartialState(
+                    cover=cover,
+                    certificate=certificate,
+                    edges_consumed=stream.position,
+                    meter_peak=self._meter.peak_words,
+                )
+            raise
         result.algorithm = result.algorithm or self.name
         return result
 
@@ -163,6 +202,23 @@ class StreamingSetCoverAlgorithm:
         raise NotImplementedError
 
     # -- helpers for subclasses -------------------------------------------
+
+    def _register_salvage(
+        self,
+        cover: Optional[Iterable[SetId]] = None,
+        certificate: Optional[Mapping[ElementId, SetId]] = None,
+    ) -> None:
+        """Register live containers to snapshot if the pass fails.
+
+        Subclasses call this once their cover / certificate containers
+        exist (and may call again when a later phase replaces them).
+        The references stay live — at failure time :meth:`run` copies
+        whatever they hold into the error's :class:`PartialState`.
+        """
+        if cover is not None:
+            self._salvage_cover = cover
+        if certificate is not None:
+            self._salvage_certificate = certificate
 
     def _coin(self, probability: float) -> bool:
         """Bernoulli draw — the paper's ``Coin(p)`` primitive."""

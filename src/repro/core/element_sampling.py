@@ -117,6 +117,9 @@ class ElementSamplingAlgorithm(StreamingSetCoverAlgorithm):
             else max(1, int(math.log2(max(2, m))))
         )
         witness_cache: Dict[ElementId, Set[SetId]] = {}
+        # Mid-pass failures salvage the first-set witnesses gathered so
+        # far; the offline phase re-registers the real cover below.
+        self._register_salvage(certificate=first_sets.mapping)
 
         # Vectorized pre-filter: an edge is a guaranteed no-op once its
         # element's witness cache is full and the element is not sampled;
@@ -169,6 +172,7 @@ class ElementSamplingAlgorithm(StreamingSetCoverAlgorithm):
 
         cover: Set[SetId] = set()
         certificate: Dict[ElementId, SetId] = {}
+        self._register_salvage(cover=cover, certificate=certificate)
         uncovered = set(seen_sampled)
         # Greedy over projections only — Õ(m·n/α) data, no second pass.
         remaining = {s: set(mem) for s, mem in projections.items()}

@@ -82,6 +82,7 @@ class KKAlgorithm(StreamingSetCoverAlgorithm):
         )
         certificate: Dict[ElementId, SetId] = {}
         first_sets = FirstSetStore(meter, universe_size=n)
+        self._register_salvage(cover=cover, certificate=certificate)
 
         # Boolean mirror of `covered` for the vectorized pre-filter;
         # every component in this algorithm only ever grows, so an edge

@@ -156,6 +156,7 @@ class RandomOrderAlgorithm(StreamingSetCoverAlgorithm):
         sol: Set[SetId] = set()
         certificate: Dict[ElementId, SetId] = {}
         first_sets = FirstSetStore(meter, universe_size=n)
+        self._register_salvage(cover=sol, certificate=certificate)
         reader = stream.reader()
         position = 0  # edges consumed so far
 

@@ -8,9 +8,36 @@ user can act on (bad instance, bad stream, exhausted space budget, ...).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+
+@dataclass(frozen=True)
+class PartialState:
+    """Snapshot of salvageable algorithm state at the moment of failure.
+
+    Attached (as the ``partial`` attribute) to :class:`ReproError`
+    instances that escape :meth:`StreamingSetCoverAlgorithm.run`, so a
+    ``best_effort`` degradation policy can emit a *partial* cover
+    instead of discarding the whole pass.  All fields are copies taken
+    at failure time; mutating them cannot affect the failed run.
+    """
+
+    cover: FrozenSet[int] = frozenset()
+    certificate: Dict[int, int] = field(default_factory=dict)
+    edges_consumed: int = 0
+    meter_peak: int = 0
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the :mod:`repro` library."""
+    """Base class for all errors raised by the :mod:`repro` library.
+
+    Instances may carry a :class:`PartialState` snapshot in their
+    ``partial`` attribute when raised from inside an algorithm pass;
+    it defaults to ``None`` for errors raised outside one.
+    """
+
+    partial: Optional[PartialState] = None
 
 
 class InvalidInstanceError(ReproError):
@@ -43,10 +70,17 @@ class SpaceBudgetExceededError(ReproError):
     is attached; by default space is merely *metered*, never enforced.
     """
 
-    def __init__(self, used: int, budget: int, context: str = "") -> None:
+    def __init__(
+        self,
+        used: int,
+        budget: int,
+        context: str = "",
+        partial: Optional[PartialState] = None,
+    ) -> None:
         self.used = used
         self.budget = budget
         self.context = context
+        self.partial = partial
         suffix = f" while {context}" if context else ""
         super().__init__(
             f"space budget exceeded: {used} words used, budget {budget}{suffix}"
@@ -59,6 +93,13 @@ class StreamExhaustedError(ReproError):
     One-pass algorithms must never re-read the stream; this error guards
     against accidental second passes in tests and experiments.
     """
+
+    def __init__(
+        self, message: str = "edge stream exhausted",
+        partial: Optional[PartialState] = None,
+    ) -> None:
+        self.partial = partial
+        super().__init__(message)
 
 
 class ProtocolError(ReproError):
@@ -75,3 +116,56 @@ class InfeasibleInstanceError(InvalidInstanceError):
 
 class ConfigurationError(ReproError):
     """Mutually inconsistent or out-of-range algorithm parameters."""
+
+
+class RunTimeoutError(ReproError):
+    """A single experiment run exceeded its wall-clock allowance.
+
+    Raised by :class:`repro.analysis.runner.ExperimentRunner` when a
+    per-run ``timeout`` is configured.  Detection is cooperative: the
+    run is allowed to finish its pass and is flagged afterwards (Python
+    threads cannot be pre-empted), so this bounds sweep time against
+    runs that are slow but terminating.
+    """
+
+    def __init__(self, context: str, elapsed: float, timeout: float) -> None:
+        self.context = context
+        self.elapsed = elapsed
+        self.timeout = timeout
+        super().__init__(
+            f"run exceeded timeout: {elapsed:.3f}s > {timeout:.3f}s ({context})"
+        )
+
+
+class ExperimentExecutionError(ReproError):
+    """A worker run inside an experiment sweep failed.
+
+    Wraps the underlying exception (available as ``__cause__``) with
+    the failing cell's full context — algorithm, arrival order,
+    instance, seed, spec index, and how many retry attempts were spent —
+    so a failure deep inside a thread pool is attributable without
+    digging through a bare pool traceback.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        order: str,
+        instance: str,
+        seed: int,
+        spec_index: int,
+        attempts: int,
+        cause: BaseException,
+    ) -> None:
+        self.algorithm = algorithm
+        self.order = order
+        self.instance = instance
+        self.seed = seed
+        self.spec_index = spec_index
+        self.attempts = attempts
+        super().__init__(
+            f"experiment run failed after {attempts} attempt(s): "
+            f"algorithm={algorithm!r} order={order!r} seed={seed} "
+            f"spec_index={spec_index} instance={instance}: "
+            f"{type(cause).__name__}: {cause}"
+        )

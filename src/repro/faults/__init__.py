@@ -1,0 +1,44 @@
+"""Fault injection and graceful degradation.
+
+Two halves:
+
+* :mod:`repro.faults.injectors` — seeded, composable stream perturbation
+  (:class:`FaultSpec`, :class:`FaultyStream`, :func:`inject`);
+* :mod:`repro.faults.resilient` — degradation policies turning hard
+  failures into accounted-for outcomes (:class:`ResilientAlgorithm`,
+  :class:`DegradationRecord`).
+
+The chaos harness in :mod:`repro.analysis.chaos` drives both to assert
+the global robustness invariant: *valid cover, typed error, or explicit
+degradation record — never a bare crash or a silent wrong answer.*
+"""
+
+from repro.faults.injectors import (
+    FAULT_KINDS,
+    FaultSpec,
+    FaultyStream,
+    InjectionReport,
+    apply_faults,
+    fault_plan,
+    inject,
+)
+from repro.faults.resilient import (
+    POLICIES,
+    DegradationRecord,
+    ResilientAlgorithm,
+    ResilientResult,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultyStream",
+    "InjectionReport",
+    "apply_faults",
+    "fault_plan",
+    "inject",
+    "POLICIES",
+    "DegradationRecord",
+    "ResilientAlgorithm",
+    "ResilientResult",
+]

@@ -33,7 +33,10 @@ from repro.streaming.space import (
 )
 from repro.streaming.stream import (
     EdgeStream,
+    FrozenEdges,
     ReplayableStream,
+    StreamCheckpoint,
+    StreamReader,
     concat_streams,
     stream_of,
 )
@@ -58,6 +61,9 @@ __all__ = [
     "words_for_mapping",
     "words_for_set",
     "EdgeStream",
+    "FrozenEdges",
+    "StreamCheckpoint",
+    "StreamReader",
     "ReplayableStream",
     "stream_of",
     "concat_streams",

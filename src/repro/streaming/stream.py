@@ -19,11 +19,12 @@ ordered stream.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import StreamExhaustedError
+from repro.errors import InvalidStreamError, StreamExhaustedError
 from repro.streaming.instance import SetCoverInstance
 from repro.streaming.orders import ArrivalOrder, CanonicalOrder
 from repro.types import Edge
@@ -92,6 +93,48 @@ class FrozenEdges:
         return self._set_ids, self._elements
 
 
+@dataclass(frozen=True)
+class StreamCheckpoint:
+    """A verifiable position in a one-pass stream.
+
+    Captures both the reader position and the shape of the underlying
+    buffer at checkpoint time, so restoring onto a *different* buffer —
+    truncated, extended, or one whose declared length disagrees with the
+    edges it actually holds — is detected and rejected instead of
+    silently misaligning the cursor.
+    """
+
+    position: int
+    buffer_length: int
+    declared_length: int
+
+    def validate_against(self, stream: "EdgeStream") -> None:
+        """Raise :class:`InvalidStreamError` unless ``stream`` matches."""
+        actual = stream.actual_length
+        if self.buffer_length != actual:
+            raise InvalidStreamError(
+                f"checkpoint taken on a buffer of {self.buffer_length} edges "
+                f"cannot be restored onto one holding {actual} (truncated or "
+                "extended stream)"
+            )
+        if stream.length != actual:
+            raise InvalidStreamError(
+                f"stream declares N={stream.length} but its buffer holds "
+                f"{actual} edges; refusing to restore onto a length-lying "
+                "stream"
+            )
+        if self.declared_length != stream.length:
+            raise InvalidStreamError(
+                f"checkpoint recorded declared length {self.declared_length} "
+                f"but stream declares {stream.length}"
+            )
+        if not 0 <= self.position <= actual:
+            raise InvalidStreamError(
+                f"checkpoint position {self.position} outside the buffer's "
+                f"range(0, {actual + 1})"
+            )
+
+
 class StreamReader:
     """Sequential batched cursor over a one-pass :class:`EdgeStream`.
 
@@ -118,6 +161,15 @@ class StreamReader:
     def remaining(self) -> int:
         """Number of edges not yet consumed."""
         return len(self._frozen) - self._stream._position
+
+    def checkpoint(self) -> StreamCheckpoint:
+        """Snapshot the current position for a later verified restore."""
+        stream = self._stream
+        return StreamCheckpoint(
+            position=stream._position,
+            buffer_length=len(self._frozen),
+            declared_length=stream.length,
+        )
 
     def take(self, k: int) -> Tuple[Edge, ...]:
         """Consume and return up to ``k`` edges.
@@ -171,6 +223,13 @@ class EdgeStream:
         buffer across every view.
     order_name:
         Label recorded in experiment output.
+    declared_length:
+        Length ``N`` the stream *claims* to have; defaults to the true
+        buffer length.  A mismatching value models hostile or buggy
+        producers (fault injection, malformed files); consumers that
+        trust :attr:`length` for epoch sizing will be misled, which is
+        exactly what robustness tests probe.  :attr:`actual_length`
+        always reports the truth.
     """
 
     def __init__(
@@ -178,10 +237,16 @@ class EdgeStream:
         instance: SetCoverInstance,
         edges: EdgesLike,
         order_name: str = "canonical",
+        declared_length: Optional[int] = None,
     ) -> None:
         self.instance = instance
         self._frozen = edges if isinstance(edges, FrozenEdges) else FrozenEdges(edges)
         self.order_name = order_name
+        if declared_length is not None and declared_length < 0:
+            raise InvalidStreamError(
+                f"declared_length must be >= 0, got {declared_length}"
+            )
+        self._declared_length = declared_length
         self._consumed = False
         self._position = 0
         # Sorted positions at which _on_checkpoint() fires before the
@@ -193,7 +258,14 @@ class EdgeStream:
 
     @property
     def length(self) -> int:
-        """The stream length N (total number of edges)."""
+        """The stream length N as *declared* (usually the true count)."""
+        if self._declared_length is not None:
+            return self._declared_length
+        return len(self._frozen)
+
+    @property
+    def actual_length(self) -> int:
+        """The number of edges the buffer genuinely holds."""
         return len(self._frozen)
 
     @property
@@ -295,9 +367,23 @@ class EdgeStream:
             yield edges[start:stop]
         self.flush_checkpoints()
 
-    def reader(self) -> StreamReader:
-        """A batched one-pass cursor over this stream (marks it consumed)."""
+    def reader(
+        self, resume_from: Optional[StreamCheckpoint] = None
+    ) -> StreamReader:
+        """A batched one-pass cursor over this stream (marks it consumed).
+
+        With ``resume_from``, the cursor restarts at a previously taken
+        :class:`StreamCheckpoint` — after verifying the checkpoint was
+        taken on *this* buffer shape.  Restoring onto a truncated,
+        extended, or length-lying buffer raises
+        :class:`~repro.errors.InvalidStreamError` rather than silently
+        misaligning the cursor.
+        """
+        if resume_from is not None:
+            resume_from.validate_against(self)
         self._start_pass()
+        if resume_from is not None:
+            self._position = resume_from.position
         return StreamReader(self)
 
     def peek_all(self) -> Sequence[Edge]:

@@ -33,6 +33,15 @@ class TestParser:
         )
         assert args.algorithm == "kk"
 
+    def test_chaos_parses(self):
+        args = build_parser().parse_args(
+            ["chaos", "--quick", "--policy", "skip_bad_edges", "--seed", "3"]
+        )
+        assert args.command == "chaos"
+        assert args.quick
+        assert args.policy == "skip_bad_edges"
+        assert args.seed == 3
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -130,3 +139,18 @@ class TestSolve:
     def test_missing_file_errors(self):
         with pytest.raises(FileNotFoundError):
             main(["solve", "/nonexistent/file.txt"])
+
+
+class TestChaos:
+    def test_quick_sweep_holds_invariant(self, capsys):
+        assert main(["chaos", "--quick", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos invariant holds" in out
+        assert "outcomes:" in out
+
+    def test_markdown_flag(self, capsys):
+        assert main(["chaos", "--quick", "--markdown"]) == 0
+        assert "|" in capsys.readouterr().out
+
+    def test_policy_option(self, capsys):
+        assert main(["chaos", "--quick", "--policy", "skip_bad_edges"]) == 0

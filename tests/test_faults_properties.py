@@ -1,0 +1,116 @@
+"""Property tests: the chaos invariant over the full fault grid.
+
+Every registered algorithm, under every fault kind, at every tested
+intensity, in both an adversarial and a random arrival order, must end
+in a valid cover, a typed :class:`ReproError`, or an explicit
+degradation record — never a bare builtin exception and never a
+silently wrong answer.  This is the acceptance criterion of the fault
+subsystem, executed cell by cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import registered_algorithms
+from repro.analysis.chaos import run_chaos, run_chaos_cell
+from repro.faults import FAULT_KINDS
+from repro.generators.planted import planted_partition_instance
+
+RATES = (0.01, 0.1, 0.5)
+ORDERS = ("round-robin", "random")
+ALGORITHMS = registered_algorithms()
+
+ALLOWED = {"valid-cover", "degraded", "typed-error"}
+
+
+@pytest.fixture(scope="module")
+def grid_instance():
+    return planted_partition_instance(n=24, m=16, opt_size=4, seed=11).instance
+
+
+def _cell_seed(algorithm: str, kind: str, rate: float, order: str) -> int:
+    # Stable across processes (no str hashing) so failures reproduce.
+    return (
+        ALGORITHMS.index(algorithm) * 10_000
+        + FAULT_KINDS.index(kind) * 1_000
+        + int(rate * 100) * 10
+        + ORDERS.index(order)
+    )
+
+
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_invariant_holds_under_best_effort(grid_instance, algorithm, kind):
+    for rate in RATES:
+        for order in ORDERS:
+            cell = run_chaos_cell(
+                grid_instance,
+                algorithm,
+                kind,
+                rate,
+                order,
+                policy="best_effort",
+                seed=_cell_seed(algorithm, kind, rate, order),
+            )
+            assert cell.outcome in ALLOWED, (
+                f"{algorithm} × {kind}@{rate} × {order}: {cell.detail}"
+            )
+
+
+@pytest.mark.parametrize(
+    # set-arrival is excluded: it requires set-grouped arrival and
+    # (correctly) degrades on the orders the chaos grid uses.
+    "algorithm",
+    [name for name in ALGORITHMS if name != "set-arrival"],
+)
+def test_clean_stream_stays_clean(grid_instance, algorithm):
+    # Rate-0 faults must not disturb a healthy run (zero-cost guarantee)
+    # ... except lie-length, which lies by at least one edge by design.
+    for kind in ("drop", "duplicate", "corrupt", "truncate", "reorder"):
+        cell = run_chaos_cell(
+            grid_instance,
+            algorithm,
+            kind,
+            0.0,
+            "round-robin",
+            policy="best_effort",
+            seed=42,
+        )
+        assert cell.outcome == "valid-cover", (
+            f"{algorithm} × {kind}@0.0: {cell.outcome} ({cell.detail})"
+        )
+
+
+class TestRunChaos:
+    def test_full_report_holds_invariant(self):
+        report = run_chaos(seed=7)
+        report.assert_invariant()
+        expected = len(ALGORITHMS) * len(FAULT_KINDS) * 3 * 2
+        assert len(report.rows) == expected
+
+    def test_quick_grid_is_small(self):
+        report = run_chaos(seed=7, quick=True)
+        assert len(report.rows) == 2 * len(FAULT_KINDS) * 2
+        report.assert_invariant()
+
+    def test_deterministic_per_seed(self):
+        a = run_chaos(seed=3, quick=True)
+        b = run_chaos(seed=3, quick=True)
+        assert [c.outcome for c in a.rows] == [c.outcome for c in b.rows]
+        assert [c.cover_size for c in a.rows] == [c.cover_size for c in b.rows]
+
+    def test_render_mentions_every_outcome(self):
+        report = run_chaos(seed=7, quick=True)
+        text = report.render()
+        assert "outcomes:" in text
+        for cell in report.rows:
+            assert cell.outcome in text
+
+    def test_assert_invariant_raises_on_violation(self):
+        report = run_chaos(seed=7, quick=True)
+        report.rows[0].outcome = "violation"
+        report.rows[0].detail = "synthetic"
+        with pytest.raises(AssertionError, match="synthetic"):
+            report.assert_invariant()
+        assert len(report.violations()) == 1

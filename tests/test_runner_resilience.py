@@ -1,0 +1,213 @@
+"""Tests for the experiment runner's failure handling.
+
+Covers the resilience contract: worker failures re-raised with full
+spec context, bounded retry with derived seeds (bit-identical to serial
+for transient failures), cooperative timeouts, and journal-based
+checkpoint/resume whose resumed results match an uninterrupted sweep.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.journal import SweepJournal, spec_fingerprint
+from repro.analysis.runner import ExperimentRunner, derive_retry_seed
+from repro.baselines.trivial import FirstFitAlgorithm
+from repro.core.kk import KKAlgorithm
+from repro.errors import ExperimentExecutionError, RunTimeoutError
+from repro.generators.planted import planted_partition_instance
+
+
+class BoomAlgorithm(FirstFitAlgorithm):
+    name = "boom"
+
+    def _run(self, stream):
+        raise ValueError("boom")
+
+
+class SleepyAlgorithm(FirstFitAlgorithm):
+    name = "sleepy"
+
+    def _run(self, stream):
+        time.sleep(0.02)
+        return super()._run(stream)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planted_partition_instance(n=20, m=12, opt_size=3, seed=5).instance
+
+
+def make_runner(seed=7, algorithms=None):
+    algorithms = algorithms or {
+        "first-fit": lambda s: FirstFitAlgorithm(seed=s),
+        "kk": lambda s: KKAlgorithm(seed=s),
+    }
+    return ExperimentRunner(algorithms, seed=seed)
+
+
+class TestDeriveRetrySeed:
+    def test_first_two_attempts_reuse_the_seed(self):
+        assert derive_retry_seed(123, 0) == 123
+        assert derive_retry_seed(123, 1) == 123
+
+    def test_later_attempts_remix_deterministically(self):
+        assert derive_retry_seed(123, 2) != 123
+        assert derive_retry_seed(123, 2) == derive_retry_seed(123, 2)
+        assert derive_retry_seed(123, 2) != derive_retry_seed(123, 3)
+        assert 0 <= derive_retry_seed(123, 2) < 2**63
+
+
+class TestErrorWrapping:
+    def test_worker_error_carries_spec_context(self, instance):
+        runner = make_runner(algorithms={"boom": lambda s: BoomAlgorithm(seed=s)})
+        with pytest.raises(ExperimentExecutionError) as excinfo:
+            runner.compare(instance, "random")
+        error = excinfo.value
+        assert error.algorithm == "boom"
+        assert error.order == "random"
+        assert error.spec_index == 0
+        assert error.attempts == 1
+        assert isinstance(error.__cause__, ValueError)
+        assert "boom" in str(error)
+        assert "seed=" in str(error)
+
+    def test_parallel_worker_error_also_wrapped(self, instance):
+        runner = make_runner(
+            algorithms={
+                "first-fit": lambda s: FirstFitAlgorithm(seed=s),
+                "boom": lambda s: BoomAlgorithm(seed=s),
+            }
+        )
+        with pytest.raises(ExperimentExecutionError):
+            runner.compare(instance, "random", replications=2, max_workers=4)
+
+    def test_invalid_knobs_rejected(self, instance):
+        runner = make_runner()
+        with pytest.raises(ValueError, match="max_workers"):
+            runner.compare(instance, "random", max_workers=0)
+        with pytest.raises(ValueError, match="retries"):
+            runner.compare(instance, "random", retries=-1)
+
+
+class TestRetry:
+    def test_transient_failure_retried_bit_identical(self, instance):
+        baseline = make_runner().compare(instance, "random", replications=2)
+        runner = make_runner()
+        attempts = []
+
+        def hook(index, attempt):
+            attempts.append((index, attempt))
+            if index == 1 and attempt == 0:
+                raise RuntimeError("transient worker death")
+
+        runner._fault_hook = hook
+        retried = runner.compare(instance, "random", replications=2, retries=1)
+        assert retried == baseline
+        assert (1, 0) in attempts and (1, 1) in attempts
+
+    def test_exhausted_retries_wrap_the_last_error(self, instance):
+        runner = make_runner()
+        runner._fault_hook = lambda index, attempt: (_ for _ in ()).throw(
+            RuntimeError("always down")
+        )
+        with pytest.raises(ExperimentExecutionError) as excinfo:
+            runner.compare(instance, "random", retries=2)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+
+class TestTimeout:
+    def test_slow_run_raises_run_timeout(self, instance):
+        runner = make_runner(
+            algorithms={"sleepy": lambda s: SleepyAlgorithm(seed=s)}
+        )
+        with pytest.raises(RunTimeoutError) as excinfo:
+            runner.compare(instance, "random", timeout=0.001)
+        assert excinfo.value.elapsed > excinfo.value.timeout
+
+    def test_timeouts_are_never_retried(self, instance):
+        runner = make_runner(
+            algorithms={"sleepy": lambda s: SleepyAlgorithm(seed=s)}
+        )
+        attempts = []
+        runner._fault_hook = lambda index, attempt: attempts.append(attempt)
+        with pytest.raises(RunTimeoutError):
+            runner.compare(instance, "random", timeout=0.001, retries=5)
+        assert attempts == [0]
+
+    def test_fast_run_unaffected(self, instance):
+        baseline = make_runner().compare(instance, "random")
+        timed = make_runner().compare(instance, "random", timeout=60.0)
+        assert timed == baseline
+
+
+class TestJournal:
+    def test_resumed_sweep_is_bit_identical(self, instance, tmp_path):
+        baseline = make_runner().compare(instance, "random", replications=3)
+        journal = tmp_path / "sweep.jsonl"
+
+        crashing = make_runner()
+
+        def hook(index, attempt):
+            if index >= 3:
+                raise RuntimeError("simulated kill")
+
+        crashing._fault_hook = hook
+        with pytest.raises(ExperimentExecutionError):
+            crashing.compare(
+                instance, "random", replications=3, journal=journal
+            )
+        assert len(SweepJournal(journal)) == 3  # cells 0-2 checkpointed
+
+        resumed = make_runner().compare(
+            instance, "random", replications=3, journal=journal
+        )
+        assert resumed == baseline
+
+    def test_completed_cells_never_re_execute(self, instance, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        first = make_runner().compare(instance, "random", journal=journal)
+
+        rerun = make_runner()
+        rerun._fault_hook = lambda index, attempt: (_ for _ in ()).throw(
+            RuntimeError("must not execute")
+        )
+        again = rerun.compare(instance, "random", journal=journal)
+        assert again == first
+
+    def test_parallel_with_journal_matches_serial(self, instance, tmp_path):
+        baseline = make_runner().compare(instance, "random", replications=3)
+        parallel = make_runner().compare(
+            instance,
+            "random",
+            replications=3,
+            max_workers=4,
+            journal=tmp_path / "par.jsonl",
+        )
+        assert parallel == baseline
+
+    def test_torn_final_line_is_tolerated(self, instance, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        baseline = make_runner().compare(
+            instance, "random", replications=2, journal=journal
+        )
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "0|kk|random|1|truncated mid-wri')
+        resumed = make_runner().compare(
+            instance, "random", replications=2, journal=journal
+        )
+        assert resumed == baseline
+
+    def test_fingerprint_distinguishes_grid_position(self):
+        a = spec_fingerprint(0, "kk", "random", 1, 10, 5, 50)
+        b = spec_fingerprint(1, "kk", "random", 1, 10, 5, 50)
+        assert a != b
+
+    def test_journal_round_trip_preserves_metrics(self, instance, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        rows = make_runner().compare(instance, "random", journal=journal_path)
+        reloaded = SweepJournal(journal_path)
+        assert len(reloaded) == len(rows)
