@@ -33,6 +33,7 @@ from repro.analysis.perfbench import (  # noqa: E402
     load_bench_file,
     records_to_json,
     run_bench,
+    run_trace_overhead,
     speedup_table,
     write_bench_file,
 )
@@ -66,11 +67,30 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-write", action="store_true", help="do not touch BENCH_perf.json"
     )
+    parser.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="measure structured-tracing cost (off vs on) instead of the "
+        "throughput ladder; fails if tracing perturbs any cover",
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
     def progress(line: str) -> None:
         print(line, flush=True)
+
+    if args.trace_overhead:
+        tier = "smoke" if args.smoke else "full"
+        records = run_trace_overhead(
+            tier=tier, seed=args.seed, progress=progress
+        )
+        worst = max(records, key=lambda r: r.overhead_fraction)
+        print(
+            f"ok: tracing left all {len(records)} covers bit-identical; "
+            f"worst overhead {100 * worst.overhead_fraction:.1f}% "
+            f"({worst.config}/{worst.algorithm})"
+        )
+        return 0
 
     if args.check:
         current = run_bench(tier="smoke", seed=args.seed, progress=progress)

@@ -16,7 +16,7 @@ from repro.baselines.emek_rosen import SetArrivalThresholdGreedy
 from repro.baselines.store_all import StoreAllAlgorithm
 from repro.baselines.trivial import FirstFitAlgorithm
 from repro.core.adversarial import LowSpaceAdversarialAlgorithm
-from repro.core.base import StreamingSetCoverAlgorithm
+from repro.core.base import StreamingSetCoverAlgorithm, Tracer
 from repro.core.element_sampling import ElementSamplingAlgorithm
 from repro.core.kk import KKAlgorithm
 from repro.core.random_order import RandomOrderAlgorithm
@@ -82,8 +82,13 @@ def make_algorithm(
     instance: SetCoverInstance,
     seed: SeedLike = 0,
     alpha: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
 ) -> StreamingSetCoverAlgorithm:
-    """Construct a registered algorithm sized for ``instance``."""
+    """Construct a registered algorithm sized for ``instance``.
+
+    ``tracer`` attaches an observability tracer (see :mod:`repro.obs`)
+    to the built instance; the default leaves the no-op tracer in place.
+    """
     try:
         builder = ALGORITHM_REGISTRY[name]
     except KeyError:
@@ -91,4 +96,7 @@ def make_algorithm(
         raise ConfigurationError(
             f"unknown algorithm {name!r}; known algorithms: {known}"
         ) from None
-    return builder(instance, seed, alpha)
+    algorithm = builder(instance, seed, alpha)
+    if tracer is not None:
+        algorithm.set_tracer(tracer)
+    return algorithm

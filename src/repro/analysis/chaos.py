@@ -39,6 +39,7 @@ from repro.errors import ReproError
 from repro.faults.injectors import FAULT_KINDS, FaultSpec, inject
 from repro.faults.resilient import ResilientAlgorithm, ResilientResult
 from repro.generators.planted import planted_partition_instance
+from repro.obs.tracer import TraceCollector
 from repro.streaming.instance import SetCoverInstance
 from repro.streaming.orders import make_order
 from repro.streaming.stream import stream_of
@@ -149,8 +150,14 @@ def run_chaos_cell(
     order_name: str,
     policy: str,
     seed: int,
+    collector: Optional[TraceCollector] = None,
 ) -> ChaosCell:
-    """Execute and classify a single chaos cell (fully seed-determined)."""
+    """Execute and classify a single chaos cell (fully seed-determined).
+
+    With ``collector`` the cell's run is traced under a label derived
+    from the cell coordinates (so the sweep's merged JSONL is stable
+    however the cells are scheduled).
+    """
     cell = ChaosCell(
         algorithm=algorithm_name,
         fault_kind=fault_kind,
@@ -166,7 +173,13 @@ def run_chaos_cell(
             stream_of(instance, order),
             [FaultSpec(kind=fault_kind, rate=rate, seed=seed)],
         )
-        algorithm = make_algorithm(algorithm_name, instance, seed=seed)
+        tracer = None
+        if collector is not None:
+            label = f"{algorithm_name}:{fault_kind}@{rate}:{order_name}"
+            tracer = collector.tracer_for(label)
+        algorithm = make_algorithm(
+            algorithm_name, instance, seed=seed, tracer=tracer
+        )
         resilient = ResilientAlgorithm(algorithm, policy=policy)
         outcome: ResilientResult = resilient.run(faulty)
     except ReproError as error:
@@ -214,6 +227,7 @@ def run_chaos(
     policy: str = "best_effort",
     seed: SeedLike = 0,
     quick: bool = False,
+    collector: Optional[TraceCollector] = None,
 ) -> ChaosReport:
     """Sweep the full fault grid and classify every cell.
 
@@ -250,6 +264,7 @@ def run_chaos(
                             order_name,
                             policy,
                             cell_seed,
+                            collector=collector,
                         )
                     )
     return report

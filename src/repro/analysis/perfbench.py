@@ -32,6 +32,7 @@ from repro.core.base import StreamingSetCoverAlgorithm
 from repro.core.kk import KKAlgorithm
 from repro.core.random_order import RandomOrderAlgorithm
 from repro.generators.random_instances import fixed_size_instance
+from repro.obs.tracer import RecordingTracer
 from repro.streaming.orders import RandomOrder
 from repro.streaming.stream import ReplayableStream
 
@@ -131,6 +132,95 @@ def run_bench(
                     f"{config:>7} {name:<13} N={record.stream_length:>8} "
                     f"{record.edges_per_sec:>12,.0f} edges/s "
                     f"({record.seconds:.2f}s)"
+                )
+    return records
+
+
+@dataclass
+class TraceOverheadRecord:
+    """Tracing-cost measurement for one (algorithm, instance) cell.
+
+    ``seconds_off`` is the run with the default :class:`NullTracer`,
+    ``seconds_on`` the identical run (same seed, same frozen stream)
+    with a :class:`RecordingTracer` attached.  ``covers_identical``
+    certifies the observability contract: tracing must never perturb
+    the algorithm's output.
+    """
+
+    config: str
+    algorithm: str
+    stream_length: int
+    seconds_off: float
+    seconds_on: float
+    overhead_fraction: float
+    events: int
+    covers_identical: bool
+
+
+def run_trace_overhead(
+    tier: str = "smoke",
+    seed: int = 0,
+    algorithms: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[TraceOverheadRecord]:
+    """Measure the cost of structured tracing, disabled and enabled.
+
+    For each benchmark cell the algorithm runs twice on the same frozen
+    stream with the same seed: once untraced (the hot path must pay
+    only ``tracer.enabled`` checks) and once with a recording tracer.
+    Raises ``AssertionError`` if the two covers differ — tracing that
+    changes results is a bug, not an overhead.
+    """
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; known: {sorted(TIERS)}")
+    records: List[TraceOverheadRecord] = []
+    for config, n, m, set_size in TIERS[tier]:
+        instance = fixed_size_instance(n, m, set_size, seed=seed)
+        replayable = ReplayableStream(instance, RandomOrder(seed=seed))
+        for name, factory in _algorithms(n, seed).items():
+            if algorithms is not None and name not in algorithms:
+                continue
+            untraced = factory()
+            start = time.perf_counter()
+            result_off = untraced.run(replayable.fresh())
+            seconds_off = time.perf_counter() - start
+
+            tracer = RecordingTracer()
+            traced = factory()
+            traced.set_tracer(tracer)
+            start = time.perf_counter()
+            result_on = traced.run(replayable.fresh())
+            seconds_on = time.perf_counter() - start
+            tracer.finish()
+
+            identical = (
+                result_off.cover == result_on.cover
+                and result_off.certificate == result_on.certificate
+                and result_off.space.peak_words == result_on.space.peak_words
+            )
+            assert identical, (
+                f"tracing perturbed {name} on {config}: covers/certificates/"
+                "space must be bit-identical with and without a tracer"
+            )
+            record = TraceOverheadRecord(
+                config=config,
+                algorithm=name,
+                stream_length=replayable.length,
+                seconds_off=round(seconds_off, 4),
+                seconds_on=round(seconds_on, 4),
+                overhead_fraction=round(
+                    seconds_on / max(seconds_off, 1e-9) - 1.0, 4
+                ),
+                events=len(tracer.events),
+                covers_identical=identical,
+            )
+            records.append(record)
+            if progress is not None:
+                progress(
+                    f"{config:>7} {name:<13} off={record.seconds_off:.3f}s "
+                    f"on={record.seconds_on:.3f}s "
+                    f"(+{100 * record.overhead_fraction:.1f}%, "
+                    f"{record.events} events)"
                 )
     return records
 

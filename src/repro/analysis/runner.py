@@ -36,6 +36,7 @@ from repro.analysis.metrics import RunMetrics, metrics_from_result
 from repro.analysis.opt import opt_or_bound
 from repro.core.base import StreamingSetCoverAlgorithm
 from repro.errors import ExperimentExecutionError, RunTimeoutError
+from repro.obs.tracer import TraceCollector
 from repro.streaming.instance import SetCoverInstance
 from repro.streaming.orders import make_order
 from repro.streaming.stream import ReplayableStream
@@ -55,10 +56,15 @@ def derive_retry_seed(seed: int, attempt: int) -> int:
     retried once reproduces the uninterrupted run exactly.  From the
     second retry on, the seed is remixed deterministically: the original
     seed has now failed twice, so it is presumed deterministically bad.
+    The remix is guaranteed to differ from ``seed`` — a fixed point
+    would silently replay the failing seed forever.
     """
     if attempt <= 1:
         return seed
-    return ((seed ^ (attempt * _SEED_MIX)) * _SEED_MIX + attempt) % (2**63)
+    derived = ((seed ^ (attempt * _SEED_MIX)) * _SEED_MIX + attempt) % (2**63)
+    while derived == seed:
+        derived = (derived * _SEED_MIX + 1) % (2**63)
+    return derived
 
 
 @dataclass
@@ -80,17 +86,26 @@ class ExperimentRunner:
         Mapping ``name -> factory(seed)``.
     seed:
         Master seed; per-run seeds are derived deterministically.
+    collector:
+        Optional :class:`~repro.obs.tracer.TraceCollector`; when given,
+        every run gets a fresh recording tracer keyed by a
+        deterministic cell label, and the merged JSONL is byte-identical
+        whatever ``max_workers`` is (labels sort the merge; a retried
+        cell's last attempt wins because ``tracer_for`` replaces the
+        cell's tracer).
     """
 
     def __init__(
         self,
         algorithms: Dict[str, AlgorithmFactory],
         seed: SeedLike = None,
+        collector: Optional[TraceCollector] = None,
     ) -> None:
         if not algorithms:
             raise ValueError("need at least one algorithm")
         self.algorithms = dict(algorithms)
         self._rng = make_rng(seed)
+        self._collector = collector
         # Test hook: called as (spec_index, attempt) before each cell
         # attempt; raising from it simulates a worker failure.
         self._fault_hook: Optional[Callable[[int, int], None]] = None
@@ -108,7 +123,11 @@ class ExperimentRunner:
         order = make_order(order_name, seed=seed)
         replayable = ReplayableStream(instance, order)
         return self._execute(
-            replayable, algorithm_name, opt_handle=opt_handle, seed=seed
+            replayable,
+            algorithm_name,
+            opt_handle=opt_handle,
+            seed=seed,
+            trace_label=f"single:{algorithm_name}",
         )
 
     def compare(
@@ -273,6 +292,7 @@ class ExperimentRunner:
                     name,
                     opt_handle=opt_handle,
                     seed=derive_retry_seed(seed, attempt),
+                    trace_label=f"{index:05d}:{name}",
                 )
                 elapsed = time.perf_counter() - started
                 if timeout is not None and elapsed > timeout:
@@ -303,9 +323,12 @@ class ExperimentRunner:
         algorithm_name: str,
         opt_handle: Optional[int],
         seed: int,
+        trace_label: str = "",
     ) -> RunMetrics:
         factory = self.algorithms[algorithm_name]
         algorithm = factory(seed)
+        if self._collector is not None:
+            algorithm.set_tracer(self._collector.tracer_for(trace_label))
         stream = replayable.fresh()
         result = algorithm.run(stream)
         instance = replayable.instance

@@ -28,6 +28,7 @@ from typing import Dict, Optional, Set
 from repro.core.base import FirstSetStore, StreamingSetCoverAlgorithm
 from repro.core.solution import StreamingResult
 from repro.errors import InvalidStreamError
+from repro.obs import events as obs_events
 from repro.streaming.space import SpaceBudget, words_for_set
 from repro.streaming.stream import EdgeStream
 from repro.types import ElementId, SeedLike, SetId
@@ -78,9 +79,16 @@ class SetArrivalThresholdGreedy(StreamingSetCoverAlgorithm):
             if len(gain) >= threshold:
                 cover.add(current_set)
                 taken += 1
+                self._trace(
+                    obs_events.SET_ADMITTED,
+                    set_id=current_set,
+                    phase="threshold",
+                    gain=len(gain),
+                )
                 for u in gain:
                     covered.add(u)
                     certificate[u] = current_set
+                self._trace_count(obs_events.ELEMENT_COVERED, len(gain))
                 meter.set_component("cover", words_for_set(len(cover)))
                 meter.set_component("covered", words_for_set(len(covered)))
             closed.add(current_set)
@@ -103,6 +111,7 @@ class SetArrivalThresholdGreedy(StreamingSetCoverAlgorithm):
         meter.set_component("buffer", 0)
 
         patched = first_sets.patch(certificate, cover, n)
+        self._trace(obs_events.PATCH_APPLIED, patched=patched)
         meter.set_component("cover", words_for_set(len(cover)))
 
         return StreamingResult(

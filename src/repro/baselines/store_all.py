@@ -13,6 +13,7 @@ from typing import List, Optional
 from repro.baselines.greedy import greedy_cover
 from repro.core.base import StreamingSetCoverAlgorithm
 from repro.core.solution import StreamingResult
+from repro.obs import events as obs_events
 from repro.streaming.instance import instance_from_edges
 from repro.streaming.space import SpaceBudget
 from repro.streaming.stream import EdgeStream
@@ -39,7 +40,18 @@ class StoreAllAlgorithm(StreamingSetCoverAlgorithm):
         reconstructed = instance_from_edges(
             stream.instance.n, stream.instance.m, buffered, name="buffered"
         )
-        result = greedy_cover(reconstructed)
+        with self._tracer.span(
+            obs_events.SPAN_OFFLINE, buffered_edges=len(buffered)
+        ):
+            result = greedy_cover(reconstructed)
+            if self._tracer.enabled:
+                for set_id in sorted(result.cover):
+                    self._trace(
+                        obs_events.SET_ADMITTED, set_id=set_id, phase="greedy"
+                    )
+                self._trace_count(
+                    obs_events.ELEMENT_COVERED, len(result.certificate)
+                )
         return StreamingResult(
             cover=result.cover,
             certificate=result.certificate,

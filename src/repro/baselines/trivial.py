@@ -17,6 +17,7 @@ from typing import Dict, Optional, Set
 from repro.core.base import FirstSetStore, StreamingSetCoverAlgorithm
 from repro.core.solution import StreamingResult
 from repro.errors import ConfigurationError
+from repro.obs import events as obs_events
 from repro.streaming.space import SpaceBudget, words_for_set
 from repro.streaming.stream import EdgeStream
 from repro.types import ElementId, SeedLike, SetId
@@ -35,6 +36,7 @@ class FirstFitAlgorithm(StreamingSetCoverAlgorithm):
         certificate: Dict[ElementId, SetId] = {}
         cover: Set[SetId] = set()
         patched = first_sets.patch(certificate, cover, stream.instance.n)
+        self._trace(obs_events.PATCH_APPLIED, patched=patched)
         self._meter.set_component("cover", words_for_set(len(cover)))
         return StreamingResult(
             cover=frozenset(cover),
@@ -72,6 +74,14 @@ class UniformSampleAlgorithm(StreamingSetCoverAlgorithm):
             s for s in range(m) if self._rng.random() < self.rate
         }
         self._meter.set_component("sampled", words_for_set(len(sampled)))
+        if self._tracer.enabled:
+            for set_id in sorted(sampled):
+                self._trace(
+                    obs_events.SET_ADMITTED,
+                    set_id=set_id,
+                    phase="upfront",
+                    probability=self.rate,
+                )
 
         certificate: Dict[ElementId, SetId] = {}
         first_sets = FirstSetStore(self._meter)
@@ -80,9 +90,11 @@ class UniformSampleAlgorithm(StreamingSetCoverAlgorithm):
             first_sets.observe(set_id, element)
             if set_id in sampled and element not in certificate:
                 certificate[element] = set_id
+                self._trace_count(obs_events.ELEMENT_COVERED)
 
         cover: Set[SetId] = {certificate[u] for u in certificate}
         patched = first_sets.patch(certificate, cover, stream.instance.n)
+        self._trace(obs_events.PATCH_APPLIED, patched=patched)
         self._meter.set_component("cover", words_for_set(len(cover)))
         return StreamingResult(
             cover=frozenset(cover),

@@ -6,9 +6,13 @@ Usage::
     repro-setcover run table1-row4 [--full] [--seed 7] [--markdown]
     repro-setcover run all
     repro-setcover solve INSTANCE.txt --algorithm kk --order random
+    repro-setcover trace INSTANCE.txt --algorithm random-order -o out.jsonl
 
 The ``solve`` subcommand runs one streaming algorithm over an instance
 file in the :mod:`repro.streaming.io` text format and prints the cover.
+``trace`` does the same run with a recording tracer attached, writes
+the structured JSONL event log (see DESIGN.md §8), round-trips it
+through the parser, and prints the trace summary.
 """
 
 from __future__ import annotations
@@ -61,6 +65,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve_parser.add_argument("--alpha", type=float, default=None)
     solve_parser.add_argument("--seed", type=int, default=0)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="solve one instance with structured tracing and summarise",
+    )
+    trace_parser.add_argument("instance", help="instance file (io text format)")
+    trace_parser.add_argument(
+        "--algorithm",
+        choices=registered_algorithms(),
+        default="random-order",
+    )
+    trace_parser.add_argument(
+        "--order", choices=sorted(ORDER_REGISTRY), default="random"
+    )
+    trace_parser.add_argument("--alpha", type=float, default=None)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="write the JSONL event log here (default: summary only)",
+    )
 
     chaos_parser = sub.add_parser(
         "chaos",
@@ -158,6 +184,51 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        RecordingTracer,
+        events_to_jsonl,
+        parse_jsonl,
+        summarize,
+        write_trace,
+    )
+
+    instance = load_instance(args.instance)
+    instance.validate()
+    order = make_order(args.order, seed=args.seed)
+    stream = stream_of(instance, order)
+    tracer = RecordingTracer()
+    algorithm = make_algorithm(
+        args.algorithm, instance, seed=args.seed, alpha=args.alpha,
+        tracer=tracer,
+    )
+    result = algorithm.run(stream)
+    result.verify(instance)
+    tracer.finish()
+    # Round-trip through the serializer before summarising: the summary
+    # always describes what a consumer of the JSONL file would see.
+    events = parse_jsonl(events_to_jsonl(tracer.events))
+    if args.output is not None:
+        write_trace(args.output, tracer.events)
+    summary = summarize(events)
+    print(
+        render_kv(
+            [
+                ("instance", repr(instance)),
+                ("algorithm", result.algorithm),
+                ("order", args.order),
+                ("cover size", result.cover_size),
+                ("peak words", result.space.peak_words),
+                ("trace events", len(events)),
+            ]
+        )
+    )
+    print(summary.render())
+    if args.output is not None:
+        print(f"wrote {len(events)} events to {args.output}")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.analysis.chaos import run_chaos
 
@@ -232,6 +303,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "solve":
             return _cmd_solve(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
         if args.command == "describe":

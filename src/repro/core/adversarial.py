@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.base import FirstSetStore, StreamingSetCoverAlgorithm
 from repro.core.solution import StreamingResult
 from repro.errors import ConfigurationError
+from repro.obs import events as obs_events
 from repro.streaming.space import ChargedDict, ChargedSet, SpaceBudget, words_for_set
 from repro.streaming.stream import EdgeStream
 from repro.types import ElementId, SeedLike, SetId
@@ -131,18 +132,26 @@ class LowSpaceAdversarialAlgorithm(StreamingSetCoverAlgorithm):
                     promotions += 1
                     if level > max_level:
                         max_level = level
+                    self._trace(
+                        obs_events.LEVEL_PROMOTED, set_id=set_id, level=level
+                    )
                     if set_id not in partial_cover and self._coin(
                         self.inclusion_probability(level, n, m)
                     ):
                         partial_cover.add(set_id)
+                        self._trace(
+                            obs_events.SET_ADMITTED, set_id=set_id, level=level
+                        )
 
                 if set_id in partial_cover:
                     covered.add(element)
                     covered_mask[element] = True
                     certificate[element] = set_id
+                    self._trace_count(obs_events.ELEMENT_COVERED)
 
         cover = set(partial_cover)
         patched = first_sets.patch(certificate, cover, n)
+        self._trace(obs_events.PATCH_APPLIED, patched=patched)
         # Output pruning: drop sets from ⋃ D_i that never witnessed an
         # element — they contribute nothing to coverage, and pruning
         # guarantees cover_size ≤ n.

@@ -12,16 +12,22 @@ paper relies on it to guarantee feasibility.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Dict, Iterable, Mapping, Optional, Set
+from typing import Dict, Iterable, Mapping, Optional, Set, Union
 
 import numpy as np
 
 from repro.core.solution import StreamingResult
 from repro.errors import InvalidCoverError, PartialState, ReproError
+from repro.obs import events as obs_events
+from repro.obs.tracer import NULL_TRACER, NullTracer, RecordingTracer
 from repro.streaming.space import ChargedDict, SpaceBudget, SpaceMeter
 from repro.streaming.stream import EdgeStream
 from repro.types import ElementId, SeedLike, SetId, make_rng
+
+Tracer = Union[NullTracer, RecordingTracer]
+"""Anything honouring the tracer protocol (``enabled``/``span``/``event``/``count``)."""
 
 
 class FirstSetStore:
@@ -151,6 +157,7 @@ class StreamingSetCoverAlgorithm:
         self,
         seed: SeedLike = None,
         space_budget: Optional[SpaceBudget] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._seed = seed
         self._space_budget = space_budget
@@ -158,6 +165,21 @@ class StreamingSetCoverAlgorithm:
         self._meter = SpaceMeter(budget=space_budget)
         self._salvage_cover: Optional[Iterable[SetId]] = None
         self._salvage_certificate: Optional[Mapping[ElementId, SetId]] = None
+        self._tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+
+    @property
+    def tracer(self) -> Tracer:
+        """The active tracer (:data:`NULL_TRACER` unless one was attached)."""
+        return self._tracer
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach ``tracer`` to future runs (``None`` restores the no-op).
+
+        Exists so harnesses can instrument algorithms built by factories
+        whose signatures they do not control (the registry, perfbench,
+        the chaos grid) without widening every subclass constructor.
+        """
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(self, stream: EdgeStream) -> StreamingResult:
         """Execute one pass over ``stream`` and return the result.
@@ -176,26 +198,55 @@ class StreamingSetCoverAlgorithm:
         self._meter = SpaceMeter(budget=self._space_budget)
         self._salvage_cover = None
         self._salvage_certificate = None
-        try:
-            result = self._run(stream)
-        except ReproError as error:
-            if error.partial is None:
-                certificate = dict(self._salvage_certificate or {})
-                # With no explicit cover container, the witnesses named
-                # by the certificate are the best available cover.
-                cover = (
-                    frozenset(self._salvage_cover)
-                    if self._salvage_cover is not None
-                    else frozenset(certificate.values())
+        tracer = self._tracer
+        with tracer.span(
+            obs_events.SPAN_RUN,
+            algorithm=self.name,
+            stream_length=stream.length,
+        ):
+            try:
+                result = self._run(stream)
+            except ReproError as error:
+                if error.partial is None:
+                    certificate = dict(self._salvage_certificate or {})
+                    # With no explicit cover container, the witnesses named
+                    # by the certificate are the best available cover.
+                    cover = (
+                        frozenset(self._salvage_cover)
+                        if self._salvage_cover is not None
+                        else frozenset(certificate.values())
+                    )
+                    error.partial = PartialState(
+                        cover=cover,
+                        certificate=certificate,
+                        edges_consumed=stream.position,
+                        meter_peak=self._meter.peak_words,
+                    )
+                if tracer.enabled:
+                    tracer.event(
+                        obs_events.RUN_FAILED,
+                        error=type(error).__name__,
+                        edges_consumed=stream.position,
+                        peak_words=self._meter.peak_words,
+                    )
+                raise
+            except Exception as error:
+                if tracer.enabled:
+                    tracer.event(
+                        obs_events.RUN_FAILED,
+                        error=type(error).__name__,
+                        edges_consumed=stream.position,
+                        peak_words=self._meter.peak_words,
+                    )
+                raise
+            result.algorithm = result.algorithm or self.name
+            if tracer.enabled:
+                tracer.event(
+                    obs_events.SPACE_SAMPLE,
+                    phase="final",
+                    peak_words=result.space.peak_words,
+                    final_words=result.space.final_words,
                 )
-                error.partial = PartialState(
-                    cover=cover,
-                    certificate=certificate,
-                    edges_consumed=stream.position,
-                    meter_peak=self._meter.peak_words,
-                )
-            raise
-        result.algorithm = result.algorithm or self.name
         return result
 
     def _run(self, stream: EdgeStream) -> StreamingResult:
@@ -221,12 +272,33 @@ class StreamingSetCoverAlgorithm:
             self._salvage_certificate = certificate
 
     def _coin(self, probability: float) -> bool:
-        """Bernoulli draw — the paper's ``Coin(p)`` primitive."""
+        """Bernoulli draw — the paper's ``Coin(p)`` primitive.
+
+        Non-finite probabilities raise: a NaN would fail both boundary
+        tests below and then ``random() < nan`` is silently ``False``,
+        turning a scaling-formula bug into a biased coin.
+        """
+        if not math.isfinite(probability):
+            raise ValueError(
+                f"coin probability must be finite, got {probability!r}"
+            )
+        if self._tracer.enabled:
+            self._tracer.count(obs_events.COIN_FLIP)
         if probability >= 1.0:
             return True
         if probability <= 0.0:
             return False
         return self._rng.random() < probability
+
+    def _trace(self, etype: str, **attrs) -> None:
+        """Emit a point event when tracing is on (no-op otherwise)."""
+        if self._tracer.enabled:
+            self._tracer.event(etype, **attrs)
+
+    def _trace_count(self, name: str, delta: int = 1) -> None:
+        """Accumulate a span counter when tracing is on (no-op otherwise)."""
+        if self._tracer.enabled:
+            self._tracer.count(name, delta)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

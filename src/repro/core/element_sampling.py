@@ -39,6 +39,7 @@ import numpy as np
 from repro.core.base import FirstSetStore, StreamingSetCoverAlgorithm
 from repro.core.solution import StreamingResult
 from repro.errors import ConfigurationError, InfeasibleInstanceError
+from repro.obs import events as obs_events
 from repro.streaming.space import ChargedSet, SpaceBudget, words_for_set
 from repro.streaming.stream import EdgeStream
 from repro.types import ElementId, SeedLike, SetId
@@ -175,35 +176,49 @@ class ElementSamplingAlgorithm(StreamingSetCoverAlgorithm):
         self._register_salvage(cover=cover, certificate=certificate)
         uncovered = set(seen_sampled)
         # Greedy over projections only — Õ(m·n/α) data, no second pass.
-        remaining = {s: set(mem) for s, mem in projections.items()}
-        while uncovered:
-            best_set, best_gain = -1, 0
-            for s, members in remaining.items():
-                gain = len(members & uncovered)
-                if gain > best_gain:
-                    best_set, best_gain = s, gain
-            if best_gain == 0:
-                break  # unreachable for feasible inputs; patched below
-            cover.add(best_set)
-            for u in remaining.pop(best_set):
-                if u in uncovered:
-                    uncovered.discard(u)
-                    certificate[u] = best_set
-            meter.set_component("cover", words_for_set(len(cover)))
-        greedy_picks = len(cover)
+        with self._tracer.span(
+            obs_events.SPAN_OFFLINE,
+            sampled_elements=len(sampled),
+            stored_edges=stored_edges,
+        ):
+            remaining = {s: set(mem) for s, mem in projections.items()}
+            while uncovered:
+                best_set, best_gain = -1, 0
+                for s, members in remaining.items():
+                    gain = len(members & uncovered)
+                    if gain > best_gain:
+                        best_set, best_gain = s, gain
+                if best_gain == 0:
+                    break  # unreachable for feasible inputs; patched below
+                cover.add(best_set)
+                self._trace(
+                    obs_events.SET_ADMITTED,
+                    set_id=best_set,
+                    phase="greedy",
+                    gain=best_gain,
+                )
+                for u in remaining.pop(best_set):
+                    if u in uncovered:
+                        uncovered.discard(u)
+                        certificate[u] = best_set
+                        self._trace_count(obs_events.ELEMENT_COVERED)
+                meter.set_component("cover", words_for_set(len(cover)))
+            greedy_picks = len(cover)
 
-        # Witness-cache certification: a non-sampled element whose cache
-        # intersects the chosen cover costs nothing extra.
-        cached_certifications = 0
-        for u in range(n):
-            if u in certificate:
-                continue
-            hits = witness_cache.get(u, set()) & cover
-            if hits:
-                certificate[u] = min(hits)
-                cached_certifications += 1
+            # Witness-cache certification: a non-sampled element whose cache
+            # intersects the chosen cover costs nothing extra.
+            cached_certifications = 0
+            for u in range(n):
+                if u in certificate:
+                    continue
+                hits = witness_cache.get(u, set()) & cover
+                if hits:
+                    certificate[u] = min(hits)
+                    cached_certifications += 1
+                    self._trace_count(obs_events.ELEMENT_COVERED)
 
         patched = first_sets.patch(certificate, cover, n)
+        self._trace(obs_events.PATCH_APPLIED, patched=patched)
         meter.set_component("cover", words_for_set(len(cover)))
         # Output pruning, as for the paper's algorithms.
         cover = set(certificate.values())

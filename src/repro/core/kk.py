@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.base import FirstSetStore, StreamingSetCoverAlgorithm
 from repro.core.scaling import Scaling
 from repro.core.solution import StreamingResult
+from repro.obs import events as obs_events
 from repro.streaming.space import ChargedDict, ChargedSet, SpaceBudget, words_for_set
 from repro.streaming.stream import EdgeStream
 from repro.types import ElementId, SeedLike, SetId
@@ -111,6 +112,7 @@ class KKAlgorithm(StreamingSetCoverAlgorithm):
                     covered.add(element)
                     covered_mask[element] = True
                     certificate[element] = set_id
+                    self._trace_count(obs_events.ELEMENT_COVERED)
                     continue
 
                 degree = uncovered_degree.get(set_id, 0) + 1
@@ -119,6 +121,9 @@ class KKAlgorithm(StreamingSetCoverAlgorithm):
                 if degree % level_width == 0:
                     level = degree // level_width
                     max_level_reached = max(max_level_reached, level)
+                    self._trace(
+                        obs_events.LEVEL_PROMOTED, set_id=set_id, level=level
+                    )
                     p = self.scaling.kk_inclusion_probability(level, n, m)
                     if self._coin(p):
                         cover.add(set_id)
@@ -126,8 +131,16 @@ class KKAlgorithm(StreamingSetCoverAlgorithm):
                         covered.add(element)
                         covered_mask[element] = True
                         certificate[element] = set_id
+                        self._trace(
+                            obs_events.SET_ADMITTED,
+                            set_id=set_id,
+                            level=level,
+                            probability=p,
+                        )
+                        self._trace_count(obs_events.ELEMENT_COVERED)
 
         patched = first_sets.patch(certificate, cover, n)
+        self._trace(obs_events.PATCH_APPLIED, patched=patched)
         meter.set_component("cover", words_for_set(len(cover)))
 
         return StreamingResult(

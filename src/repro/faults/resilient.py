@@ -42,6 +42,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.base import StreamingSetCoverAlgorithm
 from repro.core.solution import StreamingResult
 from repro.errors import ConfigurationError, PartialState, ReproError
+from repro.obs import events as obs_events
 from repro.streaming.space import SpaceReport
 from repro.streaming.stream import EdgeStream
 from repro.types import Edge
@@ -151,6 +152,14 @@ class ResilientAlgorithm:
             repairs.append("well-formed-edges")
         if length_lied:
             repairs.append("declared-length")
+        tracer = self.algorithm.tracer
+        if tracer.enabled and (skipped or length_lied):
+            tracer.event(
+                obs_events.STREAM_SANITIZED,
+                policy=self.policy,
+                edges_skipped=skipped,
+                length_lied=length_lied,
+            )
 
         if self.policy == "skip_bad_edges":
             result = self.algorithm.run(sanitized)
@@ -172,6 +181,20 @@ class ResilientAlgorithm:
 
     # -- internals -------------------------------------------------------
 
+    def _trace_degradation(self, record: DegradationRecord) -> None:
+        """Mirror ``record`` into the wrapped algorithm's trace."""
+        tracer = self.algorithm.tracer
+        if tracer.enabled:
+            tracer.event(
+                obs_events.DEGRADATION,
+                policy=record.policy,
+                relaxed_invariant=record.relaxed_invariant,
+                edges_skipped=record.edges_skipped,
+                coverage_fraction=record.coverage_fraction,
+                uncovered_count=record.uncovered_count,
+                error_type=record.error_type,
+            )
+
     def _finish(
         self,
         stream: EdgeStream,
@@ -190,6 +213,7 @@ class ResilientAlgorithm:
                 edges_consumed=stream.actual_length,
                 meter_peak=result.space.peak_words,
             )
+            self._trace_degradation(degradation)
         return ResilientResult(
             algorithm=self.algorithm.name,
             policy=self.policy,
@@ -232,6 +256,7 @@ class ResilientAlgorithm:
             edges_consumed=partial.edges_consumed or sanitized.position,
             meter_peak=partial.meter_peak,
         )
+        self._trace_degradation(degradation)
         result = None
         if safe_cover or safe_certificate:
             # A synthetic report: the meter object died with the run, so

@@ -1,0 +1,93 @@
+"""Structured observability for the streaming algorithms (zero-dep).
+
+``repro.obs`` makes every probabilistic decision of the paper's
+machinery inspectable: a :class:`~repro.obs.tracer.RecordingTracer`
+collects nestable spans (run → epoch → subepoch) and typed events
+(``coin_flip``, ``set_admitted``, ``element_covered``,
+``level_promoted``, ``patch_applied``, ``space_sample``, ...) with
+seed-deterministic ordering, while the default
+:class:`~repro.obs.tracer.NullTracer` keeps the hot path free of any
+tracing cost.  See DESIGN.md §8 for the event taxonomy and
+``repro-setcover trace`` for the CLI entry point.
+"""
+
+from repro.obs.events import (
+    COIN_FLIP,
+    COUNTER,
+    DEGRADATION,
+    ELEMENT_COVERED,
+    ELEMENT_MARKED,
+    EVENT_TYPES,
+    LEVEL_PROMOTED,
+    PATCH_APPLIED,
+    RUN_FAILED,
+    SET_ADMITTED,
+    SET_SPECIAL,
+    SET_TRACKED,
+    SPACE_SAMPLE,
+    SPAN_ALGORITHM,
+    SPAN_BEGIN,
+    SPAN_END,
+    SPAN_EPOCH,
+    SPAN_EPOCH0,
+    SPAN_KINDS,
+    SPAN_OFFLINE,
+    SPAN_REMAINDER,
+    SPAN_RUN,
+    SPAN_SUBEPOCH,
+    STREAM_SANITIZED,
+    TraceEvent,
+)
+from repro.obs.summary import TraceSummary, summarize
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TraceCollector,
+    event_to_json,
+    events_to_jsonl,
+    parse_jsonl,
+    parse_jsonl_cells,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "COIN_FLIP",
+    "COUNTER",
+    "DEGRADATION",
+    "ELEMENT_COVERED",
+    "ELEMENT_MARKED",
+    "EVENT_TYPES",
+    "LEVEL_PROMOTED",
+    "NULL_TRACER",
+    "NullTracer",
+    "PATCH_APPLIED",
+    "RUN_FAILED",
+    "RecordingTracer",
+    "SET_ADMITTED",
+    "SET_SPECIAL",
+    "SET_TRACKED",
+    "SPACE_SAMPLE",
+    "SPAN_ALGORITHM",
+    "SPAN_BEGIN",
+    "SPAN_END",
+    "SPAN_EPOCH",
+    "SPAN_EPOCH0",
+    "SPAN_KINDS",
+    "SPAN_OFFLINE",
+    "SPAN_REMAINDER",
+    "SPAN_RUN",
+    "SPAN_SUBEPOCH",
+    "STREAM_SANITIZED",
+    "TraceCollector",
+    "TraceEvent",
+    "TraceSummary",
+    "event_to_json",
+    "events_to_jsonl",
+    "parse_jsonl",
+    "parse_jsonl_cells",
+    "read_trace",
+    "summarize",
+    "write_trace",
+]

@@ -1,0 +1,117 @@
+"""Event taxonomy for the structured tracing layer.
+
+Every trace is a flat sequence of :class:`TraceEvent` records.  Two of
+the types (:data:`SPAN_BEGIN` / :data:`SPAN_END`) delimit *spans* — the
+nestable phases of a run (run → epoch → subepoch) — and the rest are
+point events or flushed counters attached to the innermost open span.
+
+The taxonomy is closed: :class:`~repro.obs.tracer.RecordingTracer`
+rejects unknown event types so a typo in an instrumentation site fails
+loudly in tests instead of silently fragmenting the trace vocabulary.
+DESIGN.md §8 documents the meaning and emitting sites of every type.
+
+Determinism contract: events carry a per-trace sequence number and *no*
+wall-clock timestamps, so a fixed (seed, instance, order) triple yields
+a byte-identical JSONL trace on every run and under any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Union
+
+AttrValue = Union[int, float, str, bool]
+
+# -- span delimiters -------------------------------------------------------
+
+SPAN_BEGIN = "span_begin"
+SPAN_END = "span_end"
+
+# -- span kinds ------------------------------------------------------------
+
+SPAN_RUN = "run"
+SPAN_EPOCH0 = "epoch0"
+SPAN_ALGORITHM = "algorithm"  # Algorithm 1's inner A(i)
+SPAN_EPOCH = "epoch"
+SPAN_SUBEPOCH = "subepoch"
+SPAN_REMAINDER = "remainder"
+SPAN_OFFLINE = "offline"  # element sampling's post-pass greedy
+
+SPAN_KINDS: FrozenSet[str] = frozenset(
+    {
+        SPAN_RUN,
+        SPAN_EPOCH0,
+        SPAN_ALGORITHM,
+        SPAN_EPOCH,
+        SPAN_SUBEPOCH,
+        SPAN_REMAINDER,
+        SPAN_OFFLINE,
+    }
+)
+
+# -- point events and counters --------------------------------------------
+
+COIN_FLIP = "coin_flip"  # counter: Coin(p) draws (incl. deterministic ones)
+SET_ADMITTED = "set_admitted"  # a set joined the (partial) cover
+ELEMENT_COVERED = "element_covered"  # counter: elements witnessed/marked
+LEVEL_PROMOTED = "level_promoted"  # a set's level/degree-level advanced
+SET_SPECIAL = "set_special"  # Algorithm 1: a counter hit the threshold
+SET_TRACKED = "set_tracked"  # Algorithm 1: set joined the tracked sample
+ELEMENT_MARKED = "element_marked"  # counter: optimistic marks (lines 7/31)
+PATCH_APPLIED = "patch_applied"  # first-fit patching completed a cover
+SPACE_SAMPLE = "space_sample"  # meter snapshot (peak/current words)
+COUNTER = "counter"  # flushed counter values outside any span
+RUN_FAILED = "run_failed"  # the pass raised; attrs carry the error type
+STREAM_SANITIZED = "stream_sanitized"  # resilient wrapper repaired a stream
+DEGRADATION = "degradation"  # a DegradationRecord was emitted
+
+EVENT_TYPES: FrozenSet[str] = frozenset(
+    {
+        SPAN_BEGIN,
+        SPAN_END,
+        COIN_FLIP,
+        SET_ADMITTED,
+        ELEMENT_COVERED,
+        LEVEL_PROMOTED,
+        SET_SPECIAL,
+        SET_TRACKED,
+        ELEMENT_MARKED,
+        PATCH_APPLIED,
+        SPACE_SAMPLE,
+        COUNTER,
+        RUN_FAILED,
+        STREAM_SANITIZED,
+        DEGRADATION,
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    Attributes
+    ----------
+    seq:
+        0-based position of this event in its trace; the total order of
+        the trace (no timestamps — see the module determinism contract).
+    span:
+        ``seq`` of the innermost enclosing :data:`SPAN_BEGIN` event, or
+        ``-1`` for events outside any span.
+    etype:
+        One of :data:`EVENT_TYPES`.
+    attrs:
+        Flat JSON-compatible payload.  Span events carry ``kind``; span
+        ends additionally carry the counters accumulated in the span.
+    """
+
+    seq: int
+    span: int
+    etype: str
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+
+    @property
+    def kind(self) -> str:
+        """The span kind for span events, ``""`` otherwise."""
+        value = self.attrs.get("kind", "")
+        return value if isinstance(value, str) else ""

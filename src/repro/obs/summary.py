@@ -1,0 +1,172 @@
+"""Trace summarisation: turn a JSONL event stream back into numbers.
+
+The consumer side of the tracing layer: :func:`summarize` folds a flat
+event list into a :class:`TraceSummary` (span populations, event-type
+histogram, counter totals, nesting depth, per-epoch rows for
+Algorithm 1), and :meth:`TraceSummary.render` prints it for the
+``repro-setcover trace`` CLI.  Round-tripping — serialize, parse,
+summarise — is the acceptance path the tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.obs.events import (
+    COUNTER,
+    SPAN_BEGIN,
+    SPAN_END,
+    SPAN_EPOCH,
+    SPAN_SUBEPOCH,
+    TraceEvent,
+)
+
+#: Counter keys every span_end carries besides flushed counters.
+_SPAN_END_META = ("kind", "begin")
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of one trace.
+
+    Attributes
+    ----------
+    total_events:
+        Length of the event list.
+    span_counts:
+        ``span kind -> number of spans`` (counted at ``span_begin``).
+    event_counts:
+        ``event type -> occurrences`` (span delimiters included).
+    counter_totals:
+        Flushed counters summed across every ``span_end`` and trailing
+        ``counter`` event — e.g. total ``coin_flip`` draws of the run.
+    max_depth:
+        Deepest span nesting observed (run → epoch → subepoch = 3).
+    unbalanced_spans:
+        ``span_begin`` events never matched by an end (0 for a
+        well-formed trace).
+    epoch_rows:
+        One ``(algorithm_index, epoch_index, subepochs, counters)``
+        tuple per Algorithm-1 epoch span, in trace order.
+    """
+
+    total_events: int = 0
+    span_counts: Dict[str, int] = field(default_factory=dict)
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    counter_totals: Dict[str, int] = field(default_factory=dict)
+    max_depth: int = 0
+    unbalanced_spans: int = 0
+    epoch_rows: List[Tuple[int, int, int, Dict[str, int]]] = field(
+        default_factory=list
+    )
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"events: {self.total_events}"]
+        lines.append(f"max span depth: {self.max_depth}")
+        if self.unbalanced_spans:
+            lines.append(f"UNBALANCED spans: {self.unbalanced_spans}")
+        if self.span_counts:
+            spans = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(self.span_counts.items())
+            )
+            lines.append(f"spans: {spans}")
+        if self.event_counts:
+            events = ", ".join(
+                f"{etype}={count}"
+                for etype, count in sorted(self.event_counts.items())
+            )
+            lines.append(f"event types: {events}")
+        if self.counter_totals:
+            counters = ", ".join(
+                f"{name}={total}"
+                for name, total in sorted(self.counter_totals.items())
+            )
+            lines.append(f"counters: {counters}")
+        if self.epoch_rows:
+            lines.append("epochs (A(i), epoch j, subepochs, counters):")
+            for algorithm_index, epoch_index, subepochs, counters in self.epoch_rows:
+                shown = ", ".join(
+                    f"{k}={v}" for k, v in sorted(counters.items())
+                )
+                lines.append(
+                    f"  A({algorithm_index}) epoch {epoch_index}: "
+                    f"{subepochs} subepoch(s){'; ' + shown if shown else ''}"
+                )
+        return "\n".join(lines)
+
+
+def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
+    """Fold ``events`` into a :class:`TraceSummary`."""
+    summary = TraceSummary(total_events=len(events))
+    depth = 0
+    # seq of each open span_begin -> (kind, attrs) for epoch bookkeeping.
+    open_spans: Dict[int, TraceEvent] = {}
+    subepochs_per_epoch: Dict[int, int] = {}
+    # Counters of closed descendant spans, rolled up to the nearest
+    # still-open epoch: Algorithm 1 flushes coin flips per *subepoch*,
+    # but the row users read is per epoch.
+    epoch_accumulators: Dict[int, Dict[str, int]] = {}
+
+    def nearest_open_epoch(parent_seq: int) -> int:
+        seq = parent_seq
+        while seq != -1 and seq in open_spans:
+            if open_spans[seq].kind == SPAN_EPOCH:
+                return seq
+            seq = open_spans[seq].span
+        return -1
+
+    for event in events:
+        summary.event_counts[event.etype] = (
+            summary.event_counts.get(event.etype, 0) + 1
+        )
+        if event.etype == SPAN_BEGIN:
+            kind = event.kind
+            summary.span_counts[kind] = summary.span_counts.get(kind, 0) + 1
+            depth += 1
+            summary.max_depth = max(summary.max_depth, depth)
+            open_spans[event.seq] = event
+            if kind == SPAN_SUBEPOCH and event.span in open_spans:
+                subepochs_per_epoch[event.span] = (
+                    subepochs_per_epoch.get(event.span, 0) + 1
+                )
+        elif event.etype == SPAN_END:
+            depth = max(0, depth - 1)
+            begin_seq = event.attrs.get("begin", -1)
+            begin = open_spans.pop(int(begin_seq), None)
+            counters = {
+                name: int(value)
+                for name, value in event.attrs.items()
+                if name not in _SPAN_END_META and isinstance(value, (int, float))
+            }
+            for name, value in counters.items():
+                summary.counter_totals[name] = (
+                    summary.counter_totals.get(name, 0) + value
+                )
+            if begin is not None and begin.kind == SPAN_EPOCH:
+                rolled = epoch_accumulators.pop(begin.seq, {})
+                for name, value in counters.items():
+                    rolled[name] = rolled.get(name, 0) + value
+                summary.epoch_rows.append(
+                    (
+                        int(begin.attrs.get("algorithm_index", -1)),
+                        int(begin.attrs.get("epoch_index", -1)),
+                        subepochs_per_epoch.get(begin.seq, 0),
+                        rolled,
+                    )
+                )
+            elif begin is not None and counters:
+                epoch_seq = nearest_open_epoch(begin.span)
+                if epoch_seq != -1:
+                    bucket = epoch_accumulators.setdefault(epoch_seq, {})
+                    for name, value in counters.items():
+                        bucket[name] = bucket.get(name, 0) + value
+        elif event.etype == COUNTER:
+            for name, value in event.attrs.items():
+                if isinstance(value, (int, float)):
+                    summary.counter_totals[name] = summary.counter_totals.get(
+                        name, 0
+                    ) + int(value)
+    summary.unbalanced_spans = len(open_spans)
+    return summary

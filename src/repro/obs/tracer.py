@@ -1,0 +1,351 @@
+"""Tracers: the no-op default, the recording implementation, JSONL io.
+
+Three layers, mirroring the space meter's design philosophy (the
+observability substrate must not distort what it observes):
+
+* :class:`NullTracer` — the default everywhere.  ``enabled`` is a class
+  attribute ``False`` and every method is a no-op, so hot paths guard
+  event construction behind ``if tracer.enabled:`` and pay one
+  attribute load when tracing is off.  The singleton is
+  :data:`NULL_TRACER`.
+* :class:`RecordingTracer` — an in-memory event buffer with nestable
+  spans and per-span counters.  Events carry sequence numbers, never
+  wall-clock timestamps, so traces are seed-deterministic.
+* :class:`TraceCollector` — a thread-safe registry of per-cell
+  recording tracers for grid runs; its merged JSONL output is sorted by
+  cell label, so ``max_workers=4`` emits byte-identical bytes to
+  ``max_workers=1``.
+
+JSONL format: one JSON object per event, sorted keys, no whitespace —
+``{"attrs":{...},"seq":0,"span":-1,"type":"span_begin"}`` — making
+byte-level trace comparison meaningful across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.events import (
+    COUNTER,
+    EVENT_TYPES,
+    SPAN_BEGIN,
+    SPAN_END,
+    SPAN_KINDS,
+    AttrValue,
+    TraceEvent,
+)
+
+
+class _NullSpan:
+    """Reusable no-op context manager handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The do-nothing tracer: zero allocation, zero branching cost.
+
+    ``enabled`` is ``False`` at the *class* level, so the hot-path guard
+    ``if tracer.enabled:`` compiles to one attribute load and a falsy
+    test — no event dictionaries are ever built when tracing is off.
+    """
+
+    enabled = False
+
+    def span(self, kind: str, **attrs: AttrValue) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, etype: str, **attrs: AttrValue) -> None:
+        return None
+
+    def count(self, name: str, delta: int = 1) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: Shared default instance; algorithms reference this when no tracer is set.
+NULL_TRACER = NullTracer()
+
+
+class _RecordedSpan:
+    """Context manager closing one span of a :class:`RecordingTracer`."""
+
+    __slots__ = ("_tracer", "_kind")
+
+    def __init__(self, tracer: "RecordingTracer", kind: str) -> None:
+        self._tracer = tracer
+        self._kind = kind
+
+    def __enter__(self) -> "_RecordedSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._end_span(self._kind)
+        return None
+
+
+class RecordingTracer:
+    """Collects :class:`TraceEvent` records with nested spans and counters.
+
+    Counters (:meth:`count`) accumulate per open span and are flushed
+    into that span's ``span_end`` attrs, keeping high-frequency signals
+    (coin flips, covered elements) one dict update per occurrence
+    instead of one event each.  Counts made outside any span are flushed
+    as a trailing ``counter`` event by :meth:`finish`.
+
+    Not thread-safe by design: one tracer observes one single-threaded
+    algorithm run.  Grid runs give every cell its own tracer via
+    :class:`TraceCollector`.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._span_stack: List[int] = []
+        self._counter_stack: List[Dict[str, int]] = []
+        self._root_counters: Dict[str, int] = {}
+        self._finished = False
+
+    # -- emission ------------------------------------------------------
+
+    def span(self, kind: str, **attrs: AttrValue) -> _RecordedSpan:
+        """Open a span of ``kind``; close it by exiting the context."""
+        if kind not in SPAN_KINDS:
+            raise ValueError(
+                f"unknown span kind {kind!r}; known: {sorted(SPAN_KINDS)}"
+            )
+        seq = len(self.events)
+        self._append(SPAN_BEGIN, {"kind": kind, **attrs})
+        self._span_stack.append(seq)
+        self._counter_stack.append({})
+        return _RecordedSpan(self, kind)
+
+    def event(self, etype: str, **attrs: AttrValue) -> None:
+        """Record one point event of type ``etype``."""
+        if etype not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {etype!r}; known: {sorted(EVENT_TYPES)}"
+            )
+        if etype in (SPAN_BEGIN, SPAN_END):
+            raise ValueError("span events are emitted via span(), not event()")
+        self._append(etype, dict(attrs))
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Accumulate ``delta`` into counter ``name`` of the open span."""
+        counters = (
+            self._counter_stack[-1] if self._counter_stack else self._root_counters
+        )
+        counters[name] = counters.get(name, 0) + delta
+
+    # -- lifecycle -----------------------------------------------------
+
+    def finish(self) -> List[TraceEvent]:
+        """Close the trace: flush root counters, return the events.
+
+        Idempotent; open spans are *not* auto-closed (a dangling span is
+        an instrumentation bug the tests should see).
+        """
+        if not self._finished:
+            if self._root_counters:
+                self._append(
+                    COUNTER,
+                    {k: self._root_counters[k] for k in sorted(self._root_counters)},
+                )
+                self._root_counters = {}
+            self._finished = True
+        return self.events
+
+    @property
+    def open_spans(self) -> int:
+        """Number of spans currently open (0 for a well-formed finished trace)."""
+        return len(self._span_stack)
+
+    def to_jsonl(self) -> str:
+        """This trace as canonical JSONL (calls :meth:`finish`)."""
+        return events_to_jsonl(self.finish())
+
+    # -- internals -----------------------------------------------------
+
+    def _append(self, etype: str, attrs: Dict[str, AttrValue]) -> None:
+        span = self._span_stack[-1] if self._span_stack else -1
+        self.events.append(
+            TraceEvent(seq=len(self.events), span=span, etype=etype, attrs=attrs)
+        )
+
+    def _end_span(self, kind: str) -> None:
+        if not self._span_stack:
+            raise ValueError("span_end without a matching span_begin")
+        begin_seq = self._span_stack.pop()
+        counters = self._counter_stack.pop()
+        attrs: Dict[str, AttrValue] = {"kind": kind, "begin": begin_seq}
+        for name in sorted(counters):
+            attrs[name] = counters[name]
+        # The end event belongs to the *enclosing* span, mirroring begin.
+        self.events.append(
+            TraceEvent(
+                seq=len(self.events),
+                span=self._span_stack[-1] if self._span_stack else -1,
+                etype=SPAN_END,
+                attrs=attrs,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"RecordingTracer(events={len(self.events)})"
+
+
+# -- JSONL serialisation ---------------------------------------------------
+
+
+def event_to_json(event: TraceEvent, cell: Optional[str] = None) -> str:
+    """One event as a canonical (sorted-keys, compact) JSON line."""
+    payload: Dict[str, object] = {
+        "seq": event.seq,
+        "span": event.span,
+        "type": event.etype,
+        "attrs": event.attrs,
+    }
+    if cell is not None:
+        payload["cell"] = cell
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def events_to_jsonl(events: Iterable[TraceEvent], cell: Optional[str] = None) -> str:
+    """Serialize ``events`` to JSONL text (one canonical line each)."""
+    lines = [event_to_json(event, cell=cell) for event in events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_jsonl(text: str) -> List[TraceEvent]:
+    """Parse JSONL text back into :class:`TraceEvent` records.
+
+    The inverse of :func:`events_to_jsonl` for single-cell traces; for
+    merged multi-cell files use :func:`parse_jsonl_cells`.
+    """
+    events: List[TraceEvent] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"trace line {line_number} is not valid JSON: {error}"
+            ) from error
+        try:
+            events.append(
+                TraceEvent(
+                    seq=int(payload["seq"]),
+                    span=int(payload["span"]),
+                    etype=str(payload["type"]),
+                    attrs=dict(payload["attrs"]),
+                )
+            )
+        except KeyError as error:
+            raise ValueError(
+                f"trace line {line_number} misses required key {error}"
+            ) from error
+    return events
+
+
+def parse_jsonl_cells(text: str) -> Dict[str, List[TraceEvent]]:
+    """Parse a merged multi-cell JSONL file into per-cell event lists.
+
+    Lines without a ``cell`` key land under the ``""`` label.
+    """
+    cells: Dict[str, List[TraceEvent]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        label = str(payload.get("cell", ""))
+        cells.setdefault(label, []).append(
+            TraceEvent(
+                seq=int(payload["seq"]),
+                span=int(payload["span"]),
+                etype=str(payload["type"]),
+                attrs=dict(payload["attrs"]),
+            )
+        )
+    return cells
+
+
+def write_trace(path, events: Sequence[TraceEvent]) -> None:
+    """Write ``events`` to ``path`` as canonical JSONL."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(events_to_jsonl(events))
+
+
+def read_trace(path) -> List[TraceEvent]:
+    """Read a single-cell JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_jsonl(handle.read())
+
+
+# -- multi-cell collection -------------------------------------------------
+
+
+class TraceCollector:
+    """Thread-safe registry of per-cell tracers for grid runs.
+
+    Worker threads call :meth:`tracer_for` with a cell label unique to
+    their grid cell; each call installs a *fresh* tracer under that
+    label (so a retried cell's trace reflects the attempt that produced
+    the recorded result, not a mix).  :meth:`to_jsonl` merges all cells
+    sorted by label — the output is independent of completion order and
+    therefore of the worker count.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[str, RecordingTracer] = {}
+        self._lock = threading.Lock()
+
+    def tracer_for(self, label: str) -> RecordingTracer:
+        """A fresh tracer registered under ``label`` (replacing any prior)."""
+        tracer = RecordingTracer()
+        with self._lock:
+            self._cells[label] = tracer
+        return tracer
+
+    def labels(self) -> List[str]:
+        """All registered cell labels, sorted."""
+        with self._lock:
+            return sorted(self._cells)
+
+    def events_for(self, label: str) -> List[TraceEvent]:
+        """The (finished) events of cell ``label``."""
+        with self._lock:
+            tracer = self._cells[label]
+        return tracer.finish()
+
+    def to_jsonl(self) -> str:
+        """All cells merged as JSONL, sorted by cell label."""
+        chunks = []
+        for label in self.labels():
+            chunks.append(events_to_jsonl(self.events_for(label), cell=label))
+        return "".join(chunks)
+
+    def write(self, path) -> None:
+        """Write the merged JSONL to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cells)

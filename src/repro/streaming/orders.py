@@ -20,6 +20,7 @@ an explicit seed where randomness is involved.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -195,7 +196,10 @@ class LocallyShuffledOrder(ArrivalOrder):
         ).apply(edges)
         if self.randomness <= 0.0 or len(base) <= 1:
             return base
-        window = max(1, int(self.randomness * len(base)))
+        # Ceiling, not floor: flooring collapses small positive
+        # ``randomness`` on short streams to window 1 — a no-op shuffle
+        # that silently reports the adversarial base as "perturbed".
+        window = max(1, math.ceil(self.randomness * len(base)))
         out: List[Edge] = []
         for start in range(0, len(base), window):
             chunk = base[start : start + window]

@@ -62,10 +62,17 @@ class SpaceReport:
     component_peaks: Dict[str, int] = field(default_factory=dict)
 
     def dominant_component(self) -> Optional[str]:
-        """Name of the largest component at the peak, or ``None`` if empty."""
+        """Name of the largest component at the peak, or ``None`` if empty.
+
+        Ties break to the lexicographically largest name, not dict
+        insertion order — two runs that register equal-sized components
+        in different orders must report the same dominant component.
+        """
         if not self.components_at_peak:
             return None
-        return max(self.components_at_peak, key=self.components_at_peak.get)
+        return max(
+            self.components_at_peak.items(), key=lambda kv: (kv[1], kv[0])
+        )[0]
 
     def peak_of(self, name: str) -> int:
         """Highest size component ``name`` ever reached (0 if never set)."""

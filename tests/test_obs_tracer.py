@@ -1,0 +1,262 @@
+"""Unit tests for the repro.obs tracing layer.
+
+Covers the tracer protocol itself (spans, events, counters, the no-op
+default), the canonical JSONL serialisation with its round-trip and
+error reporting, the multi-cell collector, and the summary reducer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.generators.planted import planted_partition_instance
+from repro.obs import events as obs_events
+from repro.obs.summary import summarize
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TraceCollector,
+    event_to_json,
+    events_to_jsonl,
+    parse_jsonl,
+    parse_jsonl_cells,
+    read_trace,
+    write_trace,
+)
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NullTracer().enabled is False
+        assert NULL_TRACER.enabled is False
+
+    def test_span_is_reusable_noop(self):
+        tracer = NullTracer()
+        with tracer.span(obs_events.SPAN_RUN, algorithm="x"):
+            with tracer.span(obs_events.SPAN_EPOCH):
+                tracer.event(obs_events.SET_ADMITTED, set_id=1)
+                tracer.count(obs_events.COIN_FLIP)
+        # Nothing recorded anywhere, and no attribute to leak state into.
+        assert not hasattr(tracer, "events")
+
+    def test_null_span_swallows_exceptions_like_any_cm(self):
+        tracer = NullTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span(obs_events.SPAN_RUN):
+                raise RuntimeError("propagates")
+
+
+class TestRecordingTracer:
+    def test_span_begin_end_pairing(self):
+        tracer = RecordingTracer()
+        with tracer.span(obs_events.SPAN_RUN, algorithm="kk"):
+            with tracer.span(obs_events.SPAN_EPOCH, epoch_index=1):
+                pass
+        tracer.finish()
+        types = [e.etype for e in tracer.events]
+        assert types == [
+            obs_events.SPAN_BEGIN,
+            obs_events.SPAN_BEGIN,
+            obs_events.SPAN_END,
+            obs_events.SPAN_END,
+        ]
+        run_begin, epoch_begin, epoch_end, run_end = tracer.events
+        assert run_begin.kind == obs_events.SPAN_RUN
+        assert epoch_begin.span == run_begin.seq
+        assert epoch_end.attrs["begin"] == epoch_begin.seq
+        assert run_end.attrs["begin"] == run_begin.seq
+
+    def test_sequence_numbers_dense_from_zero(self):
+        tracer = RecordingTracer()
+        with tracer.span(obs_events.SPAN_RUN):
+            tracer.event(obs_events.SET_ADMITTED, set_id=3)
+        assert [e.seq for e in tracer.events] == list(range(len(tracer.events)))
+
+    def test_unknown_span_kind_rejected(self):
+        tracer = RecordingTracer()
+        with pytest.raises(ValueError, match="span kind"):
+            tracer.span("not-a-kind")
+
+    def test_unknown_event_type_rejected(self):
+        tracer = RecordingTracer()
+        with pytest.raises(ValueError, match="event type"):
+            tracer.event("not-an-event")
+
+    def test_span_delimiters_not_emittable_directly(self):
+        tracer = RecordingTracer()
+        for etype in (obs_events.SPAN_BEGIN, obs_events.SPAN_END):
+            with pytest.raises(ValueError):
+                tracer.event(etype)
+
+    def test_counters_flush_into_span_end(self):
+        tracer = RecordingTracer()
+        with tracer.span(obs_events.SPAN_EPOCH):
+            tracer.count(obs_events.COIN_FLIP)
+            tracer.count(obs_events.COIN_FLIP)
+            tracer.count(obs_events.ELEMENT_COVERED, 5)
+        end = tracer.events[-1]
+        assert end.etype == obs_events.SPAN_END
+        assert end.attrs[obs_events.COIN_FLIP] == 2
+        assert end.attrs[obs_events.ELEMENT_COVERED] == 5
+
+    def test_counters_scoped_to_innermost_span(self):
+        tracer = RecordingTracer()
+        with tracer.span(obs_events.SPAN_RUN):
+            tracer.count(obs_events.COIN_FLIP)  # run-level
+            with tracer.span(obs_events.SPAN_EPOCH):
+                tracer.count(obs_events.COIN_FLIP, 10)  # epoch-level
+        epoch_end, run_end = tracer.events[-2], tracer.events[-1]
+        assert epoch_end.attrs[obs_events.COIN_FLIP] == 10
+        assert run_end.attrs[obs_events.COIN_FLIP] == 1
+
+    def test_root_counters_flush_on_finish(self):
+        tracer = RecordingTracer()
+        tracer.count("coin_flip", 7)
+        tracer.finish()
+        trailing = tracer.events[-1]
+        assert trailing.etype == obs_events.COUNTER
+        assert trailing.attrs["coin_flip"] == 7
+        before = len(tracer.events)
+        tracer.finish()  # idempotent
+        assert len(tracer.events) == before
+
+    def test_open_spans_visible(self):
+        tracer = RecordingTracer()
+        cm = tracer.span(obs_events.SPAN_RUN)
+        cm.__enter__()
+        assert tracer.open_spans == 1
+        cm.__exit__(None, None, None)
+        assert tracer.open_spans == 0
+
+    def test_span_closes_on_exception(self):
+        tracer = RecordingTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span(obs_events.SPAN_RUN):
+                raise RuntimeError("boom")
+        assert tracer.open_spans == 0
+        assert tracer.events[-1].etype == obs_events.SPAN_END
+
+
+class TestJsonl:
+    def _sample(self):
+        tracer = RecordingTracer()
+        with tracer.span(obs_events.SPAN_RUN, algorithm="kk", stream_length=9):
+            tracer.event(
+                obs_events.SET_ADMITTED, set_id=2, probability=0.25
+            )
+            tracer.count(obs_events.COIN_FLIP, 3)
+        tracer.finish()
+        return tracer.events
+
+    def test_round_trip(self):
+        events = self._sample()
+        parsed = parse_jsonl(events_to_jsonl(events))
+        assert parsed == list(events)
+
+    def test_canonical_form_sorted_compact(self):
+        import json
+
+        line = event_to_json(self._sample()[0])
+        # Canonical == its own re-serialisation with sorted keys and no
+        # whitespace; byte-identity of traces rests on this.
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
+
+    def test_bad_json_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_jsonl(event_to_json(self._sample()[0]) + "\n{not json")
+
+    def test_missing_key_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_jsonl('{"seq": 0}')
+
+    def test_file_round_trip(self, tmp_path):
+        events = self._sample()
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, events)
+        assert read_trace(path) == list(events)
+
+
+class TestTraceCollector:
+    def test_labels_sorted_regardless_of_registration_order(self):
+        collector = TraceCollector()
+        for label in ("b-cell", "a-cell", "c-cell"):
+            with collector.tracer_for(label).span(obs_events.SPAN_RUN):
+                pass
+        assert collector.labels() == ["a-cell", "b-cell", "c-cell"]
+        jsonl = collector.to_jsonl()
+        cells = [line.split('"cell":"')[1].split('"')[0]
+                 for line in jsonl.splitlines()]
+        assert cells == sorted(cells)
+
+    def test_tracer_for_replaces_prior_cell(self):
+        collector = TraceCollector()
+        first = collector.tracer_for("cell")
+        first.event(obs_events.SET_ADMITTED, set_id=1)
+        second = collector.tracer_for("cell")
+        second.event(obs_events.SET_ADMITTED, set_id=2)
+        events = collector.events_for("cell")
+        payload = [e for e in events if e.etype == obs_events.SET_ADMITTED]
+        assert [e.attrs["set_id"] for e in payload] == [2]
+
+    def test_parse_jsonl_cells_round_trip(self):
+        collector = TraceCollector()
+        with collector.tracer_for("x").span(obs_events.SPAN_RUN):
+            pass
+        cells = parse_jsonl_cells(collector.to_jsonl())
+        assert set(cells) == {"x"}
+        assert len(collector) == 1
+
+
+class TestSummarize:
+    def test_epoch_rows_and_counts(self):
+        tracer = RecordingTracer()
+        with tracer.span(obs_events.SPAN_RUN, algorithm="random-order"):
+            with tracer.span(
+                obs_events.SPAN_ALGORITHM, algorithm_index=1
+            ):
+                with tracer.span(
+                    obs_events.SPAN_EPOCH, algorithm_index=1, epoch_index=1
+                ):
+                    with tracer.span(obs_events.SPAN_SUBEPOCH, batch_index=0):
+                        tracer.count(obs_events.COIN_FLIP, 4)
+                    with tracer.span(obs_events.SPAN_SUBEPOCH, batch_index=1):
+                        tracer.count(obs_events.COIN_FLIP, 2)
+        tracer.finish()
+        summary = summarize(tracer.events)
+        assert summary.unbalanced_spans == 0
+        assert summary.max_depth == 4
+        assert summary.span_counts[obs_events.SPAN_SUBEPOCH] == 2
+        assert summary.counter_totals[obs_events.COIN_FLIP] == 6
+        assert summary.epoch_rows == [(1, 1, 2, {obs_events.COIN_FLIP: 6})]
+        assert "A(1) epoch 1: 2 subepoch(s)" in summary.render()
+
+    def test_unbalanced_spans_detected(self):
+        tracer = RecordingTracer()
+        tracer.span(obs_events.SPAN_RUN).__enter__()
+        summary = summarize(tracer.events)
+        assert summary.unbalanced_spans == 1
+
+
+class TestMakeAlgorithmTracer:
+    def test_tracer_kwarg_attaches(self):
+        instance = planted_partition_instance(20, 12, opt_size=3, seed=0).instance
+        tracer = RecordingTracer()
+        algorithm = make_algorithm("kk", instance, seed=1, tracer=tracer)
+        assert algorithm.tracer is tracer
+
+    def test_default_is_null(self):
+        instance = planted_partition_instance(20, 12, opt_size=3, seed=0).instance
+        algorithm = make_algorithm("kk", instance, seed=1)
+        assert algorithm.tracer is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self):
+        instance = planted_partition_instance(20, 12, opt_size=3, seed=0).instance
+        algorithm = make_algorithm(
+            "kk", instance, seed=1, tracer=RecordingTracer()
+        )
+        algorithm.set_tracer(None)
+        assert algorithm.tracer is NULL_TRACER
