@@ -33,6 +33,7 @@ from repro.analysis.perfbench import (  # noqa: E402
     load_bench_file,
     records_to_json,
     run_bench,
+    run_distributed_scaling,
     run_trace_overhead,
     speedup_table,
     write_bench_file,
@@ -73,11 +74,36 @@ def main(argv=None) -> int:
         help="measure structured-tracing cost (off vs on) instead of the "
         "throughput ladder; fails if tracing perturbs any cover",
     )
+    parser.add_argument(
+        "--distributed",
+        action="store_true",
+        help="measure the sharded executor's W-scaling curve "
+        "(W in {1,2,4,8}) instead of the throughput ladder; updates the "
+        "'distributed' section of BENCH_perf.json unless --no-write",
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
     def progress(line: str) -> None:
         print(line, flush=True)
+
+    if args.distributed:
+        tier = "smoke" if args.smoke else "full"
+        records = run_distributed_scaling(
+            tier=tier, seed=args.seed, progress=progress
+        )
+        baseline = next(r for r in records if r.workers == 1)
+        fastest = max(records, key=lambda r: r.edges_per_sec)
+        print(
+            f"ok: {len(records)} scaling points; fastest "
+            f"{fastest.config}/W={fastest.workers} at "
+            f"{fastest.edges_per_sec:,.0f} edges/s "
+            f"({fastest.edges_per_sec / baseline.edges_per_sec:.2f}x of W=1)"
+        )
+        if not args.no_write:
+            write_bench_file(BENCH_FILE, distributed=records)
+            print(f"updated distributed section of {BENCH_FILE}")
+        return 0
 
     if args.trace_overhead:
         tier = "smoke" if args.smoke else "full"

@@ -22,6 +22,14 @@ Quickstart::
 """
 
 from repro._version import __version__
+from repro.distributed import (
+    CommBudget,
+    CommMeter,
+    CommReport,
+    DistributedResult,
+    ShardRouter,
+    run_distributed,
+)
 from repro.baselines import (
     FirstFitAlgorithm,
     SetArrivalThresholdGreedy,
@@ -43,6 +51,7 @@ from repro.core import (
     StreamLengthOblivious,
 )
 from repro.errors import (
+    CommBudgetError,
     ConfigurationError,
     InfeasibleInstanceError,
     InvalidCoverError,
@@ -124,6 +133,13 @@ __all__ = [
     "blogwatch_instance",
     "gnp_dominating_set",
     "needle_in_haystack",
+    # distributed execution
+    "run_distributed",
+    "DistributedResult",
+    "ShardRouter",
+    "CommMeter",
+    "CommBudget",
+    "CommReport",
     # errors
     "ReproError",
     "InvalidInstanceError",
@@ -132,6 +148,7 @@ __all__ = [
     "InfeasibleInstanceError",
     "SpaceBudgetExceededError",
     "StreamExhaustedError",
+    "CommBudgetError",
     "ProtocolError",
     "ConfigurationError",
 ]

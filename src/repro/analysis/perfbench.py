@@ -225,8 +225,93 @@ def run_trace_overhead(
     return records
 
 
-def records_to_json(records: Sequence[BenchRecord]) -> List[dict]:
-    """Plain-dict form of the records, ready for ``json.dump``."""
+@dataclass
+class DistributedScalingRecord:
+    """One point of the distributed scaling curve: a (W, threads) cell.
+
+    ``workers`` is the semantic shard count; ``max_workers`` the real
+    thread count (set equal to ``workers`` for the curve, so the point
+    measures the parallel speedup available at that shard width).
+    """
+
+    config: str
+    workers: int
+    max_workers: int
+    algorithm: str
+    coordinator: str
+    stream_length: int
+    seconds: float
+    edges_per_sec: float
+    cover_size: int
+    total_comm_words: int
+    max_message_words: int
+    peak_shard_words: int
+
+
+def run_distributed_scaling(
+    tier: str = "smoke",
+    seed: int = 0,
+    workers_grid: Sequence[int] = (1, 2, 4, 8),
+    algorithm: str = "kk",
+    coordinator: str = "chain",
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[DistributedScalingRecord]:
+    """Benchmark :func:`repro.distributed.run_distributed` over W.
+
+    Each grid point runs the full route → shard → merge pipeline with
+    ``max_workers=W`` threads, so the curve shows both the semantic
+    effect of sharding (comm words grow with W) and the wall-clock
+    effect of running shards in parallel.
+    """
+    from repro.distributed import run_distributed
+
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; known: {sorted(TIERS)}")
+    records: List[DistributedScalingRecord] = []
+    for config, n, m, set_size in TIERS[tier]:
+        instance = fixed_size_instance(n, m, set_size, seed=seed)
+        stream_length = instance.num_edges
+        for workers in workers_grid:
+            start = time.perf_counter()
+            result = run_distributed(
+                instance,
+                workers=workers,
+                algorithm=algorithm,
+                coordinator=coordinator,
+                seed=seed,
+                max_workers=workers,
+            )
+            seconds = time.perf_counter() - start
+            record = DistributedScalingRecord(
+                config=config,
+                workers=workers,
+                max_workers=workers,
+                algorithm=algorithm,
+                coordinator=coordinator,
+                stream_length=stream_length,
+                seconds=round(seconds, 4),
+                edges_per_sec=round(stream_length / max(seconds, 1e-9), 1),
+                cover_size=result.cover_size,
+                total_comm_words=result.total_comm_words,
+                max_message_words=result.max_message_words,
+                peak_shard_words=int(
+                    result.diagnostics.get("peak_shard_space_words", 0)
+                ),
+            )
+            records.append(record)
+            if progress is not None:
+                progress(
+                    f"{config:>7} W={workers:<2} "
+                    f"{record.edges_per_sec:>12,.0f} edges/s "
+                    f"cover={record.cover_size} "
+                    f"comm={record.total_comm_words}w "
+                    f"({record.seconds:.2f}s)"
+                )
+    return records
+
+
+def records_to_json(records: Sequence[object]) -> List[dict]:
+    """Plain-dict form of dataclass records, ready for ``json.dump``."""
     return [asdict(r) for r in records]
 
 
@@ -239,23 +324,34 @@ def load_bench_file(path: Path) -> dict:
 
 def write_bench_file(
     path: Path,
-    smoke: Sequence[BenchRecord],
-    full: Sequence[BenchRecord],
+    smoke: Optional[Sequence[BenchRecord]] = None,
+    full: Optional[Sequence[BenchRecord]] = None,
     seed_baseline: Optional[List[dict]] = None,
+    distributed: Optional[Sequence[DistributedScalingRecord]] = None,
 ) -> dict:
     """Write ``BENCH_perf.json``, preserving any recorded seed baseline.
 
     ``seed_baseline`` holds the pre-optimization ("before") numbers; it
     is kept verbatim across re-runs so the speedup trajectory stays
-    visible in the committed file.
+    visible in the committed file.  Each of ``smoke``/``full``/
+    ``distributed`` replaces its section when given and preserves the
+    committed section when ``None`` — so a distributed-only run does
+    not clobber the throughput ladder, and vice versa.
     """
     existing = load_bench_file(path)
+
+    def section(records, key: str) -> List[dict]:
+        if records is None:
+            return existing.get(key, [])
+        return records_to_json(records)
+
     payload = {
         "schema": 1,
         "description": (
             "Hot-path throughput benchmark; see scripts/run_perf_bench.py. "
             "'seed_baseline' is the pre-optimization measurement, "
-            "'full'/'smoke' are the current code."
+            "'full'/'smoke' are the current code, 'distributed' the "
+            "W-scaling curve of the sharded executor."
         ),
         "platform": {
             "python": platform.python_version(),
@@ -266,8 +362,9 @@ def write_bench_file(
             if seed_baseline is not None
             else existing.get("seed_baseline", [])
         ),
-        "smoke": records_to_json(smoke),
-        "full": records_to_json(full),
+        "smoke": section(smoke, "smoke"),
+        "full": section(full, "full"),
+        "distributed": section(distributed, "distributed"),
     }
     path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
     return payload

@@ -24,6 +24,8 @@ from typing import List, Optional
 from repro._version import __version__
 from repro.algorithms import make_algorithm, registered_algorithms
 from repro.analysis.tables import render_kv
+from repro.distributed.coordinator import registered_coordinators
+from repro.distributed.router import STRATEGIES
 from repro.errors import ReproError
 from repro.streaming.io import load_instance
 from repro.streaming.orders import ORDER_REGISTRY, make_order
@@ -115,6 +117,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-opt",
         action="store_true",
         help="skip the (possibly slow) OPT handle computation",
+    )
+
+    distribute_parser = sub.add_parser(
+        "distribute",
+        help="shard one instance across W workers and merge with comm metering",
+    )
+    distribute_parser.add_argument(
+        "instance", help="instance file (io text format)"
+    )
+    distribute_parser.add_argument(
+        "--workers", "-W", type=int, default=4,
+        help="number of simulated shards (semantic; changes the partition)",
+    )
+    distribute_parser.add_argument(
+        "--algorithm",
+        choices=registered_algorithms(),
+        default="kk",
+    )
+    distribute_parser.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default="by-set"
+    )
+    distribute_parser.add_argument(
+        "--coordinator", choices=registered_coordinators(), default="chain"
+    )
+    distribute_parser.add_argument(
+        "--order", choices=sorted(ORDER_REGISTRY), default="canonical"
+    )
+    distribute_parser.add_argument("--alpha", type=float, default=None)
+    distribute_parser.add_argument("--seed", type=int, default=0)
+    distribute_parser.add_argument(
+        "--max-workers", type=int, default=1,
+        help="real thread count (operational; must not change the result)",
+    )
+    distribute_parser.add_argument(
+        "--comm-budget", type=int, default=None,
+        help="hard cap on total merge communication, in words",
     )
 
     generate_parser = sub.add_parser(
@@ -229,6 +267,70 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_distribute(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.distributed import CommBudget, run_distributed
+
+    instance = load_instance(args.instance)
+    instance.validate()
+    order = make_order(args.order, seed=args.seed)
+    budget = (
+        CommBudget(args.comm_budget, context="cli distribute")
+        if args.comm_budget is not None
+        else None
+    )
+    result = run_distributed(
+        instance,
+        workers=args.workers,
+        algorithm=args.algorithm,
+        strategy=args.strategy,
+        coordinator=args.coordinator,
+        order=order,
+        seed=args.seed,
+        alpha=args.alpha,
+        max_workers=args.max_workers,
+        comm_budget=budget,
+    )
+    result.verify(instance)
+    print(
+        render_kv(
+            [
+                ("instance", repr(instance)),
+                ("algorithm", result.algorithm),
+                ("strategy", result.strategy),
+                ("coordinator", result.coordinator),
+                ("order", result.order_name),
+                ("workers", result.workers),
+                ("cover size", result.cover_size),
+                ("total comm words", result.total_comm_words),
+                ("max message words", result.max_message_words),
+                ("messages", result.comm.num_messages),
+                ("busiest link", result.comm.busiest_link() or "-"),
+                ("valid", True),
+            ]
+        )
+    )
+    print(
+        render_table(
+            ["shard", "edges", "local n", "local m", "cover", "peak words"],
+            [
+                (
+                    r.index,
+                    r.edges,
+                    r.local_n,
+                    r.local_m,
+                    r.cover_size,
+                    r.space.peak_words,
+                )
+                for r in result.shards
+            ],
+            title="per-shard:",
+        )
+    )
+    print("cover:", " ".join(str(s) for s in sorted(result.cover)))
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.analysis.chaos import run_chaos
 
@@ -305,6 +407,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_solve(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "distribute":
+            return _cmd_distribute(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
         if args.command == "describe":

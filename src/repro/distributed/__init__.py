@@ -1,0 +1,75 @@
+"""Sharded multi-worker execution with communication metering.
+
+This package makes the paper's communication view of streaming set
+cover operational: an edge stream is partitioned across ``W`` simulated
+workers (:mod:`~repro.distributed.router`), each worker runs any
+registry algorithm shard-locally with its own space meter
+(:mod:`~repro.distributed.worker`), and a pluggable coordinator
+(:mod:`~repro.distributed.coordinator`) merges the shard outputs while
+a :class:`~repro.distributed.comm.CommMeter` charges every message —
+so every run reports ``max_message_words``, the quantity Theorem 2's
+lower bound governs.  :func:`~repro.distributed.executor.run_distributed`
+ties it together, deterministically in the real thread count.
+"""
+
+from repro.distributed.chain import ChainOutcome, chain_merge, state_words
+from repro.distributed.comm import (
+    CommBudget,
+    CommMeter,
+    CommReport,
+    words_for_candidate_message,
+    words_for_cover_message,
+)
+from repro.distributed.coordinator import (
+    COORDINATOR_REGISTRY,
+    ChainCoordinator,
+    Coordinator,
+    GreedyCoordinator,
+    MergeOutcome,
+    UnionCoordinator,
+    make_coordinator,
+    registered_coordinators,
+)
+from repro.distributed.executor import (
+    DistributedResult,
+    run_distributed,
+    shard_space_reports,
+)
+from repro.distributed.router import (
+    STRATEGIES,
+    ShardPlan,
+    ShardRouter,
+    deal_round_robin,
+    edge_hash_worker,
+)
+from repro.distributed.worker import ShardOutput, ShardReport, Worker
+
+__all__ = [
+    "COORDINATOR_REGISTRY",
+    "STRATEGIES",
+    "ChainCoordinator",
+    "ChainOutcome",
+    "CommBudget",
+    "CommMeter",
+    "CommReport",
+    "Coordinator",
+    "DistributedResult",
+    "GreedyCoordinator",
+    "MergeOutcome",
+    "ShardOutput",
+    "ShardPlan",
+    "ShardReport",
+    "ShardRouter",
+    "UnionCoordinator",
+    "Worker",
+    "chain_merge",
+    "deal_round_robin",
+    "edge_hash_worker",
+    "make_coordinator",
+    "registered_coordinators",
+    "run_distributed",
+    "shard_space_reports",
+    "state_words",
+    "words_for_candidate_message",
+    "words_for_cover_message",
+]

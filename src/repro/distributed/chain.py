@@ -1,0 +1,175 @@
+"""The deterministic chain merge — the 2√(nt) protocol, generalised.
+
+:func:`chain_merge` is the protocol engine behind both
+
+* :func:`repro.lowerbound.simple_protocol.run_simple_protocol`, which is
+  a thin wrapper naming parties' sets ``(party, local_id)``, and
+* :class:`repro.distributed.coordinator.ChainCoordinator`, which names
+  them by global set id and charges each hand-off to a
+  :class:`~repro.distributed.comm.CommMeter`.
+
+The protocol (paper Section 3, full version): the state forwarded along
+the chain is the still-uncovered element set, a witness set key per
+element seen so far, and the keys chosen so far.  Each party greedily
+takes, from its own sets, any set covering at least ``τ = √(n/t)``
+still-uncovered elements, repeating until none qualifies; the last party
+patches every residual element with its recorded witness.  Greedy takes
+at most ``√(nt)`` sets and the residue is at most ``√(n/t) · OPT``, so
+the cover is at most ``2√(nt) · OPT`` sets and each message at most
+``O(n)`` words.
+
+This module deliberately does not import :mod:`repro.lowerbound`
+(which imports *us*); the sequential chain loop is ~10 lines and is
+re-implemented here rather than routed through ``OneWayChain``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.types import ElementId
+
+SetKey = Hashable
+#: One party's share: an *ordered* list of ``(key, members)`` pairs.
+#: Enumeration order is protocol-relevant — it fixes witness choice and
+#: greedy tie-breaks — so callers must pass a deterministic order.
+PartySets = Sequence[Tuple[SetKey, Set[ElementId]]]
+
+
+@dataclass
+class ChainOutcome:
+    """Result of one :func:`chain_merge` execution.
+
+    ``message_words[i]`` is the size of the message party ``i`` forwards
+    to party ``i+1``; by the protocol convention the last party's output
+    announcement is excluded (the lower bound concerns inter-party
+    communication), so the list has ``t - 1`` entries.
+    """
+
+    cover: List[SetKey]
+    certificate: Dict[ElementId, SetKey]
+    message_words: List[int]
+    threshold: float
+
+    @property
+    def cover_size(self) -> int:
+        """Number of distinct set keys in the output cover."""
+        return len(self.cover)
+
+    @property
+    def max_message_words(self) -> int:
+        """Longest inter-party message in words."""
+        return max(self.message_words) if self.message_words else 0
+
+
+def state_words(
+    uncovered: Set[ElementId],
+    witnesses: Dict[ElementId, SetKey],
+    chosen: Sequence[SetKey],
+) -> int:
+    """Words of a forwarded state: 1 per uncovered element, 2 per witness
+    entry, 2 per chosen key — a key is charged at two words whatever its
+    concrete type, matching the historical ``(party, local_id)``
+    accounting of the simple protocol."""
+    return len(uncovered) + 2 * len(witnesses) + 2 * len(chosen)
+
+
+def chain_merge(
+    n: int,
+    party_sets: Sequence[PartySets],
+    threshold: Optional[float] = None,
+) -> ChainOutcome:
+    """Run the deterministic chain protocol over per-party set shares.
+
+    Parameters
+    ----------
+    n:
+        Universe size; elements are ``0..n-1`` and the union of all
+        parties' sets must cover them (else :class:`ProtocolError`).
+    party_sets:
+        One ordered ``(key, members)`` list per party.  The same key may
+        appear at several parties (partial views under by-element or
+        hash sharding); its membership is the union of the views *held
+        by the parties that enumerate it*, each party acting only on its
+        own view as a real shard would.
+    threshold:
+        Greedy take-threshold; defaults to ``√(n/t)`` as in the
+        analysis.
+    """
+    t = len(party_sets)
+    if t < 1:
+        raise ConfigurationError(f"need at least 1 party, got {t}")
+    tau = threshold if threshold is not None else math.sqrt(n / t)
+
+    uncovered: Set[ElementId] = set(range(n))
+    witnesses: Dict[ElementId, SetKey] = {}
+    chosen: List[SetKey] = []
+    # Membership views accumulated along the chain, for certificate
+    # construction — a later party's view of a repeated key extends an
+    # earlier one's.
+    members_by_key: Dict[SetKey, Set[ElementId]] = {}
+    message_words: List[int] = []
+
+    for index, share in enumerate(party_sets):
+        is_last = index == t - 1
+        local = [(key, set(members)) for key, members in share]
+        for key, members in local:
+            members_by_key.setdefault(key, set()).update(members)
+        # Record witnesses for any still-uncovered element this party holds.
+        for key, members in local:
+            for u in members:
+                if u in uncovered and u not in witnesses:
+                    witnesses[u] = key
+        # Greedy phase over this party's own sets.
+        progress = True
+        while progress:
+            progress = False
+            for key, members in local:
+                gain = len(members & uncovered)
+                if gain >= tau:
+                    chosen.append(key)
+                    uncovered -= members
+                    progress = True
+        if is_last:
+            # Patch the residue with recorded witnesses.
+            for u in sorted(uncovered):
+                witness = witnesses.get(u)
+                if witness is None:
+                    raise ProtocolError(
+                        f"element {u} is covered by no party's sets; "
+                        "instance infeasible"
+                    )
+                chosen.append(witness)
+            uncovered = set()
+        else:
+            message_words.append(state_words(uncovered, witnesses, chosen))
+
+    # Deduplicate the chosen list (a witness may repeat a greedy pick,
+    # and a repeated key may be taken by two parties).
+    seen: Set[SetKey] = set()
+    cover: List[SetKey] = []
+    for pick in chosen:
+        if pick not in seen:
+            seen.add(pick)
+            cover.append(pick)
+
+    certificate: Dict[ElementId, SetKey] = {}
+    for key in cover:
+        for u in members_by_key.get(key, ()):
+            certificate.setdefault(u, key)
+    missing = [u for u in range(n) if u not in certificate]
+    if missing:
+        raise ProtocolError(
+            f"protocol output misses {len(missing)} element(s), e.g. "
+            f"{missing[:5]}"
+        )
+
+    return ChainOutcome(
+        cover=cover,
+        certificate=certificate,
+        message_words=message_words,
+        threshold=tau,
+    )

@@ -1,0 +1,253 @@
+"""Coordinators: pluggable strategies for merging shard outputs.
+
+Every coordinator consumes the :class:`~repro.distributed.worker.ShardOutput`
+list, charges each message a shard (conceptually) uploads to the
+:class:`~repro.distributed.comm.CommMeter`, and returns a
+:class:`MergeOutcome`.  Three strategies, trading communication for
+cover quality:
+
+``union``
+    Star topology.  Every shard uploads its (cover, certificate) pair;
+    the coordinator returns the union.  Cheapest communication, largest
+    covers — a shard's locally necessary pick is often globally
+    redundant.
+``greedy``
+    Star topology.  Every shard uploads its cover sets *with their
+    observed membership*; the coordinator reruns offline greedy over the
+    pooled candidates.  More words per shard, near-offline-greedy cover
+    quality — the merge-friendly regime of Bateni–Esfandiari–Mirrokni.
+``chain``
+    Line topology.  The shards relay the deterministic 2√(nW) protocol
+    state (uncovered set, witnesses, chosen keys) along
+    ``shard[0] → … → shard[W-1]``; the coordinator announces the last
+    shard's output.  Under by-set routing this reproduces
+    :func:`repro.lowerbound.simple_protocol.run_simple_protocol` exactly
+    — same cover size, same ``max_message_words``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.distributed.chain import chain_merge
+from repro.distributed.comm import CommMeter, words_for_cover_message
+from repro.distributed.router import ShardPlan
+from repro.distributed.worker import ShardOutput
+from repro.errors import ConfigurationError, InvalidCoverError
+from repro.obs.events import MESSAGE_SENT
+from repro.obs.tracer import NULL_TRACER
+from repro.streaming.instance import SetCoverInstance
+from repro.types import ElementId, SetId
+
+
+@dataclass
+class MergeOutcome:
+    """A coordinator's verdict: the global cover plus merge diagnostics."""
+
+    cover: Tuple[SetId, ...]
+    certificate: Dict[ElementId, SetId]
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+
+def _send(
+    comm: CommMeter, tracer, src: str, dst: str, words: int
+) -> None:
+    """Charge one message to the meter and mirror it into the trace."""
+    link = comm.record(src, dst, words)
+    if tracer.enabled:
+        tracer.event(MESSAGE_SENT, link=link, words=words)
+
+
+class Coordinator:
+    """Interface: merge shard outputs into one cover, metering comm."""
+
+    name = "abstract"
+
+    def merge(
+        self,
+        instance: SetCoverInstance,
+        plan: ShardPlan,
+        outputs: Sequence[ShardOutput],
+        comm: CommMeter,
+        tracer=None,
+    ) -> MergeOutcome:
+        raise NotImplementedError
+
+
+class UnionCoordinator(Coordinator):
+    """Union of shard covers; certificates merged deterministically."""
+
+    name = "union"
+
+    def merge(
+        self,
+        instance: SetCoverInstance,
+        plan: ShardPlan,
+        outputs: Sequence[ShardOutput],
+        comm: CommMeter,
+        tracer=None,
+    ) -> MergeOutcome:
+        tracer = tracer if tracer is not None else NULL_TRACER
+        cover: Set[SetId] = set()
+        certificate: Dict[ElementId, SetId] = {}
+        for out in outputs:
+            _send(
+                comm,
+                tracer,
+                f"shard[{out.index}]",
+                "coordinator",
+                words_for_cover_message(len(out.cover), len(out.certificate)),
+            )
+            cover.update(out.cover)
+            for u, s in sorted(out.certificate.items()):
+                certificate.setdefault(u, s)
+        return MergeOutcome(
+            cover=tuple(sorted(cover)),
+            certificate=certificate,
+            diagnostics={"shards_contributing": float(len(outputs))},
+        )
+
+
+class GreedyCoordinator(Coordinator):
+    """Offline greedy over the shards' candidate sets.
+
+    Each shard uploads every set in its cover together with the
+    membership it observed (1 word for the id plus 1 per member); the
+    coordinator pools candidates — unioning partial views of the same
+    set — and reruns classic greedy.
+    """
+
+    name = "greedy"
+
+    def merge(
+        self,
+        instance: SetCoverInstance,
+        plan: ShardPlan,
+        outputs: Sequence[ShardOutput],
+        comm: CommMeter,
+        tracer=None,
+    ) -> MergeOutcome:
+        tracer = tracer if tracer is not None else NULL_TRACER
+        candidates: Dict[SetId, Set[ElementId]] = {}
+        for out in outputs:
+            words = 0
+            for sid in sorted(out.cover):
+                members = out.members_by_set.get(sid, frozenset())
+                words += 1 + len(members)
+                candidates.setdefault(sid, set()).update(members)
+            _send(comm, tracer, f"shard[{out.index}]", "coordinator", words)
+
+        uncovered: Set[ElementId] = set(range(instance.n))
+        cover: List[SetId] = []
+        certificate: Dict[ElementId, SetId] = {}
+        rounds = 0
+        while uncovered:
+            best_sid = None
+            best_gain = 0
+            for sid, members in candidates.items():
+                gain = len(members & uncovered)
+                if gain > best_gain or (
+                    gain == best_gain and gain > 0 and (
+                        best_sid is None or sid < best_sid
+                    )
+                ):
+                    best_sid, best_gain = sid, gain
+            if best_sid is None or best_gain == 0:
+                raise InvalidCoverError(
+                    f"greedy merge stalled with {len(uncovered)} element(s) "
+                    "uncovered; shard covers do not jointly cover the universe"
+                )
+            newly = candidates[best_sid] & uncovered
+            for u in newly:
+                certificate[u] = best_sid
+            uncovered -= newly
+            cover.append(best_sid)
+            rounds += 1
+        return MergeOutcome(
+            cover=tuple(cover),
+            certificate=certificate,
+            diagnostics={
+                "candidate_sets": float(len(candidates)),
+                "greedy_rounds": float(rounds),
+            },
+        )
+
+
+class ChainCoordinator(Coordinator):
+    """The deterministic 2√(nW) chain protocol over shard views.
+
+    Parties are the shards in index order; party ``i``'s sets are the
+    shard's ``set_order`` enumeration with the membership it observed.
+    Each hand-off ``shard[i] -> shard[i+1]`` is charged the forwarded
+    state's exact word count, so ``max_message_words`` is the protocol's
+    longest message — the quantity Theorem 2's lower bound governs.
+    """
+
+    name = "chain"
+
+    def __init__(self, threshold: Optional[float] = None) -> None:
+        self.threshold = threshold
+
+    def merge(
+        self,
+        instance: SetCoverInstance,
+        plan: ShardPlan,
+        outputs: Sequence[ShardOutput],
+        comm: CommMeter,
+        tracer=None,
+    ) -> MergeOutcome:
+        tracer = tracer if tracer is not None else NULL_TRACER
+        party_sets = [
+            [
+                (sid, set(out.members_by_set.get(sid, frozenset())))
+                for sid in out.set_order
+            ]
+            for out in outputs
+        ]
+        outcome = chain_merge(
+            instance.n, party_sets, threshold=self.threshold
+        )
+        for i, words in enumerate(outcome.message_words):
+            _send(comm, tracer, f"shard[{i}]", f"shard[{i + 1}]", words)
+        return MergeOutcome(
+            cover=tuple(outcome.cover),
+            certificate=dict(outcome.certificate),
+            diagnostics={
+                "threshold": outcome.threshold,
+                "protocol_messages": float(len(outcome.message_words)),
+            },
+        )
+
+
+#: Public name -> coordinator class.
+COORDINATOR_REGISTRY: Dict[str, Type[Coordinator]] = {
+    "union": UnionCoordinator,
+    "greedy": GreedyCoordinator,
+    "chain": ChainCoordinator,
+}
+
+
+def registered_coordinators() -> List[str]:
+    """Registry names in deterministic (sorted) order."""
+    return sorted(COORDINATOR_REGISTRY)
+
+
+def make_coordinator(
+    name: str, threshold: Optional[float] = None
+) -> Coordinator:
+    """Construct a registered coordinator by name."""
+    try:
+        cls = COORDINATOR_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(registered_coordinators())
+        raise ConfigurationError(
+            f"unknown coordinator {name!r}; known coordinators: {known}"
+        ) from None
+    if cls is ChainCoordinator:
+        return ChainCoordinator(threshold=threshold)
+    if threshold is not None:
+        raise ConfigurationError(
+            f"coordinator {name!r} does not accept a threshold"
+        )
+    return cls()

@@ -1,0 +1,251 @@
+"""The distributed executor: route → run shards → merge, deterministically.
+
+:func:`run_distributed` is the subsystem's front door.  It routes the
+instance's ordered edge stream across ``W`` simulated workers, runs each
+worker (serially or on a thread pool), and merges the outputs through a
+registered coordinator with full communication accounting.
+
+Determinism contract (tested by ``tests/test_distributed_determinism.py``):
+the :class:`DistributedResult` is a pure function of
+``(instance, order, seed, workers, algorithm, strategy, coordinator,
+faults)`` and is bit-identical for every ``max_workers`` setting.  The
+machinery is the :class:`~repro.analysis.runner.ExperimentRunner`
+pattern: all per-shard seeds are pre-drawn serially from one root RNG
+before any worker starts, results are slotted by shard index (never by
+completion order), and traces go through a
+:class:`~repro.obs.tracer.TraceCollector` whose output is sorted by
+label.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.distributed.comm import CommBudget, CommMeter, CommReport
+from repro.distributed.coordinator import make_coordinator
+from repro.distributed.router import ShardRouter
+from repro.distributed.worker import ShardOutput, ShardReport, Worker
+from repro.errors import ConfigurationError, InvalidCoverError
+from repro.faults.injectors import FaultSpec, apply_faults
+from repro.obs.events import SPAN_MERGE
+from repro.obs.tracer import NULL_TRACER, TraceCollector
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.orders import ArrivalOrder, CanonicalOrder
+from repro.types import ElementId, SeedLike, SetId, make_rng
+
+_SEED_SPACE = 2**63
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of one distributed run: cover, shard reports, comm report."""
+
+    cover: FrozenSet[SetId]
+    certificate: Dict[ElementId, SetId]
+    comm: CommReport
+    shards: List[ShardReport]
+    algorithm: str = ""
+    strategy: str = ""
+    coordinator: str = ""
+    workers: int = 0
+    seed: int = 0
+    order_name: str = "canonical"
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cover_size(self) -> int:
+        """Number of sets in the merged cover."""
+        return len(self.cover)
+
+    @property
+    def total_comm_words(self) -> int:
+        """Total words moved between shards and coordinator."""
+        return self.comm.total_words
+
+    @property
+    def max_message_words(self) -> int:
+        """Largest single message of the merge — Theorem 2's quantity."""
+        return self.comm.max_message_words
+
+    def verify(self, instance: SetCoverInstance) -> None:
+        """Raise :class:`InvalidCoverError` unless this is a valid cover.
+
+        Same three checks as :meth:`StreamingResult.verify`: total
+        certificate, witnesses inside the cover, witnesses containing
+        their elements.
+        """
+        label = f"distributed[{self.coordinator or 'merge'}]"
+        for u in range(instance.n):
+            if u not in self.certificate:
+                raise InvalidCoverError(f"{label}: element {u} has no witness")
+            witness = self.certificate[u]
+            if witness not in self.cover:
+                raise InvalidCoverError(
+                    f"{label}: witness {witness} for element {u} is not in "
+                    "the reported cover"
+                )
+            if not instance.contains(witness, u):
+                raise InvalidCoverError(
+                    f"{label}: set {witness} does not contain element {u}"
+                )
+
+    def is_valid(self, instance: SetCoverInstance) -> bool:
+        """``True`` iff :meth:`verify` passes."""
+        try:
+            self.verify(instance)
+        except InvalidCoverError:
+            return False
+        return True
+
+
+def run_distributed(
+    instance: SetCoverInstance,
+    workers: int,
+    algorithm: str = "kk",
+    strategy: str = "by-set",
+    coordinator: str = "chain",
+    order: Optional[ArrivalOrder] = None,
+    seed: SeedLike = 0,
+    alpha: Optional[float] = None,
+    max_workers: int = 1,
+    comm_budget: Optional[CommBudget] = None,
+    faults: Optional[Sequence[FaultSpec]] = None,
+    collector: Optional[TraceCollector] = None,
+    threshold: Optional[float] = None,
+    comm_log: bool = False,
+) -> DistributedResult:
+    """Run ``algorithm`` over ``instance`` sharded across ``workers``.
+
+    Parameters
+    ----------
+    workers:
+        Number of simulated shards ``W`` (≥ 1).  This is a *semantic*
+        parameter — it changes the partition and hence the result.
+    max_workers:
+        Real thread count executing the shards (≥ 1).  This is an
+        *operational* parameter — it must not, and does not, change the
+        result.
+    order:
+        Arrival order applied to the canonical edge enumeration before
+        routing; defaults to :class:`CanonicalOrder`.
+    comm_budget:
+        Optional hard cap on total merge communication; crossing it
+        raises :class:`~repro.errors.CommBudgetError`.
+    faults:
+        Fault specs applied *per shard* to each shard's edge sequence
+        (each shard re-seeds the specs from its own pre-drawn fault
+        seed, so shards fail independently as real machines would).
+    collector:
+        Attach to record per-shard (``shard[i]``) and merge traces.
+    threshold:
+        Chain coordinator's greedy take-threshold override.
+    comm_log:
+        Keep the full per-message log in the comm report (tests only).
+    """
+    if workers < 1:
+        raise ConfigurationError(f"need at least 1 worker, got {workers}")
+    if max_workers < 1:
+        raise ConfigurationError(
+            f"need at least 1 executor thread, got {max_workers}"
+        )
+    arrival = order if order is not None else CanonicalOrder()
+    root_seed = seed if seed is not None else 0
+    edges = arrival.apply(list(instance.edges()))
+
+    router = ShardRouter(strategy=strategy, workers=workers, seed=root_seed)
+    plan = router.route_edges(instance, edges, order_name=arrival.name)
+
+    # Pre-draw every per-shard seed serially from one root RNG, fault
+    # seeds included even when faults are off — adding a fault spec must
+    # not shift the algorithm seeds (the ExperimentRunner discipline).
+    rng = make_rng(root_seed)
+    shard_seeds = [rng.randrange(_SEED_SPACE) for _ in range(workers)]
+    fault_seeds = [rng.randrange(_SEED_SPACE) for _ in range(workers)]
+
+    def run_shard(index: int) -> ShardOutput:
+        shard_edges = plan.shard_edges[index]
+        injection = None
+        if faults:
+            reseeded = [
+                FaultSpec(
+                    kind=spec.kind,
+                    rate=spec.rate,
+                    seed=(fault_seeds[index] ^ spec.seed) % _SEED_SPACE,
+                )
+                for spec in faults
+            ]
+            shard_edges, _, injection = apply_faults(
+                shard_edges, instance.n, instance.m, reseeded
+            )
+        tracer = (
+            collector.tracer_for(f"shard[{index:03d}]")
+            if collector is not None
+            else NULL_TRACER
+        )
+        worker = Worker(
+            index=index,
+            algorithm=algorithm,
+            seed=shard_seeds[index],
+            alpha=alpha,
+            tracer=tracer,
+        )
+        return worker.run(
+            instance, shard_edges, plan.set_order[index], injection=injection
+        )
+
+    outputs: List[Optional[ShardOutput]] = [None] * workers
+    if max_workers == 1 or workers == 1:
+        for index in range(workers):
+            outputs[index] = run_shard(index)
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(run_shard, i) for i in range(workers)]
+            # Slot results by shard index, never by completion order.
+            for index, future in enumerate(futures):
+                outputs[index] = future.result()
+    shard_outputs: List[ShardOutput] = [out for out in outputs if out is not None]
+    assert len(shard_outputs) == workers
+
+    merge_tracer = (
+        collector.tracer_for("merge") if collector is not None else NULL_TRACER
+    )
+    comm = CommMeter(budget=comm_budget, log_messages=comm_log)
+    merger = make_coordinator(coordinator, threshold=threshold)
+    with merge_tracer.span(
+        SPAN_MERGE,
+        coordinator=coordinator,
+        strategy=strategy,
+        workers=workers,
+    ):
+        outcome = merger.merge(
+            instance, plan, shard_outputs, comm, tracer=merge_tracer
+        )
+
+    diagnostics: Dict[str, float] = dict(outcome.diagnostics)
+    diagnostics["total_edges_routed"] = float(plan.total_edges)
+    diagnostics["dropped_invalid_edges"] = float(
+        sum(out.report.dropped_invalid for out in shard_outputs)
+    )
+    diagnostics["peak_shard_space_words"] = float(
+        max((out.report.space.peak_words for out in shard_outputs), default=0)
+    )
+    return DistributedResult(
+        cover=frozenset(outcome.cover),
+        certificate=dict(outcome.certificate),
+        comm=comm.report(),
+        shards=[out.report for out in shard_outputs],
+        algorithm=algorithm,
+        strategy=strategy,
+        coordinator=coordinator,
+        workers=workers,
+        seed=int(root_seed),
+        order_name=arrival.name,
+        diagnostics=diagnostics,
+    )
+
+
+def shard_space_reports(result: DistributedResult) -> Tuple[int, ...]:
+    """Per-shard peak space in words, by shard index (convenience)."""
+    return tuple(report.space.peak_words for report in result.shards)

@@ -1,0 +1,216 @@
+"""A simulated shard worker: one registry algorithm over one shard.
+
+A :class:`Worker` receives the shard of edges the router assigned to it,
+rebuilds a *local* set-cover instance from what it actually saw (dense
+local ids, so any registry algorithm runs unmodified), executes the
+algorithm one-pass with its own :class:`~repro.streaming.space.SpaceMeter`
+inside a ``shard`` tracer span, and maps the local cover back to global
+ids.  The :class:`ShardOutput` it returns is everything a coordinator
+may legitimately use: the global cover and certificate, the membership
+view the shard observed, and a :class:`ShardReport` of shard-local
+diagnostics.
+
+Workers are deliberately pure: a worker's output is a function of
+``(edges, set_order, algorithm, seed, alpha)`` alone, never of which
+thread executed it — the executor relies on this for the determinism
+contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.algorithms import make_algorithm
+from repro.faults.injectors import InjectionReport
+from repro.obs.events import SPAN_SHARD
+from repro.obs.tracer import NULL_TRACER
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.space import SpaceReport
+from repro.streaming.stream import EdgeStream
+from repro.types import Edge, ElementId, SeedLike, SetId
+
+
+@dataclass
+class ShardReport:
+    """Shard-local diagnostics carried into the distributed result."""
+
+    index: int
+    edges: int
+    local_n: int
+    local_m: int
+    cover_size: int
+    certificate_size: int
+    space: SpaceReport
+    dropped_invalid: int = 0
+    injection: Optional[InjectionReport] = None
+
+
+@dataclass
+class ShardOutput:
+    """Everything a shard uploads to (or exposes for) a coordinator.
+
+    ``cover`` and ``certificate`` use *global* ids.  ``members_by_set``
+    is the shard's membership view — for each set the shard is
+    responsible for, the global elements it saw edges for (the full
+    membership under by-set routing, a partial view otherwise).
+    ``set_order`` is the deterministic enumeration order of the shard's
+    sets (the chain merge's party order).
+    """
+
+    index: int
+    cover: FrozenSet[SetId]
+    certificate: Dict[ElementId, SetId]
+    members_by_set: Dict[SetId, FrozenSet[ElementId]]
+    set_order: Tuple[SetId, ...]
+    report: ShardReport = field(
+        default_factory=lambda: ShardReport(
+            index=0,
+            edges=0,
+            local_n=0,
+            local_m=0,
+            cover_size=0,
+            certificate_size=0,
+            space=SpaceReport(peak_words=0, final_words=0),
+        )
+    )
+
+
+_EMPTY_SPACE = SpaceReport(peak_words=0, final_words=0)
+
+
+class Worker:
+    """Runs one registry algorithm over one shard's edges."""
+
+    def __init__(
+        self,
+        index: int,
+        algorithm: str = "kk",
+        seed: SeedLike = 0,
+        alpha: Optional[float] = None,
+        tracer=None,
+    ) -> None:
+        self.index = index
+        self.algorithm = algorithm
+        self.seed = seed
+        self.alpha = alpha
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def run(
+        self,
+        instance: SetCoverInstance,
+        edges: Sequence[Edge],
+        set_order: Sequence[SetId],
+        injection: Optional[InjectionReport] = None,
+    ) -> ShardOutput:
+        """Execute the shard pass and return the global-id output.
+
+        ``set_order`` is the router's deterministic enumeration of the
+        sets this shard is responsible for; sets appearing in the edges
+        but not listed (possible only under fault corruption) are
+        appended in first-appearance order.  Edges referencing ids
+        outside the global instance shape — corrupt-fault debris — are
+        dropped and counted, never crash the worker.
+        """
+        n, m = instance.n, instance.m
+        clean: List[Edge] = []
+        dropped = 0
+        for edge in edges:
+            if 0 <= edge[0] < m and 0 <= edge[1] < n:
+                clean.append(edge)
+            else:
+                dropped += 1
+
+        # Deterministic local id spaces: sets in set_order (then any
+        # stragglers by first appearance), elements ascending.
+        set_ids: List[SetId] = list(set_order)
+        listed = set(set_ids)
+        for edge in clean:
+            if edge[0] not in listed:
+                listed.add(edge[0])
+                set_ids.append(edge[0])
+        members_by_set: Dict[SetId, set] = {s: set() for s in set_ids}
+        for edge in clean:
+            members_by_set[edge[0]].add(edge[1])
+        elements = sorted({edge[1] for edge in clean})
+
+        frozen_members = {
+            s: frozenset(members) for s, members in members_by_set.items()
+        }
+        base_report = ShardReport(
+            index=self.index,
+            edges=len(clean),
+            local_n=len(elements),
+            local_m=len(set_ids),
+            cover_size=0,
+            certificate_size=0,
+            space=_EMPTY_SPACE,
+            dropped_invalid=dropped,
+            injection=injection,
+        )
+        if not clean:
+            # Nothing arrived: no local instance can even be built.  The
+            # shard contributes an empty cover, which every coordinator
+            # handles (an empty party forwards chain state untouched).
+            return ShardOutput(
+                index=self.index,
+                cover=frozenset(),
+                certificate={},
+                members_by_set=frozen_members,
+                set_order=tuple(set_ids),
+                report=base_report,
+            )
+
+        to_local_set = {g: i for i, g in enumerate(set_ids)}
+        to_local_elem = {g: i for i, g in enumerate(elements)}
+        local_instance = SetCoverInstance(
+            len(elements),
+            (
+                sorted(to_local_elem[u] for u in members_by_set[g])
+                for g in set_ids
+            ),
+            name=f"{instance.name or 'instance'}|shard[{self.index}]",
+        )
+        local_edges = [
+            Edge(to_local_set[edge[0]], to_local_elem[edge[1]])
+            for edge in clean
+        ]
+
+        algorithm = make_algorithm(
+            self.algorithm,
+            local_instance,
+            seed=self.seed,
+            alpha=self.alpha,
+            tracer=self.tracer,
+        )
+        with self.tracer.span(
+            SPAN_SHARD,
+            worker=self.index,
+            algorithm=self.algorithm,
+            edges=len(local_edges),
+            local_n=local_instance.n,
+            local_m=local_instance.m,
+        ):
+            result = algorithm.run(
+                EdgeStream(
+                    local_instance,
+                    local_edges,
+                    order_name=f"shard[{self.index}]",
+                )
+            )
+
+        cover = frozenset(set_ids[s] for s in result.cover)
+        certificate = {
+            elements[u]: set_ids[s] for u, s in result.certificate.items()
+        }
+        base_report.cover_size = len(cover)
+        base_report.certificate_size = len(certificate)
+        base_report.space = result.space
+        return ShardOutput(
+            index=self.index,
+            cover=cover,
+            certificate=certificate,
+            members_by_set=frozen_members,
+            set_order=tuple(set_ids),
+            report=base_report,
+        )

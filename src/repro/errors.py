@@ -87,6 +87,39 @@ class SpaceBudgetExceededError(ReproError):
         )
 
 
+class CommBudgetError(ReproError):
+    """A distributed run exceeded its communication budget.
+
+    Only raised when a hard :class:`repro.distributed.comm.CommBudget`
+    is attached to the coordinator's :class:`~repro.distributed.comm.CommMeter`;
+    by default communication is merely *metered*, never enforced.  The
+    offending message has already been recorded when the error is
+    raised, so the meter's report shows the total that tripped the cap.
+    """
+
+    def __init__(
+        self,
+        used: int,
+        budget: int,
+        context: str = "",
+        link: str = "",
+        message_words: int = 0,
+    ) -> None:
+        self.used = used
+        self.budget = budget
+        self.context = context
+        self.link = link
+        self.message_words = message_words
+        suffix = f" while {context}" if context else ""
+        detail = (
+            f" (message of {message_words} words on link {link})" if link else ""
+        )
+        super().__init__(
+            f"communication budget exceeded: {used} words sent, budget "
+            f"{budget}{suffix}{detail}"
+        )
+
+
 class StreamExhaustedError(ReproError):
     """An algorithm asked for more stream than exists.
 

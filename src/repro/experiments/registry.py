@@ -13,6 +13,7 @@ from typing import Dict, List
 from repro.errors import ConfigurationError
 from repro.experiments import (
     concentration,
+    distributed_tradeoff,
     invariants,
     length_oblivious,
     lb_family,
@@ -42,6 +43,7 @@ _REGISTRY: Dict[str, ModuleType] = {
         lb_family,
         lb_reduction,
         simple_protocol_exp,
+        distributed_tradeoff,
         phase_transition,
         length_oblivious,
         concentration,

@@ -3,8 +3,7 @@
 The paper states (Section 3, proof deferred to the full version) that a
 simple deterministic ``t``-party protocol achieves approximation factor
 ``2√(nt)`` with maximum message length Õ(n) — which is why the lower
-bound needs ``t = Ω(α²/n)`` parties.  We implement the natural such
-protocol:
+bound needs ``t = Ω(α²/n)`` parties.  The protocol:
 
 * The message carries the still-uncovered element set (≤ n words), a
   witness set id for every uncovered element seen so far (≤ n words),
@@ -19,34 +18,32 @@ protocol:
   residue satisfies ``|R| ≤ √(n/t) · OPT``; with the greedy phase's
   ``√(nt)`` sets the total is ``≤ 2√(nt) · OPT``.
 
-The implementation runs on top of :class:`OneWayChain` and accounts
-message sizes explicitly, so the ``simple-protocol`` experiment can
-verify both the approximation factor and the Õ(n) message bound.
+The protocol engine itself lives in
+:func:`repro.distributed.chain.chain_merge` — the distributed layer's
+chain coordinator runs the same loop over shard views — and this module
+is a thin wrapper naming each party's sets ``(party, local_id)`` and
+accounting message sizes exactly as before, so the ``simple-protocol``
+experiment can verify both the approximation factor and the Õ(n)
+message bound.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, cast
 
-from repro.errors import ConfigurationError, ProtocolError
-from repro.lowerbound.protocol import Message, OneWayChain, ProtocolResult
+from repro.distributed.chain import chain_merge
+from repro.distributed.router import deal_round_robin
+from repro.errors import ConfigurationError
 from repro.streaming.instance import SetCoverInstance
 from repro.types import ElementId, SetId
 
 
-@dataclass
-class _State:
-    """Payload forwarded between parties."""
+class PartyInput:
+    """One party's share: a list of sets over the common universe."""
 
-    uncovered: Set[ElementId]
-    witnesses: Dict[ElementId, Tuple[int, SetId]]  # element -> (party, local id)
-    chosen: List[Tuple[int, SetId]]  # (party, local set id) pairs
-
-    def words(self) -> int:
-        """Words: one per uncovered element, two per witness, two per chosen."""
-        return len(self.uncovered) + 2 * len(self.witnesses) + 2 * len(self.chosen)
+    def __init__(self, sets: Sequence[Set[ElementId]]) -> None:
+        self.sets = [set(s) for s in sets]
 
 
 @dataclass
@@ -69,13 +66,6 @@ class SimpleProtocolResult:
         return max(self.message_words) if self.message_words else 0
 
 
-class PartyInput:
-    """One party's share: a list of sets over the common universe."""
-
-    def __init__(self, sets: Sequence[Set[ElementId]]) -> None:
-        self.sets = [set(s) for s in sets]
-
-
 def run_simple_protocol(
     n: int,
     parties: Sequence[PartyInput],
@@ -89,7 +79,9 @@ def run_simple_protocol(
         Universe size; elements are ``0..n-1``.  The union of all
         parties' sets must cover the universe.
     parties:
-        Per-party set collections.
+        Per-party set collections.  Empty parties are legal: they
+        forward the protocol state untouched (and still send a
+        message, which the accounting records).
     threshold:
         Greedy take-threshold; defaults to ``√(n/t)`` as in the
         analysis.
@@ -97,91 +89,40 @@ def run_simple_protocol(
     t = len(parties)
     if t < 2:
         raise ConfigurationError(f"need at least 2 parties, got {t}")
-    tau = threshold if threshold is not None else math.sqrt(n / t)
-
-    def make_party(index: int, is_last: bool):
-        def party(incoming: Optional[Message], party_input: PartyInput) -> Message:
-            if incoming is None:
-                state = _State(
-                    uncovered=set(range(n)), witnesses={}, chosen=[]
-                )
-            else:
-                state = incoming.payload
-            # Record witnesses for any still-uncovered element we hold.
-            for local_id, members in enumerate(party_input.sets):
-                for u in members:
-                    if u in state.uncovered and u not in state.witnesses:
-                        state.witnesses[u] = (index, local_id)
-            # Greedy phase over this party's own sets.
-            progress = True
-            while progress:
-                progress = False
-                for local_id, members in enumerate(party_input.sets):
-                    gain = len(members & state.uncovered)
-                    if gain >= tau:
-                        state.chosen.append((index, local_id))
-                        state.uncovered -= members
-                        progress = True
-            if is_last:
-                # Patch the residue with recorded witnesses.
-                for u in sorted(state.uncovered):
-                    witness = state.witnesses.get(u)
-                    if witness is None:
-                        raise ProtocolError(
-                            f"element {u} is covered by no party's sets; "
-                            "instance infeasible"
-                        )
-                    state.chosen.append(witness)
-                state.uncovered = set()
-            return Message(payload=state, words=state.words())
-
-        return party
-
-    chain = OneWayChain(
-        [make_party(i, is_last=(i == t - 1)) for i in range(t)]
-    )
-    transcript: ProtocolResult = chain.execute(list(parties))
-    state: _State = transcript.output
-
-    # Deduplicate the chosen list (a witness may repeat a greedy pick).
-    seen: Set[Tuple[int, SetId]] = set()
-    cover: List[Tuple[int, SetId]] = []
-    for pick in state.chosen:
-        if pick not in seen:
-            seen.add(pick)
-            cover.append(pick)
-
-    certificate: Dict[ElementId, Tuple[int, SetId]] = {}
-    for party_id, local_id in cover:
-        for u in parties[party_id].sets[local_id]:
-            certificate.setdefault(u, (party_id, local_id))
-    missing = [u for u in range(n) if u not in certificate]
-    if missing:
-        raise ProtocolError(
-            f"protocol output misses {len(missing)} element(s), e.g. "
-            f"{missing[:5]}"
-        )
-
+    party_sets = [
+        [
+            ((index, local_id), members)
+            for local_id, members in enumerate(party.sets)
+        ]
+        for index, party in enumerate(parties)
+    ]
+    outcome = chain_merge(n, party_sets, threshold=threshold)
     return SimpleProtocolResult(
-        cover=cover,
-        certificate=certificate,
-        message_words=transcript.message_words,
-        threshold=tau,
+        cover=cast(List[Tuple[int, SetId]], outcome.cover),
+        certificate=cast(
+            Dict[ElementId, Tuple[int, SetId]], outcome.certificate
+        ),
+        message_words=outcome.message_words,
+        threshold=outcome.threshold,
     )
 
 
 def split_instance_among_parties(
     instance: SetCoverInstance, t: int, seed=None
 ) -> List[PartyInput]:
-    """Deal an instance's sets to ``t`` parties round-robin (seeded shuffle)."""
-    from repro.types import make_rng
+    """Deal an instance's sets to ``t`` parties round-robin (seeded shuffle).
 
+    Delegates to :func:`repro.distributed.router.deal_round_robin`, the
+    same deal the by-set shard router uses — so a by-set distributed run
+    with the same seed gives every shard exactly this party's sets, in
+    this order.  ``t`` may exceed the number of sets: the surplus
+    parties receive empty shares (legal; they forward protocol state
+    untouched).
+    """
     if t < 2:
         raise ConfigurationError(f"need at least 2 parties, got {t}")
-    rng = make_rng(seed)
-    order = list(range(instance.m))
-    rng.shuffle(order)
-    shares: List[List[Set[ElementId]]] = [[] for _ in range(t)]
-    for position, set_id in enumerate(order):
-        shares[position % t].append(set(instance.set_members(set_id)))
-    return [PartyInput(share) for share in shares]
+    _, per_party = deal_round_robin(instance.m, t, seed=seed)
+    return [
+        PartyInput([set(instance.set_members(s)) for s in share])
+        for share in per_party
+    ]

@@ -36,6 +36,8 @@ SPAN_EPOCH = "epoch"
 SPAN_SUBEPOCH = "subepoch"
 SPAN_REMAINDER = "remainder"
 SPAN_OFFLINE = "offline"  # element sampling's post-pass greedy
+SPAN_SHARD = "shard"  # one distributed worker's shard-local pass
+SPAN_MERGE = "merge"  # a distributed coordinator merging shard outputs
 
 SPAN_KINDS: FrozenSet[str] = frozenset(
     {
@@ -46,6 +48,8 @@ SPAN_KINDS: FrozenSet[str] = frozenset(
         SPAN_SUBEPOCH,
         SPAN_REMAINDER,
         SPAN_OFFLINE,
+        SPAN_SHARD,
+        SPAN_MERGE,
     }
 )
 
@@ -64,6 +68,7 @@ COUNTER = "counter"  # flushed counter values outside any span
 RUN_FAILED = "run_failed"  # the pass raised; attrs carry the error type
 STREAM_SANITIZED = "stream_sanitized"  # resilient wrapper repaired a stream
 DEGRADATION = "degradation"  # a DegradationRecord was emitted
+MESSAGE_SENT = "message_sent"  # a coordinator link carried a message
 
 EVENT_TYPES: FrozenSet[str] = frozenset(
     {
@@ -82,6 +87,7 @@ EVENT_TYPES: FrozenSet[str] = frozenset(
         RUN_FAILED,
         STREAM_SANITIZED,
         DEGRADATION,
+        MESSAGE_SENT,
     }
 )
 

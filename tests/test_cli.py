@@ -42,6 +42,31 @@ class TestParser:
         assert args.policy == "skip_bad_edges"
         assert args.seed == 3
 
+    def test_distribute_parses(self):
+        args = build_parser().parse_args(
+            [
+                "distribute",
+                "x.txt",
+                "--workers",
+                "4",
+                "--strategy",
+                "by-element",
+                "--coordinator",
+                "greedy",
+                "--max-workers",
+                "2",
+            ]
+        )
+        assert args.command == "distribute"
+        assert args.workers == 4
+        assert args.strategy == "by-element"
+        assert args.coordinator == "greedy"
+        assert args.max_workers == 2
+
+    def test_distribute_short_workers_flag(self):
+        args = build_parser().parse_args(["distribute", "x.txt", "-W", "8"])
+        assert args.workers == 8
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -139,6 +164,98 @@ class TestSolve:
     def test_missing_file_errors(self):
         with pytest.raises(FileNotFoundError):
             main(["solve", "/nonexistent/file.txt"])
+
+
+class TestDistribute:
+    @pytest.mark.parametrize("coordinator", ["union", "greedy", "chain"])
+    def test_distributes_with_each_coordinator(
+        self, capsys, instance_file, coordinator
+    ):
+        code = main(
+            [
+                "distribute",
+                instance_file,
+                "--workers",
+                "4",
+                "--coordinator",
+                coordinator,
+                "--seed",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total comm words" in out
+        assert "max message words" in out
+        assert "per-shard:" in out
+        assert "cover:" in out
+
+    def test_output_identical_across_max_workers(self, capsys, instance_file):
+        assert main(["distribute", instance_file, "--max-workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["distribute", instance_file, "--max-workers", "4"]) == 0
+        threaded = capsys.readouterr().out
+        assert serial == threaded
+
+    def test_comm_budget_violation_exits_nonzero(self, capsys, instance_file):
+        code = main(
+            ["distribute", instance_file, "--workers", "4", "--comm-budget", "1"]
+        )
+        assert code == 1
+        assert "communication budget exceeded" in capsys.readouterr().err
+
+    def test_strategy_and_order_options(self, capsys, instance_file):
+        code = main(
+            [
+                "distribute",
+                instance_file,
+                "--strategy",
+                "hash",
+                "--coordinator",
+                "union",
+                "--order",
+                "random",
+                "--algorithm",
+                "first-fit",
+            ]
+        )
+        assert code == 0
+
+
+class TestGenerateRoundTrip:
+    @pytest.mark.parametrize(
+        "workload", ["uniform", "planted", "zipf", "two-tier", "domset"]
+    )
+    def test_generate_then_solve(self, capsys, tmp_path, workload):
+        path = str(tmp_path / f"{workload}.txt")
+        code = main(
+            [
+                "generate",
+                path,
+                "--workload",
+                workload,
+                "--n",
+                "40",
+                "--m",
+                "60",
+                "--seed",
+                "5",
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        code = main(["solve", path, "--algorithm", "kk", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "valid" in out
+        assert "cover:" in out
+
+    def test_generate_then_distribute(self, capsys, tmp_path):
+        path = str(tmp_path / "planted.txt")
+        assert main(["generate", path, "--n", "40", "--m", "60"]) == 0
+        capsys.readouterr()
+        assert main(["distribute", path, "--workers", "4"]) == 0
+        assert "valid" in capsys.readouterr().out
 
 
 class TestChaos:

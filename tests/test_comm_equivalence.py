@@ -1,0 +1,134 @@
+"""Property tests: CommMeter totals equal a naive recount of all messages.
+
+Mirrors the SpaceMeter equivalence suite: the meter's O(1) incremental
+accounting must agree with the obvious O(messages) oracle that simply
+re-adds every message, for arbitrary message sequences and for real
+distributed runs across random (W, strategy, seed) configurations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import CommMeter, run_distributed
+from repro.distributed.comm import words_for_cover_message
+from repro.distributed.router import STRATEGIES
+from repro.generators.planted import planted_partition_instance
+
+
+def naive_recount(messages):
+    """The oracle: recompute every statistic from the raw message log."""
+    per_link_words = defaultdict(int)
+    per_link_messages = defaultdict(int)
+    total = 0
+    biggest = 0
+    for src, dst, words in messages:
+        link = f"{src}->{dst}"
+        per_link_words[link] += words
+        per_link_messages[link] += 1
+        total += words
+        biggest = max(biggest, words)
+    return {
+        "total_words": total,
+        "max_message_words": biggest,
+        "num_messages": len(messages),
+        "per_link_words": dict(per_link_words),
+        "per_link_messages": dict(per_link_messages),
+    }
+
+
+nodes = st.sampled_from(
+    ["shard[0]", "shard[1]", "shard[2]", "shard[3]", "coordinator"]
+)
+message_lists = st.lists(
+    st.tuples(nodes, nodes, st.integers(min_value=0, max_value=10_000)),
+    max_size=200,
+)
+
+
+class TestMeterAgainstOracle:
+    @given(messages=message_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_sequences(self, messages):
+        meter = CommMeter(log_messages=True)
+        for src, dst, words in messages:
+            meter.record(src, dst, words)
+        report = meter.report()
+        oracle = naive_recount(report.messages)
+        assert list(report.messages) == list(messages)
+        assert report.total_words == oracle["total_words"]
+        assert report.max_message_words == oracle["max_message_words"]
+        assert report.num_messages == oracle["num_messages"]
+        assert report.per_link_words == oracle["per_link_words"]
+        assert report.per_link_messages == oracle["per_link_messages"]
+
+    @given(messages=message_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_reset_restarts_the_count(self, messages):
+        meter = CommMeter(log_messages=True)
+        for src, dst, words in messages:
+            meter.record(src, dst, words)
+        meter.reset()
+        for src, dst, words in messages:
+            meter.record(src, dst, words)
+        report = meter.report()
+        assert report.num_messages == len(messages)
+        assert report.total_words == sum(w for _, _, w in messages)
+
+
+class TestDistributedRunsAgainstOracle:
+    @given(
+        workers=st.integers(min_value=1, max_value=6),
+        strategy=st.sampled_from(STRATEGIES),
+        coordinator=st.sampled_from(["union", "greedy", "chain"]),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_report_matches_message_log(
+        self, workers, strategy, coordinator, seed
+    ):
+        instance = planted_partition_instance(
+            24, 18, opt_size=4, seed=7
+        ).instance
+        result = run_distributed(
+            instance,
+            workers=workers,
+            strategy=strategy,
+            coordinator=coordinator,
+            seed=seed,
+            comm_log=True,
+        )
+        oracle = naive_recount(result.comm.messages)
+        assert result.comm.total_words == oracle["total_words"]
+        assert result.comm.max_message_words == oracle["max_message_words"]
+        assert result.comm.num_messages == oracle["num_messages"]
+        assert result.comm.per_link_words == oracle["per_link_words"]
+        assert result.comm.per_link_messages == oracle["per_link_messages"]
+
+    @given(
+        workers=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_union_words_recomputable_from_shard_reports(self, workers, seed):
+        # The union coordinator's per-shard upload is exactly
+        # cover_size + 2 * certificate_size words, so the total is
+        # recomputable from the ShardReports alone.
+        instance = planted_partition_instance(
+            24, 18, opt_size=4, seed=3
+        ).instance
+        result = run_distributed(
+            instance,
+            workers=workers,
+            strategy="by-set",
+            coordinator="union",
+            seed=seed,
+        )
+        expected = sum(
+            words_for_cover_message(r.cover_size, r.certificate_size)
+            for r in result.shards
+        )
+        assert result.total_comm_words == expected

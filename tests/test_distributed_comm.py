@@ -1,0 +1,145 @@
+"""Unit tests for the communication meter (CommMeter/CommBudget/CommReport)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.comm import (
+    CommBudget,
+    CommMeter,
+    words_for_candidate_message,
+    words_for_cover_message,
+)
+from repro.errors import CommBudgetError, ReproError
+
+
+class TestCommMeter:
+    def test_starts_empty(self):
+        meter = CommMeter()
+        assert meter.total_words == 0
+        assert meter.max_message_words == 0
+        assert meter.num_messages == 0
+
+    def test_records_totals_and_max(self):
+        meter = CommMeter()
+        meter.record("shard[0]", "coordinator", 10)
+        meter.record("shard[1]", "coordinator", 25)
+        meter.record("shard[0]", "coordinator", 5)
+        assert meter.total_words == 40
+        assert meter.max_message_words == 25
+        assert meter.num_messages == 3
+
+    def test_per_link_accounting(self):
+        meter = CommMeter()
+        meter.record("a", "b", 7)
+        meter.record("a", "b", 3)
+        meter.record("b", "c", 11)
+        assert meter.link_words("a", "b") == 10
+        assert meter.link_words("b", "c") == 11
+        assert meter.link_words("c", "a") == 0
+
+    def test_record_returns_link_label(self):
+        meter = CommMeter()
+        assert meter.record("shard[0]", "shard[1]", 4) == "shard[0]->shard[1]"
+
+    def test_zero_word_message_counts(self):
+        meter = CommMeter()
+        meter.record("a", "b", 0)
+        assert meter.total_words == 0
+        assert meter.num_messages == 1
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ValueError):
+            CommMeter().record("a", "b", -1)
+
+    def test_reset(self):
+        meter = CommMeter(log_messages=True)
+        meter.record("a", "b", 9)
+        meter.reset()
+        assert meter.total_words == 0
+        assert meter.num_messages == 0
+        assert meter.report().messages == ()
+
+
+class TestCommBudget:
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            CommBudget(0)
+        with pytest.raises(ValueError):
+            CommBudget(-5)
+
+    def test_under_budget_passes(self):
+        meter = CommMeter(budget=CommBudget(100))
+        meter.record("a", "b", 60)
+        meter.record("a", "b", 40)  # exactly at budget is fine
+        assert meter.total_words == 100
+
+    def test_over_budget_raises_typed(self):
+        meter = CommMeter(budget=CommBudget(100, context="merging"))
+        meter.record("a", "b", 90)
+        with pytest.raises(CommBudgetError) as exc_info:
+            meter.record("a", "b", 20)
+        error = exc_info.value
+        assert isinstance(error, ReproError)
+        assert error.used == 110
+        assert error.budget == 100
+        assert error.link == "a->b"
+        assert error.message_words == 20
+        assert "merging" in str(error)
+
+    def test_offending_message_recorded_before_raise(self):
+        meter = CommMeter(budget=CommBudget(10))
+        with pytest.raises(CommBudgetError):
+            meter.record("a", "b", 25)
+        report = meter.report()
+        assert report.total_words == 25
+        assert report.num_messages == 1
+        assert report.max_message_words == 25
+
+
+class TestCommReport:
+    def test_snapshot_is_decoupled(self):
+        meter = CommMeter()
+        meter.record("a", "b", 5)
+        report = meter.report()
+        meter.record("a", "b", 5)
+        assert report.total_words == 5
+        assert meter.total_words == 10
+
+    def test_busiest_link(self):
+        meter = CommMeter()
+        meter.record("a", "b", 5)
+        meter.record("b", "c", 9)
+        assert meter.report().busiest_link() == "b->c"
+
+    def test_busiest_link_tie_breaks_lexicographically(self):
+        meter = CommMeter()
+        meter.record("b", "c", 5)
+        meter.record("a", "b", 5)
+        assert meter.report().busiest_link() == "b->c"
+
+    def test_busiest_link_none_when_idle(self):
+        assert CommMeter().report().busiest_link() is None
+
+    def test_message_log_only_when_requested(self):
+        plain = CommMeter()
+        plain.record("a", "b", 3)
+        assert plain.report().messages == ()
+        logged = CommMeter(log_messages=True)
+        logged.record("a", "b", 3)
+        logged.record("b", "c", 4)
+        assert logged.report().messages == (("a", "b", 3), ("b", "c", 4))
+
+
+class TestWordFormulas:
+    def test_cover_message(self):
+        assert words_for_cover_message(3, 10) == 3 + 2 * 10
+        assert words_for_cover_message(0, 0) == 0
+
+    def test_cover_message_rejects_negative(self):
+        with pytest.raises(ValueError):
+            words_for_cover_message(-1, 0)
+
+    def test_candidate_message(self):
+        assert words_for_candidate_message([4, 0, 2]) == (1 + 4) + (1 + 0) + (1 + 2)
+        assert words_for_candidate_message([]) == 0

@@ -1,0 +1,250 @@
+"""Tests for the merge coordinators and the end-to-end executor.
+
+The load-bearing test is chain-vs-protocol parity: a by-set distributed
+run with the chain coordinator must reproduce
+:func:`run_simple_protocol`'s cover size and ``max_message_words``
+*exactly* — including on the Lemma-1 lower-bound family instances the
+acceptance criteria name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import (
+    CommBudget,
+    make_coordinator,
+    registered_coordinators,
+    run_distributed,
+)
+from repro.distributed.router import STRATEGIES
+from repro.errors import (
+    CommBudgetError,
+    ConfigurationError,
+    InvalidCoverError,
+    ProtocolError,
+)
+from repro.generators.planted import planted_partition_instance
+from repro.lowerbound.family import build_family
+from repro.lowerbound.simple_protocol import (
+    run_simple_protocol,
+    split_instance_among_parties,
+)
+from repro.streaming.instance import SetCoverInstance
+
+
+@pytest.fixture
+def instance():
+    return planted_partition_instance(48, 36, opt_size=6, seed=2).instance
+
+
+def lb_family_instance(n=64, m=10, t=4, seed=0):
+    """A set-cover instance over a Lemma-1 family plus one patch set.
+
+    The complement of T_0 is appended so the instance is feasible —
+    the same shape the lower-bound experiments use.
+    """
+    family = build_family(n, m, t, seed=seed)
+    sets = [family.full_set(i) for i in range(family.m)]
+    sets.append(family.complement(0))
+    return SetCoverInstance(n, sets, name=f"lb-family(n={n},m={m},t={t})")
+
+
+class TestRegistry:
+    def test_three_coordinators(self):
+        assert registered_coordinators() == ["chain", "greedy", "union"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_coordinator("quorum")
+
+    def test_threshold_only_for_chain(self):
+        make_coordinator("chain", threshold=3.0)
+        with pytest.raises(ConfigurationError):
+            make_coordinator("union", threshold=3.0)
+
+
+class TestAllCoordinatorsProduceValidCovers:
+    @pytest.mark.parametrize("coordinator", ["union", "greedy", "chain"])
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_valid_cover(self, instance, coordinator, strategy):
+        result = run_distributed(
+            instance,
+            workers=3,
+            algorithm="kk",
+            strategy=strategy,
+            coordinator=coordinator,
+            seed=4,
+        )
+        result.verify(instance)
+        assert result.is_valid(instance)
+        assert result.cover_size >= 1
+
+    @pytest.mark.parametrize("coordinator", ["union", "greedy", "chain"])
+    def test_single_worker(self, instance, coordinator):
+        result = run_distributed(
+            instance, workers=1, coordinator=coordinator, seed=0
+        )
+        result.verify(instance)
+
+    def test_more_workers_than_sets(self, instance):
+        result = run_distributed(
+            instance, workers=instance.m + 4, coordinator="chain", seed=1
+        )
+        result.verify(instance)
+
+    def test_comm_report_populated(self, instance):
+        result = run_distributed(
+            instance, workers=3, coordinator="union", seed=4
+        )
+        assert result.total_comm_words > 0
+        assert result.max_message_words > 0
+        assert result.comm.num_messages == 3
+        assert len(result.shards) == 3
+
+    def test_greedy_no_larger_than_union(self, instance):
+        union = run_distributed(
+            instance, workers=4, coordinator="union", seed=6
+        )
+        greedy = run_distributed(
+            instance, workers=4, coordinator="greedy", seed=6
+        )
+        assert greedy.cover_size <= union.cover_size
+
+
+class TestChainProtocolParity:
+    """Chain merge over by-set shards == the t-party simple protocol."""
+
+    def _assert_parity(self, instance, workers, seed):
+        result = run_distributed(
+            instance,
+            workers=workers,
+            algorithm="kk",
+            strategy="by-set",
+            coordinator="chain",
+            seed=seed,
+        )
+        result.verify(instance)
+        parties = split_instance_among_parties(instance, workers, seed=seed)
+        protocol = run_simple_protocol(instance.n, parties)
+        assert result.cover_size == protocol.cover_size
+        assert result.max_message_words == protocol.max_message_words
+
+    @pytest.mark.parametrize("workers", [2, 3, 4, 8])
+    def test_planted(self, instance, workers):
+        self._assert_parity(instance, workers, seed=11)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_lb_family(self, seed, workers):
+        self._assert_parity(lb_family_instance(seed=seed), workers, seed=seed)
+
+    def test_threshold_override_propagates(self, instance):
+        result = run_distributed(
+            instance, workers=3, coordinator="chain", seed=5, threshold=2.0
+        )
+        parties = split_instance_among_parties(instance, 3, seed=5)
+        protocol = run_simple_protocol(instance.n, parties, threshold=2.0)
+        assert result.cover_size == protocol.cover_size
+        assert result.max_message_words == protocol.max_message_words
+
+
+class TestBudgetsAndFailures:
+    def test_comm_budget_enforced(self, instance):
+        generous = run_distributed(
+            instance, workers=3, coordinator="chain", seed=4
+        )
+        with pytest.raises(CommBudgetError):
+            run_distributed(
+                instance,
+                workers=3,
+                coordinator="chain",
+                seed=4,
+                comm_budget=CommBudget(generous.total_comm_words // 2),
+            )
+
+    def test_generous_budget_passes(self, instance):
+        reference = run_distributed(
+            instance, workers=3, coordinator="chain", seed=4
+        )
+        budgeted = run_distributed(
+            instance,
+            workers=3,
+            coordinator="chain",
+            seed=4,
+            comm_budget=CommBudget(reference.total_comm_words),
+        )
+        assert budgeted.cover == reference.cover
+
+    def test_chain_infeasible_instance_raises_protocol_error(self):
+        # Element 3 is in no set: routing succeeds, the chain's last
+        # party has no witness to patch with.
+        bad = SetCoverInstance(4, [{0, 1}, {2}])
+        with pytest.raises(ProtocolError):
+            run_distributed(bad, workers=2, coordinator="chain", seed=0)
+
+    def test_greedy_stall_is_typed(self):
+        # Shard covers that do not jointly cover the universe make the
+        # greedy merge stall; it must raise InvalidCoverError, not loop.
+        from repro.distributed.comm import CommMeter as Meter
+        from repro.distributed.coordinator import GreedyCoordinator
+        from repro.distributed.worker import ShardOutput
+
+        instance = SetCoverInstance(3, [{0, 1, 2}])
+        outputs = [
+            ShardOutput(
+                index=0,
+                cover=frozenset({0}),
+                certificate={0: 0, 1: 0},
+                members_by_set={0: frozenset({0, 1})},  # element 2 unseen
+                set_order=(0,),
+            )
+        ]
+        with pytest.raises(InvalidCoverError):
+            GreedyCoordinator().merge(instance, None, outputs, Meter())
+
+    def test_invalid_worker_counts(self, instance):
+        with pytest.raises(ConfigurationError):
+            run_distributed(instance, workers=0)
+        with pytest.raises(ConfigurationError):
+            run_distributed(instance, workers=2, max_workers=0)
+
+
+class TestFaultsCompose:
+    def test_per_shard_faults_run_and_report(self, instance):
+        from repro.faults.injectors import FaultSpec
+
+        result = run_distributed(
+            instance,
+            workers=3,
+            coordinator="union",
+            seed=4,
+            faults=[FaultSpec(kind="duplicate", rate=0.2, seed=1)],
+        )
+        result.verify(instance)
+        assert all(r.injection is not None for r in result.shards)
+        touched = sum(
+            sum(r.injection.counts.values()) for r in result.shards
+        )
+        assert touched > 0
+
+    def test_fault_free_runs_unchanged_by_fault_machinery(self, instance):
+        # Pre-drawing fault seeds must not shift algorithm seeds: a run
+        # with an empty fault list equals a run with faults=None.
+        plain = run_distributed(instance, workers=3, seed=9)
+        empty = run_distributed(instance, workers=3, seed=9, faults=[])
+        assert plain == empty
+
+    def test_corrupt_faults_never_crash(self, instance):
+        from repro.faults.injectors import FaultSpec
+
+        result = run_distributed(
+            instance,
+            workers=3,
+            coordinator="union",
+            seed=4,
+            faults=[FaultSpec(kind="corrupt", rate=0.3, seed=2)],
+        )
+        # A corrupted stream may degrade the cover; it must not raise
+        # on the way there, and the report must count what was dropped.
+        assert result.workers == 3

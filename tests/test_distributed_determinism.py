@@ -1,0 +1,106 @@
+"""The distributed determinism contract: ``max_workers`` changes nothing.
+
+``workers`` (the shard count) is semantic; ``max_workers`` (the real
+thread count) is operational.  Every field of the
+:class:`DistributedResult` — cover, certificate, comm report, per-shard
+space reports — and every byte of the collected trace must be identical
+whether the shards ran serially or on a pool.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import run_distributed
+from repro.distributed.router import STRATEGIES
+from repro.faults.injectors import FaultSpec
+from repro.generators.planted import planted_partition_instance
+from repro.obs.tracer import TraceCollector
+
+
+@pytest.fixture
+def instance():
+    return planted_partition_instance(60, 48, opt_size=6, seed=13).instance
+
+
+class TestMaxWorkersInvariance:
+    @pytest.mark.parametrize("coordinator", ["union", "greedy", "chain"])
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_result_bit_identical(self, instance, strategy, coordinator):
+        kwargs = dict(
+            workers=4,
+            algorithm="kk",
+            strategy=strategy,
+            coordinator=coordinator,
+            seed=21,
+        )
+        serial = run_distributed(instance, max_workers=1, **kwargs)
+        threaded = run_distributed(instance, max_workers=4, **kwargs)
+        oversub = run_distributed(instance, max_workers=16, **kwargs)
+        assert serial == threaded
+        assert serial == oversub
+
+    def test_result_identical_under_faults(self, instance):
+        kwargs = dict(
+            workers=4,
+            coordinator="union",
+            seed=3,
+            faults=[
+                FaultSpec(kind="drop", rate=0.1, seed=5),
+                FaultSpec(kind="duplicate", rate=0.1, seed=6),
+            ],
+        )
+        serial = run_distributed(instance, max_workers=1, **kwargs)
+        threaded = run_distributed(instance, max_workers=4, **kwargs)
+        assert serial == threaded
+
+    def test_traces_byte_identical(self, instance):
+        jsonls = []
+        for max_workers in (1, 4):
+            collector = TraceCollector()
+            run_distributed(
+                instance,
+                workers=4,
+                coordinator="chain",
+                seed=7,
+                max_workers=max_workers,
+                collector=collector,
+            )
+            jsonls.append(collector.to_jsonl())
+        assert jsonls[0] == jsonls[1]
+
+    def test_trace_has_shard_and_merge_cells(self, instance):
+        collector = TraceCollector()
+        run_distributed(
+            instance,
+            workers=3,
+            coordinator="chain",
+            seed=7,
+            collector=collector,
+        )
+        labels = collector.labels()
+        assert "merge" in labels
+        assert [x for x in labels if x.startswith("shard[")] == [
+            "shard[000]",
+            "shard[001]",
+            "shard[002]",
+        ]
+
+    def test_repeated_runs_identical(self, instance):
+        kwargs = dict(workers=4, coordinator="greedy", seed=17, max_workers=4)
+        assert run_distributed(instance, **kwargs) == run_distributed(
+            instance, **kwargs
+        )
+
+    def test_seed_changes_result(self, instance):
+        a = run_distributed(instance, workers=4, seed=1)
+        b = run_distributed(instance, workers=4, seed=2)
+        # The partition differs, so shard reports must differ (cover
+        # equality could coincide; the full dataclass cannot).
+        assert a != b
+
+    def test_workers_is_semantic(self, instance):
+        # Different W genuinely changes the computation (tau = sqrt(n/W)).
+        a = run_distributed(instance, workers=2, coordinator="chain", seed=5)
+        b = run_distributed(instance, workers=6, coordinator="chain", seed=5)
+        assert a.comm != b.comm

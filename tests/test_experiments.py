@@ -26,8 +26,8 @@ def reports():
 
 
 class TestRegistry:
-    def test_sixteen_experiments(self):
-        assert len(all_experiment_ids()) == 16
+    def test_seventeen_experiments(self):
+        assert len(all_experiment_ids()) == 17
 
     def test_table1_rows_present(self):
         ids = all_experiment_ids()

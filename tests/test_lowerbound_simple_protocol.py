@@ -101,3 +101,57 @@ class TestSplitInstance:
         a = split_instance_among_parties(planted.instance, 3, seed=13)
         b = split_instance_among_parties(planted.instance, 3, seed=13)
         assert [p.sets for p in a] == [p.sets for p in b]
+
+
+class TestEdgeCases:
+    """Hardening: more parties than sets, and empty parties mid-chain."""
+
+    def test_more_parties_than_sets_splits(self):
+        planted = planted_partition_instance(20, 4, opt_size=4, seed=14)
+        parties = split_instance_among_parties(planted.instance, 7, seed=14)
+        assert len(parties) == 7
+        assert sum(len(p.sets) for p in parties) == 4
+        assert sum(1 for p in parties if not p.sets) == 3
+
+    def test_more_parties_than_sets_protocol_runs(self):
+        planted = planted_partition_instance(20, 4, opt_size=4, seed=15)
+        parties = split_instance_among_parties(planted.instance, 7, seed=15)
+        result = run_simple_protocol(20, parties)
+        covered = set()
+        for party_id, local_id in result.cover:
+            covered |= parties[party_id].sets[local_id]
+        assert covered == set(range(20))
+
+    def test_empty_party_forwards_state(self):
+        # An explicitly empty middle party must not disturb the outcome
+        # reached by its neighbours, and still sends a message.
+        planted = planted_partition_instance(24, 12, opt_size=4, seed=16)
+        parties = split_instance_among_parties(planted.instance, 2, seed=16)
+        with_gap = [parties[0], PartyInput([]), parties[1]]
+        result = run_simple_protocol(24, with_gap)
+        assert set(result.certificate) == set(range(24))
+        assert len(result.message_words) == 2
+        # The empty party's message carries exactly its predecessor's state.
+        assert result.message_words[1] >= result.message_words[0]
+
+    def test_empty_first_party(self):
+        planted = planted_partition_instance(24, 12, opt_size=4, seed=17)
+        parties = split_instance_among_parties(planted.instance, 2, seed=17)
+        result = run_simple_protocol(
+            24, [PartyInput([]), parties[0], parties[1]]
+        )
+        assert set(result.certificate) == set(range(24))
+        # First message: n uncovered words, no witnesses, nothing chosen.
+        assert result.message_words[0] == 24
+
+    def test_empty_last_party_can_strand_residue(self):
+        # If the last party is empty, patching still works because the
+        # witnesses travelled with the state.
+        planted = planted_partition_instance(24, 12, opt_size=4, seed=18)
+        parties = split_instance_among_parties(planted.instance, 2, seed=18)
+        result = run_simple_protocol(24, list(parties) + [PartyInput([])])
+        assert set(result.certificate) == set(range(24))
+
+    def test_all_empty_parties_infeasible(self):
+        with pytest.raises(ProtocolError):
+            run_simple_protocol(4, [PartyInput([]), PartyInput([])])
