@@ -77,9 +77,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--distributed",
         action="store_true",
-        help="measure the sharded executor's W-scaling curve "
-        "(W in {1,2,4,8}) instead of the throughput ladder; updates the "
-        "'distributed' section of BENCH_perf.json unless --no-write",
+        help="measure the sharded executor's backend x W scaling surface "
+        "(backends serial/thread/process, W in {1,2,4,8}) instead of the "
+        "throughput ladder; updates the 'distributed' section of "
+        "BENCH_perf.json unless --no-write",
     )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
@@ -92,14 +93,29 @@ def main(argv=None) -> int:
         records = run_distributed_scaling(
             tier=tier, seed=args.seed, progress=progress
         )
-        baseline = next(r for r in records if r.workers == 1)
         fastest = max(records, key=lambda r: r.edges_per_sec)
         print(
             f"ok: {len(records)} scaling points; fastest "
-            f"{fastest.config}/W={fastest.workers} at "
-            f"{fastest.edges_per_sec:,.0f} edges/s "
-            f"({fastest.edges_per_sec / baseline.edges_per_sec:.2f}x of W=1)"
+            f"{fastest.config}/{fastest.backend}/W={fastest.workers} at "
+            f"{fastest.edges_per_sec:,.0f} edges/s"
         )
+        best_speedups = {}
+        for record in records:
+            if record.speedup_vs_serial is None:
+                continue
+            key = record.backend
+            if (
+                key not in best_speedups
+                or record.speedup_vs_serial
+                > best_speedups[key].speedup_vs_serial
+            ):
+                best_speedups[key] = record
+        for backend in sorted(best_speedups):
+            best = best_speedups[backend]
+            print(
+                f"  best {backend} speedup: x{best.speedup_vs_serial:.2f} "
+                f"vs serial ({best.config}, W={best.workers})"
+            )
         if not args.no_write:
             write_bench_file(BENCH_FILE, distributed=records)
             print(f"updated distributed section of {BENCH_FILE}")

@@ -28,6 +28,7 @@ from repro.distributed import (
     CommReport,
     DistributedResult,
     ShardRouter,
+    registered_backends,
     run_distributed,
 )
 from repro.baselines import (
@@ -56,6 +57,7 @@ from repro.errors import (
     InfeasibleInstanceError,
     InvalidCoverError,
     InvalidInstanceError,
+    InvalidParameterError,
     InvalidStreamError,
     ProtocolError,
     ReproError,
@@ -135,6 +137,7 @@ __all__ = [
     "needle_in_haystack",
     # distributed execution
     "run_distributed",
+    "registered_backends",
     "DistributedResult",
     "ShardRouter",
     "CommMeter",
@@ -151,4 +154,5 @@ __all__ = [
     "CommBudgetError",
     "ProtocolError",
     "ConfigurationError",
+    "InvalidParameterError",
 ]

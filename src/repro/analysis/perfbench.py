@@ -227,14 +227,19 @@ def run_trace_overhead(
 
 @dataclass
 class DistributedScalingRecord:
-    """One point of the distributed scaling curve: a (W, threads) cell.
+    """One point of the distributed scaling surface: a (backend, W) cell.
 
     ``workers`` is the semantic shard count; ``max_workers`` the real
-    thread count (set equal to ``workers`` for the curve, so the point
-    measures the parallel speedup available at that shard width).
+    executor parallelism (set equal to ``workers`` for the curve, so the
+    point measures the speedup available at that shard width).
+    ``backend`` names the execution backend; ``speedup_vs_serial`` is
+    this cell's throughput over the serial backend at the same
+    ``(config, workers)`` cell (``None`` for the serial rows
+    themselves).
     """
 
     config: str
+    backend: str
     workers: int
     max_workers: int
     algorithm: str
@@ -242,10 +247,16 @@ class DistributedScalingRecord:
     stream_length: int
     seconds: float
     edges_per_sec: float
+    speedup_vs_serial: Optional[float]
     cover_size: int
     total_comm_words: int
     max_message_words: int
     peak_shard_words: int
+
+
+#: Backends swept by :func:`run_distributed_scaling`, serial first so
+#: every later cell has its baseline available.
+DISTRIBUTED_BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
 
 
 def run_distributed_scaling(
@@ -254,59 +265,89 @@ def run_distributed_scaling(
     workers_grid: Sequence[int] = (1, 2, 4, 8),
     algorithm: str = "kk",
     coordinator: str = "chain",
+    backends: Sequence[str] = DISTRIBUTED_BACKENDS,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[DistributedScalingRecord]:
-    """Benchmark :func:`repro.distributed.run_distributed` over W.
+    """Benchmark :func:`repro.distributed.run_distributed` over backend × W.
 
     Each grid point runs the full route → shard → merge pipeline with
-    ``max_workers=W`` threads, so the curve shows both the semantic
-    effect of sharding (comm words grow with W) and the wall-clock
-    effect of running shards in parallel.
+    ``max_workers=W``, so the surface shows both the semantic effect of
+    sharding (comm words grow with W) and the wall-clock effect of each
+    execution backend.  The serial backend is always measured first so
+    every (config, W) cell gets a ``speedup_vs_serial`` against the
+    same-shaped serial run; the determinism contract makes every
+    backend's semantic outputs identical, which the sweep asserts.
     """
     from repro.distributed import run_distributed
 
     if tier not in TIERS:
         raise ValueError(f"unknown tier {tier!r}; known: {sorted(TIERS)}")
+    sweep = list(dict.fromkeys(["serial", *backends]))
     records: List[DistributedScalingRecord] = []
     for config, n, m, set_size in TIERS[tier]:
         instance = fixed_size_instance(n, m, set_size, seed=seed)
         stream_length = instance.num_edges
-        for workers in workers_grid:
-            start = time.perf_counter()
-            result = run_distributed(
-                instance,
-                workers=workers,
-                algorithm=algorithm,
-                coordinator=coordinator,
-                seed=seed,
-                max_workers=workers,
-            )
-            seconds = time.perf_counter() - start
-            record = DistributedScalingRecord(
-                config=config,
-                workers=workers,
-                max_workers=workers,
-                algorithm=algorithm,
-                coordinator=coordinator,
-                stream_length=stream_length,
-                seconds=round(seconds, 4),
-                edges_per_sec=round(stream_length / max(seconds, 1e-9), 1),
-                cover_size=result.cover_size,
-                total_comm_words=result.total_comm_words,
-                max_message_words=result.max_message_words,
-                peak_shard_words=int(
-                    result.diagnostics.get("peak_shard_space_words", 0)
-                ),
-            )
-            records.append(record)
-            if progress is not None:
-                progress(
-                    f"{config:>7} W={workers:<2} "
-                    f"{record.edges_per_sec:>12,.0f} edges/s "
-                    f"cover={record.cover_size} "
-                    f"comm={record.total_comm_words}w "
-                    f"({record.seconds:.2f}s)"
+        serial_seconds: dict = {}
+        serial_cover: dict = {}
+        for backend in sweep:
+            for workers in workers_grid:
+                start = time.perf_counter()
+                result = run_distributed(
+                    instance,
+                    workers=workers,
+                    algorithm=algorithm,
+                    coordinator=coordinator,
+                    seed=seed,
+                    max_workers=workers,
+                    backend=backend,
                 )
+                seconds = time.perf_counter() - start
+                if backend == "serial":
+                    serial_seconds[workers] = seconds
+                    serial_cover[workers] = result.cover_size
+                else:
+                    assert result.cover_size == serial_cover[workers], (
+                        f"backend {backend!r} diverged from serial at "
+                        f"{config} W={workers}: determinism contract broken"
+                    )
+                baseline = serial_seconds.get(workers)
+                speedup = (
+                    None
+                    if backend == "serial" or not baseline
+                    else round(baseline / max(seconds, 1e-9), 3)
+                )
+                record = DistributedScalingRecord(
+                    config=config,
+                    backend=backend,
+                    workers=workers,
+                    max_workers=workers,
+                    algorithm=algorithm,
+                    coordinator=coordinator,
+                    stream_length=stream_length,
+                    seconds=round(seconds, 4),
+                    edges_per_sec=round(
+                        stream_length / max(seconds, 1e-9), 1
+                    ),
+                    speedup_vs_serial=speedup,
+                    cover_size=result.cover_size,
+                    total_comm_words=result.total_comm_words,
+                    max_message_words=result.max_message_words,
+                    peak_shard_words=int(
+                        result.diagnostics.get("peak_shard_space_words", 0)
+                    ),
+                )
+                records.append(record)
+                if progress is not None:
+                    speedup_note = (
+                        "" if speedup is None else f" x{speedup:.2f} vs serial"
+                    )
+                    progress(
+                        f"{config:>7} {backend:<7} W={workers:<2} "
+                        f"{record.edges_per_sec:>12,.0f} edges/s "
+                        f"cover={record.cover_size} "
+                        f"comm={record.total_comm_words}w "
+                        f"({record.seconds:.2f}s){speedup_note}"
+                    )
     return records
 
 
@@ -346,12 +387,16 @@ def write_bench_file(
         return records_to_json(records)
 
     payload = {
-        "schema": 1,
+        "schema": 2,
         "description": (
             "Hot-path throughput benchmark; see scripts/run_perf_bench.py. "
             "'seed_baseline' is the pre-optimization measurement, "
             "'full'/'smoke' are the current code, 'distributed' the "
-            "W-scaling curve of the sharded executor."
+            "backend x W scaling surface of the sharded executor "
+            "(speedup_vs_serial compares each backend against the serial "
+            "backend at the same shard width). Caveat: numbers committed "
+            "from a single-core container cannot show process-backend "
+            "speedup; the CI artifact carries the multi-core measurement."
         ),
         "platform": {
             "python": platform.python_version(),

@@ -24,7 +24,9 @@ from typing import List, Optional
 from repro._version import __version__
 from repro.algorithms import make_algorithm, registered_algorithms
 from repro.analysis.tables import render_kv
+from repro.distributed.backends import registered_backends
 from repro.distributed.coordinator import registered_coordinators
+from repro.distributed.executor import INGEST_MODES
 from repro.distributed.router import STRATEGIES
 from repro.errors import ReproError
 from repro.streaming.io import load_instance
@@ -148,7 +150,26 @@ def build_parser() -> argparse.ArgumentParser:
     distribute_parser.add_argument("--seed", type=int, default=0)
     distribute_parser.add_argument(
         "--max-workers", type=int, default=1,
-        help="real thread count (operational; must not change the result)",
+        help="real executor parallelism (operational; must not change "
+        "the result)",
+    )
+    distribute_parser.add_argument(
+        "--backend", choices=registered_backends(), default="thread",
+        help="execution backend for shard work (operational; every "
+        "backend prints the identical report)",
+    )
+    distribute_parser.add_argument(
+        "--ingest", choices=sorted(INGEST_MODES), default="materialize",
+        help="materialize shards up front, or stream them through "
+        "bounded per-shard queues (operational)",
+    )
+    distribute_parser.add_argument(
+        "--chunk-size", type=int, default=4096,
+        help="edges per routed chunk under --ingest stream",
+    )
+    distribute_parser.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="max in-flight chunks per shard under --ingest stream",
     )
     distribute_parser.add_argument(
         "--comm-budget", type=int, default=None,
@@ -290,6 +311,10 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         max_workers=args.max_workers,
         comm_budget=budget,
+        backend=args.backend,
+        ingest=args.ingest,
+        chunk_size=args.chunk_size,
+        queue_depth=args.queue_depth,
     )
     result.verify(instance)
     print(

@@ -12,6 +12,18 @@ lower bound governs.  :func:`~repro.distributed.executor.run_distributed`
 ties it together, deterministically in the real thread count.
 """
 
+from repro.distributed.backends import (
+    BACKEND_REGISTRY,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ShardEnvelope,
+    ShardTask,
+    ThreadBackend,
+    execute_shard_task,
+    make_backend,
+    registered_backends,
+)
 from repro.distributed.chain import ChainOutcome, chain_merge, state_words
 from repro.distributed.comm import (
     CommBudget,
@@ -31,22 +43,56 @@ from repro.distributed.coordinator import (
     registered_coordinators,
 )
 from repro.distributed.executor import (
+    INGEST_MODES,
     DistributedResult,
+    build_shard_tasks,
     run_distributed,
     shard_space_reports,
 )
+from repro.distributed.ingest import (
+    BoundedShardQueue,
+    IngestReport,
+    stream_ingest,
+)
 from repro.distributed.router import (
     STRATEGIES,
+    ChunkAssigner,
     ShardPlan,
     ShardRouter,
     deal_round_robin,
     edge_hash_worker,
+    edge_hash_workers_columns,
 )
-from repro.distributed.worker import ShardOutput, ShardReport, Worker
+from repro.distributed.worker import (
+    InstanceShape,
+    ShardAccumulator,
+    ShardOutput,
+    ShardReport,
+    Worker,
+)
 
 __all__ = [
+    "BACKEND_REGISTRY",
     "COORDINATOR_REGISTRY",
+    "INGEST_MODES",
     "STRATEGIES",
+    "Backend",
+    "BoundedShardQueue",
+    "ChunkAssigner",
+    "IngestReport",
+    "InstanceShape",
+    "ProcessBackend",
+    "SerialBackend",
+    "ShardAccumulator",
+    "ShardEnvelope",
+    "ShardTask",
+    "ThreadBackend",
+    "build_shard_tasks",
+    "edge_hash_workers_columns",
+    "execute_shard_task",
+    "make_backend",
+    "registered_backends",
+    "stream_ingest",
     "ChainCoordinator",
     "ChainOutcome",
     "CommBudget",

@@ -1,0 +1,295 @@
+"""Pluggable execution backends: where shard work actually runs.
+
+PR 4's executor hard-wired shard execution to a thread pool, which the
+GIL serializes for CPU-bound shard work (``BENCH_perf.json`` showed the
+distributed section pinned at the single-thread rate from W=1 through
+W=8).  This module turns "how shards execute" into a small pluggable
+layer:
+
+``serial``
+    Shards run one after another in the calling thread.  The reference
+    backend every other backend must match bit-for-bit.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Cheap to spin
+    up and shares memory with the parent, but CPU-bound shard work
+    serializes behind the GIL — right for I/O-ish or small runs.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`.  Each shard
+    travels as a pickled, self-contained :class:`ShardTask` and is
+    resolved against :data:`~repro.algorithms.ALGORITHM_REGISTRY`
+    inside the child process; traces come back as serialized span
+    cells the parent adopts.  This is the backend that actually breaks
+    the GIL ceiling on multi-core hardware.
+
+The determinism contract extends across backends: for a fixed
+``(instance, order, seed, workers, …)`` every backend produces a
+dataclass-equal :class:`~repro.distributed.executor.DistributedResult`
+and byte-identical merged trace JSONL, for every ``max_workers``.
+The machinery is the same as PR 4's: seeds are pre-drawn serially
+before any task is built, results are slotted by shard index, and
+trace cells merge sorted by label.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import InvalidParameterError
+from repro.faults.injectors import FaultSpec, apply_faults
+from repro.obs.tracer import NULL_TRACER, RecordingTracer
+from repro.types import Edge, SetId
+
+from repro.distributed.worker import (
+    InstanceShape,
+    ShardAccumulator,
+    ShardOutput,
+    Worker,
+)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's work, self-contained and pickle-clean.
+
+    Everything a child process needs travels in the task: the instance
+    *shape* (not the instance — workers only validate against ``(n, m)``
+    and label their local instance), the shard's ordered edge share, the
+    router's set enumeration, the pre-drawn algorithm seed, the
+    per-shard reseeded fault plan, and the algorithm *name*, resolved
+    against the registry on the executing side.  ``traced`` asks the
+    executing side to record a span cell and return it serialized.
+    """
+
+    index: int
+    algorithm: str
+    seed: int
+    shape: InstanceShape
+    edges: Tuple[Edge, ...]
+    set_order: Tuple[SetId, ...]
+    alpha: Optional[float] = None
+    fault_specs: Tuple[FaultSpec, ...] = ()
+    order_name: str = "canonical"
+    traced: bool = False
+
+    @property
+    def trace_label(self) -> str:
+        """The collector cell label this shard's trace merges under."""
+        return f"shard[{self.index:03d}]"
+
+
+@dataclass
+class ShardEnvelope:
+    """What comes back from executing one :class:`ShardTask`.
+
+    ``trace_jsonl`` is the shard's span cell as canonical JSONL (only
+    when the task asked for tracing) — the process-boundary-safe form
+    the parent hands to :meth:`~repro.obs.tracer.TraceCollector.adopt_jsonl`.
+    Every backend returns this same envelope, so the parent-side merge
+    code cannot tell backends apart.
+    """
+
+    index: int
+    output: ShardOutput
+    trace_jsonl: Optional[str] = None
+
+
+def execute_shard_task(task: ShardTask) -> ShardEnvelope:
+    """Run one shard task to completion; the unit every backend executes.
+
+    Module-level (not a method) so :class:`ProcessBackend` can ship it
+    to child processes.  Applies the shard's fault plan to its edge
+    share, runs the named registry algorithm over the shard, and — when
+    tracing — serializes the finished span cell for the parent to
+    adopt.
+    """
+    tracer = RecordingTracer() if task.traced else NULL_TRACER
+    edges: Sequence[Edge] = task.edges
+    injection = None
+    if task.fault_specs:
+        edges, _, injection = apply_faults(
+            edges, task.shape.n, task.shape.m, task.fault_specs
+        )
+    worker = Worker(
+        index=task.index,
+        algorithm=task.algorithm,
+        seed=task.seed,
+        alpha=task.alpha,
+        tracer=tracer,
+    )
+    output = worker.run(task.shape, edges, task.set_order, injection=injection)
+    trace_jsonl = tracer.to_jsonl() if task.traced else None
+    return ShardEnvelope(
+        index=task.index, output=output, trace_jsonl=trace_jsonl
+    )
+
+
+def execute_accumulated(
+    accumulator: ShardAccumulator, task: ShardTask
+) -> ShardEnvelope:
+    """Run the algorithm pass over a shard ingested by streaming.
+
+    The in-process twin of :func:`execute_shard_task`: the shard's
+    edges were already fed (validated, membership built) into
+    ``accumulator`` while routing was still in flight, so only the
+    algorithm pass remains.  ``task`` carries the shard's static
+    configuration; its ``edges`` are empty by construction.
+    """
+    tracer = RecordingTracer() if task.traced else NULL_TRACER
+    worker = Worker(
+        index=task.index,
+        algorithm=task.algorithm,
+        seed=task.seed,
+        alpha=task.alpha,
+        tracer=tracer,
+    )
+    output = worker.run_accumulated(accumulator, instance_name=task.shape.name)
+    trace_jsonl = tracer.to_jsonl() if task.traced else None
+    return ShardEnvelope(
+        index=task.index, output=output, trace_jsonl=trace_jsonl
+    )
+
+
+AccumulatedJob = Tuple[ShardAccumulator, ShardTask]
+
+
+class Backend:
+    """Interface: execute shard tasks, slotting results by shard index.
+
+    ``supports_streaming_accumulators`` says whether the backend can
+    execute a shard straight from an in-memory
+    :class:`~repro.distributed.worker.ShardAccumulator` (in-process
+    backends can; the process backend needs a pickled task instead).
+    ``wants_threaded_ingest`` says whether streaming ingest should
+    drain shard queues on dedicated threads so routing and shard ingest
+    genuinely overlap.
+    """
+
+    name = "abstract"
+    supports_streaming_accumulators = True
+    wants_threaded_ingest = False
+
+    def run_tasks(
+        self, tasks: Sequence[ShardTask], max_workers: int
+    ) -> List[ShardEnvelope]:
+        raise NotImplementedError
+
+    def run_accumulated(
+        self, jobs: Sequence[AccumulatedJob], max_workers: int
+    ) -> List[ShardEnvelope]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _run_serially(tasks: Sequence[ShardTask]) -> List[ShardEnvelope]:
+    return [execute_shard_task(task) for task in tasks]
+
+
+class SerialBackend(Backend):
+    """Shards run in the calling thread, in index order — the reference."""
+
+    name = "serial"
+
+    def run_tasks(
+        self, tasks: Sequence[ShardTask], max_workers: int
+    ) -> List[ShardEnvelope]:
+        return _run_serially(tasks)
+
+    def run_accumulated(
+        self, jobs: Sequence[AccumulatedJob], max_workers: int
+    ) -> List[ShardEnvelope]:
+        return [execute_accumulated(acc, task) for acc, task in jobs]
+
+
+class ThreadBackend(Backend):
+    """Shards run on a thread pool (the pre-backend-layer behaviour).
+
+    Results are slotted by shard index, never by completion order, so
+    the pool size is operational only.
+    """
+
+    name = "thread"
+    wants_threaded_ingest = True
+
+    def run_tasks(
+        self, tasks: Sequence[ShardTask], max_workers: int
+    ) -> List[ShardEnvelope]:
+        if max_workers == 1 or len(tasks) <= 1:
+            return _run_serially(tasks)
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(execute_shard_task, t) for t in tasks]
+            return [future.result() for future in futures]
+
+    def run_accumulated(
+        self, jobs: Sequence[AccumulatedJob], max_workers: int
+    ) -> List[ShardEnvelope]:
+        if max_workers == 1 or len(jobs) <= 1:
+            return [execute_accumulated(acc, task) for acc, task in jobs]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(execute_accumulated, acc, task)
+                for acc, task in jobs
+            ]
+            return [future.result() for future in futures]
+
+
+class ProcessBackend(Backend):
+    """Shards run in child processes — CPU-bound shard work in parallel.
+
+    Tasks cross the boundary pickled; algorithm names resolve against
+    the registry inside the child; traces come back as serialized span
+    cells.  With ``max_workers == 1`` the pool would buy nothing, so
+    tasks run inline (the result is identical either way — that *is*
+    the contract).
+    """
+
+    name = "process"
+    supports_streaming_accumulators = False
+
+    def run_tasks(
+        self, tasks: Sequence[ShardTask], max_workers: int
+    ) -> List[ShardEnvelope]:
+        if max_workers == 1 or len(tasks) <= 1:
+            return _run_serially(tasks)
+        pool_size = min(max_workers, len(tasks))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = [pool.submit(execute_shard_task, t) for t in tasks]
+            return [future.result() for future in futures]
+
+    def run_accumulated(
+        self, jobs: Sequence[AccumulatedJob], max_workers: int
+    ) -> List[ShardEnvelope]:
+        raise InvalidParameterError(
+            "backend",
+            self.name,
+            "cannot execute in-memory accumulators across a process "
+            "boundary; stream ingest builds pickled tasks for this backend",
+        )
+
+
+#: Public name -> backend class.
+BACKEND_REGISTRY: Dict[str, Type[Backend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def registered_backends() -> List[str]:
+    """Registry names in deterministic (sorted) order."""
+    return sorted(BACKEND_REGISTRY)
+
+
+def make_backend(name: str) -> Backend:
+    """Construct a registered execution backend by name."""
+    try:
+        cls = BACKEND_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(registered_backends())
+        raise InvalidParameterError(
+            "backend", name, f"known backends: {known}"
+        ) from None
+    return cls()

@@ -2,33 +2,57 @@
 
 :func:`run_distributed` is the subsystem's front door.  It routes the
 instance's ordered edge stream across ``W`` simulated workers, runs each
-worker (serially or on a thread pool), and merges the outputs through a
-registered coordinator with full communication accounting.
+worker on a pluggable execution backend (``serial``, ``thread``, or
+``process`` — see :mod:`repro.distributed.backends`), and merges the
+outputs through a registered coordinator with full communication
+accounting.  Routing itself is pluggable too: the default path
+materializes every shard before execution, while ``ingest="stream"``
+feeds shards through bounded per-shard queues so routing and shard
+ingest overlap (:mod:`repro.distributed.ingest`).
 
-Determinism contract (tested by ``tests/test_distributed_determinism.py``):
-the :class:`DistributedResult` is a pure function of
+Determinism contract (tested by ``tests/test_distributed_determinism.py``
+and ``tests/test_distributed_backends.py``): the
+:class:`DistributedResult` is a pure function of
 ``(instance, order, seed, workers, algorithm, strategy, coordinator,
-faults)`` and is bit-identical for every ``max_workers`` setting.  The
-machinery is the :class:`~repro.analysis.runner.ExperimentRunner`
-pattern: all per-shard seeds are pre-drawn serially from one root RNG
-before any worker starts, results are slotted by shard index (never by
-completion order), and traces go through a
-:class:`~repro.obs.tracer.TraceCollector` whose output is sorted by
-label.
+faults)`` and is bit-identical for every ``max_workers`` setting, every
+backend, and both ingest modes.  The machinery is the
+:class:`~repro.analysis.runner.ExperimentRunner` pattern: all per-shard
+seeds are pre-drawn serially from one root RNG before any worker
+starts, shard work travels as self-contained pickle-clean
+:class:`~repro.distributed.backends.ShardTask` records, results are
+slotted by shard index (never by completion order), and traces go
+through a :class:`~repro.obs.tracer.TraceCollector` whose output is
+sorted by label — worker processes return serialized span cells the
+parent adopts.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.distributed.backends import (
+    Backend,
+    ShardEnvelope,
+    ShardTask,
+    make_backend,
+)
 from repro.distributed.comm import CommBudget, CommMeter, CommReport
 from repro.distributed.coordinator import make_coordinator
-from repro.distributed.router import ShardRouter
-from repro.distributed.worker import ShardOutput, ShardReport, Worker
-from repro.errors import ConfigurationError, InvalidCoverError
-from repro.faults.injectors import FaultSpec, apply_faults
+from repro.distributed.ingest import IngestReport, stream_ingest
+from repro.distributed.router import ShardPlan, ShardRouter
+from repro.distributed.worker import (
+    InstanceShape,
+    ShardAccumulator,
+    ShardOutput,
+    ShardReport,
+)
+from repro.errors import (
+    ConfigurationError,
+    InvalidCoverError,
+    InvalidParameterError,
+)
+from repro.faults.injectors import FaultSpec
 from repro.obs.events import SPAN_MERGE
 from repro.obs.tracer import NULL_TRACER, TraceCollector
 from repro.streaming.instance import SetCoverInstance
@@ -36,6 +60,9 @@ from repro.streaming.orders import ArrivalOrder, CanonicalOrder
 from repro.types import ElementId, SeedLike, SetId, make_rng
 
 _SEED_SPACE = 2**63
+
+#: How shard edges reach their workers.
+INGEST_MODES: Tuple[str, ...] = ("materialize", "stream")
 
 
 @dataclass
@@ -53,6 +80,12 @@ class DistributedResult:
     seed: int = 0
     order_name: str = "canonical"
     diagnostics: Dict[str, float] = field(default_factory=dict)
+    # Operational metadata: which backend/ingest produced this result and
+    # what the streaming queues did.  Excluded from equality because the
+    # contract is exactly that these must NOT change the result.
+    ingest: Optional[IngestReport] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def cover_size(self) -> int:
@@ -100,6 +133,81 @@ class DistributedResult:
         return True
 
 
+def _draw_shard_seeds(
+    root_seed: int, workers: int
+) -> Tuple[List[int], List[int]]:
+    """Pre-draw every per-shard seed serially from one root RNG.
+
+    Fault seeds are drawn even when faults are off — adding a fault
+    spec must not shift the algorithm seeds (the ExperimentRunner
+    discipline).
+    """
+    rng = make_rng(root_seed)
+    shard_seeds = [rng.randrange(_SEED_SPACE) for _ in range(workers)]
+    fault_seeds = [rng.randrange(_SEED_SPACE) for _ in range(workers)]
+    return shard_seeds, fault_seeds
+
+
+def _reseeded_faults(
+    faults: Optional[Sequence[FaultSpec]], fault_seed: int
+) -> Tuple[FaultSpec, ...]:
+    """The shard-local fault plan: each spec re-seeded for this shard."""
+    if not faults:
+        return ()
+    return tuple(
+        FaultSpec(
+            kind=spec.kind,
+            rate=spec.rate,
+            seed=(fault_seed ^ spec.seed) % _SEED_SPACE,
+        )
+        for spec in faults
+    )
+
+
+def build_shard_tasks(
+    instance: SetCoverInstance,
+    workers: int,
+    algorithm: str = "kk",
+    strategy: str = "by-set",
+    order: Optional[ArrivalOrder] = None,
+    seed: SeedLike = 0,
+    alpha: Optional[float] = None,
+    faults: Optional[Sequence[FaultSpec]] = None,
+    traced: bool = False,
+) -> List[ShardTask]:
+    """Route ``instance`` and return the W self-contained shard tasks.
+
+    Exactly the tasks :func:`run_distributed` would execute under the
+    materializing ingest path — exposed so tests (and remote transports,
+    eventually) can pickle, ship, and replay shard work without the
+    executor.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"need at least 1 worker, got {workers}")
+    arrival = order if order is not None else CanonicalOrder()
+    root_seed = seed if seed is not None else 0
+    edges = arrival.apply(list(instance.edges()))
+    router = ShardRouter(strategy=strategy, workers=workers, seed=root_seed)
+    plan = router.route_edges(instance, edges, order_name=arrival.name)
+    shard_seeds, fault_seeds = _draw_shard_seeds(root_seed, workers)
+    shape = InstanceShape.of(instance)
+    return [
+        ShardTask(
+            index=index,
+            algorithm=algorithm,
+            seed=shard_seeds[index],
+            shape=shape,
+            edges=plan.shard_edges[index],
+            set_order=plan.set_order[index],
+            alpha=alpha,
+            fault_specs=_reseeded_faults(faults, fault_seeds[index]),
+            order_name=arrival.name,
+            traced=traced,
+        )
+        for index in range(workers)
+    ]
+
+
 def run_distributed(
     instance: SetCoverInstance,
     workers: int,
@@ -115,6 +223,10 @@ def run_distributed(
     collector: Optional[TraceCollector] = None,
     threshold: Optional[float] = None,
     comm_log: bool = False,
+    backend: Optional[str] = None,
+    ingest: str = "materialize",
+    chunk_size: int = 4096,
+    queue_depth: int = 8,
 ) -> DistributedResult:
     """Run ``algorithm`` over ``instance`` sharded across ``workers``.
 
@@ -124,9 +236,9 @@ def run_distributed(
         Number of simulated shards ``W`` (≥ 1).  This is a *semantic*
         parameter — it changes the partition and hence the result.
     max_workers:
-        Real thread count executing the shards (≥ 1).  This is an
-        *operational* parameter — it must not, and does not, change the
-        result.
+        Real executor parallelism (threads or processes, ≥ 1).  This is
+        an *operational* parameter — it must not, and does not, change
+        the result.
     order:
         Arrival order applied to the canonical edge enumeration before
         routing; defaults to :class:`CanonicalOrder`.
@@ -143,68 +255,99 @@ def run_distributed(
         Chain coordinator's greedy take-threshold override.
     comm_log:
         Keep the full per-message log in the comm report (tests only).
+    backend:
+        Execution backend name — ``"serial"``, ``"thread"``, or
+        ``"process"`` (see :mod:`repro.distributed.backends`).  Default
+        ``None`` means ``"thread"``, the historical behaviour.
+        Operational: every backend produces the identical result.
+    ingest:
+        ``"materialize"`` routes every shard fully before execution;
+        ``"stream"`` feeds shards through bounded per-shard chunk
+        queues so routing overlaps shard ingest.  Operational.
+    chunk_size:
+        Edges per routed chunk under streaming ingest.
+    queue_depth:
+        Maximum chunks a shard's hand-off queue may hold under
+        streaming ingest; a full queue blocks the router
+        (backpressure), bounding the in-flight buffer.
     """
     if workers < 1:
         raise ConfigurationError(f"need at least 1 worker, got {workers}")
     if max_workers < 1:
-        raise ConfigurationError(
-            f"need at least 1 executor thread, got {max_workers}"
+        raise InvalidParameterError(
+            "max_workers", max_workers, "need at least 1 executor worker"
         )
+    if ingest not in INGEST_MODES:
+        known = ", ".join(INGEST_MODES)
+        raise InvalidParameterError(
+            "ingest", ingest, f"known ingest modes: {known}"
+        )
+    if chunk_size < 1:
+        raise InvalidParameterError(
+            "chunk_size", chunk_size, "need at least 1 edge per chunk"
+        )
+    if queue_depth < 1:
+        raise InvalidParameterError(
+            "queue_depth", queue_depth, "need at least 1 chunk of queue depth"
+        )
+    backend_impl = make_backend(backend if backend is not None else "thread")
+
     arrival = order if order is not None else CanonicalOrder()
     root_seed = seed if seed is not None else 0
     edges = arrival.apply(list(instance.edges()))
-
     router = ShardRouter(strategy=strategy, workers=workers, seed=root_seed)
-    plan = router.route_edges(instance, edges, order_name=arrival.name)
+    shard_seeds, fault_seeds = _draw_shard_seeds(root_seed, workers)
+    shape = InstanceShape.of(instance)
+    traced = collector is not None
 
-    # Pre-draw every per-shard seed serially from one root RNG, fault
-    # seeds included even when faults are off — adding a fault spec must
-    # not shift the algorithm seeds (the ExperimentRunner discipline).
-    rng = make_rng(root_seed)
-    shard_seeds = [rng.randrange(_SEED_SPACE) for _ in range(workers)]
-    fault_seeds = [rng.randrange(_SEED_SPACE) for _ in range(workers)]
-
-    def run_shard(index: int) -> ShardOutput:
-        shard_edges = plan.shard_edges[index]
-        injection = None
-        if faults:
-            reseeded = [
-                FaultSpec(
-                    kind=spec.kind,
-                    rate=spec.rate,
-                    seed=(fault_seeds[index] ^ spec.seed) % _SEED_SPACE,
-                )
-                for spec in faults
-            ]
-            shard_edges, _, injection = apply_faults(
-                shard_edges, instance.n, instance.m, reseeded
-            )
-        tracer = (
-            collector.tracer_for(f"shard[{index:03d}]")
-            if collector is not None
-            else NULL_TRACER
-        )
-        worker = Worker(
+    def make_task(
+        index: int, task_edges: Sequence, set_order: Sequence[SetId]
+    ) -> ShardTask:
+        return ShardTask(
             index=index,
             algorithm=algorithm,
             seed=shard_seeds[index],
+            shape=shape,
+            edges=tuple(task_edges),
+            set_order=tuple(set_order),
             alpha=alpha,
-            tracer=tracer,
-        )
-        return worker.run(
-            instance, shard_edges, plan.set_order[index], injection=injection
+            fault_specs=_reseeded_faults(faults, fault_seeds[index]),
+            order_name=arrival.name,
+            traced=traced,
         )
 
-    outputs: List[Optional[ShardOutput]] = [None] * workers
-    if max_workers == 1 or workers == 1:
-        for index in range(workers):
-            outputs[index] = run_shard(index)
+    ingest_report: Optional[IngestReport] = None
+    if ingest == "stream":
+        envelopes, plan, ingest_report = _run_streaming(
+            instance=instance,
+            router=router,
+            edges=edges,
+            order_name=arrival.name,
+            make_task=make_task,
+            backend_impl=backend_impl,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+            queue_depth=queue_depth,
+            buffering=bool(faults),
+        )
+        total_edges_routed = ingest_report.edges_routed
     else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = [pool.submit(run_shard, i) for i in range(workers)]
-            # Slot results by shard index, never by completion order.
-            for index, future in enumerate(futures):
-                outputs[index] = future.result()
+        plan = router.route_edges(instance, edges, order_name=arrival.name)
+        tasks = [
+            make_task(i, plan.shard_edges[i], plan.set_order[i])
+            for i in range(workers)
+        ]
+        envelopes = backend_impl.run_tasks(tasks, max_workers)
+        total_edges_routed = plan.total_edges
+
+    outputs: List[Optional[ShardOutput]] = [None] * workers
+    for envelope in envelopes:
+        # Slot results by shard index, never by completion order.
+        outputs[envelope.index] = envelope.output
+        if collector is not None and envelope.trace_jsonl is not None:
+            collector.adopt_jsonl(
+                f"shard[{envelope.index:03d}]", envelope.trace_jsonl
+            )
     shard_outputs: List[ShardOutput] = [out for out in outputs if out is not None]
     assert len(shard_outputs) == workers
 
@@ -224,7 +367,7 @@ def run_distributed(
         )
 
     diagnostics: Dict[str, float] = dict(outcome.diagnostics)
-    diagnostics["total_edges_routed"] = float(plan.total_edges)
+    diagnostics["total_edges_routed"] = float(total_edges_routed)
     diagnostics["dropped_invalid_edges"] = float(
         sum(out.report.dropped_invalid for out in shard_outputs)
     )
@@ -243,7 +386,88 @@ def run_distributed(
         seed=int(root_seed),
         order_name=arrival.name,
         diagnostics=diagnostics,
+        ingest=ingest_report,
     )
+
+
+def _run_streaming(
+    instance: SetCoverInstance,
+    router: ShardRouter,
+    edges: Sequence,
+    order_name: str,
+    make_task,
+    backend_impl: Backend,
+    max_workers: int,
+    chunk_size: int,
+    queue_depth: int,
+    buffering: bool,
+) -> Tuple[List[ShardEnvelope], ShardPlan, IngestReport]:
+    """The streaming ingest path: route chunks into shards as they run.
+
+    Per-shard :class:`ShardAccumulator` consumers sit behind bounded
+    chunk queues; the router streams chunked column batches into them,
+    so shard ingest (validation, membership build, local id discovery)
+    overlaps routing.  After the feed closes, each shard's algorithm
+    pass executes on the chosen backend.
+
+    Two finalization regimes:
+
+    * in-process backends without faults execute the accumulated shard
+      state directly (no second pass over the edges);
+    * a fault plan needs the shard's *complete* raw sequence, and the
+      process backend needs a pickled task — both make the accumulators
+      buffer raw edges, which then travel as ordinary
+      :class:`ShardTask` records.
+    """
+    workers = router.workers
+    assigner = router.chunk_assigner(instance)
+    base_orders = assigner.base_set_orders
+    buffer_raw = buffering or not backend_impl.supports_streaming_accumulators
+    accumulators = [
+        ShardAccumulator(
+            index,
+            instance.n,
+            instance.m,
+            base_set_order=(base_orders[index] if base_orders else ()),
+            buffer_raw=buffer_raw,
+        )
+        for index in range(workers)
+    ]
+    report = stream_ingest(
+        assigner.iter_chunks(edges, chunk_size),
+        [accumulator.feed for accumulator in accumulators],
+        chunk_size=chunk_size,
+        queue_depth=queue_depth,
+        threaded=(
+            backend_impl.wants_threaded_ingest
+            and max_workers > 1
+            and workers > 1
+        ),
+    )
+    set_orders = tuple(acc.set_order() for acc in accumulators)
+    if buffer_raw:
+        tasks = [
+            make_task(i, accumulators[i].raw, set_orders[i])
+            for i in range(workers)
+        ]
+        envelopes = backend_impl.run_tasks(tasks, max_workers)
+    else:
+        jobs = [
+            (accumulators[i], make_task(i, (), set_orders[i]))
+            for i in range(workers)
+        ]
+        envelopes = backend_impl.run_accumulated(jobs, max_workers)
+    # A shape-only plan for the merge: coordinators read shard outputs,
+    # not routed edges, so the per-shard sequences are not retained.
+    plan = ShardPlan(
+        strategy=router.strategy,
+        workers=workers,
+        seed=router.seed,
+        shard_edges=tuple(() for _ in range(workers)),
+        set_order=set_orders,
+        order_name=order_name,
+    )
+    return envelopes, plan, report
 
 
 def shard_space_reports(result: DistributedResult) -> Tuple[int, ...]:

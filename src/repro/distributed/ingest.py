@@ -1,0 +1,196 @@
+"""Bounded-queue streaming ingest: routing overlaps shard ingestion.
+
+The materialized path routes *every* edge into per-shard lists before
+any shard starts working.  For out-of-core streams that is exactly the
+wrong shape: the router holds W full shards in memory and the shards
+sit idle until routing finishes.  This module replaces the hand-off
+with bounded per-shard chunk queues:
+
+* the router thread pushes chunked column batches (sliced from the
+  shared :class:`~repro.streaming.stream.FrozenEdges` buffer) into each
+  shard's :class:`BoundedShardQueue`;
+* each shard drains its queue into a
+  :class:`~repro.distributed.worker.ShardAccumulator` — validating
+  edges, building membership, discovering local ids — while routing is
+  still in flight;
+* a full queue blocks the router (backpressure), so the in-flight
+  hand-off buffer never holds more than ``queue_depth`` chunks per
+  shard.  :class:`IngestReport` records the observed peaks; the tests
+  assert the bound.
+
+The one-pass discipline holds per shard: every chunk is delivered once,
+in global arrival order, and consumed once.  Whether ingest runs on
+dedicated drain threads (thread backend) or inline between puts (serial
+backend) is operational — the accumulated shard state is identical, so
+the distributed determinism contract extends to ``ingest="stream"``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.types import Edge
+
+#: A chunk as it crosses the router → shard boundary.
+Chunk = Tuple[Edge, ...]
+
+
+class BoundedShardQueue:
+    """A closable FIFO of edge chunks holding at most ``depth`` chunks.
+
+    ``put`` blocks while the queue is full — that blocking *is* the
+    backpressure that bounds the streaming path's materialization.
+    ``peak_depth`` records the high-water chunk count ever held, so
+    tests can assert the bound was honoured (and genuinely reached).
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._chunks: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.peak_depth = 0
+        self.chunks_in = 0
+
+    def put(self, chunk: Chunk) -> None:
+        """Enqueue one chunk, blocking while the queue is full."""
+        with self._cond:
+            if self._closed:
+                raise ValueError("cannot put into a closed shard queue")
+            while len(self._chunks) >= self.depth:
+                self._cond.wait()
+            self._chunks.append(chunk)
+            self.chunks_in += 1
+            if len(self._chunks) > self.peak_depth:
+                self.peak_depth = len(self._chunks)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Mark the stream complete; pending chunks stay consumable."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def get(self) -> Optional[Chunk]:
+        """Dequeue the next chunk; ``None`` once closed and drained."""
+        with self._cond:
+            while not self._chunks and not self._closed:
+                self._cond.wait()
+            if self._chunks:
+                chunk = self._chunks.popleft()
+                self._cond.notify_all()
+                return chunk
+            return None
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._chunks)
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one streaming ingest actually did — diagnostics only.
+
+    Operational, not semantic: peak queue depths depend on thread
+    timing, so this report is deliberately excluded from
+    :class:`~repro.distributed.executor.DistributedResult` equality.
+    """
+
+    chunk_size: int
+    queue_depth: int
+    threaded: bool
+    chunks_routed: int
+    edges_routed: int
+    peak_queue_depths: Tuple[int, ...]
+
+    @property
+    def max_peak_depth(self) -> int:
+        """The deepest any shard's hand-off queue ever got."""
+        return max(self.peak_queue_depths, default=0)
+
+
+def stream_ingest(
+    routed_chunks: Iterable[Sequence[Chunk]],
+    consumers: Sequence[Callable[[Chunk], None]],
+    chunk_size: int,
+    queue_depth: int,
+    threaded: bool,
+) -> IngestReport:
+    """Drive routed chunks into per-shard consumers through bounded queues.
+
+    ``routed_chunks`` yields, per global chunk, one (possibly empty)
+    sub-chunk per shard, in shard-index order — the router's streaming
+    output.  ``consumers[i]`` ingests shard ``i``'s sub-chunks in
+    arrival order (typically ``ShardAccumulator.feed``).
+
+    With ``threaded=True`` each shard gets a dedicated drain thread, so
+    shard ingest overlaps routing and a full queue stalls only the
+    router.  With ``threaded=False`` chunks are consumed inline right
+    after the put — same delivery order, same accumulated state, queue
+    peaks pinned at 1.
+    """
+    workers = len(consumers)
+    queues = [BoundedShardQueue(queue_depth) for _ in range(workers)]
+    chunks_routed = 0
+    edges_routed = 0
+
+    errors: List[Optional[BaseException]] = [None] * workers
+
+    def drain(index: int) -> None:
+        queue = queues[index]
+        consume = consumers[index]
+        try:
+            while True:
+                chunk = queue.get()
+                if chunk is None:
+                    return
+                consume(chunk)
+        except BaseException as exc:  # noqa: BLE001 - re-raised after join
+            errors[index] = exc
+            # Keep draining so a full queue cannot deadlock the router.
+            while queue.get() is not None:
+                pass
+
+    threads: List[threading.Thread] = []
+    if threaded:
+        threads = [
+            threading.Thread(
+                target=drain, args=(i,), name=f"shard-ingest-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+    try:
+        for per_shard in routed_chunks:
+            for index, chunk in enumerate(per_shard):
+                if not chunk:
+                    continue
+                chunks_routed += 1
+                edges_routed += len(chunk)
+                queues[index].put(chunk)
+                if not threaded:
+                    drain_one = queues[index].get()
+                    assert drain_one is chunk
+                    consumers[index](drain_one)
+    finally:
+        for queue in queues:
+            queue.close()
+        for thread in threads:
+            thread.join()
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return IngestReport(
+        chunk_size=chunk_size,
+        queue_depth=queue_depth,
+        threaded=threaded,
+        chunks_routed=chunks_routed,
+        edges_routed=edges_routed,
+        peak_queue_depths=tuple(queue.peak_depth for queue in queues),
+    )

@@ -31,6 +31,27 @@ from repro.streaming.stream import EdgeStream
 from repro.types import Edge, ElementId, SeedLike, SetId
 
 
+@dataclass(frozen=True)
+class InstanceShape:
+    """The part of an instance a shard worker actually needs.
+
+    A worker validates edges against the global ``(n, m)`` shape and
+    labels its local instance with the global name — nothing else.
+    Shipping this three-field shape instead of the full
+    :class:`SetCoverInstance` keeps a pickled
+    :class:`~repro.distributed.backends.ShardTask` small and
+    self-contained.
+    """
+
+    n: int
+    m: int
+    name: str = ""
+
+    @classmethod
+    def of(cls, instance: "SetCoverInstance") -> "InstanceShape":
+        return cls(n=instance.n, m=instance.m, name=instance.name or "")
+
+
 @dataclass
 class ShardReport:
     """Shard-local diagnostics carried into the distributed result."""
@@ -79,6 +100,79 @@ class ShardOutput:
 _EMPTY_SPACE = SpaceReport(peak_words=0, final_words=0)
 
 
+class ShardAccumulator:
+    """Incremental shard ingest: the first half of a worker's pass.
+
+    Accumulates a shard's edge stream chunk by chunk — validation
+    against the global shape, local set/element id discovery, membership
+    build — so routing and shard ingest can overlap (the streaming
+    ingest path feeds one accumulator per shard through a bounded
+    queue).  Feeding every edge in one chunk reproduces the historical
+    materialize-then-run behaviour exactly; :meth:`Worker.run` does
+    precisely that, so both paths share this single implementation.
+
+    With ``buffer_raw=True`` the accumulator only buffers the raw edges
+    (plus the set first-appearance order): required when a fault plan
+    must see the shard's complete sequence, or when the accumulated
+    shard must travel to another process as a pickled
+    :class:`~repro.distributed.backends.ShardTask`.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        n: int,
+        m: int,
+        base_set_order: Sequence[SetId] = (),
+        buffer_raw: bool = False,
+    ) -> None:
+        self.index = index
+        self.n = n
+        self.m = m
+        self.buffer_raw = buffer_raw
+        self.raw: List[Edge] = []
+        self.clean: List[Edge] = []
+        self.dropped = 0
+        self.set_ids: List[SetId] = list(base_set_order)
+        self._listed = set(self.set_ids)
+        self.members_by_set: Dict[SetId, set] = {s: set() for s in self.set_ids}
+        self._elements: set = set()
+        self.edges_fed = 0
+
+    def feed(self, edges: Sequence[Edge]) -> None:
+        """Ingest one chunk of the shard's stream, in arrival order."""
+        self.edges_fed += len(edges)
+        if self.buffer_raw:
+            self.raw.extend(edges)
+            for edge in edges:
+                s = edge[0]
+                if 0 <= s < self.m and s not in self._listed:
+                    self._listed.add(s)
+                    self.set_ids.append(s)
+            return
+        n, m = self.n, self.m
+        for edge in edges:
+            s, u = edge[0], edge[1]
+            if 0 <= s < m and 0 <= u < n:
+                self.clean.append(edge)
+                if s not in self._listed:
+                    self._listed.add(s)
+                    self.set_ids.append(s)
+                    self.members_by_set[s] = set()
+                self.members_by_set[s].add(u)
+                self._elements.add(u)
+            else:
+                self.dropped += 1
+
+    def elements_sorted(self) -> List[ElementId]:
+        """The shard's observed global element ids, ascending."""
+        return sorted(self._elements)
+
+    def set_order(self) -> Tuple[SetId, ...]:
+        """Base order plus first-appearance stragglers — the party order."""
+        return tuple(self.set_ids)
+
+
 class Worker:
     """Runs one registry algorithm over one shard's edges."""
 
@@ -111,28 +205,43 @@ class Worker:
         appended in first-appearance order.  Edges referencing ids
         outside the global instance shape — corrupt-fault debris — are
         dropped and counted, never crash the worker.
-        """
-        n, m = instance.n, instance.m
-        clean: List[Edge] = []
-        dropped = 0
-        for edge in edges:
-            if 0 <= edge[0] < m and 0 <= edge[1] < n:
-                clean.append(edge)
-            else:
-                dropped += 1
 
-        # Deterministic local id spaces: sets in set_order (then any
-        # stragglers by first appearance), elements ascending.
-        set_ids: List[SetId] = list(set_order)
-        listed = set(set_ids)
-        for edge in clean:
-            if edge[0] not in listed:
-                listed.add(edge[0])
-                set_ids.append(edge[0])
-        members_by_set: Dict[SetId, set] = {s: set() for s in set_ids}
-        for edge in clean:
-            members_by_set[edge[0]].add(edge[1])
-        elements = sorted({edge[1] for edge in clean})
+        ``instance`` may be the full :class:`SetCoverInstance` or just
+        its :class:`InstanceShape` — only ``n``, ``m`` and ``name`` are
+        read, which is what lets a pickled shard task travel without
+        the instance.
+        """
+        accumulator = ShardAccumulator(
+            self.index, instance.n, instance.m, base_set_order=set_order
+        )
+        accumulator.feed(edges)
+        return self.run_accumulated(
+            accumulator, instance_name=instance.name or "", injection=injection
+        )
+
+    def run_accumulated(
+        self,
+        accumulator: ShardAccumulator,
+        instance_name: str = "",
+        injection: Optional[InjectionReport] = None,
+    ) -> ShardOutput:
+        """Execute the algorithm pass over an already-ingested shard.
+
+        The streaming ingest path feeds the accumulator chunk by chunk
+        while routing is still in flight, then calls this; the
+        materialized path (:meth:`run`) feeds everything at once.  Both
+        produce identical output for identical shard streams.
+        """
+        if accumulator.buffer_raw:
+            raise ValueError(
+                "cannot execute a buffer_raw accumulator directly; replay "
+                "its raw edges through Worker.run (the fault/pickle path)"
+            )
+        clean = accumulator.clean
+        dropped = accumulator.dropped
+        set_ids = accumulator.set_ids
+        members_by_set = accumulator.members_by_set
+        elements = accumulator.elements_sorted()
 
         frozen_members = {
             s: frozenset(members) for s, members in members_by_set.items()
@@ -169,7 +278,7 @@ class Worker:
                 sorted(to_local_elem[u] for u in members_by_set[g])
                 for g in set_ids
             ),
-            name=f"{instance.name or 'instance'}|shard[{self.index}]",
+            name=f"{instance_name or 'instance'}|shard[{self.index}]",
         )
         local_edges = [
             Edge(to_local_set[edge[0]], to_local_elem[edge[1]])

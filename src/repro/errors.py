@@ -151,6 +151,26 @@ class ConfigurationError(ReproError):
     """Mutually inconsistent or out-of-range algorithm parameters."""
 
 
+class InvalidParameterError(ConfigurationError):
+    """A single parameter is out of its documented range or vocabulary.
+
+    The narrow sibling of :class:`ConfigurationError`: raised when one
+    argument is wrong in isolation (``max_workers < 1``, an unknown
+    backend name, a non-positive queue depth), as opposed to a *set* of
+    parameters that are individually fine but mutually inconsistent.
+    Subclassing keeps every existing ``except ConfigurationError``
+    handler working.
+    """
+
+    def __init__(self, parameter: str, value: object, requirement: str) -> None:
+        self.parameter = parameter
+        self.value = value
+        self.requirement = requirement
+        super().__init__(
+            f"invalid {parameter}={value!r}: {requirement}"
+        )
+
+
 class RunTimeoutError(ReproError):
     """A single experiment run exceeded its wall-clock allowance.
 

@@ -301,19 +301,40 @@ def read_trace(path) -> List[TraceEvent]:
 # -- multi-cell collection -------------------------------------------------
 
 
+class _AdoptedCell:
+    """A cell holding already-finished events (e.g. from another process).
+
+    Quacks like a finished :class:`RecordingTracer` for the collector's
+    purposes: :meth:`finish` returns the adopted event list verbatim.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Sequence[TraceEvent]) -> None:
+        self._events = list(events)
+
+    def finish(self) -> List[TraceEvent]:
+        return self._events
+
+
 class TraceCollector:
     """Thread-safe registry of per-cell tracers for grid runs.
 
     Worker threads call :meth:`tracer_for` with a cell label unique to
     their grid cell; each call installs a *fresh* tracer under that
     label (so a retried cell's trace reflects the attempt that produced
-    the recorded result, not a mix).  :meth:`to_jsonl` merges all cells
-    sorted by label — the output is independent of completion order and
-    therefore of the worker count.
+    the recorded result, not a mix).  Cells recorded in *another
+    process* — a :class:`ProcessPoolExecutor` shard worker — cannot
+    share a tracer object; they serialize their finished events and the
+    parent installs them with :meth:`adopt` / :meth:`adopt_jsonl`.
+    :meth:`to_jsonl` merges all cells sorted by label — the output is
+    independent of completion order, of the worker count, and of
+    whether a cell was recorded in-process or adopted across a process
+    boundary.
     """
 
     def __init__(self) -> None:
-        self._cells: Dict[str, RecordingTracer] = {}
+        self._cells: Dict[str, object] = {}
         self._lock = threading.Lock()
 
     def tracer_for(self, label: str) -> RecordingTracer:
@@ -322,6 +343,24 @@ class TraceCollector:
         with self._lock:
             self._cells[label] = tracer
         return tracer
+
+    def adopt(self, label: str, events: Sequence[TraceEvent]) -> None:
+        """Install already-finished ``events`` as cell ``label``.
+
+        The cross-process counterpart of :meth:`tracer_for`: a worker
+        process finishes its own :class:`RecordingTracer`, ships the
+        events (or their JSONL) back, and the parent adopts them.
+        Adopted cells serialize byte-identically to cells recorded
+        in-process, because :meth:`to_jsonl` re-serializes the same
+        event records through the same canonical encoder.
+        """
+        cell = _AdoptedCell(events)
+        with self._lock:
+            self._cells[label] = cell
+
+    def adopt_jsonl(self, label: str, text: str) -> None:
+        """Parse canonical JSONL ``text`` and adopt it as cell ``label``."""
+        self.adopt(label, parse_jsonl(text))
 
     def labels(self) -> List[str]:
         """All registered cell labels, sorted."""

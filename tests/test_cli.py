@@ -67,6 +67,37 @@ class TestParser:
         args = build_parser().parse_args(["distribute", "x.txt", "-W", "8"])
         assert args.workers == 8
 
+    def test_distribute_backend_parses(self):
+        args = build_parser().parse_args(
+            [
+                "distribute",
+                "x.txt",
+                "--backend",
+                "process",
+                "--ingest",
+                "stream",
+                "--chunk-size",
+                "128",
+                "--queue-depth",
+                "3",
+            ]
+        )
+        assert args.backend == "process"
+        assert args.ingest == "stream"
+        assert args.chunk_size == 128
+        assert args.queue_depth == 3
+
+    def test_distribute_backend_defaults(self):
+        args = build_parser().parse_args(["distribute", "x.txt"])
+        assert args.backend == "thread"
+        assert args.ingest == "materialize"
+
+    def test_distribute_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["distribute", "x.txt", "--backend", "gpu"]
+            )
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -196,6 +227,44 @@ class TestDistribute:
         assert main(["distribute", instance_file, "--max-workers", "4"]) == 0
         threaded = capsys.readouterr().out
         assert serial == threaded
+
+    def test_output_identical_across_backends(self, capsys, instance_file):
+        """The backend is operational: identical stdout for every choice."""
+        reports = {}
+        for backend in ("serial", "thread", "process"):
+            code = main(
+                [
+                    "distribute",
+                    instance_file,
+                    "--workers",
+                    "4",
+                    "--max-workers",
+                    "4",
+                    "--seed",
+                    "7",
+                    "--backend",
+                    backend,
+                ]
+            )
+            assert code == 0
+            reports[backend] = capsys.readouterr().out
+        assert reports["serial"] == reports["thread"]
+        assert reports["serial"] == reports["process"]
+        assert "cover:" in reports["serial"]
+
+    def test_streaming_ingest_output_identical(self, capsys, instance_file):
+        base = ["distribute", instance_file, "--workers", "3", "--seed", "4"]
+        assert main(base + ["--ingest", "materialize"]) == 0
+        materialized = capsys.readouterr().out
+        assert (
+            main(
+                base
+                + ["--ingest", "stream", "--chunk-size", "8", "--queue-depth", "2"]
+            )
+            == 0
+        )
+        streamed = capsys.readouterr().out
+        assert materialized == streamed
 
     def test_comm_budget_violation_exits_nonzero(self, capsys, instance_file):
         code = main(

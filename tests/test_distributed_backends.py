@@ -1,0 +1,171 @@
+"""The execution-backend layer: serial, thread, process are one contract.
+
+The backend that runs shard work is operational, exactly like
+``max_workers``: for a fixed (instance, workers, order, seed,
+algorithm, strategy, coordinator) every backend must produce a
+dataclass-equal :class:`DistributedResult` and a byte-identical merged
+trace JSONL.  These tests pin that contract, the backend registry, the
+typed parameter validation, and the pickle-clean :class:`ShardTask`
+boundary that the process backend depends on.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    BACKEND_REGISTRY,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    build_shard_tasks,
+    make_backend,
+    registered_backends,
+    run_distributed,
+)
+from repro.distributed.backends import execute_shard_task
+from repro.errors import ConfigurationError, InvalidParameterError
+from repro.generators.planted import planted_partition_instance
+from repro.obs.tracer import TraceCollector
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planted_partition_instance(80, 40, opt_size=8, seed=11).instance
+
+
+class TestBackendRegistry:
+    def test_registered_backends(self):
+        assert registered_backends() == ["process", "serial", "thread"]
+        assert set(BACKEND_REGISTRY) == {"serial", "thread", "process"}
+
+    def test_make_backend(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("thread"), ThreadBackend)
+        assert isinstance(make_backend("process"), ProcessBackend)
+
+    def test_unknown_backend_is_typed_error(self):
+        with pytest.raises(InvalidParameterError) as excinfo:
+            make_backend("gpu")
+        assert excinfo.value.parameter == "backend"
+        assert excinfo.value.value == "gpu"
+
+    def test_unknown_backend_via_run_distributed(self, instance):
+        with pytest.raises(InvalidParameterError):
+            run_distributed(instance, workers=2, backend="gpu")
+
+
+class TestMaxWorkersValidation:
+    """Regression: ``max_workers < 1`` must raise the typed error."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -7])
+    def test_raises_invalid_parameter(self, instance, bad):
+        with pytest.raises(InvalidParameterError) as excinfo:
+            run_distributed(instance, workers=2, max_workers=bad)
+        assert excinfo.value.parameter == "max_workers"
+        assert excinfo.value.value == bad
+
+    def test_subclasses_configuration_error(self, instance):
+        # Existing callers catching ConfigurationError keep working.
+        with pytest.raises(ConfigurationError):
+            run_distributed(instance, workers=2, max_workers=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ingest": "teleport"},
+            {"ingest": "stream", "chunk_size": 0},
+            {"ingest": "stream", "queue_depth": 0},
+        ],
+    )
+    def test_streaming_parameters_validated(self, instance, kwargs):
+        with pytest.raises(InvalidParameterError):
+            run_distributed(instance, workers=2, **kwargs)
+
+
+class TestBackendParity:
+    """Acceptance criterion: process == serial for every max_workers."""
+
+    @pytest.mark.parametrize("max_workers", [1, 2, 4, 8])
+    def test_process_equals_serial(self, instance, max_workers):
+        kwargs = dict(workers=4, algorithm="kk", seed=29)
+        serial_collector = TraceCollector()
+        serial = run_distributed(
+            instance,
+            backend="serial",
+            max_workers=max_workers,
+            collector=serial_collector,
+            **kwargs,
+        )
+        process_collector = TraceCollector()
+        process = run_distributed(
+            instance,
+            backend="process",
+            max_workers=max_workers,
+            collector=process_collector,
+            **kwargs,
+        )
+        assert process == serial
+        assert process_collector.to_jsonl() == serial_collector.to_jsonl()
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_all_backends_agree(self, instance, backend):
+        kwargs = dict(workers=3, algorithm="first-fit", seed=5)
+        reference = run_distributed(instance, backend="serial", **kwargs)
+        result = run_distributed(
+            instance, backend=backend, max_workers=3, **kwargs
+        )
+        assert result == reference
+        result.verify(instance)
+
+    def test_default_backend_is_thread(self, instance):
+        explicit = run_distributed(
+            instance, workers=2, backend="thread", seed=1
+        )
+        default = run_distributed(instance, workers=2, seed=1)
+        assert default == explicit
+
+
+class TestShardTaskPickle:
+    """Satellite 1: pickled tasks reproduce results and traces exactly."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        workers=st.integers(min_value=1, max_value=5),
+        algorithm=st.sampled_from(["kk", "first-fit", "store-all"]),
+    )
+    def test_pickle_round_trip_reproduces(self, seed, workers, algorithm):
+        instance = planted_partition_instance(
+            40, 20, opt_size=4, seed=7
+        ).instance
+        tasks = build_shard_tasks(
+            instance,
+            workers=workers,
+            algorithm=algorithm,
+            seed=seed,
+            traced=True,
+        )
+        assert len(tasks) == workers
+        for task in tasks:
+            clone = pickle.loads(pickle.dumps(task))
+            assert clone == task
+            original = execute_shard_task(task)
+            replayed = execute_shard_task(clone)
+            assert replayed.output == original.output
+            assert replayed.trace_jsonl == original.trace_jsonl
+            assert replayed.trace_jsonl is not None
+
+    def test_tasks_cover_all_edges(self, instance):
+        tasks = build_shard_tasks(instance, workers=4, seed=0)
+        assert sum(len(t.edges) for t in tasks) == instance.num_edges
+
+    def test_untraced_task_has_no_trace(self, instance):
+        task = build_shard_tasks(instance, workers=1, seed=0)[0]
+        envelope = execute_shard_task(task)
+        assert envelope.trace_jsonl is None
+        assert envelope.index == 0

@@ -1,0 +1,240 @@
+"""Streaming ingest: bounded queues, backpressure, and routing parity.
+
+The streaming path must be invisible semantically (``ingest="stream"``
+produces the same :class:`DistributedResult` as the materialized path)
+and visible operationally (the hand-off buffer never holds more than
+``queue_depth`` chunks per shard — the acceptance criterion of the
+bounded-memory design).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import (
+    BoundedShardQueue,
+    ShardRouter,
+    run_distributed,
+    stream_ingest,
+)
+from repro.distributed.router import (
+    STRATEGIES,
+    edge_hash_worker,
+    edge_hash_workers_columns,
+)
+from repro.faults.injectors import FaultSpec
+from repro.generators.planted import planted_partition_instance
+from repro.obs.tracer import TraceCollector
+from repro.streaming.orders import make_order
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planted_partition_instance(120, 60, opt_size=10, seed=17).instance
+
+
+class TestBoundedShardQueue:
+    def test_fifo_and_close(self):
+        queue = BoundedShardQueue(depth=4)
+        queue.put((1,))
+        queue.put((2,))
+        queue.close()
+        assert queue.get() == (1,)
+        assert queue.get() == (2,)
+        assert queue.get() is None  # closed + drained
+        assert queue.chunks_in == 2
+
+    def test_put_after_close_rejected(self):
+        queue = BoundedShardQueue(depth=1)
+        queue.close()
+        with pytest.raises(ValueError):
+            queue.put((1,))
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedShardQueue(depth=0)
+
+    def test_put_blocks_until_get(self):
+        queue = BoundedShardQueue(depth=1)
+        queue.put((1,))
+        released = threading.Event()
+
+        def producer():
+            queue.put((2,))  # blocks: queue is full
+            released.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not released.is_set(), "put must block while the queue is full"
+        assert queue.get() == (1,)
+        thread.join(timeout=5)
+        assert released.is_set()
+        assert queue.peak_depth == 1
+
+
+class TestBackpressureBound:
+    """Acceptance criterion: peak buffering never exceeds queue_depth."""
+
+    def test_slow_consumer_hits_but_never_exceeds_bound(self):
+        depth = 3
+        chunks = [[(i,)] for i in range(50)]  # one shard, 50 chunks
+
+        def slow_consume(chunk):
+            time.sleep(0.002)
+
+        report = stream_ingest(
+            iter(chunks),
+            consumers=[slow_consume],
+            chunk_size=1,
+            queue_depth=depth,
+            threaded=True,
+        )
+        assert report.chunks_routed == 50
+        assert report.chunks_routed > depth  # bound was actually exercised
+        assert report.max_peak_depth <= depth
+        assert report.max_peak_depth >= 1
+
+    def test_streaming_run_reports_bounded_peaks(self, instance):
+        collector_depth = 2
+        result = run_distributed(
+            instance,
+            workers=4,
+            seed=9,
+            ingest="stream",
+            chunk_size=16,
+            queue_depth=collector_depth,
+        )
+        report = result.ingest
+        assert report is not None
+        assert report.queue_depth == collector_depth
+        assert report.chunks_routed > collector_depth
+        assert report.max_peak_depth <= collector_depth
+        assert report.edges_routed == instance.num_edges
+
+    def test_consumer_exception_propagates_without_deadlock(self):
+        chunks = [[(i,)] for i in range(200)]
+
+        def exploding(chunk):
+            raise RuntimeError("shard ingest failed")
+
+        with pytest.raises(RuntimeError, match="shard ingest failed"):
+            stream_ingest(
+                iter(chunks),
+                consumers=[exploding],
+                chunk_size=1,
+                queue_depth=1,
+                threaded=True,
+            )
+
+    def test_inline_mode_pins_peak_at_one(self):
+        chunks = [[(i,), (i + 100,)] for i in range(10)]
+        seen = [[], []]
+        report = stream_ingest(
+            iter(chunks),
+            consumers=[seen[0].append, seen[1].append],
+            chunk_size=1,
+            queue_depth=5,
+            threaded=False,
+        )
+        assert report.max_peak_depth == 1
+        assert not report.threaded
+        assert [c[0] for c in seen[0]] == list(range(10))
+
+
+class TestChunkedRoutingParity:
+    """iter_chunks concatenation must reproduce route_edges exactly."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("chunk_size", [1, 7, 4096])
+    def test_chunks_concatenate_to_plan(self, instance, strategy, chunk_size):
+        edges = list(instance.edges())
+        router = ShardRouter(strategy=strategy, workers=4, seed=3)
+        plan = router.route_edges(instance, edges)
+        assigner = router.chunk_assigner(instance)
+        rebuilt = [[] for _ in range(4)]
+        for per_shard in assigner.iter_chunks(edges, chunk_size):
+            for index, chunk in enumerate(per_shard):
+                rebuilt[index].extend(chunk)
+        assert tuple(tuple(b) for b in rebuilt) == plan.shard_edges
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        set_id=st.integers(min_value=0, max_value=2**20),
+        element=st.integers(min_value=0, max_value=2**20),
+        workers=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_vectorized_hash_matches_scalar(
+        self, set_id, element, workers, seed
+    ):
+        scalar = edge_hash_worker(set_id, element, workers, seed)
+        column = edge_hash_workers_columns(
+            np.array([set_id], dtype=np.int64),
+            np.array([element], dtype=np.int64),
+            workers,
+            seed,
+        )
+        assert int(column[0]) == scalar
+
+
+class TestStreamingSemanticParity:
+    """ingest="stream" is operational: same result, same trace bytes."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_stream_equals_materialize(self, instance, strategy):
+        kwargs = dict(workers=4, strategy=strategy, seed=23, max_workers=4)
+        materialized = run_distributed(instance, ingest="materialize", **kwargs)
+        streamed = run_distributed(
+            instance, ingest="stream", chunk_size=16, queue_depth=2, **kwargs
+        )
+        assert streamed == materialized
+        streamed.verify(instance)
+
+    def test_stream_trace_bytes_identical(self, instance):
+        kwargs = dict(workers=3, seed=2, max_workers=3)
+        collector_a = TraceCollector()
+        run_distributed(
+            instance, ingest="materialize", collector=collector_a, **kwargs
+        )
+        collector_b = TraceCollector()
+        run_distributed(
+            instance,
+            ingest="stream",
+            chunk_size=8,
+            queue_depth=2,
+            collector=collector_b,
+            **kwargs,
+        )
+        assert collector_a.to_jsonl() == collector_b.to_jsonl()
+
+    def test_stream_with_faults_and_order(self, instance):
+        # RandomOrder.apply advances its RNG, so each run gets a fresh
+        # (identically seeded) order object.
+        def kwargs():
+            return dict(
+                workers=4,
+                seed=31,
+                order=make_order("random", seed=4),
+                faults=[FaultSpec(kind="duplicate", rate=0.1, seed=8)],
+            )
+
+        materialized = run_distributed(
+            instance, ingest="materialize", **kwargs()
+        )
+        streamed = run_distributed(instance, ingest="stream", **kwargs())
+        assert streamed == materialized
+
+    def test_stream_with_process_backend(self, instance):
+        kwargs = dict(workers=4, seed=12, max_workers=2)
+        reference = run_distributed(instance, backend="serial", **kwargs)
+        streamed = run_distributed(
+            instance, backend="process", ingest="stream", **kwargs
+        )
+        assert streamed == reference

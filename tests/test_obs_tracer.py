@@ -210,6 +210,63 @@ class TestTraceCollector:
         assert set(cells) == {"x"}
         assert len(collector) == 1
 
+    def test_adopt_matches_in_process_recording(self):
+        """An adopted cell serializes byte-identically to a live tracer.
+
+        This is the cross-process merge contract the process backend
+        relies on: a worker records in its own process, ships the
+        finished events, and the parent's merged JSONL must not reveal
+        which side of the fork recorded them.
+        """
+
+        def record():
+            tracer = RecordingTracer()
+            with tracer.span(obs_events.SPAN_RUN):
+                tracer.event(obs_events.SET_ADMITTED, set_id=3)
+            return tracer
+
+        live = TraceCollector()
+        in_process = live.tracer_for("shard[000]")
+        with in_process.span(obs_events.SPAN_RUN):
+            in_process.event(obs_events.SET_ADMITTED, set_id=3)
+
+        adopted = TraceCollector()
+        adopted.adopt("shard[000]", record().events)
+        assert adopted.to_jsonl() == live.to_jsonl()
+
+    def test_adopt_jsonl_round_trips(self):
+        tracer = RecordingTracer()
+        with tracer.span(obs_events.SPAN_RUN):
+            tracer.event(obs_events.SET_ADMITTED, set_id=9)
+        shipped = tracer.to_jsonl()
+
+        collector = TraceCollector()
+        collector.adopt_jsonl("cell", shipped)
+        assert collector.labels() == ["cell"]
+        assert collector.events_for("cell") == tracer.events
+        # Adopted cells merge with live ones, sorted by label.
+        with collector.tracer_for("a-live").span(obs_events.SPAN_RUN):
+            pass
+        merged = collector.to_jsonl()
+        cells = [
+            line.split('"cell":"')[1].split('"')[0]
+            for line in merged.splitlines()
+        ]
+        assert cells == sorted(cells)
+
+    def test_adopt_replaces_prior_cell(self):
+        collector = TraceCollector()
+        collector.tracer_for("cell").event(obs_events.SET_ADMITTED, set_id=1)
+        tracer = RecordingTracer()
+        tracer.event(obs_events.SET_ADMITTED, set_id=2)
+        collector.adopt("cell", tracer.events)
+        events = [
+            e
+            for e in collector.events_for("cell")
+            if e.etype == obs_events.SET_ADMITTED
+        ]
+        assert [e.attrs["set_id"] for e in events] == [2]
+
 
 class TestSummarize:
     def test_epoch_rows_and_counts(self):
