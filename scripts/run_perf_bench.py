@@ -29,11 +29,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis.perfbench import (  # noqa: E402
+    check_kk_floor,
     check_regression,
     load_bench_file,
     records_to_json,
     run_bench,
     run_distributed_scaling,
+    run_kk_kernel_bench,
+    run_shipping_bench,
     run_trace_overhead,
     speedup_table,
     write_bench_file,
@@ -82,11 +85,88 @@ def main(argv=None) -> int:
         "throughput ladder; updates the 'distributed' section of "
         "BENCH_perf.json unless --no-write",
     )
+    parser.add_argument(
+        "--kk-kernel",
+        action="store_true",
+        help="benchmark the vectorized kk kernel against kk-reference on "
+        "identical streams (asserts byte-identical outputs); updates the "
+        "'kk_kernel' section of BENCH_perf.json unless --no-write",
+    )
+    parser.add_argument(
+        "--shipping",
+        action="store_true",
+        help="measure process-backend per-task serialized bytes, pickled "
+        "edges vs shared-memory spans; updates the 'shipping' section of "
+        "BENCH_perf.json unless --no-write",
+    )
+    parser.add_argument(
+        "--check-kk-floor",
+        action="store_true",
+        help="run the smoke tier's kk cell and exit 1 if its throughput "
+        "falls below the committed scalar seed baseline (CI smoke gate "
+        "for the vectorized kernel; implies --no-write)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
     def progress(line: str) -> None:
         print(line, flush=True)
+
+    if args.check_kk_floor:
+        # Two measured runs, best-of per cell: the first pass pays
+        # import/cache warmup that a regression gate should not count.
+        warm = run_bench(tier="smoke", seed=args.seed, algorithms=["kk"])
+        second = run_bench(
+            tier="smoke", seed=args.seed, algorithms=["kk"], progress=progress
+        )
+        best = {
+            (r.config, r.algorithm): r for r in warm
+        }
+        for record in second:
+            key = (record.config, record.algorithm)
+            if record.edges_per_sec > best[key].edges_per_sec:
+                best[key] = record
+        current = list(best.values())
+        baseline = load_bench_file(BENCH_FILE).get("seed_baseline", [])
+        if not baseline:
+            print("no committed seed baseline in BENCH_perf.json; nothing to check")
+            return 0
+        failures = check_kk_floor(current, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print("ok: kk throughput clears the scalar seed-baseline floor")
+        return 0
+
+    if args.kk_kernel or args.shipping:
+        tier = "smoke" if args.smoke else "full"
+        kernel_records = None
+        shipping_records = None
+        if args.kk_kernel:
+            kernel_records = run_kk_kernel_bench(
+                tier=tier, seed=args.seed, progress=progress
+            )
+            best = max(kernel_records, key=lambda r: r.speedup)
+            print(
+                f"ok: {len(kernel_records)} kk-kernel cells byte-identical; "
+                f"best speedup x{best.speedup:.1f} ({best.config})"
+            )
+        if args.shipping:
+            shipping_records = run_shipping_bench(
+                tier=tier, seed=args.seed, progress=progress
+            )
+            best = max(shipping_records, key=lambda r: r.reduction_factor)
+            print(
+                f"ok: {len(shipping_records)} shipping cells; best task-bytes "
+                f"reduction x{best.reduction_factor:,.0f} ({best.config})"
+            )
+        if not args.no_write:
+            write_bench_file(
+                BENCH_FILE, kk_kernel=kernel_records, shipping=shipping_records
+            )
+            print(f"updated kk_kernel/shipping sections of {BENCH_FILE}")
+        return 0
 
     if args.distributed:
         tier = "smoke" if args.smoke else "full"

@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.adversarial import LowSpaceAdversarialAlgorithm
 from repro.core.base import StreamingSetCoverAlgorithm
-from repro.core.kk import KKAlgorithm
+from repro.core.kk import KKAlgorithm, KKReferenceAlgorithm
 from repro.core.random_order import RandomOrderAlgorithm
 from repro.generators.random_instances import fixed_size_instance
 from repro.obs.tracer import RecordingTracer
@@ -351,6 +351,216 @@ def run_distributed_scaling(
     return records
 
 
+@dataclass
+class KKKernelRecord:
+    """One vectorized-vs-scalar KK kernel cell: same stream, both paths.
+
+    ``identical`` certifies the tentpole gate — the vectorized kernel
+    must reproduce the scalar reference's cover, certificate, and peak
+    space exactly on the benchmarked stream, or the measurement refuses
+    to exist (``run_kk_kernel_bench`` raises).
+    """
+
+    config: str
+    n: int
+    m: int
+    stream_length: int
+    reference_seconds: float
+    reference_edges_per_sec: float
+    kernel_seconds: float
+    kernel_edges_per_sec: float
+    speedup: float
+    cover_size: int
+    identical: bool
+
+
+def run_kk_kernel_bench(
+    tier: str = "full",
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[KKKernelRecord]:
+    """Benchmark the vectorized KK kernel against ``kk-reference``.
+
+    Both algorithms consume the identical frozen stream with the same
+    seed, so the scalar path's timing is a true like-for-like baseline
+    and the equality assertion is exact, not statistical.
+    """
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; known: {sorted(TIERS)}")
+    records: List[KKKernelRecord] = []
+    for config, n, m, set_size in TIERS[tier]:
+        instance = fixed_size_instance(n, m, set_size, seed=seed)
+        replayable = ReplayableStream(instance, RandomOrder(seed=seed))
+
+        reference = KKReferenceAlgorithm(seed=seed)
+        start = time.perf_counter()
+        result_ref = reference.run(replayable.fresh())
+        reference_seconds = time.perf_counter() - start
+
+        kernel = KKAlgorithm(seed=seed)
+        start = time.perf_counter()
+        result_vec = kernel.run(replayable.fresh())
+        kernel_seconds = time.perf_counter() - start
+
+        identical = (
+            result_vec.cover == result_ref.cover
+            and result_vec.certificate == result_ref.certificate
+            and result_vec.space.peak_words == result_ref.space.peak_words
+        )
+        assert identical, (
+            f"vectorized kk diverged from kk-reference on {config}: the "
+            "kernels must be byte-identical"
+        )
+        record = KKKernelRecord(
+            config=config,
+            n=n,
+            m=m,
+            stream_length=replayable.length,
+            reference_seconds=round(reference_seconds, 4),
+            reference_edges_per_sec=round(
+                replayable.length / max(reference_seconds, 1e-9), 1
+            ),
+            kernel_seconds=round(kernel_seconds, 4),
+            kernel_edges_per_sec=round(
+                replayable.length / max(kernel_seconds, 1e-9), 1
+            ),
+            speedup=round(
+                max(reference_seconds, 1e-9) / max(kernel_seconds, 1e-9), 2
+            ),
+            cover_size=len(result_vec.cover),
+            identical=identical,
+        )
+        records.append(record)
+        if progress is not None:
+            progress(
+                f"{config:>7} kk-kernel     "
+                f"{record.reference_edges_per_sec:>12,.0f} -> "
+                f"{record.kernel_edges_per_sec:>12,.0f} edges/s "
+                f"(x{record.speedup:.1f}, identical)"
+            )
+    return records
+
+
+@dataclass
+class ShippingRecord:
+    """Bytes-shipped-per-shard measurement for the process backend.
+
+    Contrasts what one pooled dispatch serializes per task under
+    pickled-edges shipping versus shared-memory spans on the same shard
+    plan: ``pickle_*`` is O(shard edges), ``shm_*`` O(descriptor).  The
+    segment itself (``segment_bytes``) is written once and mapped, not
+    serialized per worker.
+    """
+
+    config: str
+    workers: int
+    stream_length: int
+    pickle_total_bytes: int
+    pickle_max_task_bytes: int
+    shm_total_task_bytes: int
+    shm_max_task_bytes: int
+    segment_bytes: int
+    reduction_factor: float
+    shared_memory: bool
+
+
+def run_shipping_bench(
+    tier: str = "full",
+    seed: int = 0,
+    workers: int = 4,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ShippingRecord]:
+    """Measure per-shard shipped bytes, pickled versus shared-memory.
+
+    Builds the exact :class:`~repro.distributed.backends.ShardTask`
+    records :func:`repro.distributed.run_distributed` would pool out,
+    then pickles them both ways.  No algorithm runs — this isolates the
+    serialization cost the zero-copy path removes.
+    """
+    from repro.distributed import build_shard_tasks
+    from repro.distributed.shmem import (
+        measure_shipping,
+        shared_memory_available,
+        ship_tasks,
+    )
+
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; known: {sorted(TIERS)}")
+    records: List[ShippingRecord] = []
+    for config, n, m, set_size in TIERS[tier]:
+        instance = fixed_size_instance(n, m, set_size, seed=seed)
+        tasks = build_shard_tasks(instance, workers=workers, seed=seed)
+        pickled = measure_shipping(tasks, "pickle")
+        shm_total = shm_max = segment_bytes = 0
+        shipped_shm = False
+        if shared_memory_available():
+            shipped, segment = ship_tasks(tasks)
+            if segment is not None:
+                try:
+                    shm = measure_shipping(shipped, "shared-memory", segment)
+                finally:
+                    segment.cleanup()
+                shm_total = shm.total_task_bytes
+                shm_max = shm.max_task_bytes
+                segment_bytes = shm.segment_bytes
+                shipped_shm = True
+        record = ShippingRecord(
+            config=config,
+            workers=workers,
+            stream_length=instance.num_edges,
+            pickle_total_bytes=pickled.total_task_bytes,
+            pickle_max_task_bytes=pickled.max_task_bytes,
+            shm_total_task_bytes=shm_total,
+            shm_max_task_bytes=shm_max,
+            segment_bytes=segment_bytes,
+            reduction_factor=round(
+                pickled.total_task_bytes / max(shm_total, 1), 1
+            ),
+            shared_memory=shipped_shm,
+        )
+        records.append(record)
+        if progress is not None:
+            progress(
+                f"{config:>7} shipping W={workers} "
+                f"pickle={record.pickle_total_bytes:>12,}B -> "
+                f"shm tasks={record.shm_total_task_bytes:>8,}B "
+                f"(x{record.reduction_factor:,.0f} smaller, "
+                f"segment {record.segment_bytes:,}B mapped)"
+            )
+    return records
+
+
+def check_kk_floor(
+    current: Sequence[BenchRecord], seed_baseline: Sequence[dict]
+) -> List[str]:
+    """Fail if kk throughput falls back to the scalar seed baseline.
+
+    The floor is the *fastest* committed seed-baseline kk cell: after
+    the kernel rework, even the smoke tier must clear what the scalar
+    implementation ever achieved.  Returns failure strings (empty =
+    pass); an absent baseline passes vacuously.
+    """
+    floor = max(
+        (
+            row["edges_per_sec"]
+            for row in seed_baseline
+            if row.get("algorithm") == "kk"
+        ),
+        default=0.0,
+    )
+    failures: List[str] = []
+    for record in current:
+        if record.algorithm != "kk":
+            continue
+        if record.edges_per_sec < floor:
+            failures.append(
+                f"{record.config}/kk: {record.edges_per_sec:,.0f} edges/s is "
+                f"below the scalar seed-baseline floor of {floor:,.0f} "
+                "edges/s — the vectorized kernel has regressed"
+            )
+    return failures
+
+
 def records_to_json(records: Sequence[object]) -> List[dict]:
     """Plain-dict form of dataclass records, ready for ``json.dump``."""
     return [asdict(r) for r in records]
@@ -369,15 +579,18 @@ def write_bench_file(
     full: Optional[Sequence[BenchRecord]] = None,
     seed_baseline: Optional[List[dict]] = None,
     distributed: Optional[Sequence[DistributedScalingRecord]] = None,
+    kk_kernel: Optional[Sequence[KKKernelRecord]] = None,
+    shipping: Optional[Sequence[ShippingRecord]] = None,
 ) -> dict:
     """Write ``BENCH_perf.json``, preserving any recorded seed baseline.
 
     ``seed_baseline`` holds the pre-optimization ("before") numbers; it
     is kept verbatim across re-runs so the speedup trajectory stays
     visible in the committed file.  Each of ``smoke``/``full``/
-    ``distributed`` replaces its section when given and preserves the
-    committed section when ``None`` — so a distributed-only run does
-    not clobber the throughput ladder, and vice versa.
+    ``distributed``/``kk_kernel``/``shipping`` replaces its section when
+    given and preserves the committed section when ``None`` — so a
+    distributed-only run does not clobber the throughput ladder, and
+    vice versa.
     """
     existing = load_bench_file(path)
 
@@ -387,16 +600,20 @@ def write_bench_file(
         return records_to_json(records)
 
     payload = {
-        "schema": 2,
+        "schema": 3,
         "description": (
             "Hot-path throughput benchmark; see scripts/run_perf_bench.py. "
             "'seed_baseline' is the pre-optimization measurement, "
             "'full'/'smoke' are the current code, 'distributed' the "
             "backend x W scaling surface of the sharded executor "
             "(speedup_vs_serial compares each backend against the serial "
-            "backend at the same shard width). Caveat: numbers committed "
-            "from a single-core container cannot show process-backend "
-            "speedup; the CI artifact carries the multi-core measurement."
+            "backend at the same shard width), 'kk_kernel' the vectorized "
+            "kk kernel vs the scalar kk-reference on identical streams, "
+            "and 'shipping' the process backend's per-task serialized "
+            "bytes under pickled-edges vs shared-memory span shipping. "
+            "Caveat: numbers committed from a single-core container "
+            "cannot show process-backend speedup; the CI artifact carries "
+            "the multi-core measurement."
         ),
         "platform": {
             "python": platform.python_version(),
@@ -410,6 +627,8 @@ def write_bench_file(
         "smoke": section(smoke, "smoke"),
         "full": section(full, "full"),
         "distributed": section(distributed, "distributed"),
+        "kk_kernel": section(kk_kernel, "kk_kernel"),
+        "shipping": section(shipping, "shipping"),
     }
     path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
     return payload

@@ -18,6 +18,28 @@ The analysis of [19] shows the level populations decay geometrically
 output is an Õ(√n)-approximation with high probability.  The counters
 dominate the state: Θ(m) words — this is the space bound Theorem 2
 proves optimal for α = Θ̃(√n) in adversarial order.
+
+Two implementations share this contract:
+
+:class:`KKAlgorithm` (registry name ``"kk"``)
+    The vectorized kernel.  Degrees live in one ``int64[m]`` array;
+    each chunk of the stream is scanned with numpy column ops
+    (covered-mask prefilter, per-set occurrence ranks via a stable
+    argsort, degree application via ``bincount``) and only the *rare*
+    events — level promotions and set inclusions — drop to Python.
+    Coin draws happen one promotion at a time, in stream order, from
+    the same seeded RNG, so the randomness stream is identical to the
+    scalar's.  An inclusion invalidates the scan's chunk-start masks,
+    so the scan *restarts* just past the inclusion edge with the
+    not-yet-applied suffix state discarded; state mutations before the
+    inclusion point are applied exactly once.
+
+:class:`KKReferenceAlgorithm` (registry name ``"kk-reference"``)
+    The original per-edge scalar loop over :class:`ChargedDict` /
+    :class:`ChargedSet` containers, kept as the executable
+    specification.  ``tests/test_core_kk_equivalence.py`` proves the
+    two produce byte-identical covers, certificates, diagnostics,
+    space reports, and traces on instance × order × seed grids.
 """
 
 from __future__ import annotations
@@ -35,13 +57,63 @@ from repro.streaming.stream import EdgeStream
 from repro.types import ElementId, SeedLike, SetId
 
 #: Edges consumed per vectorized batch; large enough to amortize numpy
-#: per-call overhead, small enough to keep the covered-element pre-filter
-#: reasonably fresh within a chunk.
-_CHUNK = 8192
+#: per-call overhead, small enough that the post-inclusion rescan of a
+#: chunk suffix stays cheap relative to the chunk itself.
+_CHUNK = 16384
+
+#: Scan-window size right after an inclusion.  An inclusion invalidates
+#: the masks for everything scanned past it, so work beyond the
+#: inclusion point is discarded; on inclusion-dense streams a full-chunk
+#: rescan per inclusion would go quadratic.  The window restarts small
+#: and grows geometrically (×4 per inclusion-free window) back to the
+#: chunk size, bounding discarded work per inclusion to O(window) while
+#: keeping long inclusion-free stretches fully vectorized.  Window
+#: boundaries are semantically identical to chunk boundaries — the
+#: masks are recomputed from monotone state — so the partition does not
+#: affect the output.
+_RESCAN_WINDOW = 512
+
+
+def _occurrence_ranks(
+    values: np.ndarray, value_bound: int = 0
+) -> np.ndarray:
+    """Per-position occurrence rank of each value (1-based, stream order).
+
+    ``values[i]``'s rank is the number of times that value has appeared
+    in ``values[: i + 1]`` — exactly the increment sequence a per-value
+    counter would see scanning left to right.  O(k log k) via a stable
+    argsort groupby instead of a Python loop.  When ``value_bound``
+    (an exclusive upper bound on the values, e.g. ``m`` for set ids)
+    fits in 16 bits, the sort key is narrowed to ``uint16`` so numpy
+    takes its radix path — ~8x faster than comparison-sorting ``int64``
+    and identical output, since the narrowing is injective.
+    """
+    k = len(values)
+    if not k:
+        return np.empty(0, dtype=np.int64)
+    sort_key = (
+        values.astype(np.uint16)
+        if 0 < value_bound <= (1 << 16)
+        else values
+    )
+    order = np.argsort(sort_key, kind="stable")
+    sorted_values = values[order]
+    positions = np.arange(k, dtype=np.int64)
+    is_start = np.empty(k, dtype=bool)
+    is_start[0] = True
+    is_start[1:] = sorted_values[1:] != sorted_values[:-1]
+    group_start = np.maximum.accumulate(np.where(is_start, positions, 0))
+    ranks = np.empty(k, dtype=np.int64)
+    ranks[order] = positions - group_start + 1
+    return ranks
 
 
 class KKAlgorithm(StreamingSetCoverAlgorithm):
     """One-pass edge-arrival set cover with uncovered-degree counters.
+
+    The vectorized kernel (see the module docstring for the layout and
+    the restart-on-inclusion discipline).  Byte-identical in output and
+    trace to :class:`KKReferenceAlgorithm`.
 
     Parameters
     ----------
@@ -65,6 +137,231 @@ class KKAlgorithm(StreamingSetCoverAlgorithm):
     ) -> None:
         super().__init__(seed=seed, space_budget=space_budget)
         self.scaling = scaling if scaling is not None else Scaling.practical()
+
+    def _run(self, stream: EdgeStream) -> StreamingResult:
+        n = stream.instance.n
+        m = stream.instance.m
+        scaling = self.scaling
+        level_width = scaling.kk_level_width(n)
+
+        meter = self._meter
+        # Flat kernel state.  The scalar reference keeps these in charged
+        # containers that bill the meter per mutation; every component
+        # here only ever grows, so billing the same counts once per chunk
+        # yields the identical peak and breakdown (peak == final state).
+        degrees = np.zeros(m, dtype=np.int64)
+        covered_mask = np.zeros(n, dtype=bool)
+        cover_mask = np.zeros(m, dtype=bool)
+        cover: Set[SetId] = set()
+        certificate: Dict[ElementId, SetId] = {}
+        first_sets = FirstSetStore(meter, universe_size=n)
+        self._register_salvage(cover=cover, certificate=certificate)
+
+        covered_count = 0
+        degree_entries = 0
+        max_level_reached = 0
+        inclusion_events = 0
+        tracer = self._tracer
+
+        reader = stream.reader()
+        while reader.remaining:
+            set_ids, elements = reader.take_columns(_CHUNK)
+            first_sets.observe_columns(set_ids, elements)
+            chunk_len = len(elements)
+            chunk_positions = np.arange(chunk_len, dtype=np.int64)
+            pos = 0
+            window = chunk_len
+            while pos < chunk_len:
+                stop = min(pos + window, chunk_len)
+                s_suffix = set_ids[pos:stop]
+                e_suffix = elements[pos:stop]
+                suffix_len = stop - pos
+                # Window-start masks: an edge whose element is already
+                # covered is a guaranteed no-op for the whole scan.
+                alive = ~covered_mask[e_suffix]
+                if not alive.any():
+                    pos = stop
+                    window = min(window * 4, chunk_len)
+                    continue
+                in_cover = cover_mask[s_suffix]
+
+                # Hits: an included set covers its later elements.  Only
+                # the *first* hit of each element is the witness; later
+                # edges of that element are dead.
+                hit_mask = alive & in_cover
+                counting_mask = alive & ~in_cover
+                hit_positions: Optional[np.ndarray] = None
+                first_hit: Optional[np.ndarray] = None
+                if hit_mask.any():
+                    hit_positions = np.nonzero(hit_mask)[0]
+                    first_hit = np.full(n, suffix_len, dtype=np.int64)
+                    np.minimum.at(first_hit, e_suffix[hit_positions], hit_positions)
+                    # An edge after its element's first hit no longer
+                    # increments its set's counter.
+                    counting_mask &= (
+                        chunk_positions[:suffix_len] < first_hit[e_suffix]
+                    )
+
+                counting_positions = np.nonzero(counting_mask)[0]
+                included_at = -1
+                inclusion_probability = 0.0
+                inclusion_level = 0
+                counting_sets: Optional[np.ndarray] = None
+                if counting_positions.size:
+                    counting_sets = s_suffix[counting_positions]
+                    new_degrees = degrees[counting_sets] + _occurrence_ranks(
+                        counting_sets, value_bound=m
+                    )
+                    promotions = np.nonzero(new_degrees % level_width == 0)[0]
+                    # Promotions are rare (≤ one per level_width counting
+                    # edges); walk them in stream order so coin draws
+                    # consume the RNG exactly as the scalar loop does.
+                    for j in promotions.tolist():
+                        set_id = int(counting_sets[j])
+                        level = int(new_degrees[j]) // level_width
+                        if level > max_level_reached:
+                            max_level_reached = level
+                        self._trace(
+                            obs_events.LEVEL_PROMOTED, set_id=set_id, level=level
+                        )
+                        p = scaling.kk_inclusion_probability(level, n, m)
+                        if self._coin(p):
+                            included_at = j
+                            inclusion_probability = p
+                            inclusion_level = level
+                            break
+
+                if included_at >= 0:
+                    inclusion_pos = int(counting_positions[included_at])
+                    # Apply exactly the state the scalar loop would have
+                    # built before this edge: counter increments for the
+                    # counting prefix (inclusive) and witnesses for hits
+                    # strictly before the inclusion edge.
+                    degrees += np.bincount(
+                        counting_sets[: included_at + 1], minlength=m
+                    )
+                    if hit_positions is not None:
+                        covered_count += self._apply_hits(
+                            s_suffix,
+                            e_suffix,
+                            hit_positions,
+                            first_hit,
+                            inclusion_pos,
+                            covered_mask,
+                            certificate,
+                            tracer,
+                        )
+                    set_id = int(counting_sets[included_at])
+                    element = int(e_suffix[inclusion_pos])
+                    cover.add(set_id)
+                    cover_mask[set_id] = True
+                    inclusion_events += 1
+                    covered_mask[element] = True
+                    covered_count += 1
+                    certificate[element] = set_id
+                    self._trace(
+                        obs_events.SET_ADMITTED,
+                        set_id=set_id,
+                        level=inclusion_level,
+                        probability=inclusion_probability,
+                    )
+                    self._trace_count(obs_events.ELEMENT_COVERED)
+                    # The inclusion invalidates the window-start masks for
+                    # everything after it; rescan just past the inclusion
+                    # edge with a small window that regrows geometrically.
+                    pos += inclusion_pos + 1
+                    window = _RESCAN_WINDOW
+                else:
+                    if counting_sets is not None:
+                        degrees += np.bincount(counting_sets, minlength=m)
+                    if hit_positions is not None:
+                        covered_count += self._apply_hits(
+                            s_suffix,
+                            e_suffix,
+                            hit_positions,
+                            first_hit,
+                            suffix_len,
+                            covered_mask,
+                            certificate,
+                            tracer,
+                        )
+                    pos = stop
+                    window = min(window * 4, chunk_len)
+
+            # Per-chunk meter reconciliation.  All components grow
+            # monotonically, so charging the same final counts the scalar
+            # containers reach gives the identical peak and breakdown;
+            # components are only created once genuinely non-empty,
+            # matching the charged containers' lazy registration.
+            nonzero = int(np.count_nonzero(degrees))
+            if nonzero != degree_entries:
+                degree_entries = nonzero
+                meter.set_component("degree-counters", 2 * nonzero)
+            if covered_count:
+                meter.set_component("covered", covered_count)
+            if cover:
+                meter.set_component("cover", words_for_set(len(cover)))
+
+        patched = first_sets.patch(certificate, cover, n)
+        self._trace(obs_events.PATCH_APPLIED, patched=patched)
+        meter.set_component("cover", words_for_set(len(cover)))
+
+        return StreamingResult(
+            cover=frozenset(cover),
+            certificate=certificate,
+            space=meter.report(),
+            algorithm=self.name,
+            diagnostics={
+                "max_level_reached": float(max_level_reached),
+                "inclusion_events": float(inclusion_events),
+                "patched_elements": float(patched),
+                "level_width": float(level_width),
+            },
+        )
+
+    @staticmethod
+    def _apply_hits(
+        s_suffix: np.ndarray,
+        e_suffix: np.ndarray,
+        hit_positions: np.ndarray,
+        first_hit: np.ndarray,
+        limit: int,
+        covered_mask: np.ndarray,
+        certificate: Dict[ElementId, SetId],
+        tracer,
+    ) -> int:
+        """Commit first-hit witnesses at suffix positions ``< limit``.
+
+        Returns the number of elements newly covered.  Positions at or
+        past ``limit`` stay unapplied: the rescan after an inclusion
+        re-derives them (the newly included set may now supply an
+        earlier witness, exactly as the scalar loop would).
+        """
+        chosen = hit_positions[
+            (hit_positions < limit)
+            & (first_hit[e_suffix[hit_positions]] == hit_positions)
+        ]
+        if not chosen.size:
+            return 0
+        for position in chosen.tolist():
+            element = int(e_suffix[position])
+            covered_mask[element] = True
+            certificate[element] = int(s_suffix[position])
+        if tracer.enabled:
+            tracer.count(obs_events.ELEMENT_COVERED, int(chosen.size))
+        return int(chosen.size)
+
+
+class KKReferenceAlgorithm(KKAlgorithm):
+    """The scalar per-edge KK loop — the executable specification.
+
+    Registry name ``"kk-reference"``.  Kept verbatim from before the
+    kernel vectorization so the equivalence suite can assert the fast
+    path reproduces it byte for byte; also the honest baseline the
+    perfbench kk-kernel section measures speedups against.
+    """
+
+    name = "kk-reference"
 
     def _run(self, stream: EdgeStream) -> StreamingResult:
         n = stream.instance.n

@@ -51,8 +51,18 @@ from repro.distributed.executor import (
 )
 from repro.distributed.ingest import (
     BoundedShardQueue,
+    ColumnChunk,
     IngestReport,
     stream_ingest,
+)
+from repro.distributed.shmem import (
+    EdgeSegment,
+    ShardSpan,
+    ShippingReport,
+    SpanView,
+    measure_shipping,
+    shared_memory_available,
+    ship_tasks,
 )
 from repro.distributed.router import (
     STRATEGIES,
@@ -79,19 +89,27 @@ __all__ = [
     "Backend",
     "BoundedShardQueue",
     "ChunkAssigner",
+    "ColumnChunk",
+    "EdgeSegment",
     "IngestReport",
     "InstanceShape",
     "ProcessBackend",
     "SerialBackend",
     "ShardAccumulator",
     "ShardEnvelope",
+    "ShardSpan",
     "ShardTask",
+    "ShippingReport",
+    "SpanView",
     "ThreadBackend",
     "build_shard_tasks",
     "edge_hash_workers_columns",
     "execute_shard_task",
     "make_backend",
+    "measure_shipping",
     "registered_backends",
+    "shared_memory_available",
+    "ship_tasks",
     "stream_ingest",
     "ChainCoordinator",
     "ChainOutcome",

@@ -32,6 +32,7 @@ trace cells merge sorted by label.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Type
@@ -41,6 +42,14 @@ from repro.faults.injectors import FaultSpec, apply_faults
 from repro.obs.tracer import NULL_TRACER, RecordingTracer
 from repro.types import Edge, SetId
 
+from repro.distributed.shmem import (
+    ShardSpan,
+    ShippingReport,
+    SpanView,
+    measure_shipping,
+    shared_memory_available,
+    ship_tasks,
+)
 from repro.distributed.worker import (
     InstanceShape,
     ShardAccumulator,
@@ -60,6 +69,12 @@ class ShardTask:
     per-shard reseeded fault plan, and the algorithm *name*, resolved
     against the registry on the executing side.  ``traced`` asks the
     executing side to record a span cell and return it serialized.
+
+    Under shared-memory shipping (:mod:`repro.distributed.shmem`) the
+    edge payload is hoisted out of the pickle: ``edges`` is empty and
+    ``span`` points at the shard's rows inside a shared segment, which
+    the executing side resolves back to edge columns.  Exactly one of
+    the two carries the shard's stream.
     """
 
     index: int
@@ -72,6 +87,7 @@ class ShardTask:
     fault_specs: Tuple[FaultSpec, ...] = ()
     order_name: str = "canonical"
     traced: bool = False
+    span: Optional[ShardSpan] = None
 
     @property
     def trace_label(self) -> str:
@@ -103,14 +119,17 @@ def execute_shard_task(task: ShardTask) -> ShardEnvelope:
     share, runs the named registry algorithm over the shard, and — when
     tracing — serializes the finished span cell for the parent to
     adopt.
+
+    A task carrying a :class:`~repro.distributed.shmem.ShardSpan`
+    resolves its edges from the shared segment first.  The fault-free
+    span path feeds the columns straight into a
+    :class:`~repro.distributed.worker.ShardAccumulator` (no per-edge
+    tuple materialization); a fault plan needs an edge *sequence* to
+    perturb, so that path rebuilds :class:`~repro.types.Edge` records
+    from the columns before injecting.  Either way the view is closed
+    before returning — a child never holds a mapping past its task.
     """
     tracer = RecordingTracer() if task.traced else NULL_TRACER
-    edges: Sequence[Edge] = task.edges
-    injection = None
-    if task.fault_specs:
-        edges, _, injection = apply_faults(
-            edges, task.shape.n, task.shape.m, task.fault_specs
-        )
     worker = Worker(
         index=task.index,
         algorithm=task.algorithm,
@@ -118,7 +137,39 @@ def execute_shard_task(task: ShardTask) -> ShardEnvelope:
         alpha=task.alpha,
         tracer=tracer,
     )
-    output = worker.run(task.shape, edges, task.set_order, injection=injection)
+    view = SpanView(task.span) if task.span is not None else None
+    try:
+        if view is not None and not task.fault_specs:
+            accumulator = ShardAccumulator(
+                task.index,
+                task.shape.n,
+                task.shape.m,
+                base_set_order=task.set_order,
+            )
+            accumulator.feed_columns(view.set_ids, view.elements)
+            output = worker.run_accumulated(
+                accumulator, instance_name=task.shape.name
+            )
+        else:
+            edges: Sequence[Edge] = task.edges
+            if view is not None:
+                edges = [
+                    Edge(s, u)
+                    for s, u in zip(
+                        view.set_ids.tolist(), view.elements.tolist()
+                    )
+                ]
+            injection = None
+            if task.fault_specs:
+                edges, _, injection = apply_faults(
+                    edges, task.shape.n, task.shape.m, task.fault_specs
+                )
+            output = worker.run(
+                task.shape, edges, task.set_order, injection=injection
+            )
+    finally:
+        if view is not None:
+            view.close()
     trace_jsonl = tracer.to_jsonl() if task.traced else None
     return ShardEnvelope(
         index=task.index, output=output, trace_jsonl=trace_jsonl
@@ -244,20 +295,62 @@ class ProcessBackend(Backend):
     cells.  With ``max_workers == 1`` the pool would buy nothing, so
     tasks run inline (the result is identical either way — that *is*
     the contract).
+
+    By default the edge payloads do *not* travel in the pickle: they
+    are staged once into a shared-memory segment and each task ships an
+    O(1) :class:`~repro.distributed.shmem.ShardSpan` descriptor instead
+    (:mod:`repro.distributed.shmem`).  Set ``REPRO_SHM=0`` (or pass
+    ``use_shared_memory=False``) to force the classic pickled-edges
+    path; platforms without :mod:`multiprocessing.shared_memory` fall
+    back automatically.  ``last_shipping`` records what the most recent
+    pooled dispatch physically serialized — operational metadata the
+    executor copies onto the result.
     """
 
     name = "process"
     supports_streaming_accumulators = False
 
+    def __init__(self, use_shared_memory: Optional[bool] = None) -> None:
+        if use_shared_memory is None:
+            env = os.environ.get("REPRO_SHM", "").strip().lower()
+            use_shared_memory = env not in {"0", "false", "off", "no"}
+        self.use_shared_memory = (
+            bool(use_shared_memory) and shared_memory_available()
+        )
+        self.last_shipping: Optional[ShippingReport] = None
+
     def run_tasks(
         self, tasks: Sequence[ShardTask], max_workers: int
     ) -> List[ShardEnvelope]:
         if max_workers == 1 or len(tasks) <= 1:
+            # Inline: nothing crosses a process boundary, nothing ships.
+            self.last_shipping = None
             return _run_serially(tasks)
-        pool_size = min(max_workers, len(tasks))
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            futures = [pool.submit(execute_shard_task, t) for t in tasks]
-            return [future.result() for future in futures]
+        shipped: Sequence[ShardTask] = tasks
+        segment = None
+        mode = "pickle"
+        if self.use_shared_memory:
+            shipped, segment = ship_tasks(tasks)
+            if segment is not None:
+                mode = "shared-memory"
+        try:
+            self.last_shipping = measure_shipping(shipped, mode, segment)
+            pool_size = min(max_workers, len(shipped))
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                futures = [
+                    pool.submit(execute_shard_task, t) for t in shipped
+                ]
+                return [future.result() for future in futures]
+        finally:
+            # Unlink even when a worker raised — the leak-safety contract.
+            if segment is not None:
+                segment.cleanup()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}"
+            f"(use_shared_memory={self.use_shared_memory})"
+        )
 
     def run_accumulated(
         self, jobs: Sequence[AccumulatedJob], max_workers: int

@@ -41,6 +41,7 @@ from repro.distributed.comm import CommBudget, CommMeter, CommReport
 from repro.distributed.coordinator import make_coordinator
 from repro.distributed.ingest import IngestReport, stream_ingest
 from repro.distributed.router import ShardPlan, ShardRouter
+from repro.distributed.shmem import ShippingReport
 from repro.distributed.worker import (
     InstanceShape,
     ShardAccumulator,
@@ -84,6 +85,9 @@ class DistributedResult:
     # what the streaming queues did.  Excluded from equality because the
     # contract is exactly that these must NOT change the result.
     ingest: Optional[IngestReport] = field(
+        default=None, compare=False, repr=False
+    )
+    shipping: Optional[ShippingReport] = field(
         default=None, compare=False, repr=False
     )
 
@@ -387,6 +391,7 @@ def run_distributed(
         order_name=arrival.name,
         diagnostics=diagnostics,
         ingest=ingest_report,
+        shipping=getattr(backend_impl, "last_shipping", None),
     )
 
 
@@ -433,9 +438,25 @@ def _run_streaming(
         )
         for index in range(workers)
     ]
+    if buffer_raw:
+        # Fault plans and pickled tasks need raw edge sequences.
+        routed_chunks = assigner.iter_chunks(edges, chunk_size)
+        consumers = [accumulator.feed for accumulator in accumulators]
+    else:
+        # Accumulator-executing backends ingest straight from column
+        # slices — no per-edge tuple is built anywhere on this path.
+        routed_chunks = assigner.iter_column_chunks(edges, chunk_size)
+        consumers = [
+            (
+                lambda chunk, acc=accumulator: acc.feed_columns(
+                    chunk.set_ids, chunk.elements
+                )
+            )
+            for accumulator in accumulators
+        ]
     report = stream_ingest(
-        assigner.iter_chunks(edges, chunk_size),
-        [accumulator.feed for accumulator in accumulators],
+        routed_chunks,
+        consumers,
         chunk_size=chunk_size,
         queue_depth=queue_depth,
         threaded=(

@@ -30,12 +30,48 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.types import Edge
 
-#: A chunk as it crosses the router → shard boundary.
-Chunk = Tuple[Edge, ...]
+
+class ColumnChunk:
+    """A routed sub-chunk carried as ``int64`` edge columns.
+
+    The zero-tuple form of a chunk: two column slices instead of a
+    tuple of :class:`~repro.types.Edge` records, produced by
+    :meth:`~repro.distributed.router.ChunkAssigner.iter_column_chunks`
+    and consumed by
+    :meth:`~repro.distributed.worker.ShardAccumulator.feed_columns`.
+    Supports ``len``/truthiness so the queueing layer treats both chunk
+    forms identically.
+    """
+
+    __slots__ = ("set_ids", "elements")
+
+    def __init__(self, set_ids: np.ndarray, elements: np.ndarray) -> None:
+        self.set_ids = set_ids
+        self.elements = elements
+
+    def __len__(self) -> int:
+        return len(self.set_ids)
+
+    def __bool__(self) -> bool:
+        return len(self.set_ids) > 0
+
+    def edges(self) -> Tuple[Edge, ...]:
+        """Materialize the chunk as edge records (tests/debugging)."""
+        return tuple(
+            Edge(s, u)
+            for s, u in zip(self.set_ids.tolist(), self.elements.tolist())
+        )
+
+
+#: A chunk as it crosses the router → shard boundary: either a tuple of
+#: edges (the buffering/fault path) or a :class:`ColumnChunk`.
+Chunk = Union[Tuple[Edge, ...], ColumnChunk]
 
 
 class BoundedShardQueue:

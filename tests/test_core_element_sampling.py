@@ -5,8 +5,14 @@ from __future__ import annotations
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core.element_sampling import ElementSamplingAlgorithm
+from repro.core.element_sampling import (
+    ElementSamplingAlgorithm,
+    _greedy_picks,
+    _greedy_picks_reference,
+)
 from repro.errors import ConfigurationError
 from repro.generators.planted import planted_partition_instance
 from repro.generators.random_instances import fixed_size_instance
@@ -141,3 +147,46 @@ class TestDiagnostics:
         a = ElementSamplingAlgorithm(alpha=12, seed=11).run(replayable.fresh())
         b = ElementSamplingAlgorithm(alpha=12, seed=11).run(replayable.fresh())
         assert a.cover == b.cover
+
+
+class TestGreedyPicksEquivalence:
+    """The vectorized offline-greedy must replay the dict-scan oracle.
+
+    Byte-identity includes the tie-break rule (earliest-stored set wins)
+    and the exact pick sequence, not just the final cover — the sampled
+    sub-instance's greedy solution is part of the algorithm's output.
+    """
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_vectorized_matches_reference(self, data):
+        universe = data.draw(st.integers(1, 40), label="universe")
+        num_sets = data.draw(st.integers(0, 12), label="num_sets")
+        projections = {}
+        for index in range(num_sets):
+            members = data.draw(
+                st.sets(st.integers(0, universe - 1), max_size=12),
+                label=f"set_{index}",
+            )
+            # Non-dense, non-sorted set ids: insertion order is the
+            # tie-break, so ids must not accidentally encode it.
+            projections[(index * 7 + 3) % (num_sets * 7 + 1)] = members
+        uncovered = data.draw(
+            st.sets(st.integers(0, universe - 1), max_size=30),
+            label="uncovered",
+        )
+        fast = list(
+            _greedy_picks(
+                {s: set(m) for s, m in projections.items()}, set(uncovered)
+            )
+        )
+        reference = list(
+            _greedy_picks_reference(
+                {s: set(m) for s, m in projections.items()}, set(uncovered)
+            )
+        )
+        assert fast == reference
+
+    def test_empty_inputs(self):
+        assert list(_greedy_picks({}, {1, 2})) == []
+        assert list(_greedy_picks({1: {2}}, set())) == []
