@@ -35,9 +35,12 @@ from typing import List, Optional, Sequence
 
 from repro.algorithms import make_algorithm, registered_algorithms
 from repro.analysis.tables import render_table
+from repro.distributed.asyncsim import run_distributed_async
+from repro.distributed.executor import DistributedResult, run_distributed
 from repro.errors import ReproError
 from repro.faults.injectors import FAULT_KINDS, FaultSpec, inject
 from repro.faults.resilient import ResilientAlgorithm, ResilientResult
+from repro.faults.shards import SHARD_FAULT_KINDS, ShardFaultPlan
 from repro.generators.planted import planted_partition_instance
 from repro.obs.tracer import TraceCollector
 from repro.streaming.instance import SetCoverInstance
@@ -265,6 +268,290 @@ def run_chaos(
                             policy,
                             cell_seed,
                             collector=collector,
+                        )
+                    )
+    return report
+
+
+# -- shard-fault chaos: crash/straggle/duplicate × coordinator × backend ---
+
+#: Coordinators the shard grid exercises.
+DEFAULT_SHARD_COORDINATORS = ("union", "greedy", "chain")
+
+#: Backends the shard grid exercises (process is exercised by the
+#: dedicated backend tests; the grid favours cheap iteration).
+DEFAULT_SHARD_BACKENDS = ("serial", "thread")
+
+#: Execution modes: the synchronous resilient path and the asynchronous
+#: delivery simulator.
+SHARD_CHAOS_MODES = ("sync", "async")
+
+
+@dataclass
+class ShardChaosCell:
+    """Outcome of one (fault, coordinator, backend, mode) shard cell."""
+
+    coordinator: str
+    backend: str
+    fault_kind: str
+    mode: str
+    seed: int
+    outcome: str
+    detail: str = ""
+    cover_size: int = 0
+    coverage_fraction: float = 0.0
+    shards_lost: int = 0
+
+    @property
+    def is_violation(self) -> bool:
+        return self.outcome == "violation"
+
+
+@dataclass
+class ShardChaosReport:
+    """All cells of one shard-fault sweep, plus invariant checking."""
+
+    seed: int
+    workers: int
+    min_shards: int
+    instance_label: str
+    rows: List[ShardChaosCell] = field(default_factory=list)
+
+    def violations(self) -> List[ShardChaosCell]:
+        """Cells that break the robustness invariant."""
+        return [cell for cell in self.rows if cell.is_violation]
+
+    def outcome_counts(self) -> dict:
+        counts: dict = {}
+        for cell in self.rows:
+            counts[cell.outcome] = counts.get(cell.outcome, 0) + 1
+        return counts
+
+    def assert_invariant(self) -> None:
+        """Raise ``AssertionError`` listing every violating cell."""
+        bad = self.violations()
+        if bad:
+            lines = [
+                f"  {c.fault_kind} × {c.coordinator} × {c.backend} × "
+                f"{c.mode} (seed={c.seed}): {c.detail}"
+                for c in bad
+            ]
+            raise AssertionError(
+                f"shard chaos invariant violated in {len(bad)} cell(s):\n"
+                + "\n".join(lines)
+            )
+
+    def render(self, markdown: bool = False) -> str:
+        headers = [
+            "fault",
+            "coordinator",
+            "backend",
+            "mode",
+            "outcome",
+            "cover",
+            "coverage",
+            "lost",
+            "detail",
+        ]
+        rows = [
+            [
+                c.fault_kind,
+                c.coordinator,
+                c.backend,
+                c.mode,
+                c.outcome,
+                c.cover_size,
+                c.coverage_fraction,
+                c.shards_lost,
+                c.detail[:48],
+            ]
+            for c in self.rows
+        ]
+        title = (
+            f"shard chaos sweep — seed={self.seed}, W={self.workers}, "
+            f"min_shards={self.min_shards}, instance={self.instance_label}"
+        )
+        summary = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.outcome_counts().items())
+        )
+        return (
+            render_table(headers, rows, title=title, markdown=markdown)
+            + f"\noutcomes: {summary}"
+        )
+
+
+def _shard_fault_setup(fault_kind: str, workers: int, seed: int):
+    """The seeded fault plan and deadline one grid kind stands for."""
+    if fault_kind == "crash":
+        # A mix of permanent (abandoned) and transient (healed) crashes.
+        return (
+            ShardFaultPlan.seeded(
+                workers, seed=seed, crash_rate=0.35, flaky_rate=0.3
+            ),
+            None,
+        )
+    if fault_kind == "straggle":
+        # Stragglers overshoot the deadline on every attempt and time
+        # out; punctual shards finish well inside it.
+        return (
+            ShardFaultPlan.seeded(
+                workers, seed=seed, straggle_rate=0.5, straggle_steps=8
+            ),
+            4,
+        )
+    if fault_kind == "duplicate":
+        # Pure transport noise: every output arrives, some twice.
+        return (
+            ShardFaultPlan.seeded(workers, seed=seed, duplicate_rate=0.7),
+            None,
+        )
+    known = ", ".join(SHARD_FAULT_KINDS)
+    raise ValueError(f"unknown shard fault kind {fault_kind!r}; known: {known}")
+
+
+def run_shard_chaos_cell(
+    instance: SetCoverInstance,
+    coordinator: str,
+    backend: str,
+    fault_kind: str,
+    mode: str,
+    seed: int,
+    workers: int = 4,
+    min_shards: int = 2,
+) -> ShardChaosCell:
+    """Execute and classify one shard-fault cell (fully seed-determined).
+
+    The invariant is the distributed refinement of the global one: a
+    cell must end in a **verified valid cover**, a **typed error**, or a
+    **degraded-but-consistent** partial cover — one whose reported
+    ``uncovered`` set matches the ground truth exactly and which carries
+    a :class:`~repro.faults.resilient.DegradationRecord` per lost shard.
+    A partial cover that misreports its own coverage is classified as a
+    violation, never waved through.
+    """
+    cell = ShardChaosCell(
+        coordinator=coordinator,
+        backend=backend,
+        fault_kind=fault_kind,
+        mode=mode,
+        seed=seed,
+        outcome="violation",
+    )
+    try:
+        plan, deadline = _shard_fault_setup(fault_kind, workers, seed)
+        kwargs = dict(
+            workers=workers,
+            coordinator=coordinator,
+            backend=backend,
+            seed=seed,
+            shard_faults=plan,
+            min_shards=min_shards,
+            deadline_steps=deadline,
+        )
+        if mode == "async":
+            result: DistributedResult = run_distributed_async(
+                instance, schedule_seed=seed, **kwargs
+            )
+        else:
+            result = run_distributed(instance, **kwargs)
+    except ReproError as error:
+        cell.outcome = "typed-error"
+        cell.detail = f"{type(error).__name__}: {error}"
+        return cell
+    except Exception as error:  # noqa: BLE001 — the invariant under test
+        cell.outcome = "violation"
+        cell.detail = f"bare {type(error).__name__}: {error}"
+        return cell
+
+    cell.cover_size = result.cover_size
+    cell.shards_lost = sum(1 for o in result.outcomes if o.abandoned)
+    if result.degradations:
+        if cell.shards_lost != len(result.degradations):
+            cell.detail = (
+                f"{cell.shards_lost} shard(s) lost but "
+                f"{len(result.degradations)} degradation record(s)"
+            )
+            return cell
+        if not result.is_valid(instance, allow_partial=True):
+            cell.detail = "degraded result fails partial verification"
+            return cell
+        actual_uncovered = instance.uncovered_by(result.cover)
+        if set(result.uncovered) != actual_uncovered:
+            cell.detail = (
+                "degraded result misreports coverage: claims "
+                f"{len(result.uncovered)} uncovered, truth "
+                f"{len(actual_uncovered)}"
+            )
+            return cell
+        cell.outcome = "degraded"
+        n = instance.n
+        cell.coverage_fraction = (n - len(result.uncovered)) / n if n else 1.0
+        cell.detail = result.degradations[0].error_type or "quorum-degraded"
+        return cell
+
+    if cell.shards_lost:
+        cell.detail = (
+            f"{cell.shards_lost} shard(s) lost without degradation records"
+        )
+        return cell
+    if not result.is_valid(instance):
+        cell.detail = "result fails verification (silent wrong answer)"
+        return cell
+    cell.outcome = "valid-cover"
+    cell.coverage_fraction = 1.0
+    return cell
+
+
+def run_shard_chaos(
+    instance: Optional[SetCoverInstance] = None,
+    coordinators: Sequence[str] = DEFAULT_SHARD_COORDINATORS,
+    backends: Sequence[str] = DEFAULT_SHARD_BACKENDS,
+    fault_kinds: Sequence[str] = SHARD_FAULT_KINDS,
+    modes: Sequence[str] = SHARD_CHAOS_MODES,
+    seed: SeedLike = 0,
+    quick: bool = False,
+    workers: int = 4,
+    min_shards: int = 2,
+) -> ShardChaosReport:
+    """Sweep the shard-fault grid and classify every cell.
+
+    The distributed twin of :func:`run_chaos`: crash, straggler, and
+    duplicate-delivery faults crossed with every coordinator, backend,
+    and both execution modes (synchronous resilient path and the async
+    delivery simulator).  With ``quick=True`` the grid shrinks to two
+    coordinators on the serial backend — the CI smoke tier.  Cell seeds
+    derive from the master seed up front, so any cell reproduces
+    standalone via :func:`run_shard_chaos_cell`.
+    """
+    rng = make_rng(seed)
+    if instance is None:
+        instance = planted_partition_instance(
+            n=36, m=24, opt_size=4, seed=rng.getrandbits(63)
+        ).instance
+    if quick:
+        coordinators = ("union", "chain")
+        backends = ("serial",)
+    report = ShardChaosReport(
+        seed=seed if isinstance(seed, int) else -1,
+        workers=workers,
+        min_shards=min_shards,
+        instance_label=repr(instance),
+    )
+    for fault_kind in fault_kinds:
+        for coordinator in coordinators:
+            for backend in backends:
+                for mode in modes:
+                    cell_seed = rng.getrandbits(63)
+                    report.rows.append(
+                        run_shard_chaos_cell(
+                            instance,
+                            coordinator,
+                            backend,
+                            fault_kind,
+                            mode,
+                            cell_seed,
+                            workers=workers,
+                            min_shards=min_shards,
                         )
                     )
     return report

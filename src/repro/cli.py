@@ -110,6 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument(
         "--markdown", action="store_true", help="render the table as Markdown"
     )
+    chaos_parser.add_argument(
+        "--shards",
+        action="store_true",
+        help="sweep the shard-fault grid (crash/straggle/duplicate × "
+        "coordinator × backend × sync/async) instead of the stream grid",
+    )
 
     describe_parser = sub.add_parser(
         "describe", help="print statistics of an instance file"
@@ -140,8 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
     distribute_parser.add_argument(
         "--strategy", choices=sorted(STRATEGIES), default="by-set"
     )
+    # No argparse choices= here: unknown names route through the typed
+    # InvalidParameterError, matching unknown backends' error contract.
     distribute_parser.add_argument(
-        "--coordinator", choices=registered_coordinators(), default="chain"
+        "--coordinator", default="chain",
+        help="merge strategy: " + ", ".join(registered_coordinators()),
     )
     distribute_parser.add_argument(
         "--order", choices=sorted(ORDER_REGISTRY), default="canonical"
@@ -174,6 +183,57 @@ def build_parser() -> argparse.ArgumentParser:
     distribute_parser.add_argument(
         "--comm-budget", type=int, default=None,
         help="hard cap on total merge communication, in words",
+    )
+    distribute_parser.add_argument(
+        "--async-sim", action="store_true",
+        help="drive the merge through the asynchronous delivery "
+        "simulator (seeded adversarial schedule; parity-guaranteed "
+        "result, logical-step diagnostics)",
+    )
+    distribute_parser.add_argument(
+        "--schedule-seed", type=int, default=0,
+        help="delivery-schedule seed under --async-sim",
+    )
+    distribute_parser.add_argument(
+        "--default-delay", type=int, default=1,
+        help="per-link delivery delay in logical steps under --async-sim",
+    )
+    distribute_parser.add_argument(
+        "--crash", type=float, default=0.0, metavar="RATE",
+        help="per-shard permanent-crash probability (seeded from --seed)",
+    )
+    distribute_parser.add_argument(
+        "--flaky", type=float, default=0.0, metavar="RATE",
+        help="per-shard transient-crash probability (healed by one retry)",
+    )
+    distribute_parser.add_argument(
+        "--straggle", type=float, default=0.0, metavar="RATE",
+        help="per-shard straggler probability",
+    )
+    distribute_parser.add_argument(
+        "--straggle-steps", type=int, default=3,
+        help="extra logical steps a straggling shard takes per attempt",
+    )
+    distribute_parser.add_argument(
+        "--duplicate", type=float, default=0.0, metavar="RATE",
+        help="per-shard duplicate-delivery probability (--async-sim only)",
+    )
+    distribute_parser.add_argument(
+        "--min-shards", type=int, default=None,
+        help="quorum: merge degraded if at least this many shards "
+        "survive (default: all must survive)",
+    )
+    distribute_parser.add_argument(
+        "--deadline-steps", type=int, default=None,
+        help="per-attempt logical-step deadline; late shards time out",
+    )
+    distribute_parser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per shard before abandoning it",
+    )
+    distribute_parser.add_argument(
+        "--backoff-steps", type=int, default=1,
+        help="logical steps between a failed attempt and its retry",
     )
 
     generate_parser = sub.add_parser(
@@ -291,6 +351,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_distribute(args: argparse.Namespace) -> int:
     from repro.analysis.tables import render_table
     from repro.distributed import CommBudget, run_distributed
+    from repro.distributed.asyncsim import run_distributed_async
+    from repro.errors import InvalidParameterError
+    from repro.faults.shards import ShardFaultPlan
 
     instance = load_instance(args.instance)
     instance.validate()
@@ -300,8 +363,26 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
         if args.comm_budget is not None
         else None
     )
-    result = run_distributed(
-        instance,
+    fault_rates = (args.crash, args.flaky, args.straggle, args.duplicate)
+    shard_faults = None
+    if any(rate > 0 for rate in fault_rates):
+        shard_faults = ShardFaultPlan.seeded(
+            args.workers,
+            seed=args.seed,
+            crash_rate=args.crash,
+            flaky_rate=args.flaky,
+            straggle_rate=args.straggle,
+            straggle_steps=args.straggle_steps,
+            duplicate_rate=args.duplicate,
+        )
+    resilience = dict(
+        shard_faults=shard_faults,
+        min_shards=args.min_shards,
+        deadline_steps=args.deadline_steps,
+        max_attempts=args.max_attempts,
+        backoff_steps=args.backoff_steps,
+    )
+    common = dict(
         workers=args.workers,
         algorithm=args.algorithm,
         strategy=args.strategy,
@@ -312,29 +393,75 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         comm_budget=budget,
         backend=args.backend,
-        ingest=args.ingest,
-        chunk_size=args.chunk_size,
-        queue_depth=args.queue_depth,
     )
-    result.verify(instance)
-    print(
-        render_kv(
+    if args.async_sim:
+        if args.ingest != "materialize":
+            raise InvalidParameterError(
+                "ingest",
+                args.ingest,
+                "the async simulator always materializes shards",
+            )
+        result = run_distributed_async(
+            instance,
+            schedule_seed=args.schedule_seed,
+            default_delay=args.default_delay,
+            **common,
+            **resilience,
+        )
+    else:
+        result = run_distributed(
+            instance,
+            ingest=args.ingest,
+            chunk_size=args.chunk_size,
+            queue_depth=args.queue_depth,
+            **common,
+            **resilience,
+        )
+    degraded = bool(result.degradations)
+    result.verify(instance, allow_partial=degraded)
+    rows = [
+        ("instance", repr(instance)),
+        ("algorithm", result.algorithm),
+        ("strategy", result.strategy),
+        ("coordinator", result.coordinator),
+        ("order", result.order_name),
+        ("workers", result.workers),
+        ("cover size", result.cover_size),
+        ("total comm words", result.total_comm_words),
+        ("max message words", result.max_message_words),
+        ("messages", result.comm.num_messages),
+        ("busiest link", result.comm.busiest_link() or "-"),
+    ]
+    if args.async_sim:
+        rows.extend(
             [
-                ("instance", repr(instance)),
-                ("algorithm", result.algorithm),
-                ("strategy", result.strategy),
-                ("coordinator", result.coordinator),
-                ("order", result.order_name),
-                ("workers", result.workers),
-                ("cover size", result.cover_size),
-                ("total comm words", result.total_comm_words),
-                ("max message words", result.max_message_words),
-                ("messages", result.comm.num_messages),
-                ("busiest link", result.comm.busiest_link() or "-"),
-                ("valid", True),
+                ("logical steps", int(result.diagnostics["logical_steps"])),
+                (
+                    "delivered messages",
+                    int(result.diagnostics["delivered_messages"]),
+                ),
+                ("idle ticks", int(result.diagnostics["idle_ticks"])),
+                (
+                    "duplicates dropped",
+                    int(result.diagnostics["duplicates_dropped"]),
+                ),
             ]
         )
-    )
+    if result.outcomes:
+        rows.append(
+            (
+                "shard retries",
+                sum(max(0, o.attempts - 1) for o in result.outcomes),
+            )
+        )
+        rows.append(
+            ("shards lost", sum(1 for o in result.outcomes if o.abandoned))
+        )
+    if degraded:
+        rows.append(("degradation records", len(result.degradations)))
+        rows.append(("uncovered elements", len(result.uncovered)))
+    rows.append(("valid", "partial" if degraded else True))
+    print(render_kv(rows))
     print(
         render_table(
             ["shard", "edges", "local n", "local m", "cover", "peak words"],
@@ -353,12 +480,35 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
         )
     )
     print("cover:", " ".join(str(s) for s in sorted(result.cover)))
+    for record in result.degradations:
+        print(
+            f"degraded: shard[{int(record.details.get('shard', -1))}] "
+            f"{record.error_type or 'lost'} — coverage "
+            f"{record.coverage_fraction:.3f}, "
+            f"{record.uncovered_count} uncovered"
+        )
     return 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.analysis.chaos import run_chaos
+    from repro.analysis.chaos import run_chaos, run_shard_chaos
 
+    if args.shards:
+        shard_report = run_shard_chaos(seed=args.seed, quick=args.quick)
+        print(shard_report.render(markdown=args.markdown))
+        shard_violations = shard_report.violations()
+        if shard_violations:
+            print(
+                f"shard chaos invariant VIOLATED in "
+                f"{len(shard_violations)} cell(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"shard chaos invariant holds over {len(shard_report.rows)} "
+            f"cells (seed={args.seed})"
+        )
+        return 0
     report = run_chaos(
         seed=args.seed, quick=args.quick, policy=args.policy
     )

@@ -12,17 +12,28 @@ lower bound governs.  :func:`~repro.distributed.executor.run_distributed`
 ties it together, deterministically in the real thread count.
 """
 
+from repro.distributed.asyncsim import (
+    AsyncScheduler,
+    DeliveryPolicy,
+    FifoDelivery,
+    FixedDelivery,
+    Message,
+    RandomDelivery,
+    run_distributed_async,
+)
 from repro.distributed.backends import (
     BACKEND_REGISTRY,
     Backend,
     ProcessBackend,
     SerialBackend,
     ShardEnvelope,
+    ShardOutcome,
     ShardTask,
     ThreadBackend,
     execute_shard_task,
     make_backend,
     registered_backends,
+    run_tasks_with_recovery,
 )
 from repro.distributed.chain import ChainOutcome, chain_merge, state_words
 from repro.distributed.comm import (
@@ -45,6 +56,7 @@ from repro.distributed.coordinator import (
 from repro.distributed.executor import (
     INGEST_MODES,
     DistributedResult,
+    build_shard_plan_and_tasks,
     build_shard_tasks,
     run_distributed,
     shard_space_reports,
@@ -82,6 +94,7 @@ from repro.distributed.worker import (
 )
 
 __all__ = [
+    "AsyncScheduler",
     "BACKEND_REGISTRY",
     "COORDINATOR_REGISTRY",
     "INGEST_MODES",
@@ -90,18 +103,25 @@ __all__ = [
     "BoundedShardQueue",
     "ChunkAssigner",
     "ColumnChunk",
+    "DeliveryPolicy",
     "EdgeSegment",
     "IngestReport",
     "InstanceShape",
+    "FifoDelivery",
+    "FixedDelivery",
+    "Message",
     "ProcessBackend",
+    "RandomDelivery",
     "SerialBackend",
     "ShardAccumulator",
     "ShardEnvelope",
+    "ShardOutcome",
     "ShardSpan",
     "ShardTask",
     "ShippingReport",
     "SpanView",
     "ThreadBackend",
+    "build_shard_plan_and_tasks",
     "build_shard_tasks",
     "edge_hash_workers_columns",
     "execute_shard_task",
@@ -132,6 +152,8 @@ __all__ = [
     "make_coordinator",
     "registered_coordinators",
     "run_distributed",
+    "run_distributed_async",
+    "run_tasks_with_recovery",
     "shard_space_reports",
     "state_words",
     "words_for_candidate_message",

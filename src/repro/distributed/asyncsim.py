@@ -1,0 +1,579 @@
+"""Deterministic asynchronous delivery simulation for coordinators.
+
+The synchronous executor pretends every shard finishes at once and every
+message arrives instantly.  Real clusters do neither: shards straggle,
+links lag, and a star coordinator sees uploads in whatever order the
+network happens to deliver them.  This module drives the *same* shard
+tasks and the *same* coordinators through an adversarial transport —
+
+* :class:`AsyncScheduler` — a pending-message pool on a **logical
+  clock**: every posted :class:`Message` becomes available after its
+  per-link delay, the :class:`DeliveryPolicy` picks which available
+  message lands next, and each delivery advances the clock one step.
+  :class:`RandomDelivery` draws the choice from a seeded RNG (so one
+  integer reproduces an entire adversarial schedule);
+  :class:`FixedDelivery` pins an explicit priority order, letting tests
+  enumerate *every* delivery permutation of a small run.
+* :func:`run_distributed_async` — the asynchronous twin of
+  :func:`~repro.distributed.executor.run_distributed`.  It builds its
+  shard tasks through the same
+  :func:`~repro.distributed.executor.build_shard_plan_and_tasks` helper
+  (identical routing and seed discipline), executes them under the same
+  retry/deadline recovery layer, then ships the surviving outputs
+  through the scheduler: star coordinators (``union``/``greedy``)
+  consume their merge inputs from the coordinator's **inbox** —
+  deduplicated by shard index, sorted, so duplicate and reordered
+  deliveries cannot change the merge — while the ``chain`` coordinator's
+  hand-offs are relayed sequentially (hand-off ``i+1`` is posted only
+  after hand-off ``i`` lands), which is what makes its completion time
+  grow linearly in ``W`` where the star topologies stay flat.
+
+Parity is structural, not coincidental: the merge runs over the same
+outputs, sorted the same way, charging the same
+:class:`~repro.distributed.comm.CommMeter` as the synchronous path, so
+for any fault-free delivery schedule the cover, certificate, and comm
+report are byte-identical to :func:`run_distributed`'s.  The schedule
+only shows up in the *diagnostics* — ``logical_steps``,
+``delivered_messages``, ``idle_ticks``, ``duplicates_dropped`` — and in
+the trace's ``async`` cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.distributed.backends import (
+    make_backend,
+    run_tasks_with_recovery,
+)
+from repro.distributed.comm import (
+    CommBudget,
+    CommMeter,
+    link_label,
+    words_for_cover_message,
+)
+from repro.distributed.coordinator import make_coordinator
+from repro.distributed.executor import (
+    DistributedResult,
+    build_shard_plan_and_tasks,
+)
+from repro.distributed.worker import ShardOutput
+from repro.errors import InvalidParameterError, ProtocolError
+from repro.faults.injectors import FaultSpec
+from repro.faults.resilient import DegradationRecord
+from repro.faults.shards import ShardFaultPlan
+from repro.obs.events import DEGRADATION, MESSAGE_DELIVERED, SPAN_ASYNC, SPAN_MERGE
+from repro.obs.tracer import NULL_TRACER, TraceCollector
+from repro.streaming.instance import SetCoverInstance
+from repro.streaming.orders import ArrivalOrder
+from repro.types import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight message of an asynchronous run.
+
+    ``seq`` is the posting order (unique per scheduler); the transport
+    may deliver in any order consistent with availability, which is the
+    whole point.  ``payload`` is opaque to the scheduler — uploads carry
+    the posting shard's index so receivers can deduplicate.
+    """
+
+    seq: int
+    src: str
+    dst: str
+    kind: str
+    words: int
+    payload: object
+    posted_step: int
+    available_step: int
+
+    @property
+    def link(self) -> str:
+        """The ``src->dst`` label this message travels on."""
+        return link_label(self.src, self.dst)
+
+
+class DeliveryPolicy:
+    """Strategy choosing which available message is delivered next."""
+
+    name = "abstract"
+
+    def choose(self, deliverable: Sequence[Message]) -> int:
+        """Index into ``deliverable`` of the message to deliver."""
+        raise NotImplementedError
+
+
+class FifoDelivery(DeliveryPolicy):
+    """Deliver in posting order — the synchronous-looking baseline."""
+
+    name = "fifo"
+
+    def choose(self, deliverable: Sequence[Message]) -> int:
+        return min(range(len(deliverable)), key=lambda i: deliverable[i].seq)
+
+
+class RandomDelivery(DeliveryPolicy):
+    """Seeded uniformly random choice among the available messages.
+
+    One integer seed reproduces the entire adversarial schedule — the
+    chaos harness discipline applied to the transport.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: SeedLike = 0) -> None:
+        self.seed = seed
+        self._rng = make_rng(seed)
+
+    def choose(self, deliverable: Sequence[Message]) -> int:
+        return self._rng.randrange(len(deliverable))
+
+
+class FixedDelivery(DeliveryPolicy):
+    """Deliver by an explicit priority over posting sequence numbers.
+
+    ``priority[seq]`` ranks message ``seq``; lower ranks deliver first
+    and unranked messages fall back to their ``seq``.  Feeding every
+    permutation of ``range(k)`` enumerates every delivery order of a
+    ``k``-message run — the exhaustive-parity test harness.
+    """
+
+    name = "fixed"
+
+    def __init__(self, priority: Sequence[int]) -> None:
+        self._rank: Dict[int, int] = {
+            seq: rank for rank, seq in enumerate(priority)
+        }
+
+    def choose(self, deliverable: Sequence[Message]) -> int:
+        return min(
+            range(len(deliverable)),
+            key=lambda i: (
+                self._rank.get(deliverable[i].seq, len(self._rank)),
+                deliverable[i].seq,
+            ),
+        )
+
+
+class AsyncScheduler:
+    """Pending-message pool with a logical clock and per-player inboxes.
+
+    The clock starts at 0 and advances one step per delivery; when no
+    pending message is available yet the clock *idles* forward to the
+    earliest availability (counted in ``idle_ticks``).  Per-link delays
+    come from ``link_delays`` (keyed by ``src->dst`` label), falling
+    back to ``default_delay``; :meth:`post` can pin an absolute
+    availability instead for senders that finish late (stragglers).
+    """
+
+    def __init__(
+        self,
+        policy: Optional[DeliveryPolicy] = None,
+        link_delays: Optional[Mapping[str, int]] = None,
+        default_delay: int = 1,
+        tracer=None,
+    ) -> None:
+        if default_delay < 0:
+            raise InvalidParameterError(
+                "default_delay", default_delay, "must be >= 0"
+            )
+        self.policy = policy if policy is not None else FifoDelivery()
+        self.link_delays = dict(link_delays or {})
+        for label, delay in self.link_delays.items():
+            if delay < 0:
+                raise InvalidParameterError(
+                    "link_delays", f"{label}:{delay}", "delays must be >= 0"
+                )
+        self.default_delay = default_delay
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.clock = 0
+        self.delivered = 0
+        self.idle_ticks = 0
+        self._seq = 0
+        self._pending: List[Message] = []
+        self._inboxes: Dict[str, List[Message]] = {}
+
+    def link_delay(self, src: str, dst: str) -> int:
+        """The configured delay of the ``src->dst`` link."""
+        return self.link_delays.get(link_label(src, dst), self.default_delay)
+
+    def post(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        words: int = 0,
+        payload: object = None,
+        available_step: Optional[int] = None,
+    ) -> Message:
+        """Add a message to the pending pool.
+
+        Without ``available_step`` the message becomes available after
+        its link delay from *now*; an explicit ``available_step`` models
+        a sender that only finishes at a known logical step.
+        """
+        available = (
+            available_step
+            if available_step is not None
+            else self.clock + self.link_delay(src, dst)
+        )
+        message = Message(
+            seq=self._seq,
+            src=src,
+            dst=dst,
+            kind=kind,
+            words=words,
+            payload=payload,
+            posted_step=self.clock,
+            available_step=max(available, self.clock),
+        )
+        self._seq += 1
+        self._pending.append(message)
+        return message
+
+    def pending(self) -> int:
+        """Number of messages still in flight."""
+        return len(self._pending)
+
+    def inbox(self, player: str) -> List[Message]:
+        """Messages delivered to ``player``, in delivery order."""
+        return list(self._inboxes.get(player, ()))
+
+    def deliver_next(self) -> Optional[Message]:
+        """Deliver one message chosen by the policy; ``None`` when idle.
+
+        Advances the clock: first idling to the earliest availability if
+        nothing is deliverable yet, then one step for the delivery
+        itself — so a run's final clock reading is its completion time
+        in logical steps.
+        """
+        if not self._pending:
+            return None
+        deliverable = [
+            m for m in self._pending if m.available_step <= self.clock
+        ]
+        if not deliverable:
+            horizon = min(m.available_step for m in self._pending)
+            self.idle_ticks += horizon - self.clock
+            self.clock = horizon
+            deliverable = [
+                m for m in self._pending if m.available_step <= self.clock
+            ]
+        choice = self.policy.choose(deliverable)
+        if not 0 <= choice < len(deliverable):
+            raise ProtocolError(
+                f"delivery policy {self.policy.name!r} chose index {choice} "
+                f"out of {len(deliverable)} deliverable message(s)"
+            )
+        message = deliverable[choice]
+        self._pending.remove(message)
+        self.clock += 1
+        self.delivered += 1
+        self._inboxes.setdefault(message.dst, []).append(message)
+        if self.tracer.enabled:
+            self.tracer.event(
+                MESSAGE_DELIVERED,
+                link=message.link,
+                kind=message.kind,
+                words=message.words,
+                seq=message.seq,
+                step=self.clock,
+            )
+        return message
+
+    def drain(self) -> List[Message]:
+        """Deliver every pending message; returns them in delivery order."""
+        out: List[Message] = []
+        while True:
+            message = self.deliver_next()
+            if message is None:
+                return out
+            out.append(message)
+
+
+def run_distributed_async(
+    instance: SetCoverInstance,
+    workers: int,
+    algorithm: str = "kk",
+    strategy: str = "by-set",
+    coordinator: str = "chain",
+    order: Optional[ArrivalOrder] = None,
+    seed: SeedLike = 0,
+    alpha: Optional[float] = None,
+    max_workers: int = 1,
+    comm_budget: Optional[CommBudget] = None,
+    faults: Optional[Sequence[FaultSpec]] = None,
+    collector: Optional[TraceCollector] = None,
+    threshold: Optional[float] = None,
+    comm_log: bool = False,
+    backend: Optional[str] = None,
+    shard_faults: Optional[ShardFaultPlan] = None,
+    min_shards: Optional[int] = None,
+    deadline_steps: Optional[int] = None,
+    max_attempts: int = 3,
+    backoff_steps: int = 1,
+    schedule_seed: SeedLike = 0,
+    delivery: Optional[DeliveryPolicy] = None,
+    link_delays: Optional[Mapping[str, int]] = None,
+    default_delay: int = 1,
+) -> DistributedResult:
+    """Asynchronous twin of :func:`~repro.distributed.executor.run_distributed`.
+
+    Same semantic parameters, same result type, plus the transport:
+    ``delivery`` (default :class:`RandomDelivery` seeded with
+    ``schedule_seed``), ``link_delays`` / ``default_delay`` in logical
+    steps, and the shard resilience knobs shared with the synchronous
+    path.  The returned result's cover, certificate, and comm report
+    are byte-identical to the synchronous materializing path for *any*
+    fault-free schedule; the schedule surfaces in ``diagnostics``
+    (``logical_steps``, ``delivered_messages``, ``idle_ticks``,
+    ``duplicates_dropped``, ``schedule_seed``) and the ``async`` trace
+    cell.
+    """
+    if max_workers < 1:
+        raise InvalidParameterError(
+            "max_workers", max_workers, "need at least 1 executor worker"
+        )
+    if min_shards is not None and not 1 <= min_shards <= workers:
+        raise InvalidParameterError(
+            "min_shards",
+            min_shards,
+            f"must be between 1 and workers={workers}",
+        )
+    backend_impl = make_backend(backend if backend is not None else "thread")
+    # Fail fast on an unknown coordinator — before any shard work runs.
+    merger = make_coordinator(coordinator, threshold=threshold)
+    policy = (
+        delivery if delivery is not None else RandomDelivery(schedule_seed)
+    )
+    plan_faults = shard_faults if shard_faults is not None else ShardFaultPlan()
+
+    traced = collector is not None
+    plan, tasks = build_shard_plan_and_tasks(
+        instance,
+        workers,
+        algorithm=algorithm,
+        strategy=strategy,
+        order=order,
+        seed=seed,
+        alpha=alpha,
+        faults=faults,
+        traced=traced,
+    )
+    async_tracer = (
+        collector.tracer_for("async") if collector is not None else NULL_TRACER
+    )
+    merge_tracer = (
+        collector.tracer_for("merge") if collector is not None else NULL_TRACER
+    )
+
+    envelopes, outcomes = run_tasks_with_recovery(
+        backend_impl,
+        tasks,
+        max_workers,
+        shard_faults=plan_faults,
+        max_attempts=max_attempts,
+        backoff_steps=backoff_steps,
+        deadline_steps=deadline_steps,
+        tracer=async_tracer,
+    )
+    outputs_by_index: Dict[int, ShardOutput] = {}
+    for envelope in envelopes:
+        if envelope is None:
+            continue
+        outputs_by_index[envelope.index] = envelope.output
+        if collector is not None and envelope.trace_jsonl is not None:
+            collector.adopt_jsonl(
+                f"shard[{envelope.index:03d}]", envelope.trace_jsonl
+            )
+    completion = {o.index: o.completion_step for o in outcomes}
+
+    lost = [o for o in outcomes if o.abandoned]
+    if lost:
+        survivors = workers - len(lost)
+        required = min_shards if min_shards is not None else workers
+        if survivors < required:
+            raise lost[0].to_error(
+                deadline_steps=deadline_steps,
+                context=(
+                    f"quorum not met: {survivors}/{workers} shard(s) "
+                    f"survived, need {required}"
+                ),
+            )
+    allow_partial = bool(lost)
+
+    scheduler = AsyncScheduler(
+        policy=policy,
+        link_delays=link_delays,
+        default_delay=default_delay,
+        tracer=async_tracer,
+    )
+    duplicates_dropped = 0
+    comm = CommMeter(budget=comm_budget, log_messages=comm_log)
+
+    def do_merge(merge_inputs: List[ShardOutput]):
+        with merge_tracer.span(
+            SPAN_MERGE,
+            coordinator=coordinator,
+            strategy=strategy,
+            workers=workers,
+        ):
+            return merger.merge(
+                instance,
+                plan,
+                merge_inputs,
+                comm,
+                tracer=merge_tracer,
+                allow_partial=allow_partial,
+            )
+
+    with async_tracer.span(
+        SPAN_ASYNC,
+        coordinator=coordinator,
+        policy=policy.name,
+        workers=workers,
+    ):
+        if coordinator == "chain":
+            # The chain is inherently sequential: hand-off i+1 can only
+            # be posted once hand-off i has landed, and a hand-off
+            # leaves shard a no earlier than the shard finished.  The
+            # merge itself runs first (it is what computes the state
+            # sizes); the scheduler then relays the hand-offs, so the
+            # clock measures the protocol's O(W) critical path.
+            survivors_sorted = sorted(outputs_by_index)
+            merge_inputs = [outputs_by_index[i] for i in survivors_sorted]
+            outcome = do_merge(merge_inputs)
+            hops = list(zip(survivors_sorted, survivors_sorted[1:]))
+            hand_words: Dict[str, int] = dict(
+                comm.report().per_link_words
+            )
+            seen_hops = set()
+            for a, b in hops:
+                src, dst = f"shard[{a}]", f"shard[{b}]"
+                ready = max(
+                    scheduler.clock + scheduler.link_delay(src, dst),
+                    completion.get(a, 0),
+                )
+                copies = 2 if plan_faults.spec_for(a).duplicate else 1
+                for _ in range(copies):
+                    scheduler.post(
+                        src,
+                        dst,
+                        kind="handoff",
+                        words=hand_words.get(link_label(src, dst), 0),
+                        payload=a,
+                        available_step=ready,
+                    )
+                for message in scheduler.drain():
+                    hop = (message.src, message.dst)
+                    if hop in seen_hops:
+                        duplicates_dropped += 1
+                    seen_hops.add(hop)
+        else:
+            # Star topology: every surviving shard posts its envelope
+            # upload, available once the shard finished plus the link
+            # delay; the coordinator consumes its inbox — deduplicated
+            # by shard index and sorted — as the merge inputs.
+            for i in sorted(outputs_by_index):
+                out = outputs_by_index[i]
+                src = f"shard[{i}]"
+                words = words_for_cover_message(
+                    len(out.cover), len(out.certificate)
+                )
+                ready = completion.get(i, 0) + scheduler.link_delay(
+                    src, "coordinator"
+                )
+                copies = 2 if plan_faults.spec_for(i).duplicate else 1
+                for _ in range(copies):
+                    scheduler.post(
+                        src,
+                        "coordinator",
+                        kind="envelope",
+                        words=words,
+                        payload=i,
+                        available_step=ready,
+                    )
+            scheduler.drain()
+            received: List[int] = []
+            seen = set()
+            for message in scheduler.inbox("coordinator"):
+                index = message.payload
+                if index in seen:
+                    duplicates_dropped += 1
+                    continue
+                seen.add(index)
+                received.append(index)
+            merge_inputs = [outputs_by_index[i] for i in sorted(received)]
+            outcome = do_merge(merge_inputs)
+
+    degradations: Tuple[DegradationRecord, ...] = ()
+    if lost:
+        n = instance.n
+        fraction = (n - len(outcome.uncovered)) / n if n else 1.0
+        records = []
+        for o in lost:
+            records.append(
+                DegradationRecord(
+                    policy="quorum-degraded",
+                    relaxed_invariant="complete-cover",
+                    coverage_fraction=fraction,
+                    uncovered_count=len(outcome.uncovered),
+                    error_type=o.error_type,
+                    error_message=o.error_message,
+                    details={
+                        "shard": float(o.index),
+                        "attempts": float(o.attempts),
+                        "completion_step": float(o.completion_step),
+                        "survivors": float(workers - len(lost)),
+                        "workers": float(workers),
+                    },
+                )
+            )
+            if merge_tracer.enabled:
+                merge_tracer.event(
+                    DEGRADATION,
+                    policy="quorum-degraded",
+                    shard=o.index,
+                    error_type=o.error_type,
+                    uncovered_count=len(outcome.uncovered),
+                )
+        degradations = tuple(records)
+
+    shard_outputs = [outputs_by_index[i] for i in sorted(outputs_by_index)]
+    diagnostics: Dict[str, float] = dict(outcome.diagnostics)
+    diagnostics["total_edges_routed"] = float(plan.total_edges)
+    diagnostics["dropped_invalid_edges"] = float(
+        sum(out.report.dropped_invalid for out in shard_outputs)
+    )
+    diagnostics["peak_shard_space_words"] = float(
+        max((out.report.space.peak_words for out in shard_outputs), default=0)
+    )
+    diagnostics["shards_lost"] = float(len(lost))
+    diagnostics["shard_retries"] = float(
+        sum(max(0, o.attempts - 1) for o in outcomes)
+    )
+    diagnostics["logical_steps"] = float(scheduler.clock)
+    diagnostics["delivered_messages"] = float(scheduler.delivered)
+    diagnostics["idle_ticks"] = float(scheduler.idle_ticks)
+    diagnostics["duplicates_dropped"] = float(duplicates_dropped)
+    diagnostics["schedule_seed"] = float(int(schedule_seed))
+
+    arrival_name = plan.order_name
+    return DistributedResult(
+        cover=frozenset(outcome.cover),
+        certificate=dict(outcome.certificate),
+        comm=comm.report(),
+        shards=[out.report for out in shard_outputs],
+        algorithm=algorithm,
+        strategy=strategy,
+        coordinator=coordinator,
+        workers=workers,
+        seed=int(seed if seed is not None else 0),
+        order_name=arrival_name,
+        diagnostics=diagnostics,
+        outcomes=tuple(outcomes),
+        degradations=degradations,
+        uncovered=tuple(outcome.uncovered),
+    )

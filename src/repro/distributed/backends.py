@@ -34,11 +34,13 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.errors import InvalidParameterError
 from repro.faults.injectors import FaultSpec, apply_faults
+from repro.faults.shards import ShardFaultPlan
+from repro.obs.events import SHARD_ABANDONED, SHARD_RETRY
 from repro.obs.tracer import NULL_TRACER, RecordingTracer
 from repro.types import Edge, SetId
 
@@ -386,3 +388,183 @@ def make_backend(name: str) -> Backend:
             "backend", name, f"known backends: {known}"
         ) from None
     return cls()
+
+
+# -- fault-tolerant execution ----------------------------------------------
+
+#: States a :class:`ShardOutcome` can end in.
+SHARD_OK = "ok"
+SHARD_CRASHED = "crashed"
+SHARD_TIMED_OUT = "timed-out"
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """The attempt history of one shard under fault-tolerant execution.
+
+    ``completion_step`` is the logical step at which the shard's last
+    attempt finished (successfully or not) on the simulated clock —
+    attempt ``k`` starts where attempt ``k-1`` ended plus the backoff,
+    and takes ``attempt_steps + straggle_steps`` steps.  ``error_type``
+    and ``error_message`` are non-empty only for abandoned shards and
+    name the typed error the quorum policy raises when it cannot
+    proceed without the shard.
+    """
+
+    index: int
+    state: str
+    attempts: int
+    completion_step: int
+    error_type: str = ""
+    error_message: str = ""
+
+    @property
+    def retried(self) -> bool:
+        """True iff the shard needed more than one attempt."""
+        return self.attempts > 1
+
+    @property
+    def abandoned(self) -> bool:
+        """True iff every attempt failed and the output was lost."""
+        return self.state != SHARD_OK
+
+    def to_error(self, deadline_steps: Optional[int] = None, context: str = ""):
+        """The typed error this abandoned outcome stands for."""
+        from repro.errors import ShardCrashError, ShardTimeoutError
+
+        if self.state == SHARD_CRASHED:
+            return ShardCrashError(self.index, self.attempts, context=context)
+        if self.state == SHARD_TIMED_OUT:
+            return ShardTimeoutError(
+                self.index,
+                self.attempts,
+                self.completion_step,
+                deadline_steps if deadline_steps is not None else -1,
+                context=context,
+            )
+        raise ValueError(f"shard[{self.index}] was not abandoned")
+
+
+def run_tasks_with_recovery(
+    backend: Backend,
+    tasks: Sequence[ShardTask],
+    max_workers: int,
+    shard_faults: Optional[ShardFaultPlan] = None,
+    max_attempts: int = 3,
+    backoff_steps: int = 1,
+    deadline_steps: Optional[int] = None,
+    attempt_steps: int = 1,
+    tracer=None,
+) -> Tuple[List[Optional[ShardEnvelope]], List[ShardOutcome]]:
+    """Execute shard tasks under per-shard retry-with-backoff.
+
+    The fault model is *simulated before execution*: each shard's
+    attempt history — crashes from its
+    :class:`~repro.faults.shards.ShardFaultSpec`, straggler delays, and
+    deadline misses — plays out on a logical clock, and only the tasks
+    whose surviving attempt succeeds are executed, in **one**
+    ``backend.run_tasks`` call so real parallelism is preserved.  A
+    retried shard re-executes with
+    :func:`~repro.analysis.runner.derive_retry_seed` applied to its
+    pre-drawn seed (attempt 1 keeps the seed unchanged, so a fault-free
+    plan reproduces the plain path bit-for-bit); an abandoned shard's
+    slot holds ``None``.
+
+    Returns ``(envelopes, outcomes)``: ``envelopes[i]`` corresponds to
+    ``tasks[i]`` (``None`` when abandoned) and ``outcomes`` carries one
+    :class:`ShardOutcome` per task, in task order.
+    """
+    # Imported here, not at module scope: repro.analysis re-exports the
+    # chaos harness, which imports this package — a module-level import
+    # would be circular.
+    from repro.analysis.runner import derive_retry_seed
+
+    tracer = tracer if tracer is not None else NULL_TRACER
+    if max_attempts < 1:
+        raise InvalidParameterError(
+            "max_attempts", max_attempts, "must be >= 1"
+        )
+    if backoff_steps < 0:
+        raise InvalidParameterError(
+            "backoff_steps", backoff_steps, "must be >= 0"
+        )
+    if attempt_steps < 1:
+        raise InvalidParameterError(
+            "attempt_steps", attempt_steps, "must be >= 1"
+        )
+    if deadline_steps is not None and deadline_steps < 1:
+        raise InvalidParameterError(
+            "deadline_steps", deadline_steps, "must be >= 1 (or None)"
+        )
+    plan = shard_faults if shard_faults is not None else ShardFaultPlan()
+
+    to_run: List[ShardTask] = []
+    run_slots: List[int] = []
+    outcomes: List[ShardOutcome] = []
+    for slot, task in enumerate(tasks):
+        spec = plan.spec_for(task.index)
+        start = 0
+        state = SHARD_OK
+        finish = 0
+        attempt = 0
+        for attempt in range(1, max_attempts + 1):
+            finish = start + attempt_steps + spec.straggle_steps
+            if attempt <= spec.crash_attempts:
+                state = SHARD_CRASHED
+            elif deadline_steps is not None and finish > deadline_steps:
+                state = SHARD_TIMED_OUT
+            else:
+                state = SHARD_OK
+                break
+            if attempt < max_attempts and tracer.enabled:
+                tracer.event(
+                    SHARD_RETRY,
+                    shard=task.index,
+                    attempt=attempt,
+                    reason=state,
+                    step=finish,
+                )
+            start = finish + backoff_steps
+        if state == SHARD_OK:
+            seed = derive_retry_seed(task.seed, attempt)
+            to_run.append(
+                task if seed == task.seed else replace(task, seed=seed)
+            )
+            run_slots.append(slot)
+            outcomes.append(
+                ShardOutcome(
+                    index=task.index,
+                    state=SHARD_OK,
+                    attempts=attempt,
+                    completion_step=finish,
+                )
+            )
+        else:
+            outcome = ShardOutcome(
+                index=task.index,
+                state=state,
+                attempts=max_attempts,
+                completion_step=finish,
+            )
+            error = outcome.to_error(deadline_steps=deadline_steps)
+            outcomes.append(
+                replace(
+                    outcome,
+                    error_type=type(error).__name__,
+                    error_message=str(error),
+                )
+            )
+            if tracer.enabled:
+                tracer.event(
+                    SHARD_ABANDONED,
+                    shard=task.index,
+                    attempts=max_attempts,
+                    reason=state,
+                    step=finish,
+                )
+
+    envelopes: List[Optional[ShardEnvelope]] = [None] * len(tasks)
+    if to_run:
+        for slot, envelope in zip(run_slots, backend.run_tasks(to_run, max_workers)):
+            envelopes[slot] = envelope
+    return envelopes, outcomes

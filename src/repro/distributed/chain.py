@@ -53,6 +53,9 @@ class ChainOutcome:
     certificate: Dict[ElementId, SetKey]
     message_words: List[int]
     threshold: float
+    #: Elements no surviving party could cover (non-empty only when the
+    #: merge ran with ``partial=True`` over a degraded party set).
+    uncovered: Tuple[ElementId, ...] = ()
 
     @property
     def cover_size(self) -> int:
@@ -81,6 +84,7 @@ def chain_merge(
     n: int,
     party_sets: Sequence[PartySets],
     threshold: Optional[float] = None,
+    partial: bool = False,
 ) -> ChainOutcome:
     """Run the deterministic chain protocol over per-party set shares.
 
@@ -98,6 +102,11 @@ def chain_merge(
     threshold:
         Greedy take-threshold; defaults to ``√(n/t)`` as in the
         analysis.
+    partial:
+        Quorum-degraded mode: elements no party can witness are left
+        uncovered and reported in :attr:`ChainOutcome.uncovered`
+        instead of raising :class:`ProtocolError`.  The default keeps
+        the protocol's contract — an infeasible residue is an error.
     """
     t = len(party_sets)
     if t < 1:
@@ -135,15 +144,19 @@ def chain_merge(
                     progress = True
         if is_last:
             # Patch the residue with recorded witnesses.
+            unpatchable: List[ElementId] = []
             for u in sorted(uncovered):
                 witness = witnesses.get(u)
                 if witness is None:
+                    if partial:
+                        unpatchable.append(u)
+                        continue
                     raise ProtocolError(
                         f"element {u} is covered by no party's sets; "
                         "instance infeasible"
                     )
                 chosen.append(witness)
-            uncovered = set()
+            uncovered = set(unpatchable)
         else:
             message_words.append(state_words(uncovered, witnesses, chosen))
 
@@ -161,7 +174,7 @@ def chain_merge(
         for u in members_by_key.get(key, ()):
             certificate.setdefault(u, key)
     missing = [u for u in range(n) if u not in certificate]
-    if missing:
+    if missing and not partial:
         raise ProtocolError(
             f"protocol output misses {len(missing)} element(s), e.g. "
             f"{missing[:5]}"
@@ -172,4 +185,5 @@ def chain_merge(
         certificate=certificate,
         message_words=message_words,
         threshold=tau,
+        uncovered=tuple(missing),
     )

@@ -33,6 +33,17 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import CommBudgetError
 
 
+def link_label(src: str, dst: str) -> str:
+    """The canonical ``src->dst`` label of a directed link.
+
+    Single source of truth for link naming: the meter, the coordinators,
+    and the async delivery simulator all agree on this format, so a
+    message delivered through the scheduler is charged to exactly the
+    link a synchronous merge would have used.
+    """
+    return f"{src}->{dst}"
+
+
 @dataclass
 class CommBudget:
     """A hard cap, in words, on the *total* communication of a merge."""
@@ -78,7 +89,7 @@ class CommReport:
 
     def link_words(self, src: str, dst: str) -> int:
         """Words carried on the ``src->dst`` link (0 if unused)."""
-        return self.per_link_words.get(f"{src}->{dst}", 0)
+        return self.per_link_words.get(link_label(src, dst), 0)
 
 
 class CommMeter:
@@ -128,7 +139,7 @@ class CommMeter:
         """
         if words < 0:
             raise ValueError(f"message size must be >= 0, got {words}")
-        link = f"{src}->{dst}"
+        link = link_label(src, dst)
         self._per_link_words[link] = self._per_link_words.get(link, 0) + words
         self._per_link_messages[link] = self._per_link_messages.get(link, 0) + 1
         self._total += words
@@ -167,7 +178,7 @@ class CommMeter:
 
     def link_words(self, src: str, dst: str) -> int:
         """Words carried on the ``src->dst`` link so far (0 if unused)."""
-        return self._per_link_words.get(f"{src}->{dst}", 0)
+        return self._per_link_words.get(link_label(src, dst), 0)
 
     def report(self) -> CommReport:
         """Snapshot of the totals and the per-link breakdown."""

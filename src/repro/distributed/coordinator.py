@@ -34,7 +34,11 @@ from repro.distributed.chain import chain_merge
 from repro.distributed.comm import CommMeter, words_for_cover_message
 from repro.distributed.router import ShardPlan
 from repro.distributed.worker import ShardOutput
-from repro.errors import ConfigurationError, InvalidCoverError
+from repro.errors import (
+    ConfigurationError,
+    InvalidCoverError,
+    InvalidParameterError,
+)
 from repro.obs.events import MESSAGE_SENT
 from repro.obs.tracer import NULL_TRACER
 from repro.streaming.instance import SetCoverInstance
@@ -43,11 +47,18 @@ from repro.types import ElementId, SetId
 
 @dataclass
 class MergeOutcome:
-    """A coordinator's verdict: the global cover plus merge diagnostics."""
+    """A coordinator's verdict: the global cover plus merge diagnostics.
+
+    ``uncovered`` is empty for a full merge; a quorum-degraded merge
+    (``allow_partial=True`` with shard outputs missing) lists the
+    elements the surviving shards could not cover — the caller turns
+    that into explicit :class:`~repro.faults.resilient.DegradationRecord`s.
+    """
 
     cover: Tuple[SetId, ...]
     certificate: Dict[ElementId, SetId]
     diagnostics: Dict[str, float] = field(default_factory=dict)
+    uncovered: Tuple[ElementId, ...] = ()
 
 
 def _send(
@@ -60,7 +71,14 @@ def _send(
 
 
 class Coordinator:
-    """Interface: merge shard outputs into one cover, metering comm."""
+    """Interface: merge shard outputs into one cover, metering comm.
+
+    ``allow_partial`` is the quorum-degraded mode: ``outputs`` may be a
+    *subset* of the planned shards (survivors only, in shard-index
+    order) and the merge must return a valid-but-partial cover with
+    :attr:`MergeOutcome.uncovered` listing what was lost — instead of
+    raising on an uncoverable universe.
+    """
 
     name = "abstract"
 
@@ -71,6 +89,7 @@ class Coordinator:
         outputs: Sequence[ShardOutput],
         comm: CommMeter,
         tracer=None,
+        allow_partial: bool = False,
     ) -> MergeOutcome:
         raise NotImplementedError
 
@@ -87,6 +106,7 @@ class UnionCoordinator(Coordinator):
         outputs: Sequence[ShardOutput],
         comm: CommMeter,
         tracer=None,
+        allow_partial: bool = False,
     ) -> MergeOutcome:
         tracer = tracer if tracer is not None else NULL_TRACER
         cover: Set[SetId] = set()
@@ -102,10 +122,19 @@ class UnionCoordinator(Coordinator):
             cover.update(out.cover)
             for u, s in sorted(out.certificate.items()):
                 certificate.setdefault(u, s)
+        uncovered = tuple(
+            u for u in range(instance.n) if u not in certificate
+        )
+        if uncovered and not allow_partial:
+            raise InvalidCoverError(
+                f"union merge leaves {len(uncovered)} element(s) uncovered; "
+                "shard covers do not jointly cover the universe"
+            )
         return MergeOutcome(
             cover=tuple(sorted(cover)),
             certificate=certificate,
             diagnostics={"shards_contributing": float(len(outputs))},
+            uncovered=uncovered,
         )
 
 
@@ -127,6 +156,7 @@ class GreedyCoordinator(Coordinator):
         outputs: Sequence[ShardOutput],
         comm: CommMeter,
         tracer=None,
+        allow_partial: bool = False,
     ) -> MergeOutcome:
         tracer = tracer if tracer is not None else NULL_TRACER
         candidates: Dict[SetId, Set[ElementId]] = {}
@@ -154,6 +184,8 @@ class GreedyCoordinator(Coordinator):
                 ):
                     best_sid, best_gain = sid, gain
             if best_sid is None or best_gain == 0:
+                if allow_partial:
+                    break
                 raise InvalidCoverError(
                     f"greedy merge stalled with {len(uncovered)} element(s) "
                     "uncovered; shard covers do not jointly cover the universe"
@@ -171,6 +203,7 @@ class GreedyCoordinator(Coordinator):
                 "candidate_sets": float(len(candidates)),
                 "greedy_rounds": float(rounds),
             },
+            uncovered=tuple(sorted(uncovered)),
         )
 
 
@@ -179,9 +212,12 @@ class ChainCoordinator(Coordinator):
 
     Parties are the shards in index order; party ``i``'s sets are the
     shard's ``set_order`` enumeration with the membership it observed.
-    Each hand-off ``shard[i] -> shard[i+1]`` is charged the forwarded
-    state's exact word count, so ``max_message_words`` is the protocol's
-    longest message — the quantity Theorem 2's lower bound governs.
+    Each hand-off is charged to the link between the *actual* shard
+    indices of consecutive surviving parties (``shard[0]->shard[1]`` in
+    a full merge; e.g. ``shard[0]->shard[2]`` when shard 1 was lost to a
+    quorum-degraded merge) at the forwarded state's exact word count, so
+    ``max_message_words`` is the protocol's longest message — the
+    quantity Theorem 2's lower bound governs.
     """
 
     name = "chain"
@@ -196,6 +232,7 @@ class ChainCoordinator(Coordinator):
         outputs: Sequence[ShardOutput],
         comm: CommMeter,
         tracer=None,
+        allow_partial: bool = False,
     ) -> MergeOutcome:
         tracer = tracer if tracer is not None else NULL_TRACER
         party_sets = [
@@ -206,10 +243,19 @@ class ChainCoordinator(Coordinator):
             for out in outputs
         ]
         outcome = chain_merge(
-            instance.n, party_sets, threshold=self.threshold
+            instance.n,
+            party_sets,
+            threshold=self.threshold,
+            partial=allow_partial,
         )
         for i, words in enumerate(outcome.message_words):
-            _send(comm, tracer, f"shard[{i}]", f"shard[{i + 1}]", words)
+            _send(
+                comm,
+                tracer,
+                f"shard[{outputs[i].index}]",
+                f"shard[{outputs[i + 1].index}]",
+                words,
+            )
         return MergeOutcome(
             cover=tuple(outcome.cover),
             certificate=dict(outcome.certificate),
@@ -217,6 +263,7 @@ class ChainCoordinator(Coordinator):
                 "threshold": outcome.threshold,
                 "protocol_messages": float(len(outcome.message_words)),
             },
+            uncovered=outcome.uncovered,
         )
 
 
@@ -241,8 +288,8 @@ def make_coordinator(
         cls = COORDINATOR_REGISTRY[name]
     except KeyError:
         known = ", ".join(registered_coordinators())
-        raise ConfigurationError(
-            f"unknown coordinator {name!r}; known coordinators: {known}"
+        raise InvalidParameterError(
+            "coordinator", name, f"known coordinators: {known}"
         ) from None
     if cls is ChainCoordinator:
         return ChainCoordinator(threshold=threshold)

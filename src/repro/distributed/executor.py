@@ -34,8 +34,10 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.distributed.backends import (
     Backend,
     ShardEnvelope,
+    ShardOutcome,
     ShardTask,
     make_backend,
+    run_tasks_with_recovery,
 )
 from repro.distributed.comm import CommBudget, CommMeter, CommReport
 from repro.distributed.coordinator import make_coordinator
@@ -54,7 +56,9 @@ from repro.errors import (
     InvalidParameterError,
 )
 from repro.faults.injectors import FaultSpec
-from repro.obs.events import SPAN_MERGE
+from repro.faults.resilient import DegradationRecord
+from repro.faults.shards import ShardFaultPlan
+from repro.obs.events import DEGRADATION, SPAN_MERGE
 from repro.obs.tracer import NULL_TRACER, TraceCollector
 from repro.streaming.instance import SetCoverInstance
 from repro.streaming.orders import ArrivalOrder, CanonicalOrder
@@ -81,6 +85,15 @@ class DistributedResult:
     seed: int = 0
     order_name: str = "canonical"
     diagnostics: Dict[str, float] = field(default_factory=dict)
+    #: Per-shard attempt histories under fault-tolerant execution; empty
+    #: for plain runs (no resilience knobs set).
+    outcomes: Tuple[ShardOutcome, ...] = ()
+    #: One record per shard abandoned by a quorum-degraded merge; empty
+    #: means the cover is complete.  Mirrors ResilientAlgorithm's
+    #: contract: a partial answer always carries its explicit account.
+    degradations: Tuple[DegradationRecord, ...] = ()
+    #: Elements the (possibly degraded) merge left uncovered, ascending.
+    uncovered: Tuple[ElementId, ...] = ()
     # Operational metadata: which backend/ingest produced this result and
     # what the streaming queues did.  Excluded from equality because the
     # contract is exactly that these must NOT change the result.
@@ -106,16 +119,29 @@ class DistributedResult:
         """Largest single message of the merge — Theorem 2's quantity."""
         return self.comm.max_message_words
 
-    def verify(self, instance: SetCoverInstance) -> None:
+    def verify(
+        self, instance: SetCoverInstance, allow_partial: bool = False
+    ) -> None:
         """Raise :class:`InvalidCoverError` unless this is a valid cover.
 
         Same three checks as :meth:`StreamingResult.verify`: total
         certificate, witnesses inside the cover, witnesses containing
-        their elements.
+        their elements.  With ``allow_partial`` (quorum-degraded runs)
+        the totality check relaxes to *accounted-for* totality: every
+        element must either carry a valid witness or appear explicitly
+        in :attr:`uncovered` — a silently missing element still fails.
         """
         label = f"distributed[{self.coordinator or 'merge'}]"
+        reported_uncovered = set(self.uncovered)
         for u in range(instance.n):
             if u not in self.certificate:
+                if allow_partial and u in reported_uncovered:
+                    continue
+                if allow_partial:
+                    raise InvalidCoverError(
+                        f"{label}: element {u} has no witness and is not "
+                        "reported uncovered"
+                    )
                 raise InvalidCoverError(f"{label}: element {u} has no witness")
             witness = self.certificate[u]
             if witness not in self.cover:
@@ -128,10 +154,12 @@ class DistributedResult:
                     f"{label}: set {witness} does not contain element {u}"
                 )
 
-    def is_valid(self, instance: SetCoverInstance) -> bool:
+    def is_valid(
+        self, instance: SetCoverInstance, allow_partial: bool = False
+    ) -> bool:
         """``True`` iff :meth:`verify` passes."""
         try:
-            self.verify(instance)
+            self.verify(instance, allow_partial=allow_partial)
         except InvalidCoverError:
             return False
         return True
@@ -168,6 +196,52 @@ def _reseeded_faults(
     )
 
 
+def build_shard_plan_and_tasks(
+    instance: SetCoverInstance,
+    workers: int,
+    algorithm: str = "kk",
+    strategy: str = "by-set",
+    order: Optional[ArrivalOrder] = None,
+    seed: SeedLike = 0,
+    alpha: Optional[float] = None,
+    faults: Optional[Sequence[FaultSpec]] = None,
+    traced: bool = False,
+) -> Tuple[ShardPlan, List[ShardTask]]:
+    """Route ``instance`` and return the plan plus W self-contained tasks.
+
+    Exactly the routing and seed discipline of :func:`run_distributed`'s
+    materializing path — the single source of truth the synchronous
+    executor, :func:`build_shard_tasks`, and the asynchronous simulator
+    (:mod:`repro.distributed.asyncsim`) all share, which is what makes
+    the async/sync parity guarantee structural rather than coincidental.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"need at least 1 worker, got {workers}")
+    arrival = order if order is not None else CanonicalOrder()
+    root_seed = seed if seed is not None else 0
+    edges = arrival.apply(list(instance.edges()))
+    router = ShardRouter(strategy=strategy, workers=workers, seed=root_seed)
+    plan = router.route_edges(instance, edges, order_name=arrival.name)
+    shard_seeds, fault_seeds = _draw_shard_seeds(root_seed, workers)
+    shape = InstanceShape.of(instance)
+    tasks = [
+        ShardTask(
+            index=index,
+            algorithm=algorithm,
+            seed=shard_seeds[index],
+            shape=shape,
+            edges=plan.shard_edges[index],
+            set_order=plan.set_order[index],
+            alpha=alpha,
+            fault_specs=_reseeded_faults(faults, fault_seeds[index]),
+            order_name=arrival.name,
+            traced=traced,
+        )
+        for index in range(workers)
+    ]
+    return plan, tasks
+
+
 def build_shard_tasks(
     instance: SetCoverInstance,
     workers: int,
@@ -186,30 +260,18 @@ def build_shard_tasks(
     eventually) can pickle, ship, and replay shard work without the
     executor.
     """
-    if workers < 1:
-        raise ConfigurationError(f"need at least 1 worker, got {workers}")
-    arrival = order if order is not None else CanonicalOrder()
-    root_seed = seed if seed is not None else 0
-    edges = arrival.apply(list(instance.edges()))
-    router = ShardRouter(strategy=strategy, workers=workers, seed=root_seed)
-    plan = router.route_edges(instance, edges, order_name=arrival.name)
-    shard_seeds, fault_seeds = _draw_shard_seeds(root_seed, workers)
-    shape = InstanceShape.of(instance)
-    return [
-        ShardTask(
-            index=index,
-            algorithm=algorithm,
-            seed=shard_seeds[index],
-            shape=shape,
-            edges=plan.shard_edges[index],
-            set_order=plan.set_order[index],
-            alpha=alpha,
-            fault_specs=_reseeded_faults(faults, fault_seeds[index]),
-            order_name=arrival.name,
-            traced=traced,
-        )
-        for index in range(workers)
-    ]
+    _, tasks = build_shard_plan_and_tasks(
+        instance,
+        workers,
+        algorithm=algorithm,
+        strategy=strategy,
+        order=order,
+        seed=seed,
+        alpha=alpha,
+        faults=faults,
+        traced=traced,
+    )
+    return tasks
 
 
 def run_distributed(
@@ -231,6 +293,11 @@ def run_distributed(
     ingest: str = "materialize",
     chunk_size: int = 4096,
     queue_depth: int = 8,
+    shard_faults: Optional[ShardFaultPlan] = None,
+    min_shards: Optional[int] = None,
+    deadline_steps: Optional[int] = None,
+    max_attempts: int = 3,
+    backoff_steps: int = 1,
 ) -> DistributedResult:
     """Run ``algorithm`` over ``instance`` sharded across ``workers``.
 
@@ -274,6 +341,28 @@ def run_distributed(
         Maximum chunks a shard's hand-off queue may hold under
         streaming ingest; a full queue blocks the router
         (backpressure), bounding the in-flight buffer.
+    shard_faults:
+        Machine-level fault plan (:class:`~repro.faults.shards.ShardFaultPlan`):
+        crashes and stragglers afflicting specific shards.  Setting any
+        resilience knob routes execution through
+        :func:`~repro.distributed.backends.run_tasks_with_recovery`
+        (retry-with-backoff on a logical clock) and requires the
+        materializing ingest path.
+    min_shards:
+        Quorum policy: the merge proceeds — degraded, with explicit
+        :class:`~repro.faults.resilient.DegradationRecord`s — as long
+        as at least this many shards survive.  Default ``None`` demands
+        all ``workers`` shards, so any abandoned shard raises its typed
+        :class:`~repro.errors.ShardCrashError` /
+        :class:`~repro.errors.ShardTimeoutError`.
+    deadline_steps:
+        Per-attempt deadline on the logical clock; an attempt finishing
+        later times out and is retried, then abandoned.
+    max_attempts:
+        Attempts per shard before abandoning it (retries re-seed via
+        :func:`~repro.analysis.runner.derive_retry_seed`).
+    backoff_steps:
+        Logical steps between a failed attempt and the next.
     """
     if workers < 1:
         raise ConfigurationError(f"need at least 1 worker, got {workers}")
@@ -295,6 +384,28 @@ def run_distributed(
             "queue_depth", queue_depth, "need at least 1 chunk of queue depth"
         )
     backend_impl = make_backend(backend if backend is not None else "thread")
+    # Construct the merger before any shard work: an unknown coordinator
+    # must fail fast, not after W shards have already run.
+    merger = make_coordinator(coordinator, threshold=threshold)
+
+    resilient = (
+        shard_faults is not None
+        or min_shards is not None
+        or deadline_steps is not None
+    )
+    if resilient and ingest == "stream":
+        raise InvalidParameterError(
+            "ingest",
+            ingest,
+            "shard fault tolerance (shard_faults/min_shards/deadline_steps) "
+            "requires the materializing ingest path",
+        )
+    if min_shards is not None and not 1 <= min_shards <= workers:
+        raise InvalidParameterError(
+            "min_shards",
+            min_shards,
+            f"must be between 1 and workers={workers}",
+        )
 
     arrival = order if order is not None else CanonicalOrder()
     root_seed = seed if seed is not None else 0
@@ -320,6 +431,10 @@ def run_distributed(
             traced=traced,
         )
 
+    merge_tracer = (
+        collector.tracer_for("merge") if collector is not None else NULL_TRACER
+    )
+    outcomes: List[ShardOutcome] = []
     ingest_report: Optional[IngestReport] = None
     if ingest == "stream":
         envelopes, plan, ingest_report = _run_streaming(
@@ -341,7 +456,20 @@ def run_distributed(
             make_task(i, plan.shard_edges[i], plan.set_order[i])
             for i in range(workers)
         ]
-        envelopes = backend_impl.run_tasks(tasks, max_workers)
+        if resilient:
+            maybe_envelopes, outcomes = run_tasks_with_recovery(
+                backend_impl,
+                tasks,
+                max_workers,
+                shard_faults=shard_faults,
+                max_attempts=max_attempts,
+                backoff_steps=backoff_steps,
+                deadline_steps=deadline_steps,
+                tracer=merge_tracer,
+            )
+            envelopes = [env for env in maybe_envelopes if env is not None]
+        else:
+            envelopes = backend_impl.run_tasks(tasks, max_workers)
         total_edges_routed = plan.total_edges
 
     outputs: List[Optional[ShardOutput]] = [None] * workers
@@ -353,13 +481,22 @@ def run_distributed(
                 f"shard[{envelope.index:03d}]", envelope.trace_jsonl
             )
     shard_outputs: List[ShardOutput] = [out for out in outputs if out is not None]
-    assert len(shard_outputs) == workers
+    lost = [o for o in outcomes if o.abandoned]
+    assert len(shard_outputs) == workers - len(lost)
+    if lost:
+        survivors = workers - len(lost)
+        required = min_shards if min_shards is not None else workers
+        if survivors < required:
+            raise lost[0].to_error(
+                deadline_steps=deadline_steps,
+                context=(
+                    f"quorum not met: {survivors}/{workers} shard(s) "
+                    f"survived, need {required}"
+                ),
+            )
+    allow_partial = bool(lost)
 
-    merge_tracer = (
-        collector.tracer_for("merge") if collector is not None else NULL_TRACER
-    )
     comm = CommMeter(budget=comm_budget, log_messages=comm_log)
-    merger = make_coordinator(coordinator, threshold=threshold)
     with merge_tracer.span(
         SPAN_MERGE,
         coordinator=coordinator,
@@ -367,8 +504,46 @@ def run_distributed(
         workers=workers,
     ):
         outcome = merger.merge(
-            instance, plan, shard_outputs, comm, tracer=merge_tracer
+            instance,
+            plan,
+            shard_outputs,
+            comm,
+            tracer=merge_tracer,
+            allow_partial=allow_partial,
         )
+
+    degradations: Tuple[DegradationRecord, ...] = ()
+    if lost:
+        n = instance.n
+        fraction = (n - len(outcome.uncovered)) / n if n else 1.0
+        records = []
+        for o in lost:
+            records.append(
+                DegradationRecord(
+                    policy="quorum-degraded",
+                    relaxed_invariant="complete-cover",
+                    coverage_fraction=fraction,
+                    uncovered_count=len(outcome.uncovered),
+                    error_type=o.error_type,
+                    error_message=o.error_message,
+                    details={
+                        "shard": float(o.index),
+                        "attempts": float(o.attempts),
+                        "completion_step": float(o.completion_step),
+                        "survivors": float(workers - len(lost)),
+                        "workers": float(workers),
+                    },
+                )
+            )
+            if merge_tracer.enabled:
+                merge_tracer.event(
+                    DEGRADATION,
+                    policy="quorum-degraded",
+                    shard=o.index,
+                    error_type=o.error_type,
+                    uncovered_count=len(outcome.uncovered),
+                )
+        degradations = tuple(records)
 
     diagnostics: Dict[str, float] = dict(outcome.diagnostics)
     diagnostics["total_edges_routed"] = float(total_edges_routed)
@@ -378,6 +553,14 @@ def run_distributed(
     diagnostics["peak_shard_space_words"] = float(
         max((out.report.space.peak_words for out in shard_outputs), default=0)
     )
+    if resilient:
+        diagnostics["shards_lost"] = float(len(lost))
+        diagnostics["shard_retries"] = float(
+            sum(max(0, o.attempts - 1) for o in outcomes)
+        )
+        diagnostics["logical_completion_step"] = float(
+            max((o.completion_step for o in outcomes), default=0)
+        )
     return DistributedResult(
         cover=frozenset(outcome.cover),
         certificate=dict(outcome.certificate),
@@ -390,6 +573,9 @@ def run_distributed(
         seed=int(root_seed),
         order_name=arrival.name,
         diagnostics=diagnostics,
+        outcomes=tuple(outcomes),
+        degradations=degradations,
+        uncovered=tuple(outcome.uncovered),
         ingest=ingest_report,
         shipping=getattr(backend_impl, "last_shipping", None),
     )

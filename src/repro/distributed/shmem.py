@@ -117,9 +117,19 @@ _ATEXIT_REGISTERED = False
 
 
 def _cleanup_live_segments() -> None:
-    """Unlink every still-live segment this process created (atexit)."""
+    """Unlink every still-live segment this process created (atexit).
+
+    Best-effort sweep: one segment's failure (say, a mapping pinned by
+    a pool initializer that raised before any task ran) must not leave
+    the remaining live segments leaked — each cleanup is isolated.
+    """
     for segment in list(_LIVE_SEGMENTS.values()):
-        segment.cleanup()
+        try:
+            segment.cleanup()
+        except Exception:
+            # Drop the handle so a repeated sweep cannot re-raise over
+            # the same segment; the OS reclaims it at process exit.
+            _LIVE_SEGMENTS.pop(segment.name, None)
 
 
 def _track_segment(segment: "EdgeSegment") -> None:
@@ -312,10 +322,16 @@ def ship_tasks(tasks: Sequence) -> Tuple[List, Optional[EdgeSegment]]:
         segment = EdgeSegment.create(columns)
     except OSError:
         return list(tasks), None
-    shipped = [
-        replace(task, edges=(), span=segment.spans[index])
-        for index, task in enumerate(tasks)
-    ]
+    try:
+        shipped = [
+            replace(task, edges=(), span=segment.spans[index])
+            for index, task in enumerate(tasks)
+        ]
+    except BaseException:
+        # The segment was created but no task will ever reference it —
+        # without this, it would leak until the atexit sweep.
+        segment.cleanup()
+        raise
     return shipped, segment
 
 

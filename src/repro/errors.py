@@ -171,6 +171,58 @@ class InvalidParameterError(ConfigurationError):
         )
 
 
+class ShardCrashError(ReproError):
+    """A distributed shard crashed and its output was abandoned.
+
+    Raised by the fault-tolerant execution layer
+    (:func:`repro.distributed.backends.run_tasks_with_recovery`) when a
+    shard's every attempt crashed and the coordinator's quorum policy
+    does not permit proceeding without it.  The per-shard
+    :class:`~repro.distributed.backends.ShardOutcome` records carry the
+    full attempt history.
+    """
+
+    def __init__(self, index: int, attempts: int, context: str = "") -> None:
+        self.index = index
+        self.attempts = attempts
+        self.context = context
+        suffix = f" ({context})" if context else ""
+        super().__init__(
+            f"shard[{index}] crashed on all {attempts} attempt(s) and was "
+            f"abandoned{suffix}"
+        )
+
+
+class ShardTimeoutError(ReproError):
+    """A distributed shard missed its logical-step deadline.
+
+    Raised when a shard's (simulated) completion step exceeds the
+    configured ``deadline_steps`` on every attempt — a straggler that
+    retry-with-backoff cannot rescue — and the quorum policy does not
+    permit proceeding without it.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        attempts: int,
+        completion_step: int,
+        deadline_steps: int,
+        context: str = "",
+    ) -> None:
+        self.index = index
+        self.attempts = attempts
+        self.completion_step = completion_step
+        self.deadline_steps = deadline_steps
+        self.context = context
+        suffix = f" ({context})" if context else ""
+        super().__init__(
+            f"shard[{index}] timed out on all {attempts} attempt(s): "
+            f"finished at logical step {completion_step} > deadline "
+            f"{deadline_steps}{suffix}"
+        )
+
+
 class RunTimeoutError(ReproError):
     """A single experiment run exceeded its wall-clock allowance.
 

@@ -1,0 +1,153 @@
+"""Experiment ``async-completion``: logical completion time vs W.
+
+The asynchronous simulator puts a clock on what the communication
+topology only implies: the chain protocol's hand-offs are *inherently
+sequential* — hand-off ``i+1`` cannot leave shard ``i+1`` before
+hand-off ``i`` arrives — so the scheduler *idles* once per hand-off
+waiting on the dependency, ``W-1`` idle ticks in all, while the star
+coordinators (union, greedy) post every upload concurrently and idle a
+constant amount whatever ``W`` is (their clock still advances one tick
+per delivered message — that is bandwidth, not latency).  That is the
+operational face of the Theorem 2 tradeoff: the chain buys its
+``2√(nW)`` approximation and ``O(n)`` messages with an ``Ω(W)``
+dependency-bound critical path.
+
+Sweep W × coordinator under seeded random delivery, recording the
+scheduler's final clock (``logical_steps``), delivered messages, and
+idle ticks; verify every run and assert the async/sync cover parity on
+the side.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.metrics import aggregate
+from repro.analysis.tables import render_scatter
+from repro.distributed import run_distributed
+from repro.distributed.asyncsim import run_distributed_async
+from repro.experiments.base import ExperimentReport
+from repro.generators.planted import planted_partition_instance
+from repro.types import make_rng
+
+EXPERIMENT_ID = "async-completion"
+TITLE = "Asynchronous completion: chain's O(W) critical path vs star's O(1)"
+PAPER_CLAIM = (
+    "the chain protocol's W-1 sequential hand-offs cost a "
+    "dependency-bound critical path linear in W (the scheduler idles "
+    "once per hand-off), where star-shaped merges of the same shard "
+    "outputs wait a constant number of ticks at any W"
+)
+
+_COORDINATORS = ("union", "greedy", "chain")
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    replications = 3 if quick else 6
+    n = 100
+    m = 500 if quick else 1000
+    opt_size = 10
+    worker_values = [2, 4, 8] if quick else [2, 4, 8, 16, 32]
+
+    rows: List[List[object]] = []
+    points = []
+    parity_checked = 0
+    chain_idle_by_w = {}
+    star_idle_max = 0.0
+
+    for workers in worker_values:
+        for coordinator in _COORDINATORS:
+            steps, delivered, idle = [], [], []
+            for _ in range(replications):
+                s = rng.getrandbits(63)
+                planted = planted_partition_instance(
+                    n, m, opt_size=opt_size, seed=s
+                )
+                result = run_distributed_async(
+                    planted.instance,
+                    workers=workers,
+                    algorithm="kk",
+                    strategy="by-set",
+                    coordinator=coordinator,
+                    seed=s,
+                    backend="serial",
+                    schedule_seed=s,
+                )
+                result.verify(planted.instance)
+                sync = run_distributed(
+                    planted.instance,
+                    workers=workers,
+                    algorithm="kk",
+                    strategy="by-set",
+                    coordinator=coordinator,
+                    seed=s,
+                    backend="serial",
+                )
+                assert result.cover == sync.cover, (
+                    f"async/sync parity broken: {coordinator} W={workers}"
+                )
+                parity_checked += 1
+                steps.append(result.diagnostics["logical_steps"])
+                delivered.append(result.diagnostics["delivered_messages"])
+                idle.append(result.diagnostics["idle_ticks"])
+            agg_steps = aggregate(steps)
+            agg_idle = aggregate(idle)
+            if coordinator == "chain":
+                chain_idle_by_w[workers] = agg_idle.mean
+            else:
+                star_idle_max = max(star_idle_max, agg_idle.mean)
+            rows.append(
+                [
+                    workers,
+                    coordinator,
+                    str(agg_steps),
+                    f"{aggregate(delivered).mean:.1f}",
+                    str(agg_idle),
+                ]
+            )
+            points.append(
+                (f"{coordinator[0]}{workers}", float(workers), agg_steps.mean)
+            )
+
+    chart = render_scatter(
+        points,
+        x_label="W (shards)",
+        y_label="logical steps to completion (mean)",
+        title="completion time (u=union, g=greedy, c=chain; digit=W):",
+    )
+
+    w_lo, w_hi = min(worker_values), max(worker_values)
+    chain_growth = (
+        chain_idle_by_w[w_hi] / chain_idle_by_w[w_lo]
+        if chain_idle_by_w.get(w_lo)
+        else 0.0
+    )
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=[
+            "W",
+            "coordinator",
+            "logical steps",
+            "messages delivered",
+            "idle ticks",
+        ],
+        rows=rows,
+        extra_text=chart,
+        findings={
+            "chain_idle_growth_Wlo_to_Whi": chain_growth,
+            "star_idle_max_mean": star_idle_max,
+            "parity_runs_checked": float(parity_checked),
+        },
+        notes=[
+            "every async run's cover is identical to its synchronous "
+            "twin — the delivery schedule is operational, never semantic",
+            f"chain idle time grows ~{chain_growth:.1f}× from W={w_lo} "
+            f"to W={w_hi} (one wait per hand-off) while the star "
+            f"coordinators idle a constant ≤{star_idle_max:.0f} ticks "
+            "at any W: the chain pays for its communication frontier "
+            "in dependency latency",
+        ],
+    )

@@ -12,6 +12,7 @@ from typing import Dict, List
 
 from repro.errors import ConfigurationError
 from repro.experiments import (
+    async_completion,
     concentration,
     distributed_tradeoff,
     invariants,
@@ -44,6 +45,7 @@ _REGISTRY: Dict[str, ModuleType] = {
         lb_reduction,
         simple_protocol_exp,
         distributed_tradeoff,
+        async_completion,
         phase_transition,
         length_oblivious,
         concentration,

@@ -1,12 +1,16 @@
 """Fault injection and graceful degradation.
 
-Two halves:
+Three layers:
 
 * :mod:`repro.faults.injectors` — seeded, composable stream perturbation
   (:class:`FaultSpec`, :class:`FaultyStream`, :func:`inject`);
 * :mod:`repro.faults.resilient` — degradation policies turning hard
   failures into accounted-for outcomes (:class:`ResilientAlgorithm`,
-  :class:`DegradationRecord`).
+  :class:`DegradationRecord`);
+* :mod:`repro.faults.shards` — *machine*-level faults for distributed
+  runs (:class:`ShardFaultSpec`, :class:`ShardFaultPlan`): crashes,
+  stragglers, and duplicate envelope delivery, consumed by the
+  fault-tolerant execution layer and the async delivery simulator.
 
 The chaos harness in :mod:`repro.analysis.chaos` drives both to assert
 the global robustness invariant: *valid cover, typed error, or explicit
@@ -28,8 +32,16 @@ from repro.faults.resilient import (
     ResilientAlgorithm,
     ResilientResult,
 )
+from repro.faults.shards import (
+    SHARD_FAULT_KINDS,
+    ShardFaultPlan,
+    ShardFaultSpec,
+)
 
 __all__ = [
+    "SHARD_FAULT_KINDS",
+    "ShardFaultPlan",
+    "ShardFaultSpec",
     "FAULT_KINDS",
     "FaultSpec",
     "FaultyStream",

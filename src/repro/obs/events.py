@@ -38,6 +38,7 @@ SPAN_REMAINDER = "remainder"
 SPAN_OFFLINE = "offline"  # element sampling's post-pass greedy
 SPAN_SHARD = "shard"  # one distributed worker's shard-local pass
 SPAN_MERGE = "merge"  # a distributed coordinator merging shard outputs
+SPAN_ASYNC = "async"  # one asynchronous delivery simulation (asyncsim)
 
 SPAN_KINDS: FrozenSet[str] = frozenset(
     {
@@ -50,6 +51,7 @@ SPAN_KINDS: FrozenSet[str] = frozenset(
         SPAN_OFFLINE,
         SPAN_SHARD,
         SPAN_MERGE,
+        SPAN_ASYNC,
     }
 )
 
@@ -69,6 +71,9 @@ RUN_FAILED = "run_failed"  # the pass raised; attrs carry the error type
 STREAM_SANITIZED = "stream_sanitized"  # resilient wrapper repaired a stream
 DEGRADATION = "degradation"  # a DegradationRecord was emitted
 MESSAGE_SENT = "message_sent"  # a coordinator link carried a message
+MESSAGE_DELIVERED = "message_delivered"  # asyncsim delivered a pending message
+SHARD_RETRY = "shard_retry"  # a shard attempt failed and was retried
+SHARD_ABANDONED = "shard_abandoned"  # a shard exhausted its attempts
 
 EVENT_TYPES: FrozenSet[str] = frozenset(
     {
@@ -88,6 +93,9 @@ EVENT_TYPES: FrozenSet[str] = frozenset(
         STREAM_SANITIZED,
         DEGRADATION,
         MESSAGE_SENT,
+        MESSAGE_DELIVERED,
+        SHARD_RETRY,
+        SHARD_ABANDONED,
     }
 )
 

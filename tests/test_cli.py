@@ -340,3 +340,123 @@ class TestChaos:
 
     def test_policy_option(self, capsys):
         assert main(["chaos", "--quick", "--policy", "skip_bad_edges"]) == 0
+
+
+class TestDistributeResilience:
+    def test_unknown_coordinator_is_typed_error(self, capsys, instance_file):
+        # No argparse choices= gate: an unknown coordinator flows to
+        # make_coordinator and comes back as the same typed error an
+        # unknown backend gets, naming the known registry.
+        code = main(
+            ["distribute", instance_file, "--coordinator", "bogus"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "coordinator" in err
+        assert "known coordinators" in err
+        assert "chain" in err and "greedy" in err and "union" in err
+
+    def test_async_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "distribute",
+                "x.txt",
+                "--async-sim",
+                "--schedule-seed",
+                "9",
+                "--default-delay",
+                "2",
+                "--crash",
+                "0.3",
+                "--straggle",
+                "0.5",
+                "--straggle-steps",
+                "8",
+                "--duplicate",
+                "0.7",
+                "--min-shards",
+                "2",
+                "--deadline-steps",
+                "6",
+                "--max-attempts",
+                "4",
+                "--backoff-steps",
+                "2",
+            ]
+        )
+        assert args.async_sim
+        assert args.schedule_seed == 9
+        assert args.crash == 0.3
+        assert args.min_shards == 2
+        assert args.deadline_steps == 6
+
+    def test_async_sim_matches_sync_output_lines(self, capsys, instance_file):
+        assert main(["distribute", instance_file, "--seed", "4"]) == 0
+        sync_out = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "distribute",
+                    instance_file,
+                    "--seed",
+                    "4",
+                    "--async-sim",
+                    "--schedule-seed",
+                    "12",
+                ]
+            )
+            == 0
+        )
+        async_out = capsys.readouterr().out
+        assert "logical steps" in async_out
+
+        # Semantic values agree: the cover and comm accounting are the
+        # sync path's, the transport lines are extra.  (Column widths
+        # differ, so compare values, not raw lines.)
+        def value(text, prefix):
+            for line in text.splitlines():
+                if line.startswith(prefix):
+                    return line[len(prefix):].strip()
+            raise AssertionError(f"no line starts with {prefix!r}")
+
+        for prefix in ("cover:", "total comm words", "max message words"):
+            assert value(async_out, prefix) == value(sync_out, prefix)
+
+    def test_crash_with_quorum_prints_degradation(self, capsys, instance_file):
+        code = main(
+            [
+                "distribute",
+                instance_file,
+                "--workers",
+                "4",
+                "--seed",
+                "3",
+                "--crash",
+                "0.6",
+                "--min-shards",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "degraded: shard[" in out
+        assert "partial" in out
+
+    def test_async_stream_ingest_rejected(self, capsys, instance_file):
+        code = main(
+            [
+                "distribute",
+                instance_file,
+                "--async-sim",
+                "--ingest",
+                "stream",
+            ]
+        )
+        assert code == 1
+        assert "ingest" in capsys.readouterr().err
+
+    def test_chaos_shards_flag(self, capsys):
+        assert main(["chaos", "--shards", "--quick", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "shard-fault chaos" in out.lower() or "crash" in out

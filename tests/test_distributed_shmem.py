@@ -291,3 +291,61 @@ class TestFeedColumnsEquivalence:
         assert vector.dropped == scalar.dropped
         assert vector.set_ids == scalar.set_ids
         assert vector.members_by_set == scalar.members_by_set
+
+
+class TestShipTasksCleanupPaths:
+    """Regressions for the create-to-rewrite window and the atexit sweep."""
+
+    def test_rewrite_failure_cleans_segment_promptly(
+        self, instance, monkeypatch
+    ):
+        # If the task rewrite between segment creation and return blows
+        # up, the brand-new segment must be unlinked on the spot — not
+        # parked in the registry until the atexit sweep.
+        from repro.distributed import shmem
+
+        tasks = build_shard_tasks(instance, workers=3, seed=5)
+        before = _named_segments()
+
+        def broken_replace(*args, **kwargs):
+            raise RuntimeError("rewrite failed")
+
+        monkeypatch.setattr(shmem, "replace", broken_replace)
+        with pytest.raises(RuntimeError, match="rewrite failed"):
+            ship_tasks(tasks)
+        assert _named_segments() == before
+        assert not shmem._LIVE_SEGMENTS
+
+    def test_atexit_sweep_survives_a_failing_cleanup(self, instance):
+        # One segment whose cleanup raises must not abort the sweep:
+        # the remaining live segments still get unlinked, and the bad
+        # handle is dropped from the registry so a second sweep is a
+        # no-op instead of a re-raise.
+        from repro.distributed import shmem
+
+        tasks = build_shard_tasks(instance, workers=2, seed=6)
+        _, first = ship_tasks(tasks)
+        _, second = ship_tasks(tasks)
+        assert first is not None and second is not None
+
+        original_cleanup = first.cleanup
+        calls = {"count": 0}
+
+        def failing_cleanup():
+            calls["count"] += 1
+            raise OSError("unlink refused")
+
+        first.cleanup = failing_cleanup
+        try:
+            shmem._cleanup_live_segments()
+            assert calls["count"] == 1
+            assert first.name not in shmem._LIVE_SEGMENTS
+            assert second.name not in _named_segments()
+            # Second sweep: the failing handle is gone, nothing raises.
+            shmem._cleanup_live_segments()
+            assert calls["count"] == 1
+        finally:
+            first.cleanup = original_cleanup
+            first.cleanup()
+        assert first.name not in _named_segments()
+        assert not shmem._LIVE_SEGMENTS

@@ -26,8 +26,8 @@ def reports():
 
 
 class TestRegistry:
-    def test_seventeen_experiments(self):
-        assert len(all_experiment_ids()) == 17
+    def test_eighteen_experiments(self):
+        assert len(all_experiment_ids()) == 18
 
     def test_table1_rows_present(self):
         ids = all_experiment_ids()
@@ -228,6 +228,18 @@ class TestOrderRobustnessFindings:
             "adversarial_over_uniform_cover"
         ]
         assert ratio >= 0.9
+
+
+class TestAsyncCompletionFindings:
+    def test_chain_idles_grow_stars_stay_flat(self, reports):
+        findings = reports("async-completion").findings
+        # One wait per hand-off: W-1 idle ticks, so the quick grid's
+        # 2 -> 8 sweep grows 7x; the star topologies idle a constant.
+        assert findings["chain_idle_growth_Wlo_to_Whi"] >= 4.0
+        assert findings["star_idle_max_mean"] <= 3.0
+
+    def test_every_replication_checked_for_parity(self, reports):
+        assert reports("async-completion").findings["parity_runs_checked"] > 0
 
 
 class TestDeterminism:

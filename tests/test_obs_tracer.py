@@ -317,3 +317,89 @@ class TestMakeAlgorithmTracer:
         )
         algorithm.set_tracer(None)
         assert algorithm.tracer is NULL_TRACER
+
+
+# -- collector merge properties (hypothesis) -------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.obs.events import TraceEvent  # noqa: E402
+
+
+@st.composite
+def labelled_cells(draw):
+    """A few trace cells: label -> short list of simple events."""
+    labels = draw(
+        st.lists(
+            st.text(
+                alphabet="abcdefgh0123456789",
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        )
+    )
+    cells = {}
+    for label in labels:
+        values = draw(
+            st.lists(st.integers(0, 50), min_size=0, max_size=6)
+        )
+        cells[label] = [
+            TraceEvent(
+                seq=i,
+                span=-1,
+                etype=obs_events.SET_ADMITTED,
+                attrs={"set_id": value},
+            )
+            for i, value in enumerate(values)
+        ]
+    return cells
+
+
+class TestCollectorMergeProperties:
+    """Adoption is a set-of-cells operation, not a sequence of arrivals.
+
+    The distributed layer re-delivers and reorders shard traces at
+    will (duplicate envelopes, adversarial schedules); the collector's
+    merged JSONL must depend only on the final cell contents — adopt is
+    idempotent, order-independent, and equal across the events/JSONL
+    entry points.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cells=labelled_cells(),
+        order_seed=st.integers(0, 2**31),
+        duplicates=st.booleans(),
+    )
+    def test_adopt_is_idempotent_and_order_independent(
+        self, cells, order_seed, duplicates
+    ):
+        import random
+
+        reference = TraceCollector()
+        for label in sorted(cells):
+            reference.adopt(label, cells[label])
+
+        shuffled = TraceCollector()
+        order = list(cells)
+        random.Random(order_seed).shuffle(order)
+        for label in order:
+            shuffled.adopt(label, cells[label])
+            if duplicates:
+                # A re-delivered cell replaces itself: same bytes out.
+                shuffled.adopt(label, cells[label])
+        assert shuffled.to_jsonl() == reference.to_jsonl()
+
+    @settings(max_examples=60, deadline=None)
+    @given(cells=labelled_cells())
+    def test_adopt_jsonl_matches_adopt(self, cells):
+        from_events = TraceCollector()
+        from_text = TraceCollector()
+        for label, events in cells.items():
+            from_events.adopt(label, events)
+            from_text.adopt_jsonl(label, events_to_jsonl(events))
+        assert from_text.to_jsonl() == from_events.to_jsonl()
