@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Transport-parity gate: inproc, loopback, and socket must agree.
+
+The transport contract says the wire is operational: for a fixed
+(instance, workers, seed, coordinator) every registered transport must
+produce the same cover, the same certificate, and a dataclass-equal
+``CommReport`` — the serialized bytes sit on the data path (the
+coordinators consume the *delivered* payloads) but never change what is
+computed.  On top of parity, every cell's ``TransportReport`` must be
+honest: one frame per metered message, and at least eight wire bytes
+per metered word (one big-endian int64 each).
+
+The socket cell binds a real localhost listener; a sandbox that forbids
+binding raises a typed ``TransportError`` at construction, which this
+gate reports as a skip, not a failure.  Exits 1 on the first
+divergence.  CI runs it on every push::
+
+    PYTHONPATH=src python scripts/check_transport_parity.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.distributed import run_distributed  # noqa: E402
+from repro.distributed.transport import (  # noqa: E402
+    SocketTransport,
+    make_transport,
+    registered_transports,
+)
+from repro.errors import TransportError  # noqa: E402
+from repro.generators.planted import planted_partition_instance  # noqa: E402
+
+WORKERS = 4
+SEED = 20260808
+COORDINATORS = ("union", "greedy", "chain")
+WORD_BYTES = 8
+
+
+def main() -> int:
+    instance = planted_partition_instance(
+        n=400, m=80, opt_size=12, seed=SEED
+    ).instance
+    failures = 0
+    skipped = []
+    for coordinator in COORDINATORS:
+        reference = None
+        for name in registered_transports():
+            if name == "socket":
+                try:
+                    transport = SocketTransport()
+                except TransportError as exc:
+                    skipped.append(f"{coordinator}/socket ({exc})")
+                    continue
+            else:
+                transport = make_transport(name)
+            result = run_distributed(
+                instance,
+                workers=WORKERS,
+                algorithm="kk",
+                coordinator=coordinator,
+                seed=SEED,
+                transport=transport,
+            )
+            result.verify(instance)
+            cell = f"{coordinator}/{name}"
+            wire, comm = result.transport, result.comm
+            if reference is None:
+                reference = result
+            elif result != reference:
+                # TransportReport is compare=False: inequality here means
+                # the wire changed the cover/certificate/comm — the one
+                # thing a transport must never do.
+                print(f"FAIL {cell}: DistributedResult diverged from inproc")
+                failures += 1
+                continue
+            elif comm != reference.comm:
+                print(f"FAIL {cell}: CommReport diverged from inproc")
+                failures += 1
+                continue
+            if wire is None or wire.transport != name:
+                got = None if wire is None else wire.transport
+                print(f"FAIL {cell}: TransportReport names {got!r}")
+                failures += 1
+            elif wire.per_link_frames != comm.per_link_messages:
+                print(
+                    f"FAIL {cell}: frames {wire.per_link_frames} != "
+                    f"metered messages {comm.per_link_messages}"
+                )
+                failures += 1
+            elif wire.total_bytes < WORD_BYTES * comm.total_words:
+                print(
+                    f"FAIL {cell}: {wire.total_bytes} wire bytes undercount "
+                    f"{comm.total_words} metered words"
+                )
+                failures += 1
+            else:
+                print(
+                    f"ok   {cell} ({wire.total_bytes:,}B in "
+                    f"{wire.total_frames} frames, "
+                    f"x{wire.overhead_ratio:.3f} bytes/word)"
+                )
+    for cell in skipped:
+        print(f"skip {cell}")
+    if failures:
+        print(f"{failures} transport-parity failure(s)")
+        return 1
+    print(
+        "transport parity holds: covers, certificates, and comm reports "
+        "identical across transports; wire accounting honest"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

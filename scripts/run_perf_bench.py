@@ -38,6 +38,7 @@ from repro.analysis.perfbench import (  # noqa: E402
     run_kk_kernel_bench,
     run_shipping_bench,
     run_trace_overhead,
+    run_transport_bench,
     speedup_table,
     write_bench_file,
 )
@@ -97,6 +98,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="measure process-backend per-task serialized bytes, pickled "
         "edges vs shared-memory spans; updates the 'shipping' section of "
+        "BENCH_perf.json unless --no-write",
+    )
+    parser.add_argument(
+        "--transport",
+        action="store_true",
+        help="measure wire bytes/frames per (transport, coordinator) cell "
+        "(asserts cover/comm parity with inproc; socket cells skipped "
+        "where binding is forbidden); updates the 'transport' section of "
         "BENCH_perf.json unless --no-write",
     )
     parser.add_argument(
@@ -166,6 +175,24 @@ def main(argv=None) -> int:
                 BENCH_FILE, kk_kernel=kernel_records, shipping=shipping_records
             )
             print(f"updated kk_kernel/shipping sections of {BENCH_FILE}")
+        return 0
+
+    if args.transport:
+        tier = "smoke" if args.smoke else "full"
+        records = run_transport_bench(
+            tier=tier, seed=args.seed, progress=progress
+        )
+        worst = max(records, key=lambda r: r.overhead_ratio)
+        print(
+            f"ok: {len(records)} transport cells parity-identical; worst "
+            f"bytes/word overhead x{worst.overhead_ratio:.3f} "
+            f"({worst.transport}/{worst.coordinator})"
+        )
+        if not any(r.transport == "socket" for r in records):
+            print("note: socket cells skipped (bind forbidden)")
+        if not args.no_write:
+            write_bench_file(BENCH_FILE, transport=records)
+            print(f"updated transport section of {BENCH_FILE}")
         return 0
 
     if args.distributed:

@@ -530,6 +530,121 @@ def run_shipping_bench(
     return records
 
 
+@dataclass
+class TransportRecord:
+    """One (transport, coordinator) wire-measurement cell.
+
+    ``parity_with_inproc`` certifies the transport gate: the cell's
+    cover, certificate, and comm report are identical to the inproc
+    run of the same shard plan (``run_transport_bench`` raises
+    otherwise, so a committed ``False`` cannot exist — the field keeps
+    the certification visible in the artifact).  ``overhead_ratio`` is
+    measured wire bytes over 8 × metered words, ≥ 1 by construction of
+    the wire format.
+    """
+
+    config: str
+    transport: str
+    coordinator: str
+    codec: str
+    workers: int
+    seconds: float
+    metered_words: int
+    wire_bytes: int
+    frames: int
+    retransmits: int
+    overhead_ratio: float
+    parity_with_inproc: bool
+
+
+def run_transport_bench(
+    tier: str = "smoke",
+    seed: int = 0,
+    workers: int = 4,
+    coordinators: Sequence[str] = ("union", "greedy", "chain"),
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[TransportRecord]:
+    """Benchmark the wire transports over coordinator × transport.
+
+    Every cell reruns the same shard plan through one transport and
+    records what the wire carried; the inproc cell of each coordinator
+    is the parity baseline the other transports are asserted against.
+    A sandbox that forbids binding skips the socket cells (they are
+    simply absent from the records, mirroring the parity gate).
+    """
+    from repro.distributed import run_distributed
+    from repro.distributed.transport import SocketTransport, make_transport
+    from repro.errors import TransportError
+
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; known: {sorted(TIERS)}")
+    records: List[TransportRecord] = []
+    for config, n, m, set_size in TIERS[tier]:
+        instance = fixed_size_instance(n, m, set_size, seed=seed)
+        for coordinator in coordinators:
+            baseline = None
+            for name in ("inproc", "loopback", "socket"):
+                if name == "socket":
+                    try:
+                        transport = SocketTransport()
+                    except TransportError:
+                        if progress is not None:
+                            progress(
+                                f"{config:>7} socket  {coordinator:<7} "
+                                "skipped (bind forbidden)"
+                            )
+                        continue
+                else:
+                    transport = make_transport(name)
+                start = time.perf_counter()
+                result = run_distributed(
+                    instance,
+                    workers=workers,
+                    coordinator=coordinator,
+                    seed=seed,
+                    transport=transport,
+                )
+                seconds = time.perf_counter() - start
+                if baseline is None:
+                    baseline = result
+                    parity = True
+                else:
+                    parity = (
+                        result.cover == baseline.cover
+                        and result.certificate == baseline.certificate
+                        and result.comm == baseline.comm
+                    )
+                    assert parity, (
+                        f"transport {name!r} diverged from inproc at "
+                        f"{config}/{coordinator}: parity contract broken"
+                    )
+                wire = result.transport
+                record = TransportRecord(
+                    config=config,
+                    transport=name,
+                    coordinator=coordinator,
+                    codec=wire.codec,
+                    workers=workers,
+                    seconds=round(seconds, 4),
+                    metered_words=wire.metered_words,
+                    wire_bytes=wire.total_bytes,
+                    frames=wire.total_frames,
+                    retransmits=wire.retransmits,
+                    overhead_ratio=round(wire.overhead_ratio, 4),
+                    parity_with_inproc=parity,
+                )
+                records.append(record)
+                if progress is not None:
+                    progress(
+                        f"{config:>7} {name:<8} {coordinator:<7} "
+                        f"{record.wire_bytes:>9,}B in {record.frames} frames "
+                        f"({record.metered_words}w, "
+                        f"x{record.overhead_ratio:.3f}, "
+                        f"{record.seconds:.2f}s)"
+                    )
+    return records
+
+
 def check_kk_floor(
     current: Sequence[BenchRecord], seed_baseline: Sequence[dict]
 ) -> List[str]:
@@ -581,6 +696,7 @@ def write_bench_file(
     distributed: Optional[Sequence[DistributedScalingRecord]] = None,
     kk_kernel: Optional[Sequence[KKKernelRecord]] = None,
     shipping: Optional[Sequence[ShippingRecord]] = None,
+    transport: Optional[Sequence[TransportRecord]] = None,
 ) -> dict:
     """Write ``BENCH_perf.json``, preserving any recorded seed baseline.
 
@@ -600,7 +716,7 @@ def write_bench_file(
         return records_to_json(records)
 
     payload = {
-        "schema": 3,
+        "schema": 4,
         "description": (
             "Hot-path throughput benchmark; see scripts/run_perf_bench.py. "
             "'seed_baseline' is the pre-optimization measurement, "
@@ -609,8 +725,12 @@ def write_bench_file(
             "(speedup_vs_serial compares each backend against the serial "
             "backend at the same shard width), 'kk_kernel' the vectorized "
             "kk kernel vs the scalar kk-reference on identical streams, "
-            "and 'shipping' the process backend's per-task serialized "
-            "bytes under pickled-edges vs shared-memory span shipping. "
+            "'shipping' the process backend's per-task serialized "
+            "bytes under pickled-edges vs shared-memory span shipping, "
+            "and 'transport' the wire layer's measured bytes/frames per "
+            "(transport, coordinator) cell with the bytes-per-word "
+            "overhead ratio (>= 1 by construction; parity_with_inproc "
+            "certifies identical covers/comm reports across transports). "
             "Caveat: numbers committed from a single-core container "
             "cannot show process-backend speedup; the CI artifact carries "
             "the multi-core measurement."
@@ -629,6 +749,7 @@ def write_bench_file(
         "distributed": section(distributed, "distributed"),
         "kk_kernel": section(kk_kernel, "kk_kernel"),
         "shipping": section(shipping, "shipping"),
+        "transport": section(transport, "transport"),
     }
     path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
     return payload

@@ -28,6 +28,7 @@ from repro.distributed.backends import registered_backends
 from repro.distributed.coordinator import registered_coordinators
 from repro.distributed.executor import INGEST_MODES
 from repro.distributed.router import STRATEGIES
+from repro.distributed.transport import registered_transports
 from repro.errors import ReproError
 from repro.streaming.io import load_instance
 from repro.streaming.orders import ORDER_REGISTRY, make_order
@@ -166,6 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=registered_backends(), default="thread",
         help="execution backend for shard work (operational; every "
         "backend prints the identical report)",
+    )
+    distribute_parser.add_argument(
+        "--transport", choices=registered_transports(), default="inproc",
+        help="wire transport for merge messages (operational; every "
+        "transport prints identical cover/comm rows, only the measured "
+        "wire bytes differ)",
     )
     distribute_parser.add_argument(
         "--ingest", choices=sorted(INGEST_MODES), default="materialize",
@@ -393,6 +400,7 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         comm_budget=budget,
         backend=args.backend,
+        transport=args.transport,
     )
     if args.async_sim:
         if args.ingest != "materialize":
@@ -432,6 +440,20 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
         ("messages", result.comm.num_messages),
         ("busiest link", result.comm.busiest_link() or "-"),
     ]
+    if result.transport is not None:
+        rows.extend(
+            [
+                ("transport", result.transport.transport),
+                ("codec", result.transport.codec),
+                ("wire bytes", result.transport.total_bytes),
+                ("wire frames", result.transport.total_frames),
+                ("retransmits", result.transport.retransmits),
+                (
+                    "bytes/word overhead",
+                    f"{result.transport.overhead_ratio:.3f}",
+                ),
+            ]
+        )
     if args.async_sim:
         rows.extend(
             [

@@ -57,6 +57,8 @@ from repro.distributed.coordinator import make_coordinator
 from repro.distributed.executor import (
     DistributedResult,
     build_shard_plan_and_tasks,
+    resolve_transport,
+    validate_transport,
 )
 from repro.distributed.worker import ShardOutput
 from repro.errors import InvalidParameterError, ProtocolError
@@ -309,6 +311,7 @@ def run_distributed_async(
     threshold: Optional[float] = None,
     comm_log: bool = False,
     backend: Optional[str] = None,
+    transport: Optional[object] = None,
     shard_faults: Optional[ShardFaultPlan] = None,
     min_shards: Optional[int] = None,
     deadline_steps: Optional[int] = None,
@@ -321,11 +324,12 @@ def run_distributed_async(
 ) -> DistributedResult:
     """Asynchronous twin of :func:`~repro.distributed.executor.run_distributed`.
 
-    Same semantic parameters, same result type, plus the transport:
-    ``delivery`` (default :class:`RandomDelivery` seeded with
+    Same semantic parameters, same result type, plus the delivery
+    schedule: ``delivery`` (default :class:`RandomDelivery` seeded with
     ``schedule_seed``), ``link_delays`` / ``default_delay`` in logical
     steps, and the shard resilience knobs shared with the synchronous
-    path.  The returned result's cover, certificate, and comm report
+    path.  ``transport`` selects the wire transport for merge messages
+    exactly as in :func:`~repro.distributed.executor.run_distributed`.  The returned result's cover, certificate, and comm report
     are byte-identical to the synchronous materializing path for *any*
     fault-free schedule; the schedule surfaces in ``diagnostics``
     (``logical_steps``, ``delivered_messages``, ``idle_ticks``,
@@ -343,8 +347,10 @@ def run_distributed_async(
             f"must be between 1 and workers={workers}",
         )
     backend_impl = make_backend(backend if backend is not None else "thread")
-    # Fail fast on an unknown coordinator — before any shard work runs.
+    # Fail fast on an unknown coordinator or transport name — before any
+    # shard work runs (the transport itself is built at merge time).
     merger = make_coordinator(coordinator, threshold=threshold)
+    validate_transport(transport)
     policy = (
         delivery if delivery is not None else RandomDelivery(schedule_seed)
     )
@@ -412,22 +418,29 @@ def run_distributed_async(
     )
     duplicates_dropped = 0
     comm = CommMeter(budget=comm_budget, log_messages=comm_log)
+    transport_impl = resolve_transport(transport)
 
     def do_merge(merge_inputs: List[ShardOutput]):
-        with merge_tracer.span(
-            SPAN_MERGE,
-            coordinator=coordinator,
-            strategy=strategy,
-            workers=workers,
-        ):
-            return merger.merge(
-                instance,
-                plan,
-                merge_inputs,
-                comm,
-                tracer=merge_tracer,
-                allow_partial=allow_partial,
-            )
+        try:
+            with merge_tracer.span(
+                SPAN_MERGE,
+                coordinator=coordinator,
+                strategy=strategy,
+                workers=workers,
+            ):
+                return merger.merge(
+                    instance,
+                    plan,
+                    merge_inputs,
+                    comm,
+                    tracer=merge_tracer,
+                    allow_partial=allow_partial,
+                    transport=transport_impl,
+                )
+        except BaseException:
+            # A failed merge must not leak the transport's socket/threads.
+            transport_impl.close()
+            raise
 
     with async_tracer.span(
         SPAN_ASYNC,
@@ -508,6 +521,12 @@ def run_distributed_async(
             merge_inputs = [outputs_by_index[i] for i in sorted(received)]
             outcome = do_merge(merge_inputs)
 
+    comm_report = comm.report()
+    transport_report = transport_impl.report(
+        metered_words=comm_report.total_words
+    )
+    transport_impl.close()
+
     degradations: Tuple[DegradationRecord, ...] = ()
     if lost:
         n = instance.n
@@ -564,7 +583,7 @@ def run_distributed_async(
     return DistributedResult(
         cover=frozenset(outcome.cover),
         certificate=dict(outcome.certificate),
-        comm=comm.report(),
+        comm=comm_report,
         shards=[out.report for out in shard_outputs],
         algorithm=algorithm,
         strategy=strategy,
@@ -576,4 +595,5 @@ def run_distributed_async(
         outcomes=tuple(outcomes),
         degradations=degradations,
         uncovered=tuple(outcome.uncovered),
+        transport=transport_report,
     )

@@ -56,6 +56,19 @@ class ChainOutcome:
     #: Elements no surviving party could cover (non-empty only when the
     #: merge ran with ``partial=True`` over a degraded party set).
     uncovered: Tuple[ElementId, ...] = ()
+    #: Per-hop snapshots of the forwarded state, parallel to
+    #: ``message_words`` — ``(sorted uncovered, sorted witness pairs,
+    #: chosen keys in pick order)``.  Populated only when
+    #: :func:`chain_merge` ran with ``capture_states=True`` (the
+    #: transport layer replays each hand-off as real bytes).
+    forwarded_states: Tuple[
+        Tuple[
+            Tuple[ElementId, ...],
+            Tuple[Tuple[ElementId, SetKey], ...],
+            Tuple[SetKey, ...],
+        ],
+        ...,
+    ] = ()
 
     @property
     def cover_size(self) -> int:
@@ -85,6 +98,7 @@ def chain_merge(
     party_sets: Sequence[PartySets],
     threshold: Optional[float] = None,
     partial: bool = False,
+    capture_states: bool = False,
 ) -> ChainOutcome:
     """Run the deterministic chain protocol over per-party set shares.
 
@@ -107,6 +121,11 @@ def chain_merge(
         uncovered and reported in :attr:`ChainOutcome.uncovered`
         instead of raising :class:`ProtocolError`.  The default keeps
         the protocol's contract — an infeasible residue is an error.
+    capture_states:
+        Also snapshot each hand-off's forwarded state into
+        :attr:`ChainOutcome.forwarded_states` so a transport can ship
+        the exact state the word count was charged for.  Off by
+        default: the snapshots copy O(n) state per hop.
     """
     t = len(party_sets)
     if t < 1:
@@ -121,6 +140,13 @@ def chain_merge(
     # earlier one's.
     members_by_key: Dict[SetKey, Set[ElementId]] = {}
     message_words: List[int] = []
+    forwarded_states: List[
+        Tuple[
+            Tuple[ElementId, ...],
+            Tuple[Tuple[ElementId, SetKey], ...],
+            Tuple[SetKey, ...],
+        ]
+    ] = []
 
     for index, share in enumerate(party_sets):
         is_last = index == t - 1
@@ -159,6 +185,14 @@ def chain_merge(
             uncovered = set(unpatchable)
         else:
             message_words.append(state_words(uncovered, witnesses, chosen))
+            if capture_states:
+                forwarded_states.append(
+                    (
+                        tuple(sorted(uncovered)),
+                        tuple(sorted(witnesses.items())),
+                        tuple(chosen),
+                    )
+                )
 
     # Deduplicate the chosen list (a witness may repeat a greedy pick,
     # and a repeated key may be taken by two parties).
@@ -186,4 +220,5 @@ def chain_merge(
         message_words=message_words,
         threshold=tau,
         uncovered=tuple(missing),
+        forwarded_states=tuple(forwarded_states),
     )

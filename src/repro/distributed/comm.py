@@ -18,7 +18,10 @@ between shards (or from a shard to itself) is charged to a
   turns the meter into an enforcer raising a typed
   :class:`~repro.errors.CommBudgetError` the moment the total crosses
   the cap (the offending message is recorded first, mirroring the
-  space meter's apply-then-raise contract).
+  space meter's apply-then-raise contract; the shared discipline is
+  pinned by the hypothesis property in ``tests/test_meter_contract.py``,
+  and the transport layer relies on the converse ordering — the budget
+  error fires *before* the message crosses the wire).
 
 All updates are O(1); the report is a pure snapshot, so two runs that
 exchange the same messages in the same order produce byte-identical
@@ -77,14 +80,16 @@ class CommReport:
     def busiest_link(self) -> Optional[str]:
         """Label of the link carrying the most words, or ``None`` if idle.
 
-        Ties break to the lexicographically largest label, not dict
+        Ties break to the lexicographically *smallest* label, not dict
         insertion order, mirroring
-        :meth:`~repro.streaming.space.SpaceReport.dominant_component`.
+        :meth:`~repro.streaming.space.SpaceReport.dominant_component` —
+        two runs that charge equal-weight links in different orders must
+        report the same busiest link.
         """
         if not self.per_link_words:
             return None
-        return max(
-            self.per_link_words.items(), key=lambda kv: (kv[1], kv[0])
+        return min(
+            self.per_link_words.items(), key=lambda kv: (-kv[1], kv[0])
         )[0]
 
     def link_words(self, src: str, dst: str) -> int:

@@ -33,11 +33,21 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
 from repro.distributed.chain import chain_merge
 from repro.distributed.comm import CommMeter, words_for_cover_message
 from repro.distributed.router import ShardPlan
+from repro.distributed.transport import (
+    Transport,
+    candidate_upload_wire,
+    cover_upload_wire,
+    handoff_wire,
+    handoff_words,
+    read_candidate_upload,
+    read_cover_upload,
+)
 from repro.distributed.worker import ShardOutput
 from repro.errors import (
     ConfigurationError,
     InvalidCoverError,
     InvalidParameterError,
+    TransportError,
 )
 from repro.obs.events import MESSAGE_SENT
 from repro.obs.tracer import NULL_TRACER
@@ -62,12 +72,33 @@ class MergeOutcome:
 
 
 def _send(
-    comm: CommMeter, tracer, src: str, dst: str, words: int
-) -> None:
-    """Charge one message to the meter and mirror it into the trace."""
+    comm: CommMeter,
+    tracer,
+    src: str,
+    dst: str,
+    words: int,
+    transport: Optional[Transport] = None,
+    kind: str = "message",
+    payload: Optional[object] = None,
+) -> object:
+    """Charge one message to the meter, move it, and return the payload.
+
+    The meter is charged *first* — a :class:`~repro.errors.CommBudgetError`
+    fires before anything crosses the wire, so a budget-tripped run
+    shows the over-budget message as metered but never transmitted.
+    With a transport attached the payload travels as real bytes and the
+    **delivered** copy is returned (merges consume the return value, so
+    the wire is on the data path); without one the payload passes
+    through untouched.  One charged message maps to exactly one
+    transport frame, which is what makes the ``TransportReport`` frame
+    counts equal the ``CommReport`` message counts structurally.
+    """
     link = comm.record(src, dst, words)
     if tracer.enabled:
         tracer.event(MESSAGE_SENT, link=link, words=words)
+    if transport is None:
+        return payload
+    return transport.send(src, dst, kind, payload)
 
 
 class Coordinator:
@@ -78,6 +109,12 @@ class Coordinator:
     order) and the merge must return a valid-but-partial cover with
     :attr:`MergeOutcome.uncovered` listing what was lost — instead of
     raising on an uncoverable universe.
+
+    ``transport`` optionally carries every charged message as real
+    bytes (:mod:`repro.distributed.transport`); the merge consumes the
+    *delivered* payloads, so a transport that corrupted a message would
+    corrupt the merge — parity across transports is therefore a real
+    end-to-end property, not a bookkeeping identity.
     """
 
     name = "abstract"
@@ -90,6 +127,7 @@ class Coordinator:
         comm: CommMeter,
         tracer=None,
         allow_partial: bool = False,
+        transport: Optional[Transport] = None,
     ) -> MergeOutcome:
         raise NotImplementedError
 
@@ -107,20 +145,27 @@ class UnionCoordinator(Coordinator):
         comm: CommMeter,
         tracer=None,
         allow_partial: bool = False,
+        transport: Optional[Transport] = None,
     ) -> MergeOutcome:
         tracer = tracer if tracer is not None else NULL_TRACER
         cover: Set[SetId] = set()
         certificate: Dict[ElementId, SetId] = {}
         for out in outputs:
-            _send(
+            delivered = _send(
                 comm,
                 tracer,
                 f"shard[{out.index}]",
                 "coordinator",
                 words_for_cover_message(len(out.cover), len(out.certificate)),
+                transport=transport,
+                kind="cover",
+                payload=cover_upload_wire(
+                    out.index, out.cover, out.certificate
+                ),
             )
-            cover.update(out.cover)
-            for u, s in sorted(out.certificate.items()):
+            _, shard_cover, witness_pairs = read_cover_upload(delivered)
+            cover.update(shard_cover)
+            for u, s in witness_pairs:
                 certificate.setdefault(u, s)
         uncovered = tuple(
             u for u in range(instance.n) if u not in certificate
@@ -157,16 +202,30 @@ class GreedyCoordinator(Coordinator):
         comm: CommMeter,
         tracer=None,
         allow_partial: bool = False,
+        transport: Optional[Transport] = None,
     ) -> MergeOutcome:
         tracer = tracer if tracer is not None else NULL_TRACER
         candidates: Dict[SetId, Set[ElementId]] = {}
         for out in outputs:
-            words = 0
-            for sid in sorted(out.cover):
-                members = out.members_by_set.get(sid, frozenset())
-                words += 1 + len(members)
+            words = sum(
+                1 + len(out.members_by_set.get(sid, frozenset()))
+                for sid in out.cover
+            )
+            delivered = _send(
+                comm,
+                tracer,
+                f"shard[{out.index}]",
+                "coordinator",
+                words,
+                transport=transport,
+                kind="candidates",
+                payload=candidate_upload_wire(
+                    out.index, out.cover, out.members_by_set
+                ),
+            )
+            _, uploads = read_candidate_upload(delivered)
+            for sid, members in uploads:
                 candidates.setdefault(sid, set()).update(members)
-            _send(comm, tracer, f"shard[{out.index}]", "coordinator", words)
 
         uncovered: Set[ElementId] = set(range(instance.n))
         cover: List[SetId] = []
@@ -233,6 +292,7 @@ class ChainCoordinator(Coordinator):
         comm: CommMeter,
         tracer=None,
         allow_partial: bool = False,
+        transport: Optional[Transport] = None,
     ) -> MergeOutcome:
         tracer = tracer if tracer is not None else NULL_TRACER
         party_sets = [
@@ -247,15 +307,30 @@ class ChainCoordinator(Coordinator):
             party_sets,
             threshold=self.threshold,
             partial=allow_partial,
+            capture_states=transport is not None,
         )
         for i, words in enumerate(outcome.message_words):
-            _send(
+            payload = None
+            if transport is not None:
+                uncovered, witnesses, chosen = outcome.forwarded_states[i]
+                payload = handoff_wire(i, uncovered, witnesses, chosen)
+            delivered = _send(
                 comm,
                 tracer,
                 f"shard[{outputs[i].index}]",
                 f"shard[{outputs[i + 1].index}]",
                 words,
+                transport=transport,
+                kind="handoff",
+                payload=payload,
             )
+            if transport is not None and handoff_words(delivered) != words:
+                raise TransportError(
+                    f"hand-off {i} delivered "
+                    f"{handoff_words(delivered)} word(s) of state but "
+                    f"{words} were charged; the wire dropped or altered "
+                    "protocol state"
+                )
         return MergeOutcome(
             cover=tuple(outcome.cover),
             certificate=dict(outcome.certificate),

@@ -44,6 +44,11 @@ from repro.distributed.coordinator import make_coordinator
 from repro.distributed.ingest import IngestReport, stream_ingest
 from repro.distributed.router import ShardPlan, ShardRouter
 from repro.distributed.shmem import ShippingReport
+from repro.distributed.transport import (
+    Transport,
+    TransportReport,
+    make_transport,
+)
 from repro.distributed.worker import (
     InstanceShape,
     ShardAccumulator,
@@ -68,6 +73,45 @@ _SEED_SPACE = 2**63
 
 #: How shard edges reach their workers.
 INGEST_MODES: Tuple[str, ...] = ("materialize", "stream")
+
+
+def validate_transport(transport: Optional[object]) -> None:
+    """Fail fast on a ``transport`` argument that can never resolve.
+
+    Catches unknown registry names and wrong types *before* any shard
+    work runs; the transport itself (which may bind a socket) is only
+    constructed at merge time by :func:`resolve_transport`.
+    """
+    if transport is None or isinstance(transport, Transport):
+        return
+    if isinstance(transport, str):
+        from repro.distributed.transport import TRANSPORT_REGISTRY
+
+        if transport not in TRANSPORT_REGISTRY:
+            known = ", ".join(sorted(TRANSPORT_REGISTRY))
+            raise InvalidParameterError(
+                "transport", transport, f"known transports: {known}"
+            )
+        return
+    raise InvalidParameterError(
+        "transport",
+        transport,
+        "expected a registry name or a Transport instance",
+    )
+
+
+def resolve_transport(transport: Optional[object]) -> Transport:
+    """Accept a registry name, a built :class:`Transport`, or ``None``.
+
+    ``None`` means ``"inproc"`` — every run measures its wire bytes,
+    the default just measures them without moving anything.  Shared by
+    the synchronous and asynchronous executors so both accept the same
+    ``transport=`` vocabulary.
+    """
+    validate_transport(transport)
+    if isinstance(transport, Transport):
+        return transport
+    return make_transport(transport if transport is not None else "inproc")
 
 
 @dataclass
@@ -101,6 +145,9 @@ class DistributedResult:
         default=None, compare=False, repr=False
     )
     shipping: Optional[ShippingReport] = field(
+        default=None, compare=False, repr=False
+    )
+    transport: Optional[TransportReport] = field(
         default=None, compare=False, repr=False
     )
 
@@ -290,6 +337,7 @@ def run_distributed(
     threshold: Optional[float] = None,
     comm_log: bool = False,
     backend: Optional[str] = None,
+    transport: Optional[object] = None,
     ingest: str = "materialize",
     chunk_size: int = 4096,
     queue_depth: int = 8,
@@ -331,6 +379,15 @@ def run_distributed(
         ``"process"`` (see :mod:`repro.distributed.backends`).  Default
         ``None`` means ``"thread"``, the historical behaviour.
         Operational: every backend produces the identical result.
+    transport:
+        Wire transport for merge messages — a registry name
+        (``"inproc"``, ``"loopback"``, ``"socket"``) or a constructed
+        :class:`~repro.distributed.transport.Transport` (tests inject
+        fault-configured loopbacks this way).  Default ``None`` means
+        ``"inproc"``.  Operational: every transport produces the
+        identical cover/certificate/comm report; only the
+        :attr:`DistributedResult.transport` byte accounting differs.
+        The transport is closed before returning.
     ingest:
         ``"materialize"`` routes every shard fully before execution;
         ``"stream"`` feeds shards through bounded per-shard chunk
@@ -385,8 +442,11 @@ def run_distributed(
         )
     backend_impl = make_backend(backend if backend is not None else "thread")
     # Construct the merger before any shard work: an unknown coordinator
-    # must fail fast, not after W shards have already run.
+    # must fail fast, not after W shards have already run.  The transport
+    # name is validated here too, but the transport itself is built at
+    # merge time so a shard failure cannot leak a bound socket.
     merger = make_coordinator(coordinator, threshold=threshold)
+    validate_transport(transport)
 
     resilient = (
         shard_faults is not None
@@ -497,20 +557,29 @@ def run_distributed(
     allow_partial = bool(lost)
 
     comm = CommMeter(budget=comm_budget, log_messages=comm_log)
-    with merge_tracer.span(
-        SPAN_MERGE,
-        coordinator=coordinator,
-        strategy=strategy,
-        workers=workers,
-    ):
-        outcome = merger.merge(
-            instance,
-            plan,
-            shard_outputs,
-            comm,
-            tracer=merge_tracer,
-            allow_partial=allow_partial,
+    transport_impl = resolve_transport(transport)
+    try:
+        with merge_tracer.span(
+            SPAN_MERGE,
+            coordinator=coordinator,
+            strategy=strategy,
+            workers=workers,
+        ):
+            outcome = merger.merge(
+                instance,
+                plan,
+                shard_outputs,
+                comm,
+                tracer=merge_tracer,
+                allow_partial=allow_partial,
+                transport=transport_impl,
+            )
+        comm_report = comm.report()
+        transport_report = transport_impl.report(
+            metered_words=comm_report.total_words
         )
+    finally:
+        transport_impl.close()
 
     degradations: Tuple[DegradationRecord, ...] = ()
     if lost:
@@ -564,7 +633,7 @@ def run_distributed(
     return DistributedResult(
         cover=frozenset(outcome.cover),
         certificate=dict(outcome.certificate),
-        comm=comm.report(),
+        comm=comm_report,
         shards=[out.report for out in shard_outputs],
         algorithm=algorithm,
         strategy=strategy,
@@ -578,6 +647,7 @@ def run_distributed(
         uncovered=tuple(outcome.uncovered),
         ingest=ingest_report,
         shipping=getattr(backend_impl, "last_shipping", None),
+        transport=transport_report,
     )
 
 

@@ -121,7 +121,11 @@ def _cleanup_live_segments() -> None:
 
     Best-effort sweep: one segment's failure (say, a mapping pinned by
     a pool initializer that raised before any task ran) must not leave
-    the remaining live segments leaked — each cleanup is isolated.
+    the remaining live segments leaked — each cleanup is isolated.  The
+    live set is snapshotted up front (``cleanup()`` mutates it as it
+    runs), and a failed segment's handle is dropped *by identity*, not
+    by name — popping by name could evict a newer, still-live segment
+    that reused the label.
     """
     for segment in list(_LIVE_SEGMENTS.values()):
         try:
@@ -129,7 +133,13 @@ def _cleanup_live_segments() -> None:
         except Exception:
             # Drop the handle so a repeated sweep cannot re-raise over
             # the same segment; the OS reclaims it at process exit.
-            _LIVE_SEGMENTS.pop(segment.name, None)
+            stale = [
+                name
+                for name, live in _LIVE_SEGMENTS.items()
+                if live is segment
+            ]
+            for name in stale:
+                _LIVE_SEGMENTS.pop(name, None)
 
 
 def _track_segment(segment: "EdgeSegment") -> None:

@@ -1,0 +1,758 @@
+"""Pluggable wire transports: turning metered words into measured bytes.
+
+:class:`~repro.distributed.comm.CommMeter` charges idealised machine
+*words* on abstract links — the currency of Theorem 2 — but nothing
+ever crosses a wire, so the comm report cannot be validated against
+physical bytes and transport-level faults (partitions, retransmits)
+are unreachable.  This module adds the missing layer: every message a
+coordinator charges also travels, as real serialized bytes, through a
+registered :class:`Transport`:
+
+``inproc``
+    Zero-copy, the default.  The payload is framed once to *measure*
+    its wire size, then delivered by reference — today's behaviour
+    with a byte count attached.
+``loopback``
+    An in-memory channel driven by the
+    :class:`~repro.distributed.asyncsim.AsyncScheduler` logical clock,
+    with seeded per-link latency, jitter, and partition/drop injection.
+    Frames are encoded, carried through the scheduler, and decoded on
+    delivery; a partitioned link retransmits up to ``max_retries``
+    times and then raises a typed
+    :class:`~repro.errors.TransportPartitionError`.
+``socket``
+    Real TCP over localhost.  A background acceptor thread owns the
+    listening socket; senders hold one connection per link and ship
+    length-prefixed frames, which the receiver side decodes and hands
+    back.  Connection failures retransmit; a sandbox that forbids
+    binding raises :class:`~repro.errors.TransportError` at
+    construction, which callers (the parity gate, the bench) treat as
+    a graceful skip.
+
+Wire format (shared by every transport, so their byte counts are
+comparable)::
+
+    4 bytes  magic  b"RPWT"
+    1 byte   codec tag (1 = pickle, 2 = msgpack)
+    4 bytes  payload length, big-endian
+    N bytes  codec-encoded payload
+
+Payloads themselves are built by the ``*_wire`` helpers below: pure
+``str -> int | bytes`` dicts whose id sequences are packed as
+big-endian **int64** arrays — one machine word, eight bytes.  That
+packing is what makes the words/bytes comparison honest: a message of
+``w`` metered words carries at least ``8·w`` payload bytes (the chain's
+two-words-per-key charge is mirrored by a two-int64 encoding per key),
+so ``TransportReport.overhead_ratio >= 1`` is a structural property,
+not a measurement accident.
+
+The codec is msgpack when the interpreter has it, pickle otherwise
+(both handle the primitive wire dicts); requesting ``msgpack``
+explicitly on an interpreter without it is a typed
+:class:`~repro.errors.TransportError`.
+
+Determinism and parity: a transport never changes *what* is computed —
+coordinators consume the **delivered** payload, so the parity gate
+(``scripts/check_transport_parity.py``) proves covers, certificates,
+and comm reports byte-identical across all three transports, while the
+:class:`TransportReport` (attached to
+:attr:`~repro.distributed.executor.DistributedResult.transport`,
+excluded from equality like ``shipping``/``ingest``) records what the
+wire actually carried: per-link bytes, frames, and retransmits.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import socket as socket_module
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.distributed.comm import link_label
+from repro.errors import (
+    InvalidParameterError,
+    TransportError,
+    TransportPartitionError,
+)
+from repro.types import SeedLike, make_rng
+
+WIRE_MAGIC = b"RPWT"
+_HEADER = struct.Struct("!4sBI")
+#: Bytes per idealised machine word (int64) on the wire.
+WORD_BYTES = 8
+
+
+# -- word packing -----------------------------------------------------------
+
+
+def pack_words(values: Iterable[int]) -> bytes:
+    """Pack integer ids as big-endian int64 — eight bytes per word."""
+    seq = list(values)
+    return struct.pack(f"!{len(seq)}q", *seq)
+
+
+def unpack_words(data: bytes) -> List[int]:
+    """Inverse of :func:`pack_words`."""
+    count, remainder = divmod(len(data), WORD_BYTES)
+    if remainder:
+        raise TransportError(
+            f"packed word field of {len(data)} bytes is not a multiple of "
+            f"{WORD_BYTES}"
+        )
+    return list(struct.unpack(f"!{count}q", data))
+
+
+# -- codecs -----------------------------------------------------------------
+
+
+class Codec:
+    """Serializer for wire payloads (pure ``str -> int | bytes`` dicts)."""
+
+    name = "abstract"
+    tag = 0
+
+    def encode(self, payload: object) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: bytes) -> object:
+        raise NotImplementedError
+
+
+class PickleCodec(Codec):
+    """The always-available codec; deterministic for the wire dicts."""
+
+    name = "pickle"
+    tag = 1
+
+    def encode(self, payload: object) -> bytes:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode(self, data: bytes) -> object:
+        return pickle.loads(data)
+
+
+class MsgpackCodec(Codec):
+    """Msgpack codec, gated on the interpreter actually having msgpack."""
+
+    name = "msgpack"
+    tag = 2
+
+    def __init__(self) -> None:
+        try:
+            import msgpack
+        except ImportError:
+            raise TransportError(
+                "msgpack codec requested but msgpack is not installed; "
+                "use the pickle codec"
+            ) from None
+        self._msgpack = msgpack
+
+    def encode(self, payload: object) -> bytes:
+        return self._msgpack.packb(payload, use_bin_type=True)
+
+    def decode(self, data: bytes) -> object:
+        return self._msgpack.unpackb(data, raw=False)
+
+
+#: Codec name -> class; tag -> class for frame decoding.
+CODEC_REGISTRY: Dict[str, Type[Codec]] = {
+    "pickle": PickleCodec,
+    "msgpack": MsgpackCodec,
+}
+_CODEC_BY_TAG: Dict[int, Type[Codec]] = {
+    cls.tag: cls for cls in CODEC_REGISTRY.values()
+}
+
+
+def msgpack_available() -> bool:
+    """Whether this interpreter can import msgpack."""
+    try:
+        import msgpack  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def make_codec(name: Optional[str] = None) -> Codec:
+    """Construct a codec by name; ``None`` prefers msgpack, falls back
+    to pickle — the "msgpack-or-pickle" default."""
+    if name is None:
+        return MsgpackCodec() if msgpack_available() else PickleCodec()
+    try:
+        cls = CODEC_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(CODEC_REGISTRY))
+        raise InvalidParameterError(
+            "codec", name, f"known codecs: {known}"
+        ) from None
+    return cls()
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def encode_frame(codec: Codec, payload: object) -> bytes:
+    """Length-prefix one codec-encoded payload."""
+    body = codec.encode(payload)
+    return _HEADER.pack(WIRE_MAGIC, codec.tag, len(body)) + body
+
+
+def decode_frame(frame: bytes) -> object:
+    """Parse one frame back to its payload; typed errors on bad wire."""
+    if len(frame) < _HEADER.size:
+        raise TransportError(
+            f"frame of {len(frame)} bytes is shorter than the "
+            f"{_HEADER.size}-byte header"
+        )
+    magic, tag, length = _HEADER.unpack(frame[: _HEADER.size])
+    if magic != WIRE_MAGIC:
+        raise TransportError(f"bad frame magic {magic!r}")
+    body = frame[_HEADER.size :]
+    if len(body) != length:
+        raise TransportError(
+            f"frame announces {length} payload bytes but carries {len(body)}"
+        )
+    try:
+        codec = _CODEC_BY_TAG[tag]()
+    except KeyError:
+        raise TransportError(f"unknown codec tag {tag}") from None
+    return codec.decode(body)
+
+
+# -- wire payload schemas ---------------------------------------------------
+#
+# One builder/reader pair per message kind the coordinators send.  Id
+# sequences travel as packed int64 arrays so payload bytes track metered
+# words exactly; the readers return the same deterministic orders the
+# pre-transport merge code iterated in, which is what keeps the merge
+# result independent of the transport.
+
+
+def cover_upload_wire(
+    index: int,
+    cover: Iterable[int],
+    certificate: Mapping[int, int],
+) -> Dict[str, object]:
+    """A shard's (cover, certificate) upload — the union merge's input."""
+    pairs: List[int] = []
+    for u, s in sorted(certificate.items()):
+        pairs.append(u)
+        pairs.append(s)
+    return {
+        "kind": "cover",
+        "index": index,
+        "cover": pack_words(sorted(cover)),
+        "certificate": pack_words(pairs),
+    }
+
+
+def read_cover_upload(
+    payload: Mapping[str, object]
+) -> Tuple[int, List[int], List[Tuple[int, int]]]:
+    """``(index, cover ids, sorted (element, witness) pairs)``."""
+    flat = unpack_words(payload["certificate"])  # type: ignore[arg-type]
+    pairs = list(zip(flat[0::2], flat[1::2]))
+    return (
+        int(payload["index"]),  # type: ignore[arg-type]
+        unpack_words(payload["cover"]),  # type: ignore[arg-type]
+        pairs,
+    )
+
+
+def candidate_upload_wire(
+    index: int,
+    cover: Iterable[int],
+    members_by_set: Mapping[int, Iterable[int]],
+) -> Dict[str, object]:
+    """A shard's candidate-set upload — the greedy merge's input."""
+    sids = sorted(cover)
+    counts: List[int] = []
+    members: List[int] = []
+    for sid in sids:
+        view = sorted(members_by_set.get(sid, ()))
+        counts.append(len(view))
+        members.extend(view)
+    return {
+        "kind": "candidates",
+        "index": index,
+        "sets": pack_words(sids),
+        "counts": pack_words(counts),
+        "members": pack_words(members),
+    }
+
+
+def read_candidate_upload(
+    payload: Mapping[str, object]
+) -> Tuple[int, List[Tuple[int, List[int]]]]:
+    """``(index, [(set id, observed members)...])`` in sorted-set order."""
+    sids = unpack_words(payload["sets"])  # type: ignore[arg-type]
+    counts = unpack_words(payload["counts"])  # type: ignore[arg-type]
+    members = unpack_words(payload["members"])  # type: ignore[arg-type]
+    out: List[Tuple[int, List[int]]] = []
+    offset = 0
+    for sid, count in zip(sids, counts):
+        out.append((sid, members[offset : offset + count]))
+        offset += count
+    return int(payload["index"]), out  # type: ignore[arg-type]
+
+
+def handoff_wire(
+    hop: int,
+    uncovered: Iterable[int],
+    witnesses: Iterable[Tuple[int, int]],
+    chosen: Iterable[int],
+) -> Dict[str, object]:
+    """One chain hand-off: the forwarded protocol state.
+
+    A chosen key is charged at *two* words by
+    :func:`~repro.distributed.chain.state_words` (keys may be composite
+    in the abstract protocol), so it is encoded as two int64s here —
+    the wire mirrors the accounting, keeping payload bytes ≥ 8 × words.
+    """
+    flat_witnesses: List[int] = []
+    for u, s in witnesses:
+        flat_witnesses.append(u)
+        flat_witnesses.append(s)
+    flat_chosen: List[int] = []
+    for key in chosen:
+        flat_chosen.append(0)
+        flat_chosen.append(key)
+    return {
+        "kind": "handoff",
+        "hop": hop,
+        "uncovered": pack_words(sorted(uncovered)),
+        "witnesses": pack_words(flat_witnesses),
+        "chosen": pack_words(flat_chosen),
+    }
+
+
+def handoff_words(payload: Mapping[str, object]) -> int:
+    """Recompute the hand-off's word count from its wire form.
+
+    Equals :func:`~repro.distributed.chain.state_words` of the state
+    that built the payload — the chain coordinator asserts this against
+    the words it charged, an end-to-end integrity check that the bytes
+    delivered really are the state it forwarded.
+    """
+    return (
+        len(payload["uncovered"])  # type: ignore[arg-type]
+        + len(payload["witnesses"])  # type: ignore[arg-type]
+        + len(payload["chosen"])  # type: ignore[arg-type]
+    ) // WORD_BYTES
+
+
+# -- transport report -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransportReport:
+    """What one merge's messages physically put on the wire.
+
+    Operational metadata like
+    :class:`~repro.distributed.shmem.ShippingReport`: attached to
+    :attr:`DistributedResult.transport <repro.distributed.executor.DistributedResult>`
+    but excluded from result equality — the transport must never change
+    what is computed, only measure how it moved.  ``total_bytes`` counts
+    every transmitted frame including retransmitted ones;
+    ``payload_bytes`` is the codec output alone, so
+    ``total_bytes - payload_bytes`` is pure framing overhead.
+    """
+
+    transport: str
+    codec: str
+    total_bytes: int
+    total_frames: int
+    payload_bytes: int
+    retransmits: int
+    metered_words: int
+    per_link_bytes: Dict[str, int] = field(default_factory=dict)
+    per_link_frames: Dict[str, int] = field(default_factory=dict)
+    per_link_retransmits: Dict[str, int] = field(default_factory=dict)
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Measured wire bytes over the int64 size of the metered words.
+
+        ≥ 1.0 by construction of the wire format: every metered word
+        travels as at least one int64 plus framing/codec structure.
+        """
+        if self.metered_words <= 0:
+            return 0.0
+        return self.total_bytes / (WORD_BYTES * self.metered_words)
+
+    def link_bytes(self, src: str, dst: str) -> int:
+        """Wire bytes carried on the ``src->dst`` link (0 if unused)."""
+        return self.per_link_bytes.get(link_label(src, dst), 0)
+
+    def link_frames(self, src: str, dst: str) -> int:
+        """Frames carried on the ``src->dst`` link (0 if unused)."""
+        return self.per_link_frames.get(link_label(src, dst), 0)
+
+
+# -- transports -------------------------------------------------------------
+
+
+class Transport:
+    """Interface: move one coordinator message as real bytes.
+
+    :meth:`send` encodes ``payload`` with the transport's codec, moves
+    the frame through the medium, and returns the *delivered* payload —
+    coordinators consume the return value, so the wire sits on the data
+    path, not beside it.  Accounting (bytes, frames, retransmits per
+    link) accumulates on the transport; :meth:`report` snapshots it.
+    """
+
+    name = "abstract"
+
+    def __init__(self, codec: Optional[str] = None) -> None:
+        self.codec = make_codec(codec)
+        self._per_link_bytes: Dict[str, int] = {}
+        self._per_link_frames: Dict[str, int] = {}
+        self._per_link_retransmits: Dict[str, int] = {}
+        self._total_bytes = 0
+        self._total_frames = 0
+        self._payload_bytes = 0
+        self._retransmits = 0
+
+    # -- accounting ------------------------------------------------------
+
+    def _record(
+        self, link: str, frame_bytes: int, retransmit: bool = False
+    ) -> None:
+        """Charge one transmitted frame (retransmissions included)."""
+        self._per_link_bytes[link] = (
+            self._per_link_bytes.get(link, 0) + frame_bytes
+        )
+        self._per_link_frames[link] = self._per_link_frames.get(link, 0) + 1
+        self._total_bytes += frame_bytes
+        self._total_frames += 1
+        self._payload_bytes += frame_bytes - _HEADER.size
+        if retransmit:
+            self._per_link_retransmits[link] = (
+                self._per_link_retransmits.get(link, 0) + 1
+            )
+            self._retransmits += 1
+
+    def _diagnostics(self) -> Dict[str, float]:
+        """Transport-specific report diagnostics; override to extend."""
+        return {}
+
+    def report(self, metered_words: int = 0) -> TransportReport:
+        """Snapshot the wire accounting (pair with the comm report)."""
+        return TransportReport(
+            transport=self.name,
+            codec=self.codec.name,
+            total_bytes=self._total_bytes,
+            total_frames=self._total_frames,
+            payload_bytes=self._payload_bytes,
+            retransmits=self._retransmits,
+            metered_words=metered_words,
+            per_link_bytes=dict(self._per_link_bytes),
+            per_link_frames=dict(self._per_link_frames),
+            per_link_retransmits=dict(self._per_link_retransmits),
+            diagnostics=self._diagnostics(),
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def send(self, src: str, dst: str, kind: str, payload: object) -> object:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any sockets/threads; idempotent."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(codec={self.codec.name!r})"
+
+
+class InprocTransport(Transport):
+    """Zero-copy delivery with measured framing — the default.
+
+    The payload is framed once so the report carries the exact bytes a
+    wire transport would have moved, then delivered *by reference*: no
+    decode, no copy, today's in-process behaviour byte for byte.
+    """
+
+    name = "inproc"
+
+    def send(self, src: str, dst: str, kind: str, payload: object) -> object:
+        frame = encode_frame(self.codec, payload)
+        self._record(link_label(src, dst), len(frame))
+        return payload
+
+
+class LoopbackTransport(Transport):
+    """In-memory channel on the async scheduler's logical clock.
+
+    Every frame becomes a scheduler message with its configured link
+    delay plus seeded jitter; the transport drains the scheduler and
+    decodes the delivered frame, so the logical clock measures the
+    merge's wire latency in the same units PR 7's simulator uses.
+    Fault injection: links named in ``partitioned`` drop every frame,
+    and ``drop_rate`` drops each transmission independently (seeded) —
+    both retransmit up to ``max_retries`` extra times before raising
+    :class:`~repro.errors.TransportPartitionError`.  Dropped frames
+    still count toward bytes/frames: a real NIC transmits them too.
+    """
+
+    name = "loopback"
+
+    def __init__(
+        self,
+        codec: Optional[str] = None,
+        seed: SeedLike = 0,
+        link_delays: Optional[Mapping[str, int]] = None,
+        default_delay: int = 1,
+        jitter: int = 0,
+        drop_rate: float = 0.0,
+        partitioned: Sequence[str] = (),
+        max_retries: int = 3,
+    ) -> None:
+        super().__init__(codec)
+        if jitter < 0:
+            raise InvalidParameterError("jitter", jitter, "must be >= 0")
+        if not 0.0 <= drop_rate < 1.0:
+            raise InvalidParameterError(
+                "drop_rate", drop_rate, "must be in [0, 1)"
+            )
+        if max_retries < 0:
+            raise InvalidParameterError(
+                "max_retries", max_retries, "must be >= 0"
+            )
+        # Imported lazily: asyncsim imports the coordinator module,
+        # which imports us — a module-level import would be circular.
+        from repro.distributed.asyncsim import AsyncScheduler
+
+        self._scheduler = AsyncScheduler(
+            link_delays=link_delays, default_delay=default_delay
+        )
+        self._rng = make_rng(seed)
+        self.jitter = jitter
+        self.drop_rate = drop_rate
+        self.partitioned = frozenset(partitioned)
+        self.max_retries = max_retries
+
+    def send(self, src: str, dst: str, kind: str, payload: object) -> object:
+        frame = encode_frame(self.codec, payload)
+        link = link_label(src, dst)
+        for attempt in range(self.max_retries + 1):
+            self._record(link, len(frame), retransmit=attempt > 0)
+            dropped = link in self.partitioned or (
+                self.drop_rate > 0.0 and self._rng.random() < self.drop_rate
+            )
+            if dropped:
+                continue
+            delay = self._scheduler.link_delay(src, dst)
+            if self.jitter:
+                delay += self._rng.randrange(self.jitter + 1)
+            self._scheduler.post(
+                src,
+                dst,
+                kind=kind,
+                words=len(frame),
+                payload=frame,
+                available_step=self._scheduler.clock + delay,
+            )
+            delivered = self._scheduler.drain()[-1]
+            return decode_frame(delivered.payload)
+        raise TransportPartitionError(link, self.max_retries + 1)
+
+    @property
+    def clock(self) -> int:
+        """The scheduler's logical clock after the frames so far."""
+        return self._scheduler.clock
+
+    def _diagnostics(self) -> Dict[str, float]:
+        return {
+            "logical_clock": float(self._scheduler.clock),
+            "idle_ticks": float(self._scheduler.idle_ticks),
+        }
+
+
+def _recv_exactly(conn: socket_module.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise ``ConnectionError``."""
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = conn.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class SocketTransport(Transport):
+    """Real TCP over localhost with length-prefixed frames.
+
+    One listening socket per transport (bound eagerly, so a sandbox
+    that forbids binding fails fast with a typed
+    :class:`~repro.errors.TransportError` callers can treat as a
+    skip); one cached client connection per link; a background
+    acceptor thread spawns a reader per connection that decodes frames
+    and hands them back through a queue.  Sends are serialized under a
+    lock — coordinator merges are sequential, and the lock keeps the
+    request/response pairing trivially correct if they ever are not.
+    A send that hits a connection error reconnects and retransmits up
+    to ``max_retries`` extra times.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        codec: Optional[str] = None,
+        host: str = "127.0.0.1",
+        timeout: float = 10.0,
+        max_retries: int = 2,
+    ) -> None:
+        super().__init__(codec)
+        if max_retries < 0:
+            raise InvalidParameterError(
+                "max_retries", max_retries, "must be >= 0"
+            )
+        self.host = host
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self._closed = False
+        self._clients: Dict[str, socket_module.socket] = {}
+        self._received: "queue.Queue[object]" = queue.Queue()
+        self._lock = threading.Lock()
+        try:
+            server = socket_module.socket(
+                socket_module.AF_INET, socket_module.SOCK_STREAM
+            )
+            server.bind((host, 0))
+            server.listen(16)
+        except OSError as exc:
+            raise TransportError(
+                f"socket transport cannot bind on {host}: {exc}"
+            ) from exc
+        self._server = server
+        self.port = server.getsockname()[1]
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-transport-accept", daemon=True
+        )
+        self._acceptor.start()
+
+    # -- receive side ----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _ = self._server.accept()
+            except OSError:
+                return  # closed
+            reader = threading.Thread(
+                target=self._read_loop,
+                args=(conn,),
+                name="repro-transport-read",
+                daemon=True,
+            )
+            reader.start()
+
+    def _read_loop(self, conn: socket_module.socket) -> None:
+        try:
+            while True:
+                header = _recv_exactly(conn, _HEADER.size)
+                _, _, length = _HEADER.unpack(header)
+                body = _recv_exactly(conn, length)
+                self._received.put(decode_frame(header + body))
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            conn.close()
+
+    # -- send side -------------------------------------------------------
+
+    def _client_for(self, link: str) -> socket_module.socket:
+        client = self._clients.get(link)
+        if client is None:
+            client = socket_module.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._clients[link] = client
+        return client
+
+    def send(self, src: str, dst: str, kind: str, payload: object) -> object:
+        if self._closed:
+            raise TransportError("socket transport is closed")
+        frame = encode_frame(self.codec, payload)
+        link = link_label(src, dst)
+        with self._lock:
+            for attempt in range(self.max_retries + 1):
+                try:
+                    client = self._client_for(link)
+                    client.sendall(frame)
+                    self._record(link, len(frame), retransmit=attempt > 0)
+                    return self._received.get(timeout=self.timeout)
+                except (ConnectionError, OSError, queue.Empty):
+                    stale = self._clients.pop(link, None)
+                    if stale is not None:
+                        stale.close()
+        raise TransportPartitionError(link, self.max_retries + 1)
+
+    def _diagnostics(self) -> Dict[str, float]:
+        return {"port": float(self.port)}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for client in self._clients.values():
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+        self._clients.clear()
+        try:
+            self._server.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+
+
+#: Public name -> transport class.
+TRANSPORT_REGISTRY: Dict[str, Type[Transport]] = {
+    "inproc": InprocTransport,
+    "loopback": LoopbackTransport,
+    "socket": SocketTransport,
+}
+
+
+def registered_transports() -> List[str]:
+    """Registry names in deterministic (sorted) order."""
+    return sorted(TRANSPORT_REGISTRY)
+
+
+def make_transport(
+    name: str,
+    codec: Optional[str] = None,
+    seed: SeedLike = 0,
+    **options: object,
+) -> Transport:
+    """Construct a registered transport by name.
+
+    ``seed`` feeds the loopback transport's jitter/drop RNG and is
+    ignored by the deterministic transports; extra keyword options go
+    to the transport constructor (e.g. ``drop_rate`` for loopback).
+    """
+    try:
+        cls = TRANSPORT_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(registered_transports())
+        raise InvalidParameterError(
+            "transport", name, f"known transports: {known}"
+        ) from None
+    if cls is LoopbackTransport:
+        return LoopbackTransport(codec=codec, seed=seed, **options)  # type: ignore[arg-type]
+    return cls(codec=codec, **options)  # type: ignore[arg-type]

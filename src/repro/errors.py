@@ -120,6 +120,36 @@ class CommBudgetError(ReproError):
         )
 
 
+class TransportError(ReproError):
+    """A transport could not move a message between two players.
+
+    Raised by :mod:`repro.distributed.transport` for wire-level
+    failures the comm meter never sees: a socket that cannot bind in a
+    sandboxed environment, a malformed frame, or a codec that is not
+    installed.  Logical (word-level) accounting failures stay
+    :class:`CommBudgetError`; this error is strictly about bytes.
+    """
+
+
+class TransportPartitionError(TransportError):
+    """A link stayed partitioned past the transport's retransmit budget.
+
+    Carries the link label and how many transmissions were attempted so
+    chaos harnesses can assert *which* link failed and that the
+    retransmit policy was actually exercised.
+    """
+
+    def __init__(self, link: str, attempts: int, context: str = "") -> None:
+        self.link = link
+        self.attempts = attempts
+        self.context = context
+        suffix = f" while {context}" if context else ""
+        super().__init__(
+            f"link {link} dropped all {attempts} transmission(s); "
+            f"partition outlasted the retransmit budget{suffix}"
+        )
+
+
 class StreamExhaustedError(ReproError):
     """An algorithm asked for more stream than exists.
 

@@ -30,6 +30,7 @@ from repro.experiments import (
     table1_row2,
     table1_row3,
     table1_row4,
+    words_vs_bytes,
 )
 
 _REGISTRY: Dict[str, ModuleType] = {
@@ -53,6 +54,7 @@ _REGISTRY: Dict[str, ModuleType] = {
         order_robustness,
         practice,
         invariants,
+        words_vs_bytes,
     )
 }
 

@@ -1,0 +1,144 @@
+"""Experiment ``words-vs-bytes``: metered words vs measured wire bytes.
+
+Theorem 2's communication bounds are stated in idealised machine
+*words*; the transport layer serializes every coordinator message and
+counts the *bytes* that actually cross a wire.  This experiment runs
+each coordinator over every available transport and puts the two
+currencies side by side:
+
+* **parity** — covers, certificates, and comm reports are identical
+  across transports (the wire never changes what is computed);
+* **honesty** — measured bytes ≥ 8 × metered words on every run and
+  every link, because each word travels as one big-endian int64;
+* **overhead** — the bytes/word ratio stays a small constant (framing
+  plus codec structure), so the word counts the theorems use are a
+  faithful proxy for physical communication, not an undercount.
+
+The socket transport is exercised when the sandbox allows binding a
+localhost listener and skipped (with a note) otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.metrics import aggregate
+from repro.distributed import run_distributed
+from repro.distributed.transport import (
+    SocketTransport,
+    make_transport,
+    registered_transports,
+)
+from repro.errors import TransportError
+from repro.experiments.base import ExperimentReport
+from repro.generators.planted import planted_partition_instance
+from repro.types import make_rng
+
+EXPERIMENT_ID = "words-vs-bytes"
+TITLE = "Metered words vs measured wire bytes across transports"
+PAPER_CLAIM = (
+    "the word counts the communication bounds are stated in are a "
+    "faithful proxy for physical bytes: every transport carries "
+    "identical covers and comm reports, measured bytes are at least "
+    "8x the metered words (one int64 per word), and the bytes/word "
+    "overhead is a small framing constant"
+)
+
+_COORDINATORS = ("union", "greedy", "chain")
+
+
+def _transport_for(name: str):
+    """A transport instance, or ``None`` where the sandbox forbids it."""
+    if name == "socket":
+        try:
+            return SocketTransport()
+        except TransportError:
+            return None
+    return make_transport(name)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    replications = 2 if quick else 5
+    n = 80 if quick else 160
+    m = 240 if quick else 800
+    workers = 4 if quick else 8
+
+    rows: List[List[object]] = []
+    parity_cells = 0
+    socket_skipped = False
+    min_overhead = float("inf")
+    max_overhead = 0.0
+
+    for coordinator in _COORDINATORS:
+        ratios_by_transport: Dict[str, List[float]] = {}
+        for _ in range(replications):
+            s = rng.getrandbits(63)
+            planted = planted_partition_instance(
+                n, m, opt_size=workers * 2, seed=s
+            )
+            baseline = None
+            for name in registered_transports():
+                transport = _transport_for(name)
+                if transport is None:
+                    socket_skipped = True
+                    continue
+                result = run_distributed(
+                    planted.instance,
+                    workers=workers,
+                    coordinator=coordinator,
+                    seed=s,
+                    transport=transport,
+                )
+                result.verify(planted.instance)
+                if baseline is None:
+                    baseline = result
+                else:
+                    assert result == baseline, (
+                        f"transport parity broken: {coordinator}/{name}"
+                    )
+                    assert result.comm == baseline.comm
+                    parity_cells += 1
+                wire = result.transport
+                words = result.comm.total_words
+                assert wire.total_bytes >= 8 * words, (
+                    f"wire undercounts words: {coordinator}/{name}"
+                )
+                assert wire.per_link_frames == result.comm.per_link_messages
+                ratios_by_transport.setdefault(name, []).append(
+                    wire.overhead_ratio
+                )
+                min_overhead = min(min_overhead, wire.overhead_ratio)
+                max_overhead = max(max_overhead, wire.overhead_ratio)
+        for name, ratios in sorted(ratios_by_transport.items()):
+            agg = aggregate(ratios)
+            rows.append([coordinator, name, len(ratios), str(agg)])
+
+    notes = [
+        "every transport produced byte-identical covers, certificates, "
+        "and comm reports — the wire is on the data path but never in "
+        "the result",
+        f"bytes/word overhead stayed in [{min_overhead:.3f}, "
+        f"{max_overhead:.3f}]: >= 1 structurally (one int64 per word) "
+        "and bounded by a small framing/codec constant",
+    ]
+    if socket_skipped:
+        notes.append(
+            "socket transport skipped: this sandbox forbids binding a "
+            "localhost listener"
+        )
+
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=["coordinator", "transport", "runs", "bytes/word overhead"],
+        rows=rows,
+        findings={
+            "min_overhead_ratio": min_overhead,
+            "max_overhead_ratio": max_overhead,
+            "parity_cells_checked": float(parity_cells),
+            "socket_exercised": 0.0 if socket_skipped else 1.0,
+        },
+        notes=notes,
+    )

@@ -30,6 +30,15 @@ A :class:`SpaceBudget` can optionally be attached to turn the meter into
 an enforcer that raises :class:`~repro.errors.SpaceBudgetExceededError`
 the moment the peak would cross the budget — used by tests that assert
 an algorithm genuinely fits in its advertised space.
+
+Budget discipline — **apply, then raise**: the offending update is
+recorded *before* the budget error fires, so a tripped meter's report
+shows the true high-water mark that crossed the cap (``error.used ==
+meter.current_words``), not the last under-budget state.  This is a
+deliberate shared contract with
+:meth:`repro.distributed.comm.CommMeter.record` — both meters are
+forensic instruments first and enforcers second — and is pinned by the
+hypothesis property in ``tests/test_meter_contract.py``.
 """
 
 from __future__ import annotations
@@ -64,14 +73,16 @@ class SpaceReport:
     def dominant_component(self) -> Optional[str]:
         """Name of the largest component at the peak, or ``None`` if empty.
 
-        Ties break to the lexicographically largest name, not dict
+        Ties break to the lexicographically *smallest* name, not dict
         insertion order — two runs that register equal-sized components
         in different orders must report the same dominant component.
+        The same tie-break governs
+        :meth:`~repro.distributed.comm.CommReport.busiest_link`.
         """
         if not self.components_at_peak:
             return None
-        return max(
-            self.components_at_peak.items(), key=lambda kv: (kv[1], kv[0])
+        return min(
+            self.components_at_peak.items(), key=lambda kv: (-kv[1], kv[0])
         )[0]
 
     def peak_of(self, name: str) -> int:

@@ -30,8 +30,9 @@ class TestDominantComponentTieBreak:
             components_at_peak={"beta": 5, "alpha": 5},
         )
         assert forward.dominant_component() == backward.dominant_component()
-        # The deterministic (size, name) key picks the lexicographic max.
-        assert forward.dominant_component() == "beta"
+        # The deterministic (size, name) key picks the lexicographic
+        # minimum — the same tie-break CommReport.busiest_link uses.
+        assert forward.dominant_component() == "alpha"
 
     def test_strict_max_still_wins(self):
         report = SpaceReport(

@@ -112,11 +112,26 @@ class TestCommReport:
         meter.record("b", "c", 9)
         assert meter.report().busiest_link() == "b->c"
 
-    def test_busiest_link_tie_breaks_lexicographically(self):
+    def test_busiest_link_tie_breaks_to_smallest_label(self):
+        # Two equal-weight links: the lexicographically smallest label
+        # wins, matching SpaceReport.dominant_component's tie-break.
         meter = CommMeter()
         meter.record("b", "c", 5)
         meter.record("a", "b", 5)
-        assert meter.report().busiest_link() == "b->c"
+        assert meter.report().busiest_link() == "a->b"
+
+    def test_busiest_link_tie_independent_of_charge_order(self):
+        forward = CommMeter()
+        forward.record("a", "b", 5)
+        forward.record("b", "c", 5)
+        backward = CommMeter()
+        backward.record("b", "c", 5)
+        backward.record("a", "b", 5)
+        assert (
+            forward.report().busiest_link()
+            == backward.report().busiest_link()
+            == "a->b"
+        )
 
     def test_busiest_link_none_when_idle(self):
         assert CommMeter().report().busiest_link() is None

@@ -349,3 +349,72 @@ class TestShipTasksCleanupPaths:
             first.cleanup()
         assert first.name not in _named_segments()
         assert not shmem._LIVE_SEGMENTS
+
+    def test_unlink_failure_does_not_block_later_segments(self, instance):
+        # The ISSUE scenario verbatim: a segment whose *unlink* raises
+        # mid-sweep must not prevent later live segments from being
+        # unlinked.  The sweep snapshots the live set up front, so the
+        # failing segment's own registry mutation (cleanup pops itself
+        # before unlinking) cannot perturb the iteration either.
+        from repro.distributed import shmem
+
+        tasks = build_shard_tasks(instance, workers=2, seed=8)
+        _, first = ship_tasks(tasks)
+        _, second = ship_tasks(tasks)
+        assert first is not None and second is not None
+
+        real_unlink = first._shm.unlink
+
+        def refusing_unlink():
+            raise OSError("unlink refused")
+
+        first._shm.unlink = refusing_unlink
+        try:
+            shmem._cleanup_live_segments()
+        finally:
+            first._shm.unlink = real_unlink
+        # The later segment was unlinked despite the earlier failure,
+        # and no handle lingers to make a second sweep re-raise.
+        assert second.name not in _named_segments()
+        assert not shmem._LIVE_SEGMENTS
+        shmem._cleanup_live_segments()  # no-op, nothing raises
+        real_unlink()  # reclaim the segment the fault left behind
+        assert first.name not in _named_segments()
+
+    def test_failed_cleanup_drop_is_by_identity(self, instance):
+        # The sweep drops a failed segment's handle by *identity*; a
+        # different live segment that happens to sit under the failing
+        # segment's name (shm name reuse) must survive the drop.
+        from repro.distributed import shmem
+
+        tasks = build_shard_tasks(instance, workers=2, seed=9)
+        _, failing = ship_tasks(tasks)
+        _, survivor = ship_tasks(tasks)
+        assert failing is not None and survivor is not None
+
+        def boom():
+            raise OSError("unlink refused")
+
+        failing.cleanup = boom
+        # Simulate name reuse: the survivor owns the failing segment's
+        # original name slot; the failing handle sits under a stale key.
+        shmem._LIVE_SEGMENTS.pop(failing.name)
+        shmem._LIVE_SEGMENTS.pop(survivor.name)
+        stale_key = "stale:" + failing.name
+        shmem._LIVE_SEGMENTS[stale_key] = failing
+        shmem._LIVE_SEGMENTS[failing.name] = survivor
+        try:
+            shmem._cleanup_live_segments()
+            # The stale alias holding the failing handle is gone, and a
+            # pop-by-name sweep would have evicted the survivor's
+            # reused-name entry instead — it must still be there.
+            assert stale_key not in shmem._LIVE_SEGMENTS
+            assert shmem._LIVE_SEGMENTS.get(failing.name) is survivor
+            # The survivor itself was still swept (snapshot iteration).
+            assert survivor.name not in _named_segments()
+        finally:
+            del failing.cleanup
+            shmem._LIVE_SEGMENTS.clear()
+            failing.cleanup()
+            survivor.cleanup()
+        assert not shmem._LIVE_SEGMENTS

@@ -26,8 +26,8 @@ def reports():
 
 
 class TestRegistry:
-    def test_eighteen_experiments(self):
-        assert len(all_experiment_ids()) == 18
+    def test_nineteen_experiments(self):
+        assert len(all_experiment_ids()) == 19
 
     def test_table1_rows_present(self):
         ids = all_experiment_ids()
@@ -240,6 +240,17 @@ class TestAsyncCompletionFindings:
 
     def test_every_replication_checked_for_parity(self, reports):
         assert reports("async-completion").findings["parity_runs_checked"] > 0
+
+
+class TestWordsVsBytesFindings:
+    def test_overhead_bounded_below_by_one(self, reports):
+        findings = reports("words-vs-bytes").findings
+        # >= 1 structurally: one int64 per metered word, plus framing.
+        assert findings["min_overhead_ratio"] >= 1.0
+        assert findings["max_overhead_ratio"] <= 3.0
+
+    def test_parity_checked_across_transports(self, reports):
+        assert reports("words-vs-bytes").findings["parity_cells_checked"] > 0
 
 
 class TestDeterminism:

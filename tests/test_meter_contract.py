@@ -1,0 +1,113 @@
+"""The shared budget discipline of SpaceMeter and CommMeter.
+
+Both meters deliberately **apply, then raise**: the update that crosses
+the budget is recorded before the typed budget error fires, so a
+tripped meter's report shows the true usage that crossed the cap (the
+meters are forensic instruments first, enforcers second).  These
+hypothesis properties pin the contract for both meters at once — a
+future "fix" flipping either one to check-then-charge breaks here
+loudly, with a citation to why the order is intentional.
+
+The transport layer leans on the converse ordering: the comm meter is
+charged before :meth:`Transport.send` runs, so a budget-tripped merge
+shows the over-budget message as *metered but never transmitted*
+(``test_distributed_transport.py`` asserts that side).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed.comm import CommBudget, CommMeter
+from repro.errors import CommBudgetError, SpaceBudgetExceededError
+from repro.streaming.space import SpaceBudget, SpaceMeter
+
+# Messages/charges small enough that multi-step sequences straddle the
+# budget in interesting ways, large enough to cross it in one step too.
+_sizes = st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=12)
+_budgets = st.integers(min_value=1, max_value=100)
+
+
+class TestSharedApplyThenRaiseContract:
+    @given(sizes=_sizes, budget_words=_budgets)
+    @settings(max_examples=200, deadline=None)
+    def test_both_meters_apply_before_raising(self, sizes, budget_words):
+        """One property, both meters: the tripping update is recorded.
+
+        Drives a CommMeter and a SpaceMeter through the *same* size
+        sequence against the same budget and asserts the identical
+        discipline on whichever trips: the error's ``used`` equals the
+        meter's post-update total, and that total includes the
+        offending update.
+        """
+        comm = CommMeter(budget=CommBudget(budget_words))
+        space = SpaceMeter(budget=SpaceBudget(budget_words))
+
+        comm_applied = 0
+        for i, words in enumerate(sizes):
+            try:
+                comm.record("a", "b", words)
+                comm_applied += words
+            except CommBudgetError as err:
+                comm_applied += words  # applied first, then raised
+                assert err.used == comm_applied
+                assert comm.total_words == comm_applied
+                assert comm.total_words > budget_words
+                # The tripping message is visible in the report too.
+                report = comm.report()
+                assert report.num_messages == i + 1
+                assert report.per_link_words["a->b"] == comm_applied
+                break
+        else:
+            assert comm.total_words == sum(sizes) <= budget_words
+
+        space_applied = 0
+        for words in sizes:
+            try:
+                space.charge(words)
+                space_applied += words
+            except SpaceBudgetExceededError as err:
+                space_applied += words  # applied first, then raised
+                assert err.used == space_applied
+                assert space.current_words == space_applied
+                assert space.current_words > budget_words
+                assert space.report().peak_words == space_applied
+                break
+        else:
+            assert space.current_words == sum(sizes) <= budget_words
+
+        # The shared contract proper: fed the same sizes and budget,
+        # the two meters agree on whether the budget trips and on the
+        # usage at the moment it does.
+        assert comm_applied == space_applied
+
+    @given(sizes=_sizes, budget_words=_budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_space_component_updates_apply_before_raising(
+        self, sizes, budget_words
+    ):
+        """set_component honours the same discipline as anonymous charges."""
+        meter = SpaceMeter(budget=SpaceBudget(budget_words))
+        total = 0
+        for i, words in enumerate(sizes):
+            total += words
+            try:
+                meter.set_component(f"c{i}", words)
+            except SpaceBudgetExceededError as err:
+                assert err.used == total
+                assert meter.current_words == total
+                assert meter.component(f"c{i}") == words
+                return
+        assert total <= budget_words
+
+    def test_comm_meter_usable_after_trip(self):
+        """A tripped meter keeps reporting (forensics), not half-states."""
+        meter = CommMeter(budget=CommBudget(10))
+        meter.record("a", "b", 6)
+        with pytest.raises(CommBudgetError):
+            meter.record("b", "c", 7)
+        report = meter.report()
+        assert report.total_words == 13
+        assert report.per_link_words == {"a->b": 6, "b->c": 7}
+        assert report.max_message_words == 7
