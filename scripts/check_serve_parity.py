@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Serve-parity gate: concurrent served runs must equal their batch twins.
+
+The service's load-bearing invariant is *batch-twin parity*: a solve or
+distribute served through the admission-controlled TCP path must be
+byte-identical to the same request run directly against the library —
+same cover, same certificate, same trace JSONL, same comm totals — even
+when N clients hit the same instance simultaneously and contend for
+pool leases.  This script computes the batch twins first, then replays
+every request through N concurrent client connections (several rounds,
+shuffled assignment) and compares byte-for-byte.  Exits 1 on the first
+divergence.  CI runs it on every push::
+
+    PYTHONPATH=src python scripts/check_serve_parity.py
+
+A sandbox that forbids binding localhost TCP makes the server's
+``start`` raise the typed ``TransportError``; that is reported as
+``SKIP`` and exits 0, mirroring the PR-8 socket-transport gate.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.algorithms import make_algorithm  # noqa: E402
+from repro.distributed import run_distributed  # noqa: E402
+from repro.errors import TransportError  # noqa: E402
+from repro.generators.planted import planted_partition_instance  # noqa: E402
+from repro.obs.tracer import RecordingTracer, events_to_jsonl  # noqa: E402
+from repro.serve import (  # noqa: E402
+    InstanceRegistry,
+    ServeClient,
+    ServeConfig,
+    start_server_thread,
+)
+from repro.streaming.orders import make_order  # noqa: E402
+from repro.streaming.stream import stream_of  # noqa: E402
+
+SEED = 20260808
+CLIENTS = 4
+ROUNDS = 3
+SOLVE_CASES = [
+    ("kk", "canonical", 1),
+    ("kk", "random", 7),
+    ("first-fit", "large-sets-last", 3),
+    ("store-all", "canonical", 0),
+]
+DISTRIBUTE_CASES = [
+    (3, "chain"),
+    (4, "greedy"),
+    (2, "union"),
+]
+
+
+def batch_solve_twin(instance, algorithm: str, order_name: str, seed: int):
+    """The exact batch run the server promises to reproduce."""
+    order = make_order(order_name, seed=seed)
+    stream = stream_of(instance, order)
+    tracer = RecordingTracer()
+    result = make_algorithm(
+        algorithm, instance, seed=seed, alpha=None, tracer=tracer
+    ).run(stream)
+    result.verify(instance)
+    tracer.finish()
+    return {
+        "cover": tuple(sorted(result.cover)),
+        "certificate": tuple(sorted(result.certificate.items())),
+        "peak_words": result.space.peak_words,
+        "trace_jsonl": events_to_jsonl(tracer.events),
+    }
+
+
+def batch_distribute_twin(instance, workers: int, coordinator: str):
+    result = run_distributed(
+        instance,
+        workers=workers,
+        algorithm="kk",
+        coordinator=coordinator,
+        seed=SEED,
+    )
+    result.verify(instance)
+    return {
+        "cover": tuple(sorted(result.cover)),
+        "certificate": tuple(sorted(result.certificate.items())),
+        "total_comm_words": result.total_comm_words,
+        "max_message_words": result.max_message_words,
+    }
+
+
+def served_requests(host, port, requests, failures):
+    """One client connection working through its share of requests."""
+    try:
+        client = ServeClient(host=host, port=port)
+    except TransportError as exc:
+        failures.append(f"client connect failed: {exc}")
+        return
+    try:
+        for label, kind, kwargs, twin in requests:
+            try:
+                if kind == "solve":
+                    response = client.solve("parity", **kwargs)
+                    got = {
+                        "cover": tuple(response["cover"]),
+                        "certificate": tuple(
+                            tuple(pair) for pair in response["certificate"]
+                        ),
+                        "peak_words": response["peak_words"],
+                        "trace_jsonl": response["trace_jsonl"],
+                    }
+                else:
+                    response = client.distribute("parity", **kwargs)
+                    got = {
+                        "cover": tuple(response["cover"]),
+                        "certificate": tuple(
+                            tuple(pair) for pair in response["certificate"]
+                        ),
+                        "total_comm_words": response["total_comm_words"],
+                        "max_message_words": response["max_message_words"],
+                    }
+            except Exception as exc:  # noqa: BLE001 — report, don't die
+                failures.append(f"{label}: request failed: {exc!r}")
+                continue
+            for key, expected in twin.items():
+                if got[key] != expected:
+                    failures.append(
+                        f"{label}: {key} diverged from batch twin "
+                        f"(served {got[key]!r} != batch {expected!r})"
+                    )
+    finally:
+        client.close()
+
+
+def main() -> int:
+    instance = planted_partition_instance(
+        n=300, m=60, opt_size=10, seed=SEED
+    ).instance
+
+    print("computing batch twins ...")
+    requests = []
+    for algorithm, order_name, seed in SOLVE_CASES:
+        twin = batch_solve_twin(instance, algorithm, order_name, seed)
+        requests.append(
+            (
+                f"solve[{algorithm}/{order_name}/seed={seed}]",
+                "solve",
+                dict(
+                    algorithm=algorithm,
+                    order=order_name,
+                    seed=seed,
+                    include_trace=True,
+                ),
+                twin,
+            )
+        )
+    for workers, coordinator in DISTRIBUTE_CASES:
+        twin = batch_distribute_twin(instance, workers, coordinator)
+        requests.append(
+            (
+                f"distribute[W={workers}/{coordinator}]",
+                "distribute",
+                dict(workers=workers, coordinator=coordinator, seed=SEED),
+                twin,
+            )
+        )
+
+    registry = InstanceRegistry()
+    registry.load_instance("parity", instance)
+    try:
+        handle = start_server_thread(ServeConfig(port=0), registry)
+    except TransportError as exc:
+        print(f"SKIP: cannot bind localhost TCP in this sandbox ({exc})")
+        return 0
+
+    failures: list = []
+    with handle:
+        for round_index in range(ROUNDS):
+            # Rotate the request->client assignment so every request is
+            # eventually exercised alongside different contenders.
+            shares = [
+                [
+                    req
+                    for i, req in enumerate(requests)
+                    if (i + round_index) % CLIENTS == worker
+                ]
+                for worker in range(CLIENTS)
+            ]
+            threads = [
+                threading.Thread(
+                    target=served_requests,
+                    args=(handle.host, handle.port, share, failures),
+                )
+                for share in shares
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            print(
+                f"round {round_index + 1}/{ROUNDS}: "
+                f"{len(requests)} requests across {CLIENTS} clients, "
+                f"{len(failures)} failures"
+            )
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} parity divergence(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"\nOK: {ROUNDS * len(requests)} served requests byte-identical "
+        f"to their batch twins under {CLIENTS}-way client concurrency"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Serve-mode load benchmark: write the BENCH_serve.json load surface.
+
+Starts an in-process server, loads a small workload of instances, and
+replays one seeded mixed schedule (solve / distribute / chaos cells)
+across a grid of (QPS, concurrency) cells — the *same* requests in
+every cell, so the surface isolates pacing and contention from
+workload.  Each cell records nearest-rank latency percentiles (p50 /
+p95 / p99), achieved throughput, outcome counts, admission/rejection
+counters, and the server's pool-utilization snapshot into
+``BENCH_serve.json`` (schema 1)::
+
+    PYTHONPATH=src python scripts/run_serve_bench.py            # full grid
+    PYTHONPATH=src python scripts/run_serve_bench.py --smoke    # CI tier
+
+The benchmark *fails* (exit 1) if any cell records an invalid served
+cover — load may slow requests or reject them with typed admission
+errors, never corrupt them.  A sandbox that forbids binding localhost
+TCP is reported as ``SKIP`` with exit 0 (the PR-8 socket contract).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import TransportError  # noqa: E402
+from repro.generators.planted import planted_partition_instance  # noqa: E402
+from repro.generators.zipf import zipf_instance  # noqa: E402
+from repro.serve import (  # noqa: E402
+    InstanceRegistry,
+    ServeConfig,
+    build_schedule,
+    render_serve_report,
+    run_load,
+    start_server_thread,
+    write_serve_report,
+)
+
+SEED = 20260808
+#: (QPS, concurrency) grid — ≥2 QPS levels × ≥2 concurrency levels.
+FULL_GRID = [(25, 2), (25, 8), (100, 2), (100, 8)]
+SMOKE_GRID = [(20, 2), (20, 4), (60, 2), (60, 4)]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small request count + low QPS grid (CI tier)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None,
+        help="requests per cell (default: 40 smoke, 200 full)",
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_serve.json")
+    )
+    args = parser.parse_args()
+
+    requests = args.requests or (40 if args.smoke else 200)
+    grid = SMOKE_GRID if args.smoke else FULL_GRID
+
+    registry = InstanceRegistry()
+    registry.load_instance(
+        "planted",
+        planted_partition_instance(
+            n=300, m=60, opt_size=10, seed=args.seed
+        ).instance,
+    )
+    registry.load_instance(
+        "zipf", zipf_instance(n=200, m=80, seed=args.seed)
+    )
+
+    config = ServeConfig(port=0)
+    try:
+        handle = start_server_thread(config, registry)
+    except TransportError as exc:
+        print(f"SKIP: cannot bind localhost TCP in this sandbox ({exc})")
+        return 0
+
+    schedule = build_schedule(
+        ["planted", "zipf"], requests=requests, seed=args.seed
+    )
+    cells = []
+    invalid_total = 0
+    with handle:
+        for qps, concurrency in grid:
+            cell = run_load(
+                handle.host, handle.port, schedule, qps, concurrency
+            )
+            cells.append(cell)
+            invalid_total += cell.invalid
+            print(
+                f"cell qps={qps} conc={concurrency}: ok={cell.ok} "
+                f"degraded={cell.degraded} "
+                f"admission={cell.admission_rejections} "
+                f"errors={cell.remote_errors + cell.transport_errors} "
+                f"invalid={cell.invalid} p50={cell.latency.p50_ms:.1f}ms "
+                f"p99={cell.latency.p99_ms:.1f}ms "
+                f"achieved={cell.achieved_qps:.1f}/s"
+            )
+
+    payload = write_serve_report(
+        Path(args.output),
+        cells,
+        server_config={
+            "space_pool_words": config.space_pool_words,
+            "comm_pool_words": config.comm_pool_words,
+            "max_queue": config.max_queue,
+            "queue_timeout": config.queue_timeout,
+            "backend": config.backend,
+            "max_workers": config.max_workers,
+        },
+        workload={
+            "seed": args.seed,
+            "requests_per_cell": requests,
+            "instances": ["planted", "zipf"],
+            "tier": "smoke" if args.smoke else "full",
+        },
+    )
+    print()
+    print(render_serve_report(payload))
+    print(f"\nwrote {args.output}")
+
+    if invalid_total:
+        print(
+            f"FAIL: {invalid_total} served request(s) returned an invalid "
+            "cover — load must never corrupt results"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

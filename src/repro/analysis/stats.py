@@ -17,6 +17,23 @@ from repro.analysis.opt import opt_or_bound
 from repro.streaming.instance import SetCoverInstance
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) by nearest-rank on sorted values.
+
+    Nearest-rank keeps the result an actually-observed sample — the
+    convention latency reporting wants (a p99 that was measured, not
+    interpolated between two measurements).  Used by the serve load
+    generator's latency summaries.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
 @dataclass(frozen=True)
 class DistributionSummary:
     """Five-number-ish summary of a non-empty integer distribution."""

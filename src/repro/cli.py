@@ -243,6 +243,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="logical steps between a failed attempt and its retry",
     )
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the long-running set-cover service (see DESIGN.md §14)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (localhost only)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = pick a free one and print it)",
+    )
+    serve_parser.add_argument(
+        "--port-file", default=None,
+        help="write the bound port here once listening (for scripts/CI)",
+    )
+    serve_parser.add_argument(
+        "--load", action="append", default=[], metavar="NAME=PATH",
+        help="pre-load an instance file under NAME (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--space-pool", type=int, default=200_000, metavar="WORDS",
+        help="global admission pool for solver space, in words",
+    )
+    serve_parser.add_argument(
+        "--comm-pool", type=int, default=100_000, metavar="WORDS",
+        help="global admission pool for merge communication, in words",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=16,
+        help="admissions allowed to wait; beyond this requests are "
+        "rejected with retry-after context",
+    )
+    serve_parser.add_argument(
+        "--queue-timeout", type=float, default=30.0,
+        help="seconds a queued admission may wait before a typed timeout",
+    )
+    serve_parser.add_argument(
+        "--backend", choices=registered_backends(), default="thread",
+        help="execution backend for distribute requests (operational)",
+    )
+    serve_parser.add_argument(
+        "--max-workers", type=int, default=1,
+        help="executor parallelism for distribute requests (operational)",
+    )
+
+    client_parser = sub.add_parser(
+        "client", help="talk to a running serve endpoint"
+    )
+    client_parser.add_argument(
+        "action",
+        choices=[
+            "ping", "load", "unload", "list", "solve", "distribute",
+            "summary", "stats", "shutdown",
+        ],
+    )
+    client_parser.add_argument("--host", default="127.0.0.1")
+    client_parser.add_argument("--port", type=int, required=True)
+    client_parser.add_argument("--timeout", type=float, default=60.0)
+    client_parser.add_argument(
+        "--name", default=None, help="instance name (load/unload/compute)"
+    )
+    client_parser.add_argument(
+        "--file", default=None, help="instance file to upload (load)"
+    )
+    client_parser.add_argument(
+        "--algorithm", choices=registered_algorithms(), default="kk"
+    )
+    client_parser.add_argument(
+        "--order", choices=sorted(ORDER_REGISTRY), default="canonical"
+    )
+    client_parser.add_argument("--alpha", type=float, default=None)
+    client_parser.add_argument("--seed", type=int, default=0)
+    client_parser.add_argument(
+        "--workers", "-W", type=int, default=4, help="shards (distribute)"
+    )
+    client_parser.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default="by-set"
+    )
+    client_parser.add_argument("--coordinator", default="chain")
+    client_parser.add_argument(
+        "--comm-budget", type=int, default=None,
+        help="hard cap on total merge communication, in words (distribute)",
+    )
+    client_parser.add_argument(
+        "--fault-kind", default=None,
+        help="turn a solve into a chaos cell with this injected fault",
+    )
+    client_parser.add_argument("--fault-rate", type=float, default=0.1)
+    client_parser.add_argument(
+        "--policy",
+        choices=["fail_fast", "skip_bad_edges", "best_effort"],
+        default="best_effort",
+    )
+    client_parser.add_argument(
+        "--delay-ms", type=int, default=0,
+        help="server-side delay knob (tests/ops; capped at 5s)",
+    )
+
     generate_parser = sub.add_parser(
         "generate", help="write a synthetic instance to a file"
     )
@@ -357,19 +455,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_distribute(args: argparse.Namespace) -> int:
     from repro.analysis.tables import render_table
-    from repro.distributed import CommBudget, run_distributed
+    from repro.distributed import run_distributed
     from repro.distributed.asyncsim import run_distributed_async
+    from repro.distributed.comm import make_comm_budget
     from repro.errors import InvalidParameterError
     from repro.faults.shards import ShardFaultPlan
 
     instance = load_instance(args.instance)
     instance.validate()
     order = make_order(args.order, seed=args.seed)
-    budget = (
-        CommBudget(args.comm_budget, context="cli distribute")
-        if args.comm_budget is not None
-        else None
-    )
+    budget = make_comm_budget(args.comm_budget, context="cli distribute")
     fault_rates = (args.crash, args.flaky, args.straggle, args.duplicate)
     shard_faults = None
     if any(rate > 0 for rate in fault_rates):
@@ -558,6 +653,161 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.errors import InvalidParameterError
+    from repro.serve.registry import InstanceRegistry
+    from repro.serve.server import ServeConfig, SetCoverServer
+
+    registry = InstanceRegistry()
+    for spec in args.load:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise InvalidParameterError(
+                "load", spec, "expected NAME=PATH"
+            )
+        entry = registry.load_instance(name, load_instance(path))
+        print(
+            f"loaded {entry.name}: n={entry.n} m={entry.m} "
+            f"edges={entry.edges}"
+        )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        space_pool_words=args.space_pool,
+        comm_pool_words=args.comm_pool,
+        max_queue=args.max_queue,
+        queue_timeout=args.queue_timeout,
+        backend=args.backend,
+        max_workers=args.max_workers,
+    )
+    server = SetCoverServer(config=config, registry=registry)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving on {config.host}:{server.port}", flush=True)
+        if args.port_file is not None:
+            Path(args.port_file).write_text(
+                f"{server.port}\n", encoding="utf-8"
+            )
+        try:
+            await server.wait_shutdown()
+        finally:
+            await server.shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass  # ^C is the expected foreground stop; drain already ran
+    print("serve stopped")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.distributed.comm import make_comm_budget
+    from repro.errors import InvalidParameterError
+    from repro.serve.client import ServeClient
+
+    with ServeClient(
+        host=args.host, port=args.port, timeout=args.timeout
+    ) as client:
+        if args.action == "ping":
+            result = client.ping()
+        elif args.action == "load":
+            if args.name is None or args.file is None:
+                raise InvalidParameterError(
+                    "load", args.action, "requires --name and --file"
+                )
+            with open(args.file, "r", encoding="utf-8") as handle:
+                result = client.load(args.name, handle.read())
+        elif args.action == "unload":
+            if args.name is None:
+                raise InvalidParameterError(
+                    "unload", args.action, "requires --name"
+                )
+            result = client.unload(args.name)
+        elif args.action == "list":
+            for entry in client.instances():
+                print(render_kv(sorted(entry.items())))
+            return 0
+        elif args.action == "solve":
+            if args.name is None:
+                raise InvalidParameterError(
+                    "solve", args.action, "requires --name"
+                )
+            result = client.solve(
+                args.name,
+                algorithm=args.algorithm,
+                order=args.order,
+                seed=args.seed,
+                alpha=args.alpha,
+                fault_kind=args.fault_kind,
+                fault_rate=args.fault_rate,
+                policy=args.policy,
+                delay_ms=args.delay_ms,
+            )
+            cover = result.pop("cover", ())
+            result.pop("certificate", None)
+            print(render_kv(sorted(result.items())))
+            print("cover:", " ".join(str(s) for s in cover))
+            return 0
+        elif args.action == "distribute":
+            if args.name is None:
+                raise InvalidParameterError(
+                    "distribute", args.action, "requires --name"
+                )
+            # Validate locally so a bad budget fails before any bytes
+            # travel — same typed error the batch CLI raises.
+            make_comm_budget(args.comm_budget, context="cli client")
+            result = client.distribute(
+                args.name,
+                workers=args.workers,
+                algorithm=args.algorithm,
+                strategy=args.strategy,
+                coordinator=args.coordinator,
+                order=args.order,
+                seed=args.seed,
+                alpha=args.alpha,
+                comm_budget=args.comm_budget,
+            )
+            cover = result.pop("cover", ())
+            result.pop("certificate", None)
+            result.pop("per_link_words", None)
+            print(render_kv(sorted(result.items())))
+            print("cover:", " ".join(str(s) for s in cover))
+            return 0
+        elif args.action == "summary":
+            if args.name is None:
+                raise InvalidParameterError(
+                    "summary", args.action, "requires --name"
+                )
+            result = client.summary(
+                args.name,
+                algorithm=args.algorithm,
+                order=args.order,
+                seed=args.seed,
+                alpha=args.alpha,
+            )
+            text = result.pop("summary_text", "")
+            print(render_kv(sorted(result.items())))
+            print(text)
+            return 0
+        elif args.action == "stats":
+            result = client.stats()
+            pool = result.pop("pool", {})
+            counters = result.pop("counters", {})
+            print(render_kv(sorted(result.items())))
+            print(render_kv(sorted(pool.items()), title="pool:"))
+            print(render_kv(sorted(counters.items()), title="counters:"))
+            return 0
+        else:  # shutdown
+            result = client.shutdown()
+        print(render_kv(sorted(result.items())))
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.generators.dominating_set import gnp_dominating_set
     from repro.generators.planted import planted_partition_instance
@@ -610,6 +860,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_chaos(args)
         if args.command == "describe":
             return _cmd_describe(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "client":
+            return _cmd_client(args)
         if args.command == "generate":
             return _cmd_generate(args)
     except ReproError as error:

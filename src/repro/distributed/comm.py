@@ -33,7 +33,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import CommBudgetError
+from repro.errors import CommBudgetError, InvalidParameterError
+
+
+def make_comm_budget(
+    words: Optional[int], context: str = ""
+) -> Optional["CommBudget"]:
+    """Validated :class:`CommBudget` construction shared by every entry
+    point that accepts a user-supplied word cap (``distribute`` CLI,
+    the serve server's distribute handler, the serve client CLI).
+
+    ``None`` means "unmetered" and passes through; anything else must
+    be a positive integer, and violations raise the typed
+    :class:`~repro.errors.InvalidParameterError` at the API boundary
+    instead of the bare ``ValueError`` the dataclass guard would throw
+    from deep inside meter construction.
+    """
+    if words is None:
+        return None
+    if isinstance(words, bool) or not isinstance(words, int):
+        raise InvalidParameterError(
+            "comm_budget", words, "must be an integer number of words"
+        )
+    if words <= 0:
+        raise InvalidParameterError(
+            "comm_budget", words, "must be a positive number of words"
+        )
+    return CommBudget(words, context=context)
 
 
 def link_label(src: str, dst: str) -> str:

@@ -81,8 +81,29 @@ from repro.types import SeedLike, make_rng
 
 WIRE_MAGIC = b"RPWT"
 _HEADER = struct.Struct("!4sBI")
+#: Size of the fixed frame header, public for stream readers that pull
+#: the header and payload off a byte stream separately (the socket
+#: transport's read loop, the serve protocol's asyncio reader).
+FRAME_HEADER_SIZE = _HEADER.size
 #: Bytes per idealised machine word (int64) on the wire.
 WORD_BYTES = 8
+
+
+def parse_frame_header(header: bytes) -> Tuple[int, int]:
+    """Parse the fixed frame header into ``(codec tag, payload length)``.
+
+    Validates size and magic with the same typed errors
+    :func:`decode_frame` raises, so incremental stream readers reject
+    bad wire data identically to whole-frame decoders.
+    """
+    if len(header) != _HEADER.size:
+        raise TransportError(
+            f"frame header of {len(header)} bytes, expected {_HEADER.size}"
+        )
+    magic, tag, length = _HEADER.unpack(header)
+    if magic != WIRE_MAGIC:
+        raise TransportError(f"bad frame magic {magic!r}")
+    return tag, length
 
 
 # -- word packing -----------------------------------------------------------
@@ -664,8 +685,8 @@ class SocketTransport(Transport):
     def _read_loop(self, conn: socket_module.socket) -> None:
         try:
             while True:
-                header = _recv_exactly(conn, _HEADER.size)
-                _, _, length = _HEADER.unpack(header)
+                header = _recv_exactly(conn, FRAME_HEADER_SIZE)
+                _, length = parse_frame_header(header)
                 body = _recv_exactly(conn, length)
                 self._received.put(decode_frame(header + body))
         except (ConnectionError, OSError):

@@ -150,6 +150,72 @@ class TransportPartitionError(TransportError):
         )
 
 
+class AdmissionError(ReproError):
+    """A serve request was refused or evicted by admission control.
+
+    Raised by :class:`repro.serve.admission.ResourcePool` when a request
+    cannot be granted its space/communication lease: it asks for more
+    than the pool will ever hold (``reason="exceeds-capacity"``), the
+    wait queue is full (``"queue-full"``), the request waited past the
+    queue timeout (``"timed-out"``), or the server is draining for
+    shutdown (``"shutting-down"``).  The error carries the full
+    admission context — requested and available words, current queue
+    depth, and an advisory ``retry_after`` hint in seconds (``None``
+    when retrying can never succeed) — and round-trips through the
+    serve wire protocol, so a *client* catches the same typed error the
+    pool raised server-side.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        requested_space_words: int = 0,
+        requested_comm_words: int = 0,
+        available_space_words: int = 0,
+        available_comm_words: int = 0,
+        queue_depth: int = 0,
+        retry_after: Optional[float] = None,
+        context: str = "",
+    ) -> None:
+        self.reason = reason
+        self.requested_space_words = requested_space_words
+        self.requested_comm_words = requested_comm_words
+        self.available_space_words = available_space_words
+        self.available_comm_words = available_comm_words
+        self.queue_depth = queue_depth
+        self.retry_after = retry_after
+        self.context = context
+        suffix = f" while {context}" if context else ""
+        hint = (
+            f"; retry after ~{retry_after:.3f}s"
+            if retry_after is not None
+            else "; retrying cannot succeed"
+        )
+        super().__init__(
+            f"admission refused ({reason}): requested "
+            f"{requested_space_words} space + {requested_comm_words} comm "
+            f"words, {available_space_words}/{available_comm_words} "
+            f"available, queue depth {queue_depth}{suffix}{hint}"
+        )
+
+
+class RemoteServeError(ReproError):
+    """A server-side error relayed to a serve client over the wire.
+
+    The serve protocol transports any :class:`ReproError` a request
+    handler raises as a ``(type name, message)`` pair; the client
+    re-raises it as this class so callers keep a typed error without
+    the protocol having to know every subclass constructor.
+    :class:`AdmissionError` is the exception: its fields travel
+    explicitly and it is reconstructed as itself.
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        self.error_type = error_type
+        self.remote_message = message
+        super().__init__(f"{error_type} (remote): {message}")
+
+
 class StreamExhaustedError(ReproError):
     """An algorithm asked for more stream than exists.
 

@@ -1,0 +1,86 @@
+"""repro.serve — long-running set-cover service with admission control.
+
+The service mode turns the batch library into a resident process: a
+registry of loaded instances served over the PR-8 frame codec on
+localhost TCP, with every compute request admission-controlled against
+a global resource pool before it runs.  The load-bearing invariant is
+*batch-twin parity*: a served solve or distribute runs exactly the code
+its batch twin would (same order, same stream, same meters), and leases
+are pure reservations — admission can delay or refuse a request, never
+change its bytes.
+
+Layers, bottom up:
+
+- :mod:`repro.serve.protocol` — request/response payloads over frames,
+  typed-error round-tripping;
+- :mod:`repro.serve.admission` — the resource pool and its
+  admitted / queued / rejected state machine;
+- :mod:`repro.serve.registry` — named loaded instances plus admission
+  estimates;
+- :mod:`repro.serve.server` — the asyncio server, drain-on-shutdown;
+- :mod:`repro.serve.client` — blocking client library (one connection,
+  typed remote errors);
+- :mod:`repro.serve.loadgen` / :mod:`repro.serve.report` — seeded
+  mixed-workload load generator and the BENCH_serve.json schema.
+"""
+
+from repro.serve.admission import (
+    Lease,
+    PoolStats,
+    REJECT_EXCEEDS_CAPACITY,
+    REJECT_QUEUE_FULL,
+    REJECT_SHUTTING_DOWN,
+    REJECT_TIMED_OUT,
+    ResourcePool,
+)
+from repro.serve.client import ServeClient
+from repro.serve.loadgen import (
+    DEFAULT_MIX,
+    LatencySummary,
+    LoadCellReport,
+    WorkloadOp,
+    build_schedule,
+    run_load,
+)
+from repro.serve.registry import InstanceRegistry, LoadedInstance
+from repro.serve.report import (
+    SERVE_BENCH_SCHEMA,
+    load_serve_report,
+    render_serve_report,
+    serve_report_payload,
+    write_serve_report,
+)
+from repro.serve.server import (
+    ServeConfig,
+    ServerHandle,
+    SetCoverServer,
+    start_server_thread,
+)
+
+__all__ = [
+    "DEFAULT_MIX",
+    "InstanceRegistry",
+    "LatencySummary",
+    "Lease",
+    "LoadCellReport",
+    "LoadedInstance",
+    "PoolStats",
+    "REJECT_EXCEEDS_CAPACITY",
+    "REJECT_QUEUE_FULL",
+    "REJECT_SHUTTING_DOWN",
+    "REJECT_TIMED_OUT",
+    "ResourcePool",
+    "SERVE_BENCH_SCHEMA",
+    "ServeClient",
+    "ServeConfig",
+    "ServerHandle",
+    "SetCoverServer",
+    "WorkloadOp",
+    "build_schedule",
+    "load_serve_report",
+    "render_serve_report",
+    "run_load",
+    "serve_report_payload",
+    "start_server_thread",
+    "write_serve_report",
+]

@@ -1,0 +1,370 @@
+"""Admission control: a global space/communication pool with leases.
+
+The batch entry points enforce per-run budgets
+(:class:`~repro.streaming.space.SpaceBudget`,
+:class:`~repro.distributed.comm.CommBudget`); under concurrency those
+budgets draw on *shared* machine resources, so the server holds one
+:class:`ResourcePool` — a global capacity in space words and comm
+words — and every compute request must **lease** its estimated words
+before running.  The request's own meters still do the measuring (that
+is what keeps a served run byte-identical to its batch twin); the lease
+is the reservation that bounds how much metered work can be in flight
+at once.
+
+Admission state machine (DESIGN.md §14)::
+
+              ┌──────────── exceeds-capacity ──► rejected (no retry)
+              │
+    request ──┼─ fits, queue empty ───────────► admitted ─► running ─► released
+              │
+              ├─ pool busy, queue has room ───► queued ─┬─ capacity freed ─► admitted
+              │                                         ├─ queue timeout ──► rejected (retry-after)
+              │                                         └─ pool shutdown ──► rejected (shutting-down)
+              └─ queue full ──────────────────► rejected (retry-after)
+
+Queued requests are granted strictly FIFO — a small request never
+overtakes a large one (head-of-line blocking is deliberate: overtaking
+would starve big requests under sustained small-request load, and the
+deterministic order makes admission testable).  Every rejection is the
+typed :class:`~repro.errors.AdmissionError` carrying requested and
+available words, queue depth, and an advisory ``retry_after`` hint.
+
+The pool is asyncio-native (single event loop, no locks): all state
+transitions happen on the server's loop, and the blocking solve work
+itself runs on worker threads *after* the lease is granted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.errors import AdmissionError, InvalidParameterError
+
+#: Rejection reasons (the state machine's terminal labels).
+REJECT_EXCEEDS_CAPACITY = "exceeds-capacity"
+REJECT_QUEUE_FULL = "queue-full"
+REJECT_TIMED_OUT = "timed-out"
+REJECT_SHUTTING_DOWN = "shutting-down"
+
+
+@dataclass
+class Lease:
+    """One granted reservation; return it with :meth:`ResourcePool.release`."""
+
+    space_words: int
+    comm_words: int
+    context: str = ""
+    released: bool = False
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Snapshot of the pool, for the ``stats`` request and the bench."""
+
+    space_capacity_words: int
+    comm_capacity_words: int
+    leased_space_words: int
+    leased_comm_words: int
+    peak_space_words: int
+    peak_comm_words: int
+    active_leases: int
+    queue_depth: int
+    admitted: int
+    completed: int
+    queued_total: int
+    rejections: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def space_utilization(self) -> float:
+        """Peak leased space over capacity, in [0, 1]."""
+        if self.space_capacity_words <= 0:
+            return 0.0
+        return self.peak_space_words / self.space_capacity_words
+
+    @property
+    def rejected(self) -> int:
+        """Total rejections across every reason."""
+        return sum(self.rejections.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """Primitive-dict form for the wire and BENCH_serve.json."""
+        return {
+            "space_capacity_words": self.space_capacity_words,
+            "comm_capacity_words": self.comm_capacity_words,
+            "leased_space_words": self.leased_space_words,
+            "leased_comm_words": self.leased_comm_words,
+            "peak_space_words": self.peak_space_words,
+            "peak_comm_words": self.peak_comm_words,
+            "active_leases": self.active_leases,
+            "queue_depth": self.queue_depth,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "queued_total": self.queued_total,
+            "rejected": self.rejected,
+            "rejections": dict(sorted(self.rejections.items())),
+            "space_utilization": self.space_utilization,
+        }
+
+
+class _Waiter:
+    """One queued admission: the future resolves to a Lease or raises."""
+
+    __slots__ = ("space_words", "comm_words", "context", "future")
+
+    def __init__(
+        self,
+        space_words: int,
+        comm_words: int,
+        context: str,
+        future: "asyncio.Future[Lease]",
+    ) -> None:
+        self.space_words = space_words
+        self.comm_words = comm_words
+        self.context = context
+        self.future = future
+
+
+class ResourcePool:
+    """The server's global space/comm capacity, leased per request."""
+
+    def __init__(
+        self,
+        space_words: int,
+        comm_words: int,
+        max_queue: int = 16,
+        queue_timeout: Optional[float] = None,
+    ) -> None:
+        if not isinstance(space_words, int) or space_words <= 0:
+            raise InvalidParameterError(
+                "space_words", space_words, "pool capacity must be a "
+                "positive integer number of words"
+            )
+        if not isinstance(comm_words, int) or comm_words <= 0:
+            raise InvalidParameterError(
+                "comm_words", comm_words, "pool capacity must be a "
+                "positive integer number of words"
+            )
+        if max_queue < 0:
+            raise InvalidParameterError(
+                "max_queue", max_queue, "must be >= 0"
+            )
+        if queue_timeout is not None and queue_timeout <= 0:
+            raise InvalidParameterError(
+                "queue_timeout", queue_timeout, "must be positive or None"
+            )
+        self.space_capacity = space_words
+        self.comm_capacity = comm_words
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self._leased_space = 0
+        self._leased_comm = 0
+        self._peak_space = 0
+        self._peak_comm = 0
+        self._active_leases = 0
+        self._waiters: Deque[_Waiter] = deque()
+        self._closed = False
+        self._admitted = 0
+        self._completed = 0
+        self._queued_total = 0
+        self._rejections: Dict[str, int] = {}
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def available_space(self) -> int:
+        """Unleased space words right now."""
+        return self.space_capacity - self._leased_space
+
+    @property
+    def available_comm(self) -> int:
+        """Unleased comm words right now."""
+        return self.comm_capacity - self._leased_comm
+
+    def stats(self) -> PoolStats:
+        """Immutable snapshot of capacities, peaks, and counters."""
+        return PoolStats(
+            space_capacity_words=self.space_capacity,
+            comm_capacity_words=self.comm_capacity,
+            leased_space_words=self._leased_space,
+            leased_comm_words=self._leased_comm,
+            peak_space_words=self._peak_space,
+            peak_comm_words=self._peak_comm,
+            active_leases=self._active_leases,
+            queue_depth=len(self._waiters),
+            admitted=self._admitted,
+            completed=self._completed,
+            queued_total=self._queued_total,
+            rejections=dict(self._rejections),
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _fits(self, space_words: int, comm_words: int) -> bool:
+        return (
+            self._leased_space + space_words <= self.space_capacity
+            and self._leased_comm + comm_words <= self.comm_capacity
+        )
+
+    def _retry_after(self) -> float:
+        """Advisory retry hint: scales with how much work is ahead.
+
+        Deliberately coarse — 25 ms per lease or queue slot currently in
+        the way, floored at 50 ms.  Clients treat it as a pacing hint,
+        not a guarantee.
+        """
+        ahead = self._active_leases + len(self._waiters)
+        return max(0.05, 0.025 * ahead)
+
+    def _reject(
+        self,
+        reason: str,
+        space_words: int,
+        comm_words: int,
+        context: str,
+        retry_after: Optional[float],
+    ) -> AdmissionError:
+        self._rejections[reason] = self._rejections.get(reason, 0) + 1
+        return AdmissionError(
+            reason,
+            requested_space_words=space_words,
+            requested_comm_words=comm_words,
+            available_space_words=self.available_space,
+            available_comm_words=self.available_comm,
+            queue_depth=len(self._waiters),
+            retry_after=retry_after,
+            context=context,
+        )
+
+    def _grant(self, space_words: int, comm_words: int, context: str) -> Lease:
+        self._leased_space += space_words
+        self._leased_comm += comm_words
+        self._peak_space = max(self._peak_space, self._leased_space)
+        self._peak_comm = max(self._peak_comm, self._leased_comm)
+        self._active_leases += 1
+        self._admitted += 1
+        return Lease(
+            space_words=space_words, comm_words=comm_words, context=context
+        )
+
+    def _grant_waiters(self) -> None:
+        """Admit queued requests, strictly FIFO, while the head fits."""
+        while self._waiters:
+            head = self._waiters[0]
+            if head.future.done():
+                # Timed out or cancelled while queued; drop and continue.
+                self._waiters.popleft()
+                continue
+            if not self._fits(head.space_words, head.comm_words):
+                return
+            self._waiters.popleft()
+            head.future.set_result(
+                self._grant(head.space_words, head.comm_words, head.context)
+            )
+
+    # -- lease lifecycle -------------------------------------------------
+
+    async def lease(
+        self, space_words: int = 0, comm_words: int = 0, context: str = ""
+    ) -> Lease:
+        """Reserve words, queueing FIFO if the pool is busy.
+
+        Raises the typed :class:`~repro.errors.AdmissionError` on every
+        rejection path of the state machine above.
+        """
+        if space_words < 0 or comm_words < 0:
+            raise InvalidParameterError(
+                "space_words" if space_words < 0 else "comm_words",
+                space_words if space_words < 0 else comm_words,
+                "lease request must be non-negative",
+            )
+        if self._closed:
+            raise self._reject(
+                REJECT_SHUTTING_DOWN, space_words, comm_words, context, None
+            )
+        if space_words > self.space_capacity or comm_words > self.comm_capacity:
+            raise self._reject(
+                REJECT_EXCEEDS_CAPACITY, space_words, comm_words, context, None
+            )
+        if not self._waiters and self._fits(space_words, comm_words):
+            return self._grant(space_words, comm_words, context)
+        if len(self._waiters) >= self.max_queue:
+            raise self._reject(
+                REJECT_QUEUE_FULL,
+                space_words,
+                comm_words,
+                context,
+                self._retry_after(),
+            )
+        loop = asyncio.get_running_loop()
+        waiter = _Waiter(space_words, comm_words, context, loop.create_future())
+        self._waiters.append(waiter)
+        self._queued_total += 1
+        try:
+            return await asyncio.wait_for(waiter.future, self.queue_timeout)
+        except asyncio.TimeoutError:
+            try:
+                self._waiters.remove(waiter)
+            except ValueError:
+                pass
+            # If the grant landed on the same tick the timer fired, the
+            # cancelled wait_for still left the future resolved — return
+            # the words so they are not stranded.
+            future = waiter.future
+            if (
+                future.done()
+                and not future.cancelled()
+                and future.exception() is None
+            ):
+                self.release(future.result())
+            raise self._reject(
+                REJECT_TIMED_OUT,
+                space_words,
+                comm_words,
+                context,
+                self._retry_after(),
+            ) from None
+        except asyncio.CancelledError:
+            try:
+                self._waiters.remove(waiter)
+            except ValueError:
+                pass
+            raise
+
+    def release(self, lease: Lease) -> None:
+        """Return a lease's words and admit whatever now fits (idempotent)."""
+        if lease.released:
+            return
+        lease.released = True
+        self._leased_space -= lease.space_words
+        self._leased_comm -= lease.comm_words
+        self._active_leases -= 1
+        self._completed += 1
+        self._grant_waiters()
+
+    async def shutdown(self) -> int:
+        """Reject every queued waiter with a typed shutting-down error.
+
+        Returns how many waiters were evicted.  Active leases are left
+        to drain — the server waits for in-flight requests separately.
+        New :meth:`lease` calls after shutdown are rejected immediately.
+        """
+        self._closed = True
+        evicted = 0
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.future.done():
+                continue
+            waiter.future.set_exception(
+                self._reject(
+                    REJECT_SHUTTING_DOWN,
+                    waiter.space_words,
+                    waiter.comm_words,
+                    waiter.context,
+                    None,
+                )
+            )
+            evicted += 1
+        return evicted

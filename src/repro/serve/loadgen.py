@@ -1,0 +1,329 @@
+"""Seeded load generator: replay mixed workloads against a live server.
+
+The generator separates *what* is sent from *how fast*: a schedule is
+a pure function of ``(instances, mix, requests, seed)`` — every op's
+kind, parameters, and per-op seed are pre-drawn from one root RNG, so
+two runs at different QPS/concurrency replay the *same* requests — and
+:func:`run_load` then fires one schedule at a target QPS across ``C``
+worker threads (each with its own client connection, matching the
+server's one-connection-per-client concurrency model).  Op *i* is
+assigned to worker ``i % C`` and dispatched no earlier than its offset
+``i / qps`` from the start line, so the arrival process is a paced
+open(ish) load, not a closed loop hammering as fast as responses come
+back.
+
+Outcome classification mirrors the chaos harness's discipline — every
+request must end in exactly one bucket:
+
+``ok``         a valid result (server-side verified);
+``degraded``   a chaos cell that salvaged a partial cover, explicitly;
+``admission``  a typed :class:`~repro.errors.AdmissionError` rejection;
+``error``      any other typed remote error (chaos cells may earn one);
+``transport``  connection-level failure (should be zero on localhost);
+``invalid``    a response claiming success without validity — the
+               bucket the bench asserts is **empty**.
+
+Latency is measured per request around the client call (service time,
+not queue-at-client time) and summarised by nearest-rank percentiles
+(:func:`repro.analysis.stats.percentile`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import percentile
+from repro.errors import (
+    AdmissionError,
+    InvalidParameterError,
+    ReproError,
+    TransportError,
+)
+from repro.serve.client import ServeClient
+from repro.types import SeedLike, make_rng
+
+#: Default workload mix: (kind, weight).  ``chaos`` is a fault-injected
+#: solve under the best-effort policy.
+DEFAULT_MIX: Tuple[Tuple[str, int], ...] = (
+    ("solve", 3),
+    ("distribute", 1),
+    ("chaos", 1),
+)
+
+_MIX_KINDS = ("solve", "distribute", "chaos")
+_CHAOS_FAULTS = ("drop", "duplicate", "corrupt")
+_SEED_BITS = 31
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One scheduled request: kind plus fully-resolved client kwargs."""
+
+    index: int
+    kind: str
+    fields: Dict[str, Any]
+
+
+def build_schedule(
+    instances: Sequence[str],
+    requests: int,
+    seed: SeedLike = 0,
+    mix: Sequence[Tuple[str, int]] = DEFAULT_MIX,
+    algorithms: Sequence[str] = ("kk",),
+    workers: int = 4,
+) -> List[WorkloadOp]:
+    """Pre-draw a deterministic mixed-workload schedule.
+
+    Pure in its arguments: kinds are drawn by weight, instances and
+    algorithms uniformly, and each op gets an independent 31-bit seed —
+    all from one root RNG, so the schedule replays identically whatever
+    pacing later executes it.
+    """
+    if not instances:
+        raise InvalidParameterError(
+            "instances", instances, "need at least one loaded instance name"
+        )
+    if requests < 1:
+        raise InvalidParameterError(
+            "requests", requests, "need at least one request"
+        )
+    weighted: List[str] = []
+    for kind, weight in mix:
+        if kind not in _MIX_KINDS:
+            raise InvalidParameterError(
+                "mix", kind, "known workload kinds: " + ", ".join(_MIX_KINDS)
+            )
+        if weight < 0:
+            raise InvalidParameterError("mix", weight, "weights must be >= 0")
+        weighted.extend([kind] * weight)
+    if not weighted:
+        raise InvalidParameterError(
+            "mix", tuple(mix), "at least one kind needs positive weight"
+        )
+    rng = make_rng(seed)
+    schedule: List[WorkloadOp] = []
+    for index in range(requests):
+        kind = weighted[rng.randrange(len(weighted))]
+        op_seed = rng.getrandbits(_SEED_BITS)
+        instance = instances[rng.randrange(len(instances))]
+        algorithm = algorithms[rng.randrange(len(algorithms))]
+        if kind == "solve":
+            fields: Dict[str, Any] = dict(
+                instance=instance,
+                algorithm=algorithm,
+                order="random",
+                seed=op_seed,
+            )
+        elif kind == "chaos":
+            fields = dict(
+                instance=instance,
+                algorithm=algorithm,
+                order="random",
+                seed=op_seed,
+                fault_kind=_CHAOS_FAULTS[rng.randrange(len(_CHAOS_FAULTS))],
+                fault_rate=0.1,
+                policy="best_effort",
+            )
+        else:  # distribute
+            fields = dict(
+                instance=instance,
+                algorithm=algorithm,
+                workers=workers,
+                coordinator=("union", "greedy", "chain")[rng.randrange(3)],
+                order="canonical",
+                seed=op_seed,
+            )
+        schedule.append(WorkloadOp(index=index, kind=kind, fields=fields))
+    return schedule
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Nearest-rank latency percentiles over one cell, in milliseconds."""
+
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    samples: int
+
+    @classmethod
+    def of(cls, samples_ms: Sequence[float]) -> "LatencySummary":
+        if not samples_ms:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0)
+        return cls(
+            p50_ms=percentile(samples_ms, 50),
+            p95_ms=percentile(samples_ms, 95),
+            p99_ms=percentile(samples_ms, 99),
+            mean_ms=sum(samples_ms) / len(samples_ms),
+            max_ms=max(samples_ms),
+            samples=len(samples_ms),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_ms": self.mean_ms,
+            "max_ms": self.max_ms,
+            "samples": self.samples,
+        }
+
+
+@dataclass
+class LoadCellReport:
+    """One (QPS, concurrency) cell's measured outcome."""
+
+    qps: float
+    concurrency: int
+    requests: int
+    ok: int = 0
+    degraded: int = 0
+    admission_rejections: int = 0
+    remote_errors: int = 0
+    transport_errors: int = 0
+    invalid: int = 0
+    elapsed_s: float = 0.0
+    achieved_qps: float = 0.0
+    latency: LatencySummary = field(
+        default_factory=lambda: LatencySummary.of(())
+    )
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    pool: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Primitive-dict form for BENCH_serve.json."""
+        return {
+            "qps": self.qps,
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "admission_rejections": self.admission_rejections,
+            "remote_errors": self.remote_errors,
+            "transport_errors": self.transport_errors,
+            "invalid": self.invalid,
+            "elapsed_s": self.elapsed_s,
+            "achieved_qps": self.achieved_qps,
+            "latency": self.latency.as_dict(),
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "pool": dict(self.pool),
+        }
+
+
+def _classify(response: Dict[str, Any]) -> str:
+    """Bucket a successful reply: ok, degraded, or invalid."""
+    if response.get("degraded"):
+        return "degraded"
+    if response.get("valid", False):
+        return "ok"
+    return "invalid"
+
+
+def run_load(
+    host: str,
+    port: int,
+    schedule: Sequence[WorkloadOp],
+    qps: float,
+    concurrency: int,
+    timeout: float = 60.0,
+    stats_client: Optional[ServeClient] = None,
+) -> LoadCellReport:
+    """Fire one schedule at ``qps`` across ``concurrency`` connections.
+
+    Returns the cell report with latency percentiles, outcome counts,
+    achieved throughput, and (when the server is reachable for a final
+    ``stats`` call) the pool-utilization snapshot.
+    """
+    if qps <= 0:
+        raise InvalidParameterError("qps", qps, "must be positive")
+    if concurrency < 1:
+        raise InvalidParameterError(
+            "concurrency", concurrency, "need at least one worker"
+        )
+    report = LoadCellReport(
+        qps=qps, concurrency=concurrency, requests=len(schedule)
+    )
+    lock = threading.Lock()
+    latencies: List[float] = []
+    start_line = time.perf_counter() + 0.05  # let every worker reach the gate
+
+    def worker(worker_index: int) -> None:
+        ops = [op for op in schedule if op.index % concurrency == worker_index]
+        if not ops:
+            return
+        try:
+            client = ServeClient(host=host, port=port, timeout=timeout)
+        except TransportError:
+            with lock:
+                report.transport_errors += len(ops)
+            return
+        try:
+            for op in ops:
+                target = start_line + op.index / qps
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                began = time.perf_counter()
+                try:
+                    response = client.request(
+                        "solve" if op.kind == "chaos" else op.kind,
+                        **op.fields,
+                    )
+                    bucket = _classify(response)
+                except AdmissionError:
+                    bucket = "admission"
+                except TransportError:
+                    bucket = "transport"
+                except ReproError:
+                    bucket = "error"
+                elapsed_ms = (time.perf_counter() - began) * 1000.0
+                with lock:
+                    latencies.append(elapsed_ms)
+                    report.by_kind[op.kind] = report.by_kind.get(op.kind, 0) + 1
+                    if bucket == "ok":
+                        report.ok += 1
+                    elif bucket == "degraded":
+                        report.degraded += 1
+                    elif bucket == "admission":
+                        report.admission_rejections += 1
+                    elif bucket == "transport":
+                        report.transport_errors += 1
+                    elif bucket == "error":
+                        report.remote_errors += 1
+                    else:
+                        report.invalid += 1
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(
+            target=worker, args=(i,), name=f"repro-loadgen-{i}", daemon=True
+        )
+        for i in range(concurrency)
+    ]
+    began = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_s = time.perf_counter() - began
+    if report.elapsed_s > 0:
+        report.achieved_qps = len(schedule) / report.elapsed_s
+    report.latency = LatencySummary.of(latencies)
+    owns_stats = stats_client is None
+    try:
+        stats = stats_client or ServeClient(host=host, port=port, timeout=timeout)
+        try:
+            report.pool = dict(stats.stats().get("pool", {}))
+        finally:
+            if owns_stats:
+                stats.close()
+    except (TransportError, ReproError):
+        report.pool = {}
+    return report

@@ -1,0 +1,224 @@
+"""The serve wire protocol: framed request/response dicts.
+
+The service speaks the PR-8 length-prefixed frame codec
+(:func:`repro.distributed.transport.encode_frame` — ``RPWT`` magic,
+codec tag, big-endian length, codec-encoded payload) over localhost
+TCP.  Payloads are primitive ``str -> scalar | str | dict | tuple``
+dicts in two envelope shapes:
+
+Request::
+
+    {"kind": <one of REQUEST_KINDS>, "id": <client-chosen int>, ...fields}
+
+Response::
+
+    {"id": <echoed>, "ok": True,  "result": {...}}
+    {"id": <echoed>, "ok": False, "error": {"type": ..., "message": ...}}
+
+Error payloads carry the server-side exception's *type name* and
+message; :func:`payload_to_error` turns them back into typed errors on
+the client — :class:`~repro.errors.AdmissionError` travels with its
+full field set and is reconstructed as itself (a rejected client sees
+the same typed error, with retry-after context, that the pool raised),
+every other :class:`~repro.errors.ReproError` subclass becomes a
+:class:`~repro.errors.RemoteServeError` tagged with the original type.
+
+Frames are size-capped at :data:`MAX_FRAME_BYTES`; an oversized
+announced length is a typed :class:`~repro.errors.TransportError`
+*before* any allocation, so a corrupt header cannot balloon memory.
+"""
+
+from __future__ import annotations
+
+import socket as socket_module
+from typing import Any, Dict, Optional, Tuple
+
+from repro.distributed.transport import (
+    Codec,
+    FRAME_HEADER_SIZE,
+    decode_frame,
+    encode_frame,
+    parse_frame_header,
+)
+from repro.errors import (
+    AdmissionError,
+    InvalidParameterError,
+    RemoteServeError,
+    TransportError,
+)
+
+#: Every request kind the server dispatches.  ``solve``/``distribute``/
+#: ``summary`` are compute kinds (admission-controlled); the rest are
+#: control-plane kinds answered even while the pool is saturated.
+REQUEST_KINDS: Tuple[str, ...] = (
+    "ping",
+    "load",
+    "unload",
+    "list",
+    "solve",
+    "distribute",
+    "summary",
+    "stats",
+    "shutdown",
+)
+
+#: Compute kinds lease from the resource pool before running.
+COMPUTE_KINDS: Tuple[str, ...] = ("solve", "distribute", "summary")
+
+#: Hard cap on a single frame — a corrupt or hostile length field must
+#: not translate into an arbitrary allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def request_payload(kind: str, request_id: int, **fields: Any) -> Dict[str, Any]:
+    """Build one request envelope; unknown kinds fail fast client-side."""
+    if kind not in REQUEST_KINDS:
+        known = ", ".join(REQUEST_KINDS)
+        raise InvalidParameterError(
+            "kind", kind, f"known request kinds: {known}"
+        )
+    payload: Dict[str, Any] = {"kind": kind, "id": int(request_id)}
+    payload.update(fields)
+    return payload
+
+
+def ok_response(request_id: int, result: Dict[str, Any]) -> Dict[str, Any]:
+    """Build a success envelope echoing the request id."""
+    return {"id": int(request_id), "ok": True, "result": result}
+
+
+def error_response(request_id: int, error: BaseException) -> Dict[str, Any]:
+    """Build a failure envelope carrying the typed error payload."""
+    return {"id": int(request_id), "ok": False, "error": error_to_payload(error)}
+
+
+def error_to_payload(error: BaseException) -> Dict[str, Any]:
+    """Serialise an exception for the wire (type name + message + fields)."""
+    payload: Dict[str, Any] = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    if isinstance(error, AdmissionError):
+        payload["admission"] = {
+            "reason": error.reason,
+            "requested_space_words": error.requested_space_words,
+            "requested_comm_words": error.requested_comm_words,
+            "available_space_words": error.available_space_words,
+            "available_comm_words": error.available_comm_words,
+            "queue_depth": error.queue_depth,
+            "retry_after": error.retry_after,
+            "context": error.context,
+        }
+    if isinstance(error, InvalidParameterError):
+        payload["parameter"] = error.parameter
+    return payload
+
+
+def payload_to_error(payload: Dict[str, Any]) -> Exception:
+    """Reconstruct the typed client-side error for one error payload."""
+    error_type = str(payload.get("type", "ReproError"))
+    message = str(payload.get("message", ""))
+    admission = payload.get("admission")
+    if error_type == "AdmissionError" and isinstance(admission, dict):
+        return AdmissionError(
+            reason=str(admission.get("reason", "unknown")),
+            requested_space_words=int(admission.get("requested_space_words", 0)),
+            requested_comm_words=int(admission.get("requested_comm_words", 0)),
+            available_space_words=int(admission.get("available_space_words", 0)),
+            available_comm_words=int(admission.get("available_comm_words", 0)),
+            queue_depth=int(admission.get("queue_depth", 0)),
+            retry_after=admission.get("retry_after"),
+            context=str(admission.get("context", "")),
+        )
+    return RemoteServeError(error_type, message)
+
+
+# -- blocking socket framing (client side) ----------------------------------
+
+
+def send_frame(sock: socket_module.socket, codec: Codec, payload: object) -> int:
+    """Encode and send one frame; returns the bytes put on the wire."""
+    frame = encode_frame(codec, payload)
+    if len(frame) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(frame)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    sock.sendall(frame)
+    return len(frame)
+
+
+def _recv_exactly(sock: socket_module.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on a clean EOF at a frame
+    boundary, :class:`TransportError` on EOF mid-frame."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise TransportError(
+                f"peer closed mid-frame with {remaining} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket_module.socket) -> Optional[object]:
+    """Read one framed payload; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, FRAME_HEADER_SIZE)
+    if header is None:
+        return None
+    _, length = parse_frame_header(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame announces {length} payload bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    body = _recv_exactly(sock, length)
+    if body is None or len(body) != length:
+        raise TransportError("peer closed mid-frame")
+    return decode_frame(header + body)
+
+
+# -- asyncio stream framing (server side) -----------------------------------
+
+
+async def read_frame_async(reader) -> Optional[object]:
+    """Read one framed payload from an asyncio stream; ``None`` on EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(FRAME_HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TransportError(
+            f"peer closed mid-header after {len(exc.partial)} bytes"
+        ) from exc
+    _, length = parse_frame_header(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame announces {length} payload bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TransportError("peer closed mid-frame") from exc
+    return decode_frame(header + body)
+
+
+async def write_frame_async(writer, codec: Codec, payload: object) -> int:
+    """Encode, write, and drain one frame on an asyncio stream."""
+    frame = encode_frame(codec, payload)
+    if len(frame) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(frame)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    writer.write(frame)
+    await writer.drain()
+    return len(frame)

@@ -1,0 +1,113 @@
+"""BENCH_serve.json (schema 1): the service's measured load surface.
+
+One report holds a grid of :class:`~repro.serve.loadgen.LoadCellReport`
+cells — each one (QPS, concurrency) pair replaying the *same* seeded
+schedule — plus the server configuration they ran against, so a reader
+can see how latency percentiles and admission behaviour move as offered
+load grows without wondering whether the workload changed underneath.
+
+Written by ``scripts/run_serve_bench.py`` and uploaded by CI's serve
+job; rendered for humans with :func:`render_serve_report`.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.tables import render_table
+from repro.serve.loadgen import LoadCellReport
+
+#: Bump when the cell or envelope shape changes incompatibly.
+SERVE_BENCH_SCHEMA = 1
+
+
+def serve_report_payload(
+    cells: Sequence[LoadCellReport],
+    server_config: Dict[str, Any],
+    workload: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Assemble the schema-1 envelope from measured cells."""
+    return {
+        "schema": SERVE_BENCH_SCHEMA,
+        "description": (
+            "Serve-mode load benchmark; see scripts/run_serve_bench.py. "
+            "Each cell replays one seeded mixed workload (solve / "
+            "distribute / chaos) at a target QPS and client concurrency "
+            "against a live repro.serve server, and records nearest-rank "
+            "latency percentiles, achieved throughput, outcome counts "
+            "(ok / degraded / admission rejections / remote errors), and "
+            "the server's pool-utilization snapshot. 'invalid' must be 0 "
+            "in every cell: a served cover that fails verification is a "
+            "correctness bug, not a load artifact."
+        ),
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "server": dict(server_config),
+        "workload": dict(workload),
+        "cells": [cell.as_dict() for cell in cells],
+    }
+
+
+def write_serve_report(
+    path: Path,
+    cells: Sequence[LoadCellReport],
+    server_config: Dict[str, Any],
+    workload: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Write ``BENCH_serve.json``; returns the payload written."""
+    payload = serve_report_payload(cells, server_config, workload)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return payload
+
+
+def load_serve_report(path: Path) -> Dict[str, Any]:
+    """Read a ``BENCH_serve.json`` file (empty dict if absent)."""
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def render_serve_report(payload: Dict[str, Any]) -> str:
+    """Human-readable table of the report's cells."""
+    headers = [
+        "qps",
+        "conc",
+        "reqs",
+        "ok",
+        "degraded",
+        "admitted-rej",
+        "errors",
+        "invalid",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "achieved qps",
+    ]
+    rows: List[List[object]] = []
+    for cell in payload.get("cells", []):
+        latency = cell.get("latency", {})
+        rows.append(
+            [
+                cell.get("qps", 0.0),
+                cell.get("concurrency", 0),
+                cell.get("requests", 0),
+                cell.get("ok", 0),
+                cell.get("degraded", 0),
+                cell.get("admission_rejections", 0),
+                cell.get("remote_errors", 0) + cell.get("transport_errors", 0),
+                cell.get("invalid", 0),
+                latency.get("p50_ms", 0.0),
+                latency.get("p95_ms", 0.0),
+                latency.get("p99_ms", 0.0),
+                cell.get("achieved_qps", 0.0),
+            ]
+        )
+    return render_table(headers, rows, title="serve load surface")

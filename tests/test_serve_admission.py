@@ -1,0 +1,230 @@
+"""Admission control: every arrow of the DESIGN.md §14 state machine.
+
+The pool's contract: immediate grant only when the queue is empty and
+the request fits; FIFO queueing with no overtaking; typed
+:class:`AdmissionError` on every rejection path (exceeds-capacity,
+queue-full, timed-out, shutting-down) carrying requested/available
+words, queue depth, and the advisory retry-after hint; release is
+idempotent and re-admits queued waiters in order; shutdown evicts the
+queue with typed errors and refuses new leases.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import AdmissionError, InvalidParameterError
+from repro.serve.admission import (
+    REJECT_EXCEEDS_CAPACITY,
+    REJECT_QUEUE_FULL,
+    REJECT_SHUTTING_DOWN,
+    REJECT_TIMED_OUT,
+    ResourcePool,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestValidation:
+    def test_capacities_must_be_positive_ints(self):
+        for bad in (0, -5, 2.5, "100"):
+            with pytest.raises(InvalidParameterError):
+                ResourcePool(space_words=bad, comm_words=10)
+            with pytest.raises(InvalidParameterError):
+                ResourcePool(space_words=10, comm_words=bad)
+
+    def test_negative_lease_request_is_typed(self):
+        async def scenario():
+            pool = ResourcePool(space_words=10, comm_words=10)
+            with pytest.raises(InvalidParameterError):
+                await pool.lease(space_words=-1)
+            with pytest.raises(InvalidParameterError):
+                await pool.lease(comm_words=-1)
+
+        run(scenario())
+
+
+class TestGrantAndRelease:
+    def test_grant_tracks_words_and_peaks(self):
+        async def scenario():
+            pool = ResourcePool(space_words=100, comm_words=50)
+            a = await pool.lease(space_words=60, comm_words=10)
+            b = await pool.lease(space_words=30, comm_words=20)
+            assert pool.available_space == 10
+            assert pool.available_comm == 20
+            stats = pool.stats()
+            assert stats.active_leases == 2
+            assert stats.peak_space_words == 90
+            assert stats.peak_comm_words == 30
+            pool.release(a)
+            pool.release(b)
+            final = pool.stats()
+            assert final.leased_space_words == 0
+            assert final.active_leases == 0
+            assert final.admitted == 2
+            assert final.completed == 2
+            assert final.peak_space_words == 90  # peaks persist
+
+        run(scenario())
+
+    def test_release_is_idempotent(self):
+        async def scenario():
+            pool = ResourcePool(space_words=100, comm_words=50)
+            lease = await pool.lease(space_words=40)
+            pool.release(lease)
+            pool.release(lease)
+            assert pool.available_space == 100
+            assert pool.stats().completed == 1
+
+        run(scenario())
+
+    def test_zero_word_lease_is_fine(self):
+        async def scenario():
+            pool = ResourcePool(space_words=10, comm_words=10)
+            lease = await pool.lease()
+            assert pool.stats().active_leases == 1
+            pool.release(lease)
+
+        run(scenario())
+
+
+class TestRejections:
+    def test_exceeds_capacity_never_queues(self):
+        async def scenario():
+            pool = ResourcePool(space_words=100, comm_words=50)
+            with pytest.raises(AdmissionError) as excinfo:
+                await pool.lease(space_words=101)
+            error = excinfo.value
+            assert error.reason == REJECT_EXCEEDS_CAPACITY
+            assert error.retry_after is None  # retrying cannot succeed
+            assert error.requested_space_words == 101
+            assert error.available_space_words == 100
+            assert pool.stats().rejections == {REJECT_EXCEEDS_CAPACITY: 1}
+
+        run(scenario())
+
+    def test_queue_full_carries_retry_after(self):
+        async def scenario():
+            pool = ResourcePool(space_words=100, comm_words=50, max_queue=1)
+            blocker = await pool.lease(space_words=100)
+            queued = asyncio.ensure_future(pool.lease(space_words=10))
+            await asyncio.sleep(0)  # let it enqueue
+            with pytest.raises(AdmissionError) as excinfo:
+                await pool.lease(space_words=10)
+            error = excinfo.value
+            assert error.reason == REJECT_QUEUE_FULL
+            assert error.retry_after is not None and error.retry_after > 0
+            assert error.queue_depth == 1
+            pool.release(blocker)
+            pool.release(await queued)
+
+        run(scenario())
+
+    def test_queue_timeout_is_typed(self):
+        async def scenario():
+            pool = ResourcePool(
+                space_words=100, comm_words=50, queue_timeout=0.05
+            )
+            blocker = await pool.lease(space_words=100)
+            with pytest.raises(AdmissionError) as excinfo:
+                await pool.lease(space_words=10)
+            assert excinfo.value.reason == REJECT_TIMED_OUT
+            assert excinfo.value.retry_after is not None
+            pool.release(blocker)
+            # The timed-out waiter must not linger in the queue.
+            assert pool.stats().queue_depth == 0
+            # And the pool still grants normally afterwards.
+            pool.release(await pool.lease(space_words=10))
+
+        run(scenario())
+
+
+class TestQueueDiscipline:
+    def test_fifo_no_overtaking(self):
+        """A small request must not overtake a large one at the head."""
+
+        async def scenario():
+            pool = ResourcePool(space_words=100, comm_words=50)
+            blocker = await pool.lease(space_words=80)
+            order = []
+
+            async def queued(tag, words):
+                lease = await pool.lease(space_words=words)
+                order.append(tag)
+                return lease
+
+            big = asyncio.ensure_future(queued("big", 90))
+            await asyncio.sleep(0)
+            small = asyncio.ensure_future(queued("small", 10))
+            await asyncio.sleep(0)
+            # 20 words are free and the small request would fit — but
+            # the big request is at the head, so nothing is granted.
+            assert pool.stats().queue_depth == 2
+            assert not big.done() and not small.done()
+            pool.release(blocker)
+            leases = await asyncio.gather(big, small)
+            assert order == ["big", "small"]
+            for lease in leases:
+                pool.release(lease)
+
+        run(scenario())
+
+    def test_queue_grants_on_release(self):
+        async def scenario():
+            pool = ResourcePool(space_words=100, comm_words=50)
+            first = await pool.lease(space_words=100)
+            waiting = asyncio.ensure_future(pool.lease(space_words=50))
+            await asyncio.sleep(0)
+            assert pool.stats().queued_total == 1
+            pool.release(first)
+            second = await waiting
+            assert pool.available_space == 50
+            pool.release(second)
+
+        run(scenario())
+
+
+class TestShutdown:
+    def test_shutdown_evicts_queue_with_typed_errors(self):
+        async def scenario():
+            pool = ResourcePool(space_words=100, comm_words=50)
+            blocker = await pool.lease(space_words=100)
+            queued = [
+                asyncio.ensure_future(pool.lease(space_words=10))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            evicted = await pool.shutdown()
+            assert evicted == 3
+            for future in queued:
+                with pytest.raises(AdmissionError) as excinfo:
+                    await future
+                assert excinfo.value.reason == REJECT_SHUTTING_DOWN
+            # Active leases drain normally.
+            pool.release(blocker)
+            # New leases are refused outright.
+            with pytest.raises(AdmissionError) as excinfo:
+                await pool.lease(space_words=1)
+            assert excinfo.value.reason == REJECT_SHUTTING_DOWN
+
+        run(scenario())
+
+
+class TestStats:
+    def test_as_dict_is_primitive_and_complete(self):
+        async def scenario():
+            pool = ResourcePool(space_words=200, comm_words=100)
+            lease = await pool.lease(space_words=50, comm_words=10)
+            stats = pool.stats().as_dict()
+            assert stats["space_capacity_words"] == 200
+            assert stats["leased_space_words"] == 50
+            assert stats["space_utilization"] == pytest.approx(0.25)
+            assert stats["rejected"] == 0
+            assert isinstance(stats["rejections"], dict)
+            pool.release(lease)
+
+        run(scenario())

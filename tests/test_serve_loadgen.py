@@ -1,0 +1,189 @@
+"""The load generator and BENCH_serve.json: determinism, live runs, schema.
+
+The schedule is a pure function of its arguments (so two cells at
+different pacing replay identical requests); a live low-QPS run must
+classify every request into exactly one outcome bucket with zero
+invalid covers; the report round-trips through JSON with the schema-1
+envelope intact and renders as a table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import percentile
+from repro.errors import InvalidParameterError, TransportError
+from repro.generators.planted import planted_partition_instance
+from repro.serve import (
+    DEFAULT_MIX,
+    InstanceRegistry,
+    LatencySummary,
+    SERVE_BENCH_SCHEMA,
+    ServeConfig,
+    build_schedule,
+    load_serve_report,
+    render_serve_report,
+    run_load,
+    start_server_thread,
+    write_serve_report,
+)
+
+
+@pytest.fixture(scope="module")
+def handle():
+    registry = InstanceRegistry()
+    registry.load_instance(
+        "demo",
+        planted_partition_instance(60, 24, opt_size=5, seed=4).instance,
+    )
+    try:
+        server = start_server_thread(ServeConfig(port=0), registry)
+    except TransportError as exc:
+        pytest.skip(f"sandbox forbids binding localhost TCP: {exc}")
+    with server:
+        yield server
+
+
+class TestPercentile:
+    def test_nearest_rank_is_an_observed_sample(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 99) == 5.0
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_single_sample(self):
+        assert percentile([7.5], 50) == 7.5
+        assert percentile([7.5], 99) == 7.5
+
+    def test_empty_and_out_of_range_raise(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        a = build_schedule(["x", "y"], requests=50, seed=9)
+        b = build_schedule(["x", "y"], requests=50, seed=9)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = build_schedule(["x", "y"], requests=50, seed=9)
+        b = build_schedule(["x", "y"], requests=50, seed=10)
+        assert a != b
+
+    def test_mix_weights_respected(self):
+        ops = build_schedule(["x"], requests=300, seed=1, mix=DEFAULT_MIX)
+        kinds = {op.kind for op in ops}
+        assert kinds == {"solve", "distribute", "chaos"}
+        solve_count = sum(1 for op in ops if op.kind == "solve")
+        assert solve_count > 100  # weight 3 of 5 over 300 draws
+
+    def test_chaos_ops_carry_fault_fields(self):
+        ops = build_schedule(
+            ["x"], requests=60, seed=2, mix=[("chaos", 1)]
+        )
+        for op in ops:
+            assert op.kind == "chaos"
+            assert op.fields["fault_kind"] in ("drop", "duplicate", "corrupt")
+            assert op.fields["policy"] == "best_effort"
+
+    def test_validation_is_typed(self):
+        with pytest.raises(InvalidParameterError):
+            build_schedule([], requests=5)
+        with pytest.raises(InvalidParameterError):
+            build_schedule(["x"], requests=0)
+        with pytest.raises(InvalidParameterError):
+            build_schedule(["x"], requests=5, mix=[("explode", 1)])
+        with pytest.raises(InvalidParameterError):
+            build_schedule(["x"], requests=5, mix=[("solve", 0)])
+
+
+class TestRunLoad:
+    def test_live_run_zero_invalid(self, handle):
+        schedule = build_schedule(["demo"], requests=20, seed=3)
+        report = run_load(
+            handle.host, handle.port, schedule, qps=40, concurrency=3
+        )
+        total = (
+            report.ok
+            + report.degraded
+            + report.admission_rejections
+            + report.remote_errors
+            + report.transport_errors
+            + report.invalid
+        )
+        assert total == len(schedule)  # every op lands in exactly one bucket
+        assert report.invalid == 0
+        assert report.transport_errors == 0
+        assert report.ok > 0
+        assert report.latency.samples == len(schedule)
+        assert report.latency.p50_ms <= report.latency.p99_ms
+        assert report.achieved_qps > 0
+        assert report.pool.get("space_capacity_words", 0) > 0
+        assert sum(report.by_kind.values()) == len(schedule)
+
+    def test_validation_is_typed(self, handle):
+        schedule = build_schedule(["demo"], requests=2, seed=0)
+        with pytest.raises(InvalidParameterError):
+            run_load(handle.host, handle.port, schedule, qps=0, concurrency=1)
+        with pytest.raises(InvalidParameterError):
+            run_load(handle.host, handle.port, schedule, qps=5, concurrency=0)
+
+
+class TestReport:
+    def test_round_trip_and_schema(self, handle, tmp_path):
+        schedule = build_schedule(["demo"], requests=10, seed=3)
+        cell = run_load(
+            handle.host, handle.port, schedule, qps=50, concurrency=2
+        )
+        path = tmp_path / "BENCH_serve.json"
+        payload = write_serve_report(
+            path,
+            [cell],
+            server_config={"space_pool_words": 200_000},
+            workload={"seed": 3, "requests_per_cell": 10},
+        )
+        loaded = load_serve_report(path)
+        assert loaded == payload
+        assert loaded["schema"] == SERVE_BENCH_SCHEMA
+        assert loaded["workload"]["seed"] == 3
+        assert len(loaded["cells"]) == 1
+        recorded = loaded["cells"][0]
+        assert recorded["qps"] == 50
+        assert recorded["concurrency"] == 2
+        assert recorded["invalid"] == 0
+        assert recorded["latency"]["samples"] == 10
+        assert "p99_ms" in recorded["latency"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_serve_report(tmp_path / "absent.json") == {}
+
+    def test_render_shows_every_cell(self, handle, tmp_path):
+        schedule = build_schedule(["demo"], requests=6, seed=1)
+        cell = run_load(
+            handle.host, handle.port, schedule, qps=30, concurrency=2
+        )
+        payload = write_serve_report(
+            tmp_path / "b.json", [cell], {}, {}
+        )
+        rendered = render_serve_report(payload)
+        assert "p99 ms" in rendered
+        assert "serve load surface" in rendered
+
+
+class TestLatencySummary:
+    def test_empty_is_zeroes(self):
+        summary = LatencySummary.of(())
+        assert summary.samples == 0
+        assert summary.p99_ms == 0.0
+
+    def test_percentiles_ordered(self):
+        summary = LatencySummary.of([float(i) for i in range(1, 101)])
+        assert summary.p50_ms == 50.0
+        assert summary.p95_ms == 95.0
+        assert summary.p99_ms == 99.0
+        assert summary.max_ms == 100.0
+        assert summary.samples == 100
