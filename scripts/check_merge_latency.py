@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Merge-latency gate: the tournament's critical path must be O(log W).
+
+The tentpole claim of the tree coordinator is structural, so the gate
+asserts it structurally: on fault-free default schedules the chain's
+state relay costs exactly ``W - 1`` sequential hand-offs (``W - 1``
+idle ticks, ``2(W - 1)`` logical steps with the default unit delay)
+while the tournament's round-batched hand-offs finish in
+``⌈log₂ W⌉`` rounds (``≤ 2·⌈log₂ W⌉ + 2`` logical steps).  Both bounds
+are checked at W ∈ {4, 8, 16} for fixed and adaptive τ, and from W = 8
+up the tree must beat the chain outright.  Every cell's cover is
+verified and asserted identical to the synchronous run.
+
+Exits 1 on the first violated bound.  CI runs it on every push::
+
+    PYTHONPATH=src python scripts/check_merge_latency.py
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.distributed import (  # noqa: E402
+    run_distributed,
+    run_distributed_async,
+)
+from repro.generators.planted import planted_partition_instance  # noqa: E402
+
+SEED = 20260808
+WORKER_GRID = (4, 8, 16)
+#: Slack on the tree bound: one tick to post the leaves' results and
+#: one for the root's final settle — topology-independent constants.
+TREE_SLACK = 2
+
+
+def main() -> int:
+    instance = planted_partition_instance(
+        n=120, m=480, opt_size=10, seed=SEED
+    ).instance
+    failures = 0
+    for workers in WORKER_GRID:
+        rounds = math.ceil(math.log2(workers))
+        steps_at = {}
+        for coordinator in ("chain", "tree"):
+            for adaptive in (False, True):
+                mode = "adaptive" if adaptive else "fixed"
+                cell = f"{coordinator}/{mode} W={workers}"
+                result = run_distributed_async(
+                    instance,
+                    workers=workers,
+                    algorithm="kk",
+                    coordinator=coordinator,
+                    adaptive_threshold=adaptive,
+                    seed=SEED,
+                    backend="serial",
+                    schedule_seed=SEED,
+                )
+                result.verify(instance)
+                sync = run_distributed(
+                    instance,
+                    workers=workers,
+                    algorithm="kk",
+                    coordinator=coordinator,
+                    adaptive_threshold=adaptive,
+                    seed=SEED,
+                    backend="serial",
+                )
+                if result.cover != sync.cover:
+                    print(f"FAIL {cell}: async cover diverges from sync")
+                    failures += 1
+                    continue
+                steps = int(result.diagnostics["logical_steps"])
+                idle = int(result.diagnostics["idle_ticks"])
+                steps_at[(coordinator, mode)] = steps
+                if coordinator == "chain" and idle != workers - 1:
+                    print(
+                        f"FAIL {cell}: chain idled {idle} ticks, expected "
+                        f"exactly W-1 = {workers - 1} — the relay's "
+                        "dependency depth changed"
+                    )
+                    failures += 1
+                elif coordinator == "tree" and steps > 2 * rounds + TREE_SLACK:
+                    print(
+                        f"FAIL {cell}: {steps} logical steps exceed the "
+                        f"2*ceil(log2 W)+{TREE_SLACK} = "
+                        f"{2 * rounds + TREE_SLACK} bound — round batching "
+                        "is not happening"
+                    )
+                    failures += 1
+                else:
+                    print(
+                        f"ok   {cell}: {steps} steps, {idle} idle ticks, "
+                        f"cover {result.cover_size} (= sync)"
+                    )
+        if workers >= 8:
+            for mode in ("fixed", "adaptive"):
+                tree = steps_at.get(("tree", mode))
+                chain = steps_at.get(("chain", mode))
+                if tree is None or chain is None:
+                    continue
+                if tree >= chain:
+                    print(
+                        f"FAIL {mode} W={workers}: tree {tree} steps does "
+                        f"not beat chain {chain} — no latency win"
+                    )
+                    failures += 1
+    if failures:
+        print(f"{failures} merge-latency failure(s)")
+        return 1
+    print(
+        "merge-latency gate passed: chain critical path is Theta(W), "
+        "tournament Theta(log W), covers sync-identical throughout"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,7 +37,7 @@ from repro.generators.planted import planted_partition_instance  # noqa: E402
 
 WORKERS = 4
 SEED = 20260808
-COORDINATORS = ("union", "greedy", "chain")
+COORDINATORS = ("union", "greedy", "chain", "tree")
 WORD_BYTES = 8
 
 

@@ -36,6 +36,7 @@ from repro.analysis.perfbench import (  # noqa: E402
     run_bench,
     run_distributed_scaling,
     run_kk_kernel_bench,
+    run_merge_bench,
     run_shipping_bench,
     run_trace_overhead,
     run_transport_bench,
@@ -106,6 +107,14 @@ def main(argv=None) -> int:
         help="measure wire bytes/frames per (transport, coordinator) cell "
         "(asserts cover/comm parity with inproc; socket cells skipped "
         "where binding is forbidden); updates the 'transport' section of "
+        "BENCH_perf.json unless --no-write",
+    )
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="measure the merge critical path, chain vs tournament over "
+        "fixed/adaptive tau (asserts tree < chain logical steps at W>=8 "
+        "and sync/async cover parity); updates the 'merge' section of "
         "BENCH_perf.json unless --no-write",
     )
     parser.add_argument(
@@ -193,6 +202,36 @@ def main(argv=None) -> int:
         if not args.no_write:
             write_bench_file(BENCH_FILE, transport=records)
             print(f"updated transport section of {BENCH_FILE}")
+        return 0
+
+    if args.merge:
+        tier = "smoke" if args.smoke else "full"
+        workers_grid = (2, 4, 8) if args.smoke else (2, 4, 8, 16)
+        records = run_merge_bench(
+            tier=tier,
+            seed=args.seed,
+            workers_grid=workers_grid,
+            progress=progress,
+        )
+        w_hi = max(r.workers for r in records)
+        by_cell = {
+            (r.coordinator, r.threshold_mode): r
+            for r in records
+            if r.workers == w_hi
+        }
+        chain = by_cell[("chain", "fixed")]
+        tree = by_cell[("tree", "adaptive")]
+        print(
+            f"ok: {len(records)} merge cells verified; at W={w_hi} the "
+            f"tree's critical path is {tree.logical_steps} steps vs the "
+            f"chain's {chain.logical_steps} "
+            f"(x{chain.logical_steps / max(tree.logical_steps, 1):.1f}), "
+            f"adaptive-tau cover {tree.cover_size} vs chain "
+            f"{chain.cover_size}"
+        )
+        if not args.no_write:
+            write_bench_file(BENCH_FILE, merge=records)
+            print(f"updated merge section of {BENCH_FILE}")
         return 0
 
     if args.distributed:

@@ -561,7 +561,7 @@ def run_transport_bench(
     tier: str = "smoke",
     seed: int = 0,
     workers: int = 4,
-    coordinators: Sequence[str] = ("union", "greedy", "chain"),
+    coordinators: Sequence[str] = ("union", "greedy", "chain", "tree"),
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[TransportRecord]:
     """Benchmark the wire transports over coordinator × transport.
@@ -645,6 +645,125 @@ def run_transport_bench(
     return records
 
 
+@dataclass
+class MergeLatencyRecord:
+    """One (coordinator, τ-mode, W) cell of the merge critical path.
+
+    ``logical_steps`` and ``idle_ticks`` come off the async simulator's
+    logical clock — the chain's state relay costs ``2(W-1)`` steps while
+    the tournament's round-batched hand-offs cost ``2·⌈log₂W⌉``, and
+    ``merge_rounds`` records the dependency depth directly.  The tree
+    pays in ``max_message_words`` (leaves ship witnesses for every held
+    element); ``cover_size`` shows what adaptive τ re-estimation buys
+    back.  Every cell is verified against its instance and checked for
+    sync/async cover parity before the measurement exists.
+    """
+
+    config: str
+    coordinator: str
+    threshold_mode: str
+    workers: int
+    seconds: float
+    logical_steps: int
+    idle_ticks: int
+    merge_rounds: int
+    cover_size: int
+    total_comm_words: int
+    max_message_words: int
+
+
+def run_merge_bench(
+    tier: str = "smoke",
+    seed: int = 0,
+    workers_grid: Sequence[int] = (2, 4, 8, 16),
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[MergeLatencyRecord]:
+    """Benchmark merge topologies: chain vs tournament, fixed vs adaptive τ.
+
+    Each cell runs the async simulator (serial backend, fault-free
+    default schedule) so the logical clock measures pure dependency
+    depth; the same cell is re-run synchronously and the covers are
+    asserted identical.  At every ``W >= 8`` the tree's critical path is
+    asserted strictly below the chain's — the tentpole claim, refusing
+    to record numbers that do not show it.
+    """
+    from repro.distributed import run_distributed
+    from repro.distributed.asyncsim import run_distributed_async
+
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; known: {sorted(TIERS)}")
+    records: List[MergeLatencyRecord] = []
+    for config, n, m, set_size in TIERS[tier]:
+        instance = fixed_size_instance(n, m, set_size, seed=seed)
+        steps_at: Dict[Tuple[str, int], int] = {}
+        for workers in workers_grid:
+            for coordinator in ("chain", "tree"):
+                for adaptive in (False, True):
+                    mode = "adaptive" if adaptive else "fixed"
+                    start = time.perf_counter()
+                    result = run_distributed_async(
+                        instance,
+                        workers=workers,
+                        coordinator=coordinator,
+                        adaptive_threshold=adaptive,
+                        seed=seed,
+                        backend="serial",
+                        schedule_seed=seed,
+                    )
+                    seconds = time.perf_counter() - start
+                    result.verify(instance)
+                    sync = run_distributed(
+                        instance,
+                        workers=workers,
+                        coordinator=coordinator,
+                        adaptive_threshold=adaptive,
+                        seed=seed,
+                        backend="serial",
+                    )
+                    assert result.cover == sync.cover, (
+                        f"async/sync cover parity broken at {config}/"
+                        f"{coordinator}/{mode} W={workers}"
+                    )
+                    steps = int(result.diagnostics["logical_steps"])
+                    steps_at[(f"{coordinator}/{mode}", workers)] = steps
+                    record = MergeLatencyRecord(
+                        config=config,
+                        coordinator=coordinator,
+                        threshold_mode=mode,
+                        workers=workers,
+                        seconds=round(seconds, 4),
+                        logical_steps=steps,
+                        idle_ticks=int(result.diagnostics["idle_ticks"]),
+                        merge_rounds=int(
+                            result.diagnostics.get("merge_rounds", workers - 1)
+                        ),
+                        cover_size=result.cover_size,
+                        total_comm_words=result.total_comm_words,
+                        max_message_words=result.max_message_words,
+                    )
+                    records.append(record)
+                    if progress is not None:
+                        progress(
+                            f"{config:>7} {coordinator:<5} {mode:<8} "
+                            f"W={workers:<2} steps={record.logical_steps:<3} "
+                            f"rounds={record.merge_rounds:<2} "
+                            f"cover={record.cover_size:<3} "
+                            f"maxmsg={record.max_message_words}w "
+                            f"({record.seconds:.2f}s)"
+                        )
+            if workers >= 8:
+                for mode in ("fixed", "adaptive"):
+                    tree_steps = steps_at[(f"tree/{mode}", workers)]
+                    chain_steps = steps_at[(f"chain/{mode}", workers)]
+                    assert tree_steps < chain_steps, (
+                        f"tournament merge lost its latency edge at {config}/"
+                        f"{mode} W={workers}: tree {tree_steps} steps vs "
+                        f"chain {chain_steps} — critical path must be "
+                        "Theta(log W)"
+                    )
+    return records
+
+
 def check_kk_floor(
     current: Sequence[BenchRecord], seed_baseline: Sequence[dict]
 ) -> List[str]:
@@ -697,14 +816,16 @@ def write_bench_file(
     kk_kernel: Optional[Sequence[KKKernelRecord]] = None,
     shipping: Optional[Sequence[ShippingRecord]] = None,
     transport: Optional[Sequence[TransportRecord]] = None,
+    merge: Optional[Sequence[MergeLatencyRecord]] = None,
 ) -> dict:
     """Write ``BENCH_perf.json``, preserving any recorded seed baseline.
 
     ``seed_baseline`` holds the pre-optimization ("before") numbers; it
     is kept verbatim across re-runs so the speedup trajectory stays
     visible in the committed file.  Each of ``smoke``/``full``/
-    ``distributed``/``kk_kernel``/``shipping`` replaces its section when
-    given and preserves the committed section when ``None`` — so a
+    ``distributed``/``kk_kernel``/``shipping``/``transport``/``merge``
+    replaces its section when given and preserves the committed section
+    when ``None`` — so a
     distributed-only run does not clobber the throughput ladder, and
     vice versa.
     """
@@ -716,7 +837,7 @@ def write_bench_file(
         return records_to_json(records)
 
     payload = {
-        "schema": 4,
+        "schema": 5,
         "description": (
             "Hot-path throughput benchmark; see scripts/run_perf_bench.py. "
             "'seed_baseline' is the pre-optimization measurement, "
@@ -727,10 +848,15 @@ def write_bench_file(
             "kk kernel vs the scalar kk-reference on identical streams, "
             "'shipping' the process backend's per-task serialized "
             "bytes under pickled-edges vs shared-memory span shipping, "
-            "and 'transport' the wire layer's measured bytes/frames per "
+            "'transport' the wire layer's measured bytes/frames per "
             "(transport, coordinator) cell with the bytes-per-word "
             "overhead ratio (>= 1 by construction; parity_with_inproc "
-            "certifies identical covers/comm reports across transports). "
+            "certifies identical covers/comm reports across transports), "
+            "and 'merge' the async-clock critical path of chain vs "
+            "tournament merge under fixed vs adaptive tau (tree "
+            "logical_steps grow as Theta(log W) vs the chain's Theta(W); "
+            "every cell is verified and sync/async cover parity is "
+            "asserted before the numbers are recorded). "
             "Caveat: numbers committed from a single-core container "
             "cannot show process-backend speedup; the CI artifact carries "
             "the multi-core measurement."
@@ -750,6 +876,7 @@ def write_bench_file(
         "kk_kernel": section(kk_kernel, "kk_kernel"),
         "shipping": section(shipping, "shipping"),
         "transport": section(transport, "transport"),
+        "merge": section(merge, "merge"),
     }
     path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
     return payload

@@ -159,6 +159,17 @@ def build_parser() -> argparse.ArgumentParser:
     distribute_parser.add_argument("--alpha", type=float, default=None)
     distribute_parser.add_argument("--seed", type=int, default=0)
     distribute_parser.add_argument(
+        "--threshold", type=float, default=None,
+        help="fixed greedy take-threshold override for the protocol "
+        "merges (chain, tree)",
+    )
+    distribute_parser.add_argument(
+        "--adaptive-threshold", action="store_true",
+        help="re-estimate the protocol merges' τ from the forwarded "
+        "state at every merge step (chain, tree); mutually exclusive "
+        "with --threshold",
+    )
+    distribute_parser.add_argument(
         "--max-workers", type=int, default=1,
         help="real executor parallelism (operational; must not change "
         "the result)",
@@ -340,6 +351,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--delay-ms", type=int, default=0,
         help="server-side delay knob (tests/ops; capped at 5s)",
     )
+    client_parser.add_argument(
+        "--max-retries", type=int, default=0,
+        help="on an admission rejection carrying a retry_after hint, "
+        "sleep and retry up to this many times (default: fail fast)",
+    )
 
     generate_parser = sub.add_parser(
         "generate", help="write a synthetic instance to a file"
@@ -496,6 +512,8 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
         comm_budget=budget,
         backend=args.backend,
         transport=args.transport,
+        threshold=args.threshold,
+        adaptive_threshold=args.adaptive_threshold,
     )
     if args.async_sim:
         if args.ingest != "materialize":
@@ -535,6 +553,12 @@ def _cmd_distribute(args: argparse.Namespace) -> int:
         ("messages", result.comm.num_messages),
         ("busiest link", result.comm.busiest_link() or "-"),
     ]
+    if "merge_rounds" in result.diagnostics:
+        rows.append(
+            ("merge rounds", int(result.diagnostics["merge_rounds"]))
+        )
+    if result.diagnostics.get("adaptive_threshold"):
+        rows.append(("adaptive threshold", True))
     if result.transport is not None:
         rows.extend(
             [
@@ -711,7 +735,10 @@ def _cmd_client(args: argparse.Namespace) -> int:
     from repro.serve.client import ServeClient
 
     with ServeClient(
-        host=args.host, port=args.port, timeout=args.timeout
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
     ) as client:
         if args.action == "ping":
             result = client.ping()

@@ -53,7 +53,11 @@ from repro.distributed.comm import (
     link_label,
     words_for_cover_message,
 )
-from repro.distributed.coordinator import make_coordinator
+from repro.distributed.chain import tournament_rounds
+from repro.distributed.coordinator import (
+    CoordinatorOptions,
+    make_coordinator,
+)
 from repro.distributed.executor import (
     DistributedResult,
     build_shard_plan_and_tasks,
@@ -285,6 +289,58 @@ class AsyncScheduler:
             )
         return message
 
+    def deliver_available(self) -> List[Message]:
+        """Deliver every currently-available message in ONE logical step.
+
+        The batch twin of :meth:`deliver_next`, modelling parallel
+        links: the clock charges *latency*, not bandwidth, so
+        independent messages whose availability has arrived all land
+        together on a single tick (idling to the earliest availability
+        first when none has).  The policy still orders the batch, so
+        per-inbox delivery order stays deterministic under seeded
+        delivery.  This is what lets a tournament merge's same-round
+        hand-offs cost one step instead of one step each — the whole
+        point of the tree topology.  Returns the delivered batch,
+        empty when nothing is pending.
+        """
+        if not self._pending:
+            return []
+        deliverable = [
+            m for m in self._pending if m.available_step <= self.clock
+        ]
+        if not deliverable:
+            horizon = min(m.available_step for m in self._pending)
+            self.idle_ticks += horizon - self.clock
+            self.clock = horizon
+            deliverable = [
+                m for m in self._pending if m.available_step <= self.clock
+            ]
+        self.clock += 1
+        batch: List[Message] = []
+        while deliverable:
+            choice = self.policy.choose(deliverable)
+            if not 0 <= choice < len(deliverable):
+                raise ProtocolError(
+                    f"delivery policy {self.policy.name!r} chose index "
+                    f"{choice} out of {len(deliverable)} deliverable "
+                    "message(s)"
+                )
+            message = deliverable.pop(choice)
+            self._pending.remove(message)
+            self.delivered += 1
+            self._inboxes.setdefault(message.dst, []).append(message)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    MESSAGE_DELIVERED,
+                    link=message.link,
+                    kind=message.kind,
+                    words=message.words,
+                    seq=message.seq,
+                    step=self.clock,
+                )
+            batch.append(message)
+        return batch
+
     def drain(self) -> List[Message]:
         """Deliver every pending message; returns them in delivery order."""
         out: List[Message] = []
@@ -309,6 +365,7 @@ def run_distributed_async(
     faults: Optional[Sequence[FaultSpec]] = None,
     collector: Optional[TraceCollector] = None,
     threshold: Optional[float] = None,
+    adaptive_threshold: bool = False,
     comm_log: bool = False,
     backend: Optional[str] = None,
     transport: Optional[object] = None,
@@ -334,7 +391,11 @@ def run_distributed_async(
     fault-free schedule; the schedule surfaces in ``diagnostics``
     (``logical_steps``, ``delivered_messages``, ``idle_ticks``,
     ``duplicates_dropped``, ``schedule_seed``) and the ``async`` trace
-    cell.
+    cell.  Topology sets the critical path: the chain relays hand-offs
+    sequentially (Θ(W) logical steps), the ``tree`` coordinator's
+    same-round hand-offs are delivered as one batch per round
+    (Θ(log W) steps), and the star coordinators post everything at
+    once.
     """
     if max_workers < 1:
         raise InvalidParameterError(
@@ -349,7 +410,12 @@ def run_distributed_async(
     backend_impl = make_backend(backend if backend is not None else "thread")
     # Fail fast on an unknown coordinator or transport name — before any
     # shard work runs (the transport itself is built at merge time).
-    merger = make_coordinator(coordinator, threshold=threshold)
+    merger = make_coordinator(
+        coordinator,
+        CoordinatorOptions(
+            threshold=threshold, adaptive_threshold=adaptive_threshold
+        ),
+    )
     validate_transport(transport)
     policy = (
         delivery if delivery is not None else RandomDelivery(schedule_seed)
@@ -484,6 +550,64 @@ def run_distributed_async(
                     if hop in seen_hops:
                         duplicates_dropped += 1
                     seen_hops.add(hop)
+        elif coordinator == "tree":
+            # Tournament topology: hand-offs within a round are
+            # independent, so each round is posted as a batch and
+            # delivered with :meth:`AsyncScheduler.deliver_available`
+            # — the whole round lands on one logical tick (plus its
+            # idle-to-availability), which is exactly the Θ(log W)
+            # critical path the tree buys over the chain's Θ(W).  The
+            # merge runs first (it computes the state sizes); the
+            # scheduler replays the tree's edges from the metered
+            # per-link words — unambiguous because each (src, dst)
+            # tree edge is used exactly once.
+            survivors_sorted = sorted(outputs_by_index)
+            merge_inputs = [outputs_by_index[i] for i in survivors_sorted]
+            outcome = do_merge(merge_inputs)
+            hand_words = dict(comm.report().per_link_words)
+            ready: Dict[int, int] = {
+                i: completion.get(i, 0) for i in survivors_sorted
+            }
+            seen_edges = set()
+            for round_pairs in tournament_rounds(
+                range(len(survivors_sorted))
+            ):
+                expected = 0
+                for src_pos, dst_pos in round_pairs:
+                    a = survivors_sorted[src_pos]
+                    b = survivors_sorted[dst_pos]
+                    src, dst = f"shard[{a}]", f"shard[{b}]"
+                    # A hand-off leaves its src no earlier than both
+                    # endpoints finished their previous round (the dst
+                    # must have its own state ready to merge into).
+                    avail = max(
+                        scheduler.clock + scheduler.link_delay(src, dst),
+                        ready[a],
+                        ready[b],
+                    )
+                    copies = 2 if plan_faults.spec_for(a).duplicate else 1
+                    expected += copies
+                    for _ in range(copies):
+                        scheduler.post(
+                            src,
+                            dst,
+                            kind="tree-handoff",
+                            words=hand_words.get(link_label(src, dst), 0),
+                            payload=a,
+                            available_step=avail,
+                        )
+                delivered_round = 0
+                while delivered_round < expected:
+                    batch = scheduler.deliver_available()
+                    delivered_round += len(batch)
+                    for message in batch:
+                        edge = (message.src, message.dst)
+                        if edge in seen_edges:
+                            duplicates_dropped += 1
+                        seen_edges.add(edge)
+                for src_pos, dst_pos in round_pairs:
+                    ready.pop(survivors_sorted[src_pos], None)
+                    ready[survivors_sorted[dst_pos]] = scheduler.clock
         else:
             # Star topology: every surviving shard posts its envelope
             # upload, available once the shard finished plus the link

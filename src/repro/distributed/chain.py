@@ -18,6 +18,23 @@ at most ``√(nt)`` sets and the residue is at most ``√(n/t) · OPT``, so
 the cover is at most ``2√(nt) · OPT`` sets and each message at most
 ``O(n)`` words.
 
+Two variations live alongside the literal protocol:
+
+* **Adaptive τ** (``adaptive=True``): instead of fixing
+  ``τ = √(n/t)`` before the first party acts, each party re-estimates
+  ``τ = √(|uncovered| / remaining_parties)`` from the state actually
+  forwarded to it.  Party 0 sees ``|uncovered| = n`` and
+  ``remaining = t``, so its τ matches the fixed protocol exactly; later
+  parties see a shrinking uncovered set and lower their bar with it.
+* **Tournament merge** (:func:`tournament_merge`): the same per-party
+  step arranged as a binary reduction tree.  Every party first runs the
+  chain step *against the full universe* (its leaf state), then pairs
+  of states merge bottom-up in ``⌈log₂ t⌉`` rounds — uncovered sets
+  intersect, witnesses and chosen keys union — cutting the merge's
+  critical path from ``t − 1`` sequential hops to ``⌈log₂ t⌉`` rounds
+  of independent hand-offs, at the cost of larger early messages (a
+  leaf ships witnesses for *every* element it holds).
+
 This module deliberately does not import :mod:`repro.lowerbound`
 (which imports *us*); the sequential chain loop is ~10 lines and is
 re-implemented here rather than routed through ``OneWayChain``.
@@ -69,6 +86,10 @@ class ChainOutcome:
         ],
         ...,
     ] = ()
+    #: τ each party actually used, one per party.  Constant under the
+    #: fixed protocol; strictly recomputed per party when the merge ran
+    #: with ``adaptive=True``.
+    thresholds: Tuple[float, ...] = ()
 
     @property
     def cover_size(self) -> int:
@@ -93,12 +114,51 @@ def state_words(
     return len(uncovered) + 2 * len(witnesses) + 2 * len(chosen)
 
 
+def adaptive_threshold_for(uncovered: int, remaining_parties: int) -> float:
+    """Re-estimated τ: ``√(|uncovered| / remaining_parties)``.
+
+    The first estimator call of a run (``uncovered = n``,
+    ``remaining = t``) reproduces the fixed ``√(n/t)``; later calls see
+    the forwarded state and lower the bar as coverage accumulates.
+    Degenerate inputs are clamped: an empty uncovered set yields τ = 0
+    (nothing left to take) and ``remaining_parties`` is floored at 1.
+    """
+    if uncovered <= 0:
+        return 0.0
+    return math.sqrt(uncovered / max(1, remaining_parties))
+
+
+def _greedy_take(
+    local: Sequence[Tuple[SetKey, Set[ElementId]]],
+    uncovered: Set[ElementId],
+    chosen: List[SetKey],
+    tau: float,
+) -> None:
+    """One party's greedy phase: repeatedly take any own set with gain
+    ≥ τ, in enumeration order, until a full pass takes nothing.
+
+    Mutates ``uncovered`` and ``chosen`` in place.  The ``gain > 0``
+    guard keeps the loop terminating when adaptive τ collapses to 0 —
+    an empty-gain set must never be "taken" forever.
+    """
+    progress = True
+    while progress:
+        progress = False
+        for key, members in local:
+            gain = len(members & uncovered)
+            if gain >= tau and gain > 0:
+                chosen.append(key)
+                uncovered -= members
+                progress = True
+
+
 def chain_merge(
     n: int,
     party_sets: Sequence[PartySets],
     threshold: Optional[float] = None,
     partial: bool = False,
     capture_states: bool = False,
+    adaptive: bool = False,
 ) -> ChainOutcome:
     """Run the deterministic chain protocol over per-party set shares.
 
@@ -126,10 +186,20 @@ def chain_merge(
         :attr:`ChainOutcome.forwarded_states` so a transport can ship
         the exact state the word count was charged for.  Off by
         default: the snapshots copy O(n) state per hop.
+    adaptive:
+        Re-estimate ``τ = √(|uncovered| / remaining_parties)`` at every
+        party from the forwarded state instead of fixing ``√(n/t)`` up
+        front (mutually exclusive with an explicit ``threshold``).  The
+        τ each party used lands in :attr:`ChainOutcome.thresholds`.
     """
     t = len(party_sets)
     if t < 1:
         raise ConfigurationError(f"need at least 1 party, got {t}")
+    if adaptive and threshold is not None:
+        raise ConfigurationError(
+            "adaptive re-estimation and an explicit threshold are "
+            "mutually exclusive"
+        )
     tau = threshold if threshold is not None else math.sqrt(n / t)
 
     uncovered: Set[ElementId] = set(range(n))
@@ -148,6 +218,8 @@ def chain_merge(
         ]
     ] = []
 
+    thresholds: List[float] = []
+
     for index, share in enumerate(party_sets):
         is_last = index == t - 1
         local = [(key, set(members)) for key, members in share]
@@ -159,15 +231,10 @@ def chain_merge(
                 if u in uncovered and u not in witnesses:
                     witnesses[u] = key
         # Greedy phase over this party's own sets.
-        progress = True
-        while progress:
-            progress = False
-            for key, members in local:
-                gain = len(members & uncovered)
-                if gain >= tau:
-                    chosen.append(key)
-                    uncovered -= members
-                    progress = True
+        if adaptive:
+            tau = adaptive_threshold_for(len(uncovered), t - index)
+        thresholds.append(tau)
+        _greedy_take(local, uncovered, chosen, tau)
         if is_last:
             # Patch the residue with recorded witnesses.
             unpatchable: List[ElementId] = []
@@ -218,7 +285,275 @@ def chain_merge(
         cover=cover,
         certificate=certificate,
         message_words=message_words,
-        threshold=tau,
+        threshold=thresholds[0],
+        uncovered=tuple(missing),
+        forwarded_states=tuple(forwarded_states),
+        thresholds=tuple(thresholds),
+    )
+
+
+@dataclass
+class TournamentOutcome:
+    """Result of one :func:`tournament_merge` execution.
+
+    ``message_words[i]`` is the size of the state shipped over
+    ``edges[i]``; both lists run in hand-off order (round by round,
+    left to right), ``t - 1`` entries total — a tournament moves exactly
+    as many messages as a chain, just ``⌈log₂ t⌉`` deep instead of
+    ``t - 1`` deep.
+    """
+
+    cover: List[SetKey]
+    certificate: Dict[ElementId, SetKey]
+    message_words: List[int]
+    threshold: float
+    #: Number of merge rounds, ``⌈log₂ t⌉`` (0 for a single party).
+    rounds: int
+    #: One ``(round, src, dst)`` triple per hand-off: in round ``round``
+    #: the subtree hosted at party ``src`` ships its state to party
+    #: ``dst``, which survives into the next round.
+    edges: Tuple[Tuple[int, int, int], ...] = ()
+    #: Largest message of each round — the tree's known cost: early
+    #: rounds ship witness-heavy leaf states the chain amortises.
+    round_max_words: Tuple[int, ...] = ()
+    #: τ used at each greedy invocation: the ``t`` leaf phases first,
+    #: then one entry per internal node in hand-off order.  Constant
+    #: under fixed τ; recomputed from the merged state when
+    #: ``adaptive=True`` (adaptive leaves defer greedy, recorded as
+    #: ``inf``).
+    thresholds: Tuple[float, ...] = ()
+    #: Elements no surviving party could cover (``partial=True`` only).
+    uncovered: Tuple[ElementId, ...] = ()
+    #: Per-hand-off snapshots of the shipped state, parallel to
+    #: ``message_words``; populated only under ``capture_states=True``.
+    forwarded_states: Tuple[
+        Tuple[
+            Tuple[ElementId, ...],
+            Tuple[Tuple[ElementId, SetKey], ...],
+            Tuple[SetKey, ...],
+        ],
+        ...,
+    ] = ()
+
+    @property
+    def cover_size(self) -> int:
+        """Number of distinct set keys in the output cover."""
+        return len(self.cover)
+
+    @property
+    def max_message_words(self) -> int:
+        """Longest hand-off in words."""
+        return max(self.message_words) if self.message_words else 0
+
+
+def tournament_rounds(
+    parties: Sequence[int],
+) -> List[List[Tuple[int, int]]]:
+    """Pairing schedule of a bottom-up tournament over ``parties``.
+
+    Returns one list per round; each round pairs adjacent survivors
+    ``(src, dst)`` left to right — ``src`` ships its state to ``dst``
+    and ``dst`` survives; an odd trailing survivor gets a bye.  The
+    schedule is pure bookkeeping shared by :func:`tournament_merge`
+    (which executes it) and the async scheduler (which replays it on
+    the logical clock), so both agree on every edge.
+    """
+    actives = list(parties)
+    rounds: List[List[Tuple[int, int]]] = []
+    while len(actives) > 1:
+        pairs: List[Tuple[int, int]] = []
+        survivors: List[int] = []
+        for j in range(0, len(actives) - 1, 2):
+            pairs.append((actives[j], actives[j + 1]))
+            survivors.append(actives[j + 1])
+        if len(actives) % 2:
+            survivors.append(actives[-1])
+        rounds.append(pairs)
+        actives = survivors
+    return rounds
+
+
+def tournament_merge(
+    n: int,
+    party_sets: Sequence[PartySets],
+    threshold: Optional[float] = None,
+    partial: bool = False,
+    capture_states: bool = False,
+    adaptive: bool = False,
+) -> TournamentOutcome:
+    """Run the chain protocol's party step as a binary reduction tree.
+
+    Every party first plays the chain step *against the full universe*
+    — record a witness for each held element, then greedily take own
+    sets with gain ≥ τ — producing ``t`` independent leaf states.
+    Pairs of states then merge bottom-up per
+    :func:`tournament_rounds`: uncovered sets intersect (an element is
+    still uncovered only if neither side covered it), witness maps
+    union with the shipped (left) side winning collisions, chosen lists
+    concatenate, and the receiving host runs the greedy step over its
+    *own* sets against the merged uncovered set.  The last survivor
+    patches the residue with recorded witnesses, as the chain's last
+    party does.
+
+    τ is where the fixed and adaptive modes genuinely part ways:
+
+    * **Fixed** (default ``√(n/t)``, or ``threshold``): every node
+      greedies at the chain's τ.  Protocol-literal but naive — leaves
+      act blind against the full universe, so up to ``t`` parties
+      duplicate coverage the chain's sequential state would have
+      shared, and the cover degrades roughly linearly in ``t``.  (The
+      internal-node re-greedy is then provably a no-op: a host's gains
+      only shrink once its leaf greedy has terminated.)
+    * **Adaptive** (``adaptive=True``):
+      ``τ = √(|uncovered| / merged_peers)``, re-estimated at each node
+      from the state actually forwarded to it, where ``merged_peers``
+      is the number of *other* parties' states folded into the node
+      (``subtree_size - 1``).  A leaf has absorbed no peer state, so
+      its τ is ∞ — it only records witnesses and defers greedy
+      entirely; the root has absorbed ``t - 1`` peers, so it greedies
+      at the chain's end-of-run rate ``≈ √(|uncovered|/t)``.  Picks are
+      thus made only where evidence has accumulated, which empirically
+      recovers most of the cover quality the fixed-τ tree throws away.
+      (``t = 1`` degenerates to a single leaf acting alone at ``√n``,
+      matching the one-party chain.)
+
+    Parameters match :func:`chain_merge`; the outcome adds the round
+    structure (:attr:`TournamentOutcome.edges`,
+    :attr:`TournamentOutcome.round_max_words`).
+    """
+    t = len(party_sets)
+    if t < 1:
+        raise ConfigurationError(f"need at least 1 party, got {t}")
+    if adaptive and threshold is not None:
+        raise ConfigurationError(
+            "adaptive re-estimation and an explicit threshold are "
+            "mutually exclusive"
+        )
+    fixed_tau = threshold if threshold is not None else math.sqrt(n / t)
+
+    members_by_key: Dict[SetKey, Set[ElementId]] = {}
+    locals_by_party: List[List[Tuple[SetKey, Set[ElementId]]]] = []
+    thresholds: List[float] = []
+    # label -> (uncovered, witnesses, chosen) of the subtree it hosts.
+    states: Dict[int, Tuple[Set[ElementId], Dict[ElementId, SetKey], List[SetKey]]] = {}
+    sizes: Dict[int, int] = {}
+
+    # Leaf phase: every party plays the chain step against the full
+    # universe.  Under adaptive τ a leaf has absorbed no peer state,
+    # so it defers greedy entirely (τ = ∞) and only records witnesses
+    # — except the degenerate one-party tree, which acts alone at √n
+    # like the one-party chain.
+    for index, share in enumerate(party_sets):
+        local = [(key, set(members)) for key, members in share]
+        locals_by_party.append(local)
+        for key, members in local:
+            members_by_key.setdefault(key, set()).update(members)
+        uncovered: Set[ElementId] = set(range(n))
+        witnesses: Dict[ElementId, SetKey] = {}
+        for key, members in local:
+            for u in members:
+                if u not in witnesses:
+                    witnesses[u] = key
+        if not adaptive:
+            tau = fixed_tau
+        elif t == 1:
+            tau = adaptive_threshold_for(len(uncovered), 1)
+        else:
+            tau = math.inf
+        thresholds.append(tau)
+        chosen: List[SetKey] = []
+        _greedy_take(local, uncovered, chosen, tau)
+        states[index] = (uncovered, witnesses, chosen)
+        sizes[index] = 1
+
+    schedule = tournament_rounds(range(t))
+    message_words: List[int] = []
+    edges: List[Tuple[int, int, int]] = []
+    round_max_words: List[int] = []
+    forwarded_states: List[
+        Tuple[
+            Tuple[ElementId, ...],
+            Tuple[Tuple[ElementId, SetKey], ...],
+            Tuple[SetKey, ...],
+        ]
+    ] = []
+
+    for round_index, pairs in enumerate(schedule):
+        round_max = 0
+        for src, dst in pairs:
+            u_src, w_src, c_src = states.pop(src)
+            u_dst, w_dst, c_dst = states[dst]
+            words = state_words(u_src, w_src, c_src)
+            message_words.append(words)
+            edges.append((round_index, src, dst))
+            round_max = max(round_max, words)
+            if capture_states:
+                forwarded_states.append(
+                    (
+                        tuple(sorted(u_src)),
+                        tuple(sorted(w_src.items())),
+                        tuple(c_src),
+                    )
+                )
+            uncovered = u_src & u_dst
+            witnesses = {**w_dst, **w_src}
+            chosen = c_src + c_dst
+            sizes[dst] = sizes.pop(src) + sizes[dst]
+            tau = (
+                adaptive_threshold_for(len(uncovered), sizes[dst] - 1)
+                if adaptive
+                else fixed_tau
+            )
+            thresholds.append(tau)
+            _greedy_take(locals_by_party[dst], uncovered, chosen, tau)
+            states[dst] = (uncovered, witnesses, chosen)
+        round_max_words.append(round_max)
+
+    (root,) = states
+    uncovered, witnesses, chosen = states[root]
+    unpatchable: List[ElementId] = []
+    for u in sorted(uncovered):
+        witness = witnesses.get(u)
+        if witness is None:
+            if partial:
+                unpatchable.append(u)
+                continue
+            raise ProtocolError(
+                f"element {u} is covered by no party's sets; "
+                "instance infeasible"
+            )
+        chosen.append(witness)
+
+    seen: Set[SetKey] = set()
+    cover: List[SetKey] = []
+    for pick in chosen:
+        if pick not in seen:
+            seen.add(pick)
+            cover.append(pick)
+
+    certificate: Dict[ElementId, SetKey] = {}
+    for key in cover:
+        for u in members_by_key.get(key, ()):
+            certificate.setdefault(u, key)
+    missing = [u for u in range(n) if u not in certificate]
+    if missing and not partial:
+        raise ProtocolError(
+            f"protocol output misses {len(missing)} element(s), e.g. "
+            f"{missing[:5]}"
+        )
+
+    return TournamentOutcome(
+        cover=cover,
+        certificate=certificate,
+        message_words=message_words,
+        # The headline τ is the protocol baseline √(n/t) (or the
+        # override) — always finite; the per-node values, including the
+        # adaptive leaves' ∞ defer-markers, are in ``thresholds``.
+        threshold=fixed_tau,
+        rounds=len(schedule),
+        edges=tuple(edges),
+        round_max_words=tuple(round_max_words),
+        thresholds=tuple(thresholds),
         uncovered=tuple(missing),
         forwarded_states=tuple(forwarded_states),
     )

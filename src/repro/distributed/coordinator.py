@@ -3,8 +3,8 @@
 Every coordinator consumes the :class:`~repro.distributed.worker.ShardOutput`
 list, charges each message a shard (conceptually) uploads to the
 :class:`~repro.distributed.comm.CommMeter`, and returns a
-:class:`MergeOutcome`.  Three strategies, trading communication for
-cover quality:
+:class:`MergeOutcome`.  Four strategies, trading communication, cover
+quality, and merge latency:
 
 ``union``
     Star topology.  Every shard uploads its (cover, certificate) pair;
@@ -23,6 +23,17 @@ cover quality:
     shard's output.  Under by-set routing this reproduces
     :func:`repro.lowerbound.simple_protocol.run_simple_protocol` exactly
     — same cover size, same ``max_message_words``.
+``tree``
+    Tournament topology.  Every shard runs the chain party step against
+    the full universe, then states pair up and merge bottom-up in
+    ``⌈log₂ W⌉`` rounds — same W−1 total messages as the chain, but
+    same-round hand-offs are independent, so the merge's critical path
+    on the async logical clock drops from Θ(W) to Θ(log W), at the
+    cost of witness-heavy early messages (tracked per round).
+
+``chain`` and ``tree`` both accept a fixed ``threshold`` override or
+``adaptive=True`` mid-merge τ re-estimation, carried through
+:class:`CoordinatorOptions`.
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
 
-from repro.distributed.chain import chain_merge
+from repro.distributed.chain import chain_merge, tournament_merge
 from repro.distributed.comm import CommMeter, words_for_cover_message
 from repro.distributed.router import ShardPlan
 from repro.distributed.transport import (
@@ -41,6 +52,7 @@ from repro.distributed.transport import (
     handoff_words,
     read_candidate_upload,
     read_cover_upload,
+    tree_handoff_wire,
 )
 from repro.distributed.worker import ShardOutput
 from repro.errors import (
@@ -101,6 +113,28 @@ def _send(
     return transport.send(src, dst, kind, payload)
 
 
+@dataclass(frozen=True)
+class CoordinatorOptions:
+    """Strategy-specific merge options, validated per coordinator.
+
+    The typed replacement for the old ad-hoc ``threshold`` kwarg on
+    :func:`make_coordinator`: every option names the CLI flag it rides
+    in on, and validation rejects options the chosen strategy cannot
+    honour with an error that names that flag — so
+    ``--threshold``/``--adaptive-threshold`` on a star coordinator
+    fails identically whether it arrives via the CLI, the executor, or
+    a direct call.
+    """
+
+    #: Fixed greedy take-threshold override (``--threshold``); only the
+    #: protocol coordinators (chain, tree) accept it.
+    threshold: Optional[float] = None
+    #: Re-estimate τ from the forwarded state at every merge step
+    #: (``--adaptive-threshold``); mutually exclusive with
+    #: :attr:`threshold`.
+    adaptive_threshold: bool = False
+
+
 class Coordinator:
     """Interface: merge shard outputs into one cover, metering comm.
 
@@ -118,6 +152,10 @@ class Coordinator:
     """
 
     name = "abstract"
+    #: Whether this strategy honours the ``--threshold`` /
+    #: ``--adaptive-threshold`` options (the greedy take-threshold only
+    #: exists in the protocol merges).
+    accepts_threshold = False
 
     def merge(
         self,
@@ -280,9 +318,15 @@ class ChainCoordinator(Coordinator):
     """
 
     name = "chain"
+    accepts_threshold = True
 
-    def __init__(self, threshold: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        threshold: Optional[float] = None,
+        adaptive: bool = False,
+    ) -> None:
         self.threshold = threshold
+        self.adaptive = adaptive
 
     def merge(
         self,
@@ -308,6 +352,7 @@ class ChainCoordinator(Coordinator):
             threshold=self.threshold,
             partial=allow_partial,
             capture_states=transport is not None,
+            adaptive=self.adaptive,
         )
         for i, words in enumerate(outcome.message_words):
             payload = None
@@ -337,7 +382,110 @@ class ChainCoordinator(Coordinator):
             diagnostics={
                 "threshold": outcome.threshold,
                 "protocol_messages": float(len(outcome.message_words)),
+                "max_message_words": float(outcome.max_message_words),
+                "adaptive_threshold": 1.0 if self.adaptive else 0.0,
             },
+            uncovered=outcome.uncovered,
+        )
+
+
+class TournamentCoordinator(Coordinator):
+    """The chain protocol folded into a ``⌈log₂ W⌉``-round tournament.
+
+    Parties are the shards in index order, exactly as the chain; the
+    merge runs :func:`~repro.distributed.chain.tournament_merge` and
+    charges each tree edge to the link between the *actual* shard
+    indices of the paired parties (``shard[0]->shard[1]``,
+    ``shard[2]->shard[3]``, … in round 0 of a full merge).  Same W−1
+    total messages as the chain; what changes is the dependency
+    structure — same-round edges are independent, which the async
+    scheduler exploits to deliver them on one logical tick.  The known
+    cost is message size: a leaf ships witnesses for every element it
+    holds, so per-round maxima land in the diagnostics
+    (``round_max_words_{r}``) next to the headline
+    ``max_message_words``.
+    """
+
+    name = "tree"
+    accepts_threshold = True
+
+    def __init__(
+        self,
+        threshold: Optional[float] = None,
+        adaptive: bool = False,
+    ) -> None:
+        self.threshold = threshold
+        self.adaptive = adaptive
+
+    def merge(
+        self,
+        instance: SetCoverInstance,
+        plan: ShardPlan,
+        outputs: Sequence[ShardOutput],
+        comm: CommMeter,
+        tracer=None,
+        allow_partial: bool = False,
+        transport: Optional[Transport] = None,
+    ) -> MergeOutcome:
+        tracer = tracer if tracer is not None else NULL_TRACER
+        party_sets = [
+            [
+                (sid, set(out.members_by_set.get(sid, frozenset())))
+                for sid in out.set_order
+            ]
+            for out in outputs
+        ]
+        outcome = tournament_merge(
+            instance.n,
+            party_sets,
+            threshold=self.threshold,
+            partial=allow_partial,
+            capture_states=transport is not None,
+            adaptive=self.adaptive,
+        )
+        for i, (round_index, src, dst) in enumerate(outcome.edges):
+            words = outcome.message_words[i]
+            payload = None
+            if transport is not None:
+                uncovered, witnesses, chosen = outcome.forwarded_states[i]
+                payload = tree_handoff_wire(
+                    round_index,
+                    outputs[src].index,
+                    outputs[dst].index,
+                    uncovered,
+                    witnesses,
+                    chosen,
+                )
+            delivered = _send(
+                comm,
+                tracer,
+                f"shard[{outputs[src].index}]",
+                f"shard[{outputs[dst].index}]",
+                words,
+                transport=transport,
+                kind="tree-handoff",
+                payload=payload,
+            )
+            if transport is not None and handoff_words(delivered) != words:
+                raise TransportError(
+                    f"tree hand-off {i} (round {round_index}) delivered "
+                    f"{handoff_words(delivered)} word(s) of state but "
+                    f"{words} were charged; the wire dropped or altered "
+                    "protocol state"
+                )
+        diagnostics = {
+            "threshold": outcome.threshold,
+            "protocol_messages": float(len(outcome.message_words)),
+            "merge_rounds": float(outcome.rounds),
+            "max_message_words": float(outcome.max_message_words),
+            "adaptive_threshold": 1.0 if self.adaptive else 0.0,
+        }
+        for r, words in enumerate(outcome.round_max_words):
+            diagnostics[f"round_max_words_{r}"] = float(words)
+        return MergeOutcome(
+            cover=tuple(outcome.cover),
+            certificate=dict(outcome.certificate),
+            diagnostics=diagnostics,
             uncovered=outcome.uncovered,
         )
 
@@ -347,6 +495,7 @@ COORDINATOR_REGISTRY: Dict[str, Type[Coordinator]] = {
     "union": UnionCoordinator,
     "greedy": GreedyCoordinator,
     "chain": ChainCoordinator,
+    "tree": TournamentCoordinator,
 }
 
 
@@ -356,9 +505,19 @@ def registered_coordinators() -> List[str]:
 
 
 def make_coordinator(
-    name: str, threshold: Optional[float] = None
+    name: str,
+    options: Optional[CoordinatorOptions] = None,
+    threshold: Optional[float] = None,
 ) -> Coordinator:
-    """Construct a registered coordinator by name."""
+    """Construct a registered coordinator by name.
+
+    ``options`` carries the strategy-specific knobs
+    (:class:`CoordinatorOptions`); options the named strategy cannot
+    honour raise :class:`~repro.errors.ConfigurationError` naming the
+    offending flag.  The legacy ``threshold`` kwarg is shorthand for
+    ``CoordinatorOptions(threshold=...)`` and may not be combined with
+    an explicit ``options``.
+    """
     try:
         cls = COORDINATOR_REGISTRY[name]
     except KeyError:
@@ -366,10 +525,31 @@ def make_coordinator(
         raise InvalidParameterError(
             "coordinator", name, f"known coordinators: {known}"
         ) from None
-    if cls is ChainCoordinator:
-        return ChainCoordinator(threshold=threshold)
     if threshold is not None:
+        if options is not None:
+            raise ConfigurationError(
+                "pass the threshold inside CoordinatorOptions, not both "
+                "ways at once"
+            )
+        options = CoordinatorOptions(threshold=threshold)
+    opts = options if options is not None else CoordinatorOptions()
+    if not cls.accepts_threshold:
+        if opts.threshold is not None:
+            raise ConfigurationError(
+                f"coordinator {name!r} does not accept --threshold; only "
+                "the protocol merges (chain, tree) have a take-threshold"
+            )
+        if opts.adaptive_threshold:
+            raise ConfigurationError(
+                f"coordinator {name!r} does not accept "
+                "--adaptive-threshold; only the protocol merges "
+                "(chain, tree) have a take-threshold"
+            )
+        return cls()
+    if opts.threshold is not None and opts.adaptive_threshold:
         raise ConfigurationError(
-            f"coordinator {name!r} does not accept a threshold"
+            "--threshold and --adaptive-threshold are mutually exclusive"
         )
-    return cls()
+    return cls(
+        threshold=opts.threshold, adaptive=opts.adaptive_threshold
+    )

@@ -40,7 +40,10 @@ from repro.distributed.backends import (
     run_tasks_with_recovery,
 )
 from repro.distributed.comm import CommBudget, CommMeter, CommReport
-from repro.distributed.coordinator import make_coordinator
+from repro.distributed.coordinator import (
+    CoordinatorOptions,
+    make_coordinator,
+)
 from repro.distributed.ingest import IngestReport, stream_ingest
 from repro.distributed.router import ShardPlan, ShardRouter
 from repro.distributed.shmem import ShippingReport
@@ -335,6 +338,7 @@ def run_distributed(
     faults: Optional[Sequence[FaultSpec]] = None,
     collector: Optional[TraceCollector] = None,
     threshold: Optional[float] = None,
+    adaptive_threshold: bool = False,
     comm_log: bool = False,
     backend: Optional[str] = None,
     transport: Optional[object] = None,
@@ -371,7 +375,11 @@ def run_distributed(
     collector:
         Attach to record per-shard (``shard[i]``) and merge traces.
     threshold:
-        Chain coordinator's greedy take-threshold override.
+        Protocol coordinators' (chain, tree) fixed greedy
+        take-threshold override.
+    adaptive_threshold:
+        Re-estimate τ from the forwarded state at every merge step
+        (chain, tree); mutually exclusive with ``threshold``.
     comm_log:
         Keep the full per-message log in the comm report (tests only).
     backend:
@@ -445,7 +453,12 @@ def run_distributed(
     # must fail fast, not after W shards have already run.  The transport
     # name is validated here too, but the transport itself is built at
     # merge time so a shard failure cannot leak a bound socket.
-    merger = make_coordinator(coordinator, threshold=threshold)
+    merger = make_coordinator(
+        coordinator,
+        CoordinatorOptions(
+            threshold=threshold, adaptive_threshold=adaptive_threshold
+        ),
+    )
     validate_transport(transport)
 
     resilient = (

@@ -350,13 +350,49 @@ def handoff_wire(
     }
 
 
+def tree_handoff_wire(
+    round_index: int,
+    src: int,
+    dst: int,
+    uncovered: Iterable[int],
+    witnesses: Iterable[Tuple[int, int]],
+    chosen: Iterable[int],
+) -> Dict[str, object]:
+    """One tournament hand-off: a subtree's state shipped to its peer.
+
+    Same packed state fields as :func:`handoff_wire` — the tournament
+    forwards the identical (uncovered, witnesses, chosen) structure, so
+    :func:`handoff_words` verifies either kind — with the tree position
+    (``round``, ``src``, ``dst``) in place of the chain's ``hop``.
+    """
+    flat_witnesses: List[int] = []
+    for u, s in witnesses:
+        flat_witnesses.append(u)
+        flat_witnesses.append(s)
+    flat_chosen: List[int] = []
+    for key in chosen:
+        flat_chosen.append(0)
+        flat_chosen.append(key)
+    return {
+        "kind": "tree-handoff",
+        "round": round_index,
+        "src": src,
+        "dst": dst,
+        "uncovered": pack_words(sorted(uncovered)),
+        "witnesses": pack_words(flat_witnesses),
+        "chosen": pack_words(flat_chosen),
+    }
+
+
 def handoff_words(payload: Mapping[str, object]) -> int:
-    """Recompute the hand-off's word count from its wire form.
+    """Recompute a hand-off's word count from its wire form.
 
     Equals :func:`~repro.distributed.chain.state_words` of the state
-    that built the payload — the chain coordinator asserts this against
-    the words it charged, an end-to-end integrity check that the bytes
-    delivered really are the state it forwarded.
+    that built the payload — works on chain (:func:`handoff_wire`) and
+    tree (:func:`tree_handoff_wire`) hand-offs alike, since both pack
+    the same three state fields.  The coordinators assert this against
+    the words they charged, an end-to-end integrity check that the
+    bytes delivered really are the state forwarded.
     """
     return (
         len(payload["uncovered"])  # type: ignore[arg-type]

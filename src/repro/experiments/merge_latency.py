@@ -1,0 +1,182 @@
+"""Experiment ``merge-latency``: tournament vs chain on the logical clock.
+
+The chain relays its protocol state through W parties — a critical path
+of ``W-1`` sequential hand-offs — while the tournament merge pairs
+states bottom-up in ``⌈log₂ W⌉`` rounds of *independent* hand-offs the
+async scheduler delivers as one batch per round.  Both move exactly
+``W-1`` messages; what differs is the dependency depth, and the price
+the tree pays is message size (a leaf ships witnesses for every element
+it holds) and, under fixed τ, cover quality (leaves act blind against
+the full universe, duplicating coverage the chain's shared state would
+have suppressed).  Adaptive τ re-estimation —
+``τ = √(|uncovered| / merged_peers)``, so leaves defer greedy and picks
+happen only where evidence has accumulated — recovers most of that
+cover quality without giving back the latency win.
+
+Sweep W × {chain, tree} × {fixed, adaptive} τ, recording cover size,
+max message words, and critical-path steps; verify every run and assert
+async/sync cover parity on the side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.metrics import aggregate
+from repro.analysis.tables import render_scatter
+from repro.distributed import run_distributed
+from repro.distributed.asyncsim import run_distributed_async
+from repro.experiments.base import ExperimentReport
+from repro.generators.planted import planted_partition_instance
+from repro.types import make_rng
+
+EXPERIMENT_ID = "merge-latency"
+TITLE = "Merge latency: tournament's O(log W) rounds vs the chain's O(W)"
+PAPER_CLAIM = (
+    "the t-party protocol's state merge is associative enough to fold "
+    "as a binary tree: the same W-1 messages delivered in ceil(log2 W) "
+    "independent rounds cut the dependency-bound critical path from "
+    "Theta(W) to Theta(log W), trading larger early messages and — "
+    "unless tau is re-estimated mid-merge — cover quality"
+)
+
+_CELLS = (
+    ("chain", False),
+    ("chain", True),
+    ("tree", False),
+    ("tree", True),
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentReport:
+    rng = make_rng(seed)
+    replications = 3 if quick else 6
+    n = 100
+    m = 500 if quick else 1000
+    opt_size = 10
+    worker_values = [2, 4, 8] if quick else [2, 4, 8, 16, 32]
+
+    rows: List[List[object]] = []
+    points = []
+    parity_checked = 0
+    steps_by_cell: Dict[str, Dict[int, float]] = {}
+    cover_by_cell: Dict[str, Dict[int, float]] = {}
+
+    for workers in worker_values:
+        for coordinator, adaptive in _CELLS:
+            mode = "adaptive" if adaptive else "fixed"
+            cell = f"{coordinator}/{mode}"
+            steps, covers, max_words = [], [], []
+            for _ in range(replications):
+                s = rng.getrandbits(63)
+                planted = planted_partition_instance(
+                    n, m, opt_size=opt_size, seed=s
+                )
+                result = run_distributed_async(
+                    planted.instance,
+                    workers=workers,
+                    algorithm="kk",
+                    strategy="by-set",
+                    coordinator=coordinator,
+                    adaptive_threshold=adaptive,
+                    seed=s,
+                    backend="serial",
+                    schedule_seed=s,
+                )
+                result.verify(planted.instance)
+                sync = run_distributed(
+                    planted.instance,
+                    workers=workers,
+                    algorithm="kk",
+                    strategy="by-set",
+                    coordinator=coordinator,
+                    adaptive_threshold=adaptive,
+                    seed=s,
+                    backend="serial",
+                )
+                assert result.cover == sync.cover, (
+                    f"async/sync parity broken: {cell} W={workers}"
+                )
+                parity_checked += 1
+                steps.append(result.diagnostics["logical_steps"])
+                covers.append(float(result.cover_size))
+                max_words.append(float(result.max_message_words))
+            agg_steps = aggregate(steps)
+            agg_cover = aggregate(covers)
+            steps_by_cell.setdefault(cell, {})[workers] = agg_steps.mean
+            cover_by_cell.setdefault(cell, {})[workers] = agg_cover.mean
+            rows.append(
+                [
+                    workers,
+                    coordinator,
+                    mode,
+                    str(agg_cover),
+                    f"{aggregate(max_words).mean:.0f}",
+                    str(agg_steps),
+                ]
+            )
+            marker = ("T" if adaptive else "t") if coordinator == "tree" \
+                else ("C" if adaptive else "c")
+            points.append(
+                (f"{marker}{workers}", float(workers), agg_steps.mean)
+            )
+
+    chart = render_scatter(
+        points,
+        x_label="W (shards)",
+        y_label="logical steps to completion (mean)",
+        title=(
+            "merge critical path (c/C=chain, t/T=tree; upper=adaptive; "
+            "digit=W):"
+        ),
+    )
+
+    w_hi = max(worker_values)
+    chain_steps = steps_by_cell["chain/fixed"][w_hi]
+    tree_steps = steps_by_cell["tree/fixed"][w_hi]
+    speedup = chain_steps / tree_steps if tree_steps else 0.0
+    fixed_blowup = (
+        cover_by_cell["tree/fixed"][w_hi]
+        / cover_by_cell["chain/fixed"][w_hi]
+        if cover_by_cell["chain/fixed"][w_hi]
+        else 0.0
+    )
+    adaptive_blowup = (
+        cover_by_cell["tree/adaptive"][w_hi]
+        / cover_by_cell["chain/fixed"][w_hi]
+        if cover_by_cell["chain/fixed"][w_hi]
+        else 0.0
+    )
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        paper_claim=PAPER_CLAIM,
+        headers=[
+            "W",
+            "coordinator",
+            "tau",
+            "cover size",
+            "max message words",
+            "critical-path steps",
+        ],
+        rows=rows,
+        extra_text=chart,
+        findings={
+            "tree_speedup_at_Whi": speedup,
+            "tree_fixed_cover_blowup_at_Whi": fixed_blowup,
+            "tree_adaptive_cover_blowup_at_Whi": adaptive_blowup,
+            "parity_runs_checked": float(parity_checked),
+        },
+        notes=[
+            "chain and tree move the same W-1 messages; only the "
+            "dependency structure differs, so the logical-step gap is "
+            "pure critical path",
+            f"at W={w_hi} the tree completes {speedup:.1f}× faster on "
+            f"the logical clock; its fixed-τ cover is "
+            f"{fixed_blowup:.1f}× the chain's (blind leaves duplicate "
+            f"coverage) while adaptive τ holds the blowup to "
+            f"{adaptive_blowup:.1f}×",
+            "every async run's cover is identical to its synchronous "
+            "twin — the delivery schedule is operational, never semantic",
+        ],
+    )

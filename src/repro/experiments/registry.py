@@ -19,6 +19,7 @@ from repro.experiments import (
     length_oblivious,
     lb_family,
     lb_reduction,
+    merge_latency,
     multipass,
     order_robustness,
     phase_transition,
@@ -47,6 +48,7 @@ _REGISTRY: Dict[str, ModuleType] = {
         simple_protocol_exp,
         distributed_tradeoff,
         async_completion,
+        merge_latency,
         phase_transition,
         length_oblivious,
         concentration,

@@ -10,16 +10,22 @@ name); connection-level failures are
 :class:`~repro.errors.TransportError`.  One client per thread — the
 load generator gives each worker its own connection, which is also the
 server's concurrency model.
+
+``max_retries`` opts a client into honouring the pool's ``retry_after``
+pacing hint: an :class:`~repro.errors.AdmissionError` that carries one
+is slept out and the request re-issued, up to the cap.  Off by default
+— rejections stay a caller-visible typed error unless asked for.
 """
 
 from __future__ import annotations
 
 import socket as socket_module
 import threading
+import time
 from typing import Any, Dict, List, Optional, Union
 
 from repro.distributed.transport import make_codec
-from repro.errors import TransportError
+from repro.errors import AdmissionError, InvalidParameterError, TransportError
 from repro.serve.protocol import recv_frame, request_payload, send_frame
 from repro.streaming.instance import SetCoverInstance
 from repro.streaming.io import dumps_instance
@@ -28,15 +34,25 @@ from repro.streaming.io import dumps_instance
 class ServeClient:
     """One connection to a :class:`~repro.serve.server.SetCoverServer`."""
 
+    #: Ceiling on one retry sleep, seconds — a hint is advisory and a
+    #: confused server must not park a client for minutes.
+    MAX_RETRY_SLEEP = 5.0
+
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: float = 60.0,
         codec: Optional[str] = None,
+        max_retries: int = 0,
     ) -> None:
+        if max_retries < 0:
+            raise InvalidParameterError(
+                "max_retries", max_retries, "must be >= 0"
+            )
         self.host = host
         self.port = port
+        self.max_retries = max_retries
         self._codec = make_codec(codec)
         self._lock = threading.Lock()
         self._next_id = 0
@@ -53,7 +69,26 @@ class ServeClient:
     # -- plumbing --------------------------------------------------------
 
     def request(self, kind: str, **fields: Any) -> Dict[str, Any]:
-        """Issue one request; returns the result dict or raises typed."""
+        """Issue one request; returns the result dict or raises typed.
+
+        With ``max_retries > 0``, an :class:`AdmissionError` whose
+        ``retry_after`` hint is present is paced out — sleep the hinted
+        interval (capped at :attr:`MAX_RETRY_SLEEP`), re-issue, up to
+        the cap.  Rejections the pool marks unretryable
+        (``retry_after=None``: exceeds-capacity, shutting-down) are
+        re-raised immediately whatever the budget.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(kind, **fields)
+            except AdmissionError as exc:
+                if attempt >= self.max_retries or exc.retry_after is None:
+                    raise
+                attempt += 1
+                time.sleep(min(exc.retry_after, self.MAX_RETRY_SLEEP))
+
+    def _request_once(self, kind: str, **fields: Any) -> Dict[str, Any]:
         if self._closed:
             raise TransportError("serve client is closed")
         with self._lock:

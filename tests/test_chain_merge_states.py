@@ -1,0 +1,123 @@
+"""Chain-merge edge semantics: repeated keys, partial mode, snapshots.
+
+Two under-tested corners of :func:`repro.distributed.chain.chain_merge`:
+
+* **Repeated keys across parties** — under by-element or hash sharding
+  the same set key appears at several parties with partial membership
+  views; each party acts on its own view, the certificate is built from
+  the union, and the output cover never lists a key twice.
+* **Captured states** — with ``capture_states=True`` every hand-off's
+  snapshot must recount to *exactly* the words the hop was charged:
+  ``state_words`` over the snapshot equals ``message_words[i]``, the
+  invariant the transport layer relies on when it ships the state as
+  real bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.chain import (
+    chain_merge,
+    state_words,
+    tournament_merge,
+)
+from repro.errors import ProtocolError
+
+
+def repeated_key_parties():
+    """Three parties sharing keys: ``"a"`` at all three with disjoint
+    views, ``"b"`` at two, ``"c"`` at one.  Universe 0..8; element 9
+    (when ``n=10``) is held by nobody."""
+    return [
+        [("a", {0, 1}), ("b", {2, 3})],
+        [("a", {4, 5}), ("c", {6, 7})],
+        [("a", {8}), ("b", {3})],
+    ]
+
+
+class TestRepeatedKeys:
+    def test_cover_deduplicates_repeated_keys(self):
+        outcome = chain_merge(9, repeated_key_parties(), threshold=1.0)
+        assert len(outcome.cover) == len(set(outcome.cover))
+        assert set(outcome.certificate) == set(range(9))
+        # The certificate may use any view of a repeated key, but every
+        # certified element must come from some party's view of it.
+        all_views = {}
+        for share in repeated_key_parties():
+            for key, members in share:
+                all_views.setdefault(key, set()).update(members)
+        for element, key in outcome.certificate.items():
+            assert element in all_views[key]
+
+    def test_partial_leaves_unheld_elements_uncovered(self):
+        outcome = chain_merge(
+            10, repeated_key_parties(), threshold=1.0, partial=True
+        )
+        assert outcome.uncovered == (9,)
+        assert 9 not in outcome.certificate
+        assert set(outcome.certificate) == set(range(9))
+
+    def test_without_partial_unheld_element_raises(self):
+        with pytest.raises(ProtocolError):
+            chain_merge(10, repeated_key_parties(), threshold=1.0)
+
+    def test_tournament_partial_matches_chain_uncovered(self):
+        chain = chain_merge(
+            10, repeated_key_parties(), threshold=1.0, partial=True
+        )
+        tree = tournament_merge(
+            10, repeated_key_parties(), threshold=1.0, partial=True
+        )
+        assert tree.uncovered == chain.uncovered == (9,)
+        assert set(tree.certificate) == set(range(9))
+
+
+class TestCapturedStates:
+    @pytest.mark.parametrize("adaptive", [False, True])
+    def test_chain_snapshots_recount_to_charged_words(self, adaptive):
+        outcome = chain_merge(
+            9,
+            repeated_key_parties(),
+            capture_states=True,
+            adaptive=adaptive,
+        )
+        assert len(outcome.forwarded_states) == len(outcome.message_words)
+        assert len(outcome.message_words) == 2  # t - 1 hops
+        for i, (uncovered, witnesses, chosen) in enumerate(
+            outcome.forwarded_states
+        ):
+            recounted = state_words(
+                set(uncovered), dict(witnesses), list(chosen)
+            )
+            assert recounted == outcome.message_words[i]
+
+    @pytest.mark.parametrize("adaptive", [False, True])
+    def test_tournament_snapshots_recount_to_charged_words(self, adaptive):
+        outcome = tournament_merge(
+            9,
+            repeated_key_parties(),
+            capture_states=True,
+            adaptive=adaptive,
+        )
+        assert len(outcome.forwarded_states) == len(outcome.message_words)
+        assert len(outcome.message_words) == 2  # t - 1 edges
+        for i, (uncovered, witnesses, chosen) in enumerate(
+            outcome.forwarded_states
+        ):
+            recounted = state_words(
+                set(uncovered), dict(witnesses), list(chosen)
+            )
+            assert recounted == outcome.message_words[i]
+
+    def test_snapshots_off_by_default(self):
+        outcome = chain_merge(9, repeated_key_parties())
+        assert outcome.forwarded_states == ()
+
+    def test_monotone_uncovered_along_the_chain(self):
+        outcome = chain_merge(
+            9, repeated_key_parties(), capture_states=True
+        )
+        snapshots = [set(u) for u, _, _ in outcome.forwarded_states]
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            assert later <= earlier

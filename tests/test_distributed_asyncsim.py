@@ -42,7 +42,7 @@ from repro.faults.shards import PERMANENT, ShardFaultPlan, ShardFaultSpec
 from repro.generators.planted import planted_partition_instance
 from repro.obs.tracer import TraceCollector
 
-COORDINATORS = ("union", "greedy", "chain")
+COORDINATORS = ("union", "greedy", "chain", "tree")
 
 
 @pytest.fixture(scope="module")
@@ -247,6 +247,36 @@ class TestAsyncDiagnostics:
         assert steps(2)["idle_ticks"] == 1.0
         assert steps(4)["idle_ticks"] == 3.0
         assert steps(8)["idle_ticks"] == 7.0
+
+    def test_tree_critical_path_grows_logarithmically(self, instance):
+        def diag(workers):
+            return run_distributed_async(
+                instance,
+                workers=workers,
+                coordinator="tree",
+                seed=1,
+                backend="serial",
+            ).diagnostics
+
+        # One idle tick per *round*, not per hand-off: ceil(log2 W)
+        # waits, each delivering the whole round as one batch.
+        assert diag(2)["idle_ticks"] == 1.0
+        assert diag(4)["idle_ticks"] == 2.0
+        assert diag(8)["idle_ticks"] == 3.0
+        assert diag(8)["logical_steps"] == 6.0
+        assert diag(8)["merge_rounds"] == 3.0
+
+    def test_tree_beats_chain_at_width(self, instance):
+        def steps(coordinator):
+            return run_distributed_async(
+                instance,
+                workers=8,
+                coordinator=coordinator,
+                seed=1,
+                backend="serial",
+            ).diagnostics["logical_steps"]
+
+        assert steps("tree") < steps("chain")
 
 
 class TestDuplicateDelivery:

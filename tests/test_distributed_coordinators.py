@@ -51,21 +51,57 @@ def lb_family_instance(n=64, m=10, t=4, seed=0):
 
 
 class TestRegistry:
-    def test_three_coordinators(self):
-        assert registered_coordinators() == ["chain", "greedy", "union"]
+    def test_four_coordinators(self):
+        assert registered_coordinators() == ["chain", "greedy", "tree", "union"]
 
     def test_unknown_rejected(self):
         with pytest.raises(ConfigurationError):
             make_coordinator("quorum")
 
-    def test_threshold_only_for_chain(self):
+    def test_threshold_only_for_protocol_merges(self):
         make_coordinator("chain", threshold=3.0)
+        make_coordinator("tree", threshold=3.0)
+        for name in ("union", "greedy"):
+            with pytest.raises(ConfigurationError, match="--threshold"):
+                make_coordinator(name, threshold=3.0)
+
+    def test_options_object_equivalent_to_kwarg(self):
+        from repro.distributed import CoordinatorOptions
+
+        via_options = make_coordinator(
+            "chain", CoordinatorOptions(threshold=3.0)
+        )
+        via_kwarg = make_coordinator("chain", threshold=3.0)
+        assert via_options.threshold == via_kwarg.threshold == 3.0
+
+    def test_adaptive_threshold_mutually_exclusive(self):
+        from repro.distributed import CoordinatorOptions
+
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            make_coordinator(
+                "chain",
+                CoordinatorOptions(threshold=3.0, adaptive_threshold=True),
+            )
+
+    def test_adaptive_threshold_rejected_by_flag_name(self):
+        from repro.distributed import CoordinatorOptions
+
+        with pytest.raises(ConfigurationError, match="--adaptive-threshold"):
+            make_coordinator(
+                "union", CoordinatorOptions(adaptive_threshold=True)
+            )
+
+    def test_options_and_legacy_kwarg_conflict(self):
+        from repro.distributed import CoordinatorOptions
+
         with pytest.raises(ConfigurationError):
-            make_coordinator("union", threshold=3.0)
+            make_coordinator(
+                "chain", CoordinatorOptions(threshold=3.0), threshold=3.0
+            )
 
 
 class TestAllCoordinatorsProduceValidCovers:
-    @pytest.mark.parametrize("coordinator", ["union", "greedy", "chain"])
+    @pytest.mark.parametrize("coordinator", ["union", "greedy", "chain", "tree"])
     @pytest.mark.parametrize("strategy", STRATEGIES)
     def test_valid_cover(self, instance, coordinator, strategy):
         result = run_distributed(
@@ -80,7 +116,7 @@ class TestAllCoordinatorsProduceValidCovers:
         assert result.is_valid(instance)
         assert result.cover_size >= 1
 
-    @pytest.mark.parametrize("coordinator", ["union", "greedy", "chain"])
+    @pytest.mark.parametrize("coordinator", ["union", "greedy", "chain", "tree"])
     def test_single_worker(self, instance, coordinator):
         result = run_distributed(
             instance, workers=1, coordinator=coordinator, seed=0

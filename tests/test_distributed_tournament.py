@@ -1,0 +1,192 @@
+"""The tournament merge: pairing schedule, covers, adaptive τ, wire.
+
+Contracts under test, from ``repro/distributed/chain.py`` and the
+``TournamentCoordinator``:
+
+* ``tournament_rounds`` pairs survivors adjacently with a trailing bye,
+  uses every link exactly once (W−1 edges in ⌈log₂ W⌉ rounds), and is
+  pure bookkeeping shared with the async simulator.
+* ``tournament_merge`` produces valid covers/certificates for any party
+  count, in both τ modes; adaptive τ defers blind leaf picks (∞ markers
+  in ``thresholds``) while the headline ``threshold`` stays finite.
+* End-to-end, ``--coordinator tree`` is comm-metered, transport-clean
+  (delivered payload words equal charged words — the same parity gate
+  the chain has), and carries per-round message maxima in diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.distributed import run_distributed
+from repro.distributed.chain import (
+    chain_merge,
+    tournament_merge,
+    tournament_rounds,
+)
+from repro.distributed.transport import make_transport
+from repro.errors import ConfigurationError
+from repro.generators.planted import planted_partition_instance
+from repro.types import make_rng
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planted_partition_instance(60, 240, opt_size=6, seed=5).instance
+
+
+def random_parties(n, t, seed):
+    """Split n elements' singletons-plus-blocks over t parties."""
+    rng = make_rng(seed)
+    sets = [
+        (f"s{j}", {rng.randrange(n) for _ in range(rng.randrange(1, 8))})
+        for j in range(3 * t)
+    ]
+    # Guarantee feasibility: each element appears somewhere.
+    for u in range(n):
+        sets[u % len(sets)][1].add(u)
+    return [sets[i::t] for i in range(t)]
+
+
+class TestTournamentRounds:
+    def test_five_parties_shape(self):
+        rounds = tournament_rounds([0, 1, 2, 3, 4])
+        assert rounds == [[(0, 1), (2, 3)], [(1, 3)], [(3, 4)]]
+
+    def test_power_of_two_is_log_deep(self):
+        rounds = tournament_rounds(list(range(8)))
+        assert len(rounds) == 3
+        assert [len(r) for r in rounds] == [4, 2, 1]
+
+    @pytest.mark.parametrize("t", [1, 2, 3, 5, 8, 13])
+    def test_every_link_used_once_all_parties_absorbed(self, t):
+        rounds = tournament_rounds(list(range(t)))
+        edges = [pair for r in rounds for pair in r]
+        assert len(edges) == t - 1
+        assert len(set(edges)) == t - 1
+        sources = {src for src, _ in edges}
+        assert len(sources) == t - 1  # every party ships at most once
+        survivors = set(range(t)) - sources
+        assert len(survivors) == 1
+        assert len(rounds) == (math.ceil(math.log2(t)) if t > 1 else 0)
+
+    def test_singleton_has_no_rounds(self):
+        assert tournament_rounds([7]) == []
+
+
+class TestTournamentMerge:
+    @pytest.mark.parametrize("t", [1, 2, 3, 5, 8, 13])
+    @pytest.mark.parametrize("adaptive", [False, True])
+    def test_valid_cover_any_party_count(self, t, adaptive):
+        n = 50
+        outcome = tournament_merge(
+            n, random_parties(n, t, seed=t), adaptive=adaptive
+        )
+        assert set(outcome.certificate) == set(range(n))
+        assert len(outcome.cover) == len(set(outcome.cover))
+        assert outcome.rounds == (math.ceil(math.log2(t)) if t > 1 else 0)
+        assert len(outcome.message_words) == t - 1
+        assert len(outcome.edges) == t - 1
+
+    def test_single_party_matches_chain(self):
+        n = 50
+        parties = random_parties(n, 1, seed=3)
+        tree = tournament_merge(n, parties)
+        chain = chain_merge(n, parties)
+        assert tree.cover == chain.cover
+        assert tree.certificate == chain.certificate
+
+    def test_adaptive_recovers_cover_quality(self):
+        # Fixed-tau leaves pick blind against the full universe and
+        # duplicate coverage; adaptive defers picks until states merge.
+        n, t = 100, 16
+        parties = random_parties(n, t, seed=9)
+        fixed = tournament_merge(n, parties, adaptive=False)
+        adaptive = tournament_merge(n, parties, adaptive=True)
+        assert adaptive.cover_size < fixed.cover_size
+
+    def test_adaptive_thresholds_defer_leaves(self):
+        n, t = 50, 4
+        outcome = tournament_merge(
+            n, random_parties(n, t, seed=2), adaptive=True
+        )
+        # Leaves first (deferred = inf), then one tau per internal node.
+        assert len(outcome.thresholds) == t + (t - 1)
+        assert all(tau == math.inf for tau in outcome.thresholds[:t])
+        assert all(math.isfinite(tau) for tau in outcome.thresholds[t:])
+        # The headline threshold never leaks an inf into diagnostics.
+        assert math.isfinite(outcome.threshold)
+
+    def test_explicit_threshold_and_adaptive_conflict(self):
+        with pytest.raises(ConfigurationError):
+            tournament_merge(
+                10, random_parties(10, 2, seed=0), threshold=2.0, adaptive=True
+            )
+
+    def test_round_max_words_bound_message_words(self):
+        n, t = 50, 8
+        outcome = tournament_merge(n, random_parties(n, t, seed=4))
+        assert len(outcome.round_max_words) == outcome.rounds
+        assert max(outcome.round_max_words) == outcome.max_message_words
+        words_by_round = {}
+        for (round_index, _, _), words in zip(
+            outcome.edges, outcome.message_words
+        ):
+            words_by_round.setdefault(round_index, []).append(words)
+        for round_index, sizes in words_by_round.items():
+            assert outcome.round_max_words[round_index] == max(sizes)
+
+
+class TestTreeCoordinatorEndToEnd:
+    @pytest.mark.parametrize("adaptive", [False, True])
+    def test_metered_and_diagnosed(self, instance, adaptive):
+        result = run_distributed(
+            instance,
+            workers=8,
+            coordinator="tree",
+            adaptive_threshold=adaptive,
+            seed=3,
+        )
+        result.verify(instance)
+        diag = result.diagnostics
+        assert diag["merge_rounds"] == 3.0
+        assert result.comm.num_messages == 7  # the W-1 tree edges
+        assert diag["max_message_words"] > 0
+        for r in range(3):
+            assert diag[f"round_max_words_{r}"] > 0
+        assert max(diag[f"round_max_words_{r}"] for r in range(3)) <= (
+            diag["max_message_words"]
+        )
+        assert diag["adaptive_threshold"] == (1.0 if adaptive else 0.0)
+
+    def test_transport_parity_with_inproc(self, instance):
+        inproc = run_distributed(
+            instance, workers=6, coordinator="tree", seed=7
+        )
+        loopback = run_distributed(
+            instance,
+            workers=6,
+            coordinator="tree",
+            seed=7,
+            transport=make_transport("loopback"),
+        )
+        assert loopback.cover == inproc.cover
+        assert loopback.certificate == inproc.certificate
+        assert loopback.comm == inproc.comm
+        wire = loopback.transport
+        assert wire.total_bytes >= 8 * loopback.total_comm_words
+
+    def test_threshold_override_propagates(self, instance):
+        loose = run_distributed(
+            instance, workers=4, coordinator="tree", seed=2, threshold=1.0
+        )
+        strict = run_distributed(
+            instance, workers=4, coordinator="tree", seed=2, threshold=50.0
+        )
+        loose.verify(instance)
+        strict.verify(instance)
+        # tau=50 exceeds every gain: all picks defer to witness patching.
+        assert loose.diagnostics["threshold"] == 1.0
+        assert strict.diagnostics["threshold"] == 50.0

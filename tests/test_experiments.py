@@ -26,8 +26,8 @@ def reports():
 
 
 class TestRegistry:
-    def test_nineteen_experiments(self):
-        assert len(all_experiment_ids()) == 19
+    def test_twenty_experiments(self):
+        assert len(all_experiment_ids()) == 20
 
     def test_table1_rows_present(self):
         ids = all_experiment_ids()
@@ -240,6 +240,25 @@ class TestAsyncCompletionFindings:
 
     def test_every_replication_checked_for_parity(self, reports):
         assert reports("async-completion").findings["parity_runs_checked"] > 0
+
+
+class TestMergeLatencyFindings:
+    def test_tree_wins_latency_at_width(self, reports):
+        findings = reports("merge-latency").findings
+        # W=8 quick grid: chain takes 14 logical steps, the tree 6.
+        assert findings["tree_speedup_at_Whi"] >= 2.0
+
+    def test_adaptive_tau_recovers_cover(self, reports):
+        findings = reports("merge-latency").findings
+        # Blind fixed-tau leaves duplicate coverage; adaptive tau must
+        # hold the blowup well under the fixed tree's.
+        assert findings["tree_fixed_cover_blowup_at_Whi"] > (
+            findings["tree_adaptive_cover_blowup_at_Whi"]
+        )
+        assert findings["tree_adaptive_cover_blowup_at_Whi"] <= 3.0
+
+    def test_every_cell_checked_for_parity(self, reports):
+        assert reports("merge-latency").findings["parity_runs_checked"] > 0
 
 
 class TestWordsVsBytesFindings:

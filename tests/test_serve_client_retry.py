@@ -1,0 +1,159 @@
+"""Client-side retry honouring the pool's ``retry_after`` pacing hint.
+
+Satellite of the merge PR, closing a serve-hardening roadmap item: a
+:class:`~repro.serve.client.ServeClient` built with ``max_retries > 0``
+sleeps out a retryable :class:`~repro.errors.AdmissionError`'s
+``retry_after`` hint and re-issues the request; the default client
+(``max_retries=0``) keeps every rejection a caller-visible typed
+error, and rejections the pool marks unretryable (``retry_after=None``)
+are never retried whatever the budget.
+
+The hints themselves come from a real saturated
+:class:`~repro.serve.admission.ResourcePool` — queue-full and
+queue-timeout rejections carry one, exceeds-capacity and shutting-down
+do not — and the retry loop is tested by stubbing the client's
+``_request_once`` so no socket is involved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import AdmissionError, InvalidParameterError
+from repro.serve.admission import ResourcePool
+from repro.serve.client import ServeClient
+
+
+def saturated_pool_rejection(**pool_kwargs):
+    """Drive a real pool to saturation and return the AdmissionError."""
+
+    async def scenario():
+        pool = ResourcePool(space_words=100, comm_words=100, **pool_kwargs)
+        held = await pool.lease(space_words=100, context="hog")
+        try:
+            await pool.lease(space_words=1, context="starved")
+        except AdmissionError as exc:
+            return exc
+        finally:
+            pool.release(held)
+        raise AssertionError("saturated pool admitted a second lease")
+
+    return asyncio.run(scenario())
+
+
+class TestPoolHints:
+    def test_queue_full_rejection_carries_retry_after(self):
+        exc = saturated_pool_rejection(max_queue=0)
+        assert exc.reason == "queue-full"
+        assert exc.retry_after is not None
+        assert exc.retry_after > 0
+
+    def test_queue_timeout_rejection_carries_retry_after(self):
+        exc = saturated_pool_rejection(max_queue=4, queue_timeout=0.01)
+        assert exc.reason == "timed-out"
+        assert exc.retry_after is not None
+
+    def test_exceeds_capacity_is_unretryable(self):
+        async def scenario():
+            pool = ResourcePool(space_words=10, comm_words=10)
+            with pytest.raises(AdmissionError) as info:
+                await pool.lease(space_words=11)
+            return info.value
+
+        exc = asyncio.run(scenario())
+        assert exc.reason == "exceeds-capacity"
+        assert exc.retry_after is None
+
+
+def make_client(max_retries, responses):
+    """A ServeClient with no socket: ``_request_once`` pops scripted
+    responses (an exception instance raises, anything else returns)."""
+    client = ServeClient.__new__(ServeClient)
+    client.max_retries = max_retries
+    client.sleeps = []
+    calls = {"n": 0}
+
+    def scripted(kind, **fields):
+        calls["n"] += 1
+        outcome = responses[min(calls["n"] - 1, len(responses) - 1)]
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client._request_once = scripted
+    client.calls = calls
+    return client
+
+
+def admission(retry_after):
+    return AdmissionError(
+        "queue-full",
+        requested_space_words=1,
+        retry_after=retry_after,
+    )
+
+
+class TestClientRetryLoop:
+    def test_negative_max_retries_rejected(self):
+        # Validation fires before any socket is opened.
+        with pytest.raises(InvalidParameterError, match="max_retries"):
+            ServeClient(host="127.0.0.1", port=1, max_retries=-1)
+
+    def test_off_by_default_first_rejection_raises(self, monkeypatch):
+        client = make_client(0, [admission(0.01), {"ok": True}])
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep",
+            lambda s: pytest.fail("default client must not sleep"),
+        )
+        with pytest.raises(AdmissionError):
+            client.request("solve")
+        assert client.calls["n"] == 1
+
+    def test_retries_until_admitted(self, monkeypatch):
+        client = make_client(
+            3, [admission(0.2), admission(0.3), {"cover_size": 4}]
+        )
+        slept = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", lambda s: slept.append(s)
+        )
+        assert client.request("solve") == {"cover_size": 4}
+        assert client.calls["n"] == 3
+        assert slept == [0.2, 0.3]
+
+    def test_budget_exhausted_reraises(self, monkeypatch):
+        client = make_client(2, [admission(0.1)] * 5)
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", lambda s: None
+        )
+        with pytest.raises(AdmissionError):
+            client.request("solve")
+        assert client.calls["n"] == 3  # initial try + 2 retries
+
+    def test_unretryable_hint_reraises_immediately(self, monkeypatch):
+        client = make_client(5, [admission(None), {"ok": True}])
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep",
+            lambda s: pytest.fail("must not sleep on retry_after=None"),
+        )
+        with pytest.raises(AdmissionError) as info:
+            client.request("solve")
+        assert info.value.retry_after is None
+        assert client.calls["n"] == 1
+
+    def test_sleep_capped_at_max(self, monkeypatch):
+        client = make_client(1, [admission(600.0), {"ok": True}])
+        slept = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", lambda s: slept.append(s)
+        )
+        client.request("solve")
+        assert slept == [ServeClient.MAX_RETRY_SLEEP]
+
+    def test_non_admission_errors_pass_through(self, monkeypatch):
+        client = make_client(5, [ValueError("boom")])
+        with pytest.raises(ValueError):
+            client.request("solve")
+        assert client.calls["n"] == 1
